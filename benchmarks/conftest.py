@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark harnesses.
+
+Each benchmark module reproduces one table or figure of the paper:
+it prints the data series (bypassing pytest capture so they appear in
+``bench_output.txt``) and also writes them under
+``benchmarks/results/`` for later inspection.
+
+Scale: quick by default; set ``REPRO_FULL=1`` for the paper's full
+200-document × 50-repetition configuration.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+
+import pytest
+
+from repro.simulation.parameters import Parameters
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def bench_parameters() -> Parameters:
+    """The simulation scale used by the benchmark harnesses."""
+    if os.environ.get("REPRO_FULL") == "1":
+        return Parameters()
+    return Parameters(documents_per_session=40, repetitions=3, max_rounds=15)
+
+
+_CAPTURE_MANAGER = None
+
+
+def pytest_configure(config):
+    global _CAPTURE_MANAGER
+    _CAPTURE_MANAGER = config.pluginmanager.getplugin("capturemanager")
+
+
+def emit(artifact: str, text: str) -> None:
+    """Print *text* past pytest's capture and persist it to results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{artifact}.txt").write_text(text, encoding="utf-8")
+    banner = f"\n===== {artifact} ====="
+    if _CAPTURE_MANAGER is not None:
+        with _CAPTURE_MANAGER.global_and_fixture_disabled():
+            print(banner)
+            print(text)
+    else:  # plain python invocation
+        print(banner)
+        print(text)
+
+
+@pytest.fixture(scope="session")
+def params() -> Parameters:
+    return bench_parameters()

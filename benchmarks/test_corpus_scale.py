@@ -1,0 +1,75 @@
+"""Corpus-scale benchmarks: the full pipeline and search engine on a
+generated Zipf corpus (not a paper figure — an engineering baseline
+that keeps the substrate honest at realistic sizes)."""
+
+import pytest
+
+from conftest import emit
+
+from repro.figures import format_table
+from repro.search.engine import SearchEngine
+from repro.simulation.textgen import CorpusGenerator
+from repro.xmlkit.parser import parse_xml
+
+CORPUS_SIZE = 24
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    generator = CorpusGenerator(topic_count=6, seed=12)
+    return generator, generator.corpus(CORPUS_SIZE, sections=3, subsections=2, paragraphs=2)
+
+
+def test_corpus_indexing_throughput(benchmark, corpus):
+    generator, documents = corpus
+
+    def build():
+        engine = SearchEngine()
+        for doc_id, (xml, _topic) in documents.items():
+            engine.add_document(doc_id, parse_xml(xml))
+        return engine
+
+    engine = benchmark(build)
+    assert engine.size == CORPUS_SIZE
+
+
+def test_corpus_query_latency(benchmark, corpus):
+    generator, documents = corpus
+    engine = SearchEngine()
+    truth = {}
+    for doc_id, (xml, topic) in documents.items():
+        engine.add_document(doc_id, parse_xml(xml))
+        truth[doc_id] = topic
+
+    query = generator.topic_query(2)
+    hits = benchmark(engine.search, query, 5)
+
+    precision_rows = []
+    correct_total = 0
+    hit_total = 0
+    for topic in range(len(generator.topics)):
+        topic_hits = engine.search(generator.topic_query(topic), limit=4)
+        correct = sum(1 for h in topic_hits if truth[h.document_id] == topic)
+        correct_total += correct
+        hit_total += len(topic_hits)
+        precision_rows.append((f"topic {topic}", len(topic_hits), correct))
+    emit(
+        "corpus_search_precision",
+        format_table(
+            precision_rows + [("TOTAL", hit_total, correct_total)],
+            headers=("query", "hits", "on-topic"),
+        ),
+    )
+    assert hits
+    assert correct_total / max(1, hit_total) > 0.6
+
+
+def test_boolean_query_latency(benchmark, corpus):
+    generator, documents = corpus
+    engine = SearchEngine()
+    for doc_id, (xml, _topic) in documents.items():
+        engine.add_document(doc_id, parse_xml(xml))
+    t0 = generator.topics[0][0]
+    t1 = generator.topics[1][0]
+    results = benchmark(engine.search_boolean, f"{t0} AND NOT {t1}", 10)
+    assert isinstance(results, list)

@@ -1,0 +1,73 @@
+"""Extension bench: analytic vs simulated Figure 4 curves.
+
+Overlays the closed-form (NoCaching) and mean-field (Caching)
+response-time models on the simulator's Experiment #1 values at the
+Table 2 configuration — quantifying how much of Figure 4 is available
+without running a single simulated packet.
+"""
+
+import random
+
+from conftest import bench_parameters, emit
+
+from repro.analysis.response import caching_expected_time, nocaching_expected_time
+from repro.figures import format_table
+from repro.simulation.runner import simulate_session
+
+ALPHAS = (0.1, 0.3, 0.5)
+GAMMAS = (1.2, 1.5, 2.0)
+
+
+def test_analytic_vs_simulated(benchmark):
+    params = bench_parameters().replace(irrelevant=0.0)
+
+    def run():
+        rows = []
+        for caching in (True, False):
+            for alpha in ALPHAS:
+                for gamma in GAMMAS:
+                    config = params.replace(alpha=alpha, gamma=gamma)
+                    if caching:
+                        analytic = caching_expected_time(
+                            config.m, config.n, alpha, config.packet_time,
+                            max_rounds=config.max_rounds,
+                        )
+                    else:
+                        analytic = nocaching_expected_time(
+                            config.m, config.n, alpha, config.packet_time,
+                            max_rounds=config.max_rounds,
+                        )
+                    sessions = [
+                        simulate_session(
+                            config, random.Random(13 + i), caching=caching
+                        ).mean_response_time
+                        for i in range(4)
+                    ]
+                    simulated = sum(sessions) / len(sessions)
+                    rows.append(
+                        (
+                            "caching" if caching else "nocaching",
+                            alpha,
+                            gamma,
+                            analytic,
+                            simulated,
+                            analytic / simulated if simulated else float("nan"),
+                        )
+                    )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "extension_analytic_model",
+        format_table(
+            rows,
+            headers=("strategy", "alpha", "gamma", "analytic (s)", "simulated (s)", "ratio"),
+        ),
+    )
+    # The models track the simulator closely; NoCaching's geometric
+    # round count has a heavy tail, so its sampled mean is noisier.
+    for strategy, alpha, gamma, analytic, simulated, ratio in rows:
+        tolerance = 0.10 if strategy == "caching" else 0.20
+        assert 1 - tolerance <= ratio <= 1 + tolerance, (
+            strategy, alpha, gamma, ratio,
+        )

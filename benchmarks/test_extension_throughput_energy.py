@@ -1,0 +1,82 @@
+"""Extension bench: effective throughput and client energy (paper §6/§1).
+
+Quantifies two claims the paper makes qualitatively:
+
+* §6 "experiments to measure the throughput of our system ... compared
+  with traditional web browsing paradigm" — effective (useful) kbps
+  per LOD;
+* §1 the bandwidth/energy motivation — joules per browsing session,
+  where early termination converts receive time into idle time.
+"""
+
+import random
+
+from conftest import bench_parameters, emit
+
+from repro.core.lod import LOD
+from repro.figures import format_table
+from repro.simulation.energy import EnergyModel, energy_saving, session_energy
+from repro.simulation.runner import simulate_session
+from repro.simulation.throughput import throughput_comparison
+
+LODS = (LOD.DOCUMENT, LOD.SECTION, LOD.SUBSECTION, LOD.PARAGRAPH)
+
+
+def test_effective_throughput(benchmark):
+    params = bench_parameters().replace(irrelevant=0.5, threshold=0.3)
+    comparison = benchmark.pedantic(
+        throughput_comparison,
+        kwargs=dict(params=params, lods=LODS, repetitions=3, seed=81),
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "extension_throughput",
+        format_table(
+            [(lod.name.lower(), comparison[lod]) for lod in LODS],
+            headers=("LOD", "effective kbps"),
+        ),
+    )
+    # Finer LOD → higher effective throughput, paragraph best.
+    assert comparison[LOD.PARAGRAPH] > comparison[LOD.DOCUMENT]
+    assert comparison[LOD.SUBSECTION] >= comparison[LOD.SECTION] * 0.97
+    # Physical bound: never above the channel rate.
+    assert all(value < params.bandwidth_kbps for value in comparison.values())
+
+
+def test_session_energy(benchmark):
+    params = bench_parameters().replace(irrelevant=1.0, threshold=0.3)
+    model = EnergyModel()
+
+    def run():
+        rows = []
+        energies = {}
+        for lod in LODS:
+            result = simulate_session(
+                params, random.Random(7), caching=True, lod=lod,
+                collect_outcomes=True,
+            )
+            energy = session_energy(result.outcomes, model=model)
+            energies[lod] = energy
+            rows.append(
+                (
+                    lod.name.lower(),
+                    energy.receive_joules,
+                    energy.idle_joules,
+                    energy.total_joules,
+                )
+            )
+        return rows, energies
+
+    rows, energies = benchmark.pedantic(run, rounds=1, iterations=1)
+    saving = energy_saving(energies[LOD.DOCUMENT], energies[LOD.PARAGRAPH])
+    rows.append(("paragraph saving vs document", saving, "", ""))
+    emit(
+        "extension_energy",
+        format_table(
+            rows, headers=("LOD", "receive J", "idle J", "total J")
+        ),
+    )
+    # Early discard converts receive joules into (cheaper) idle time.
+    assert energies[LOD.PARAGRAPH].receive_joules < energies[LOD.DOCUMENT].receive_joules
+    assert saving > 0.02

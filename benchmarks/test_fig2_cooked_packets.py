@@ -1,0 +1,46 @@
+"""Figure 2 — cooked packets N versus raw packets M.
+
+Regenerates both panels (S = 95%, S = 99%) over M = 10..100 and
+α ∈ {0.1..0.5}, and benchmarks the planner's minimal-N search.
+"""
+
+from conftest import emit
+
+from repro.analysis.planner import minimal_cooked_packets
+from repro.figures import figure2, format_table
+
+ALPHAS = (0.1, 0.2, 0.3, 0.4, 0.5)
+MS = tuple(range(10, 101, 10))
+
+
+def test_fig2_reproduction(benchmark):
+    data = benchmark(figure2, ms=MS, alphas=ALPHAS, successes=(0.95, 0.99))
+
+    rows = []
+    for success in (0.95, 0.99):
+        for alpha in ALPHAS:
+            for m, n in data[success][alpha]:
+                rows.append((f"S={success:.0%}", f"alpha={alpha:g}", m, n))
+    emit("fig2_cooked_packets", format_table(rows, headers=("panel", "series", "M", "N")))
+
+    for success in (0.95, 0.99):
+        for alpha in ALPHAS:
+            series = data[success][alpha]
+            ns = [n for _m, n in series]
+            # N increases with M and the relationship is near-linear
+            # (the paper's observation justifying the γ = N/M ratio).
+            assert ns == sorted(ns)
+            slope = (ns[-1] - ns[0]) / (MS[-1] - MS[0])
+            for m, n in series:
+                predicted = ns[0] + slope * (m - MS[0])
+                assert abs(n - predicted) <= max(3.0, 0.1 * n)
+        # The 99% panel needs at least as many packets as the 95% one.
+        for alpha in ALPHAS:
+            for (m95, n95), (m99, n99) in zip(data[0.95][alpha], data[0.99][alpha]):
+                assert n99 >= n95
+
+
+def test_planner_search_cost(benchmark):
+    """Single minimal-N solve at the paper's hardest corner."""
+    n = benchmark(minimal_cooked_packets, 100, 0.5, 0.99)
+    assert n > 200

@@ -1,0 +1,49 @@
+"""Figure 3 — redundancy ratio γ versus failure probability α.
+
+Regenerates the γ(α) curves at S = 95% and S = 99% for M = 50 with
+the M = 10..100 variation band, and checks the paper's qualitative
+claims: convex growth in α, weak M dependence, and γ ≈ 1.5 being a
+sensible default for small-to-moderate error rates.
+"""
+
+from conftest import emit
+
+from repro.figures import figure3, format_table
+
+ALPHAS = (0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def test_fig3_reproduction(benchmark):
+    data = benchmark(
+        figure3, alphas=ALPHAS, successes=(0.95, 0.99), m=50, band_ms=(10, 50, 100)
+    )
+
+    rows = []
+    for success in (0.95, 0.99):
+        panel = data[success]
+        for alpha in ALPHAS:
+            low, high = panel["band"][alpha]
+            rows.append(
+                (f"S={success:.0%}", alpha, panel["gamma"][alpha], low, high)
+            )
+    emit(
+        "fig3_redundancy_ratio",
+        format_table(rows, headers=("panel", "alpha", "gamma(M=50)", "band lo", "band hi")),
+    )
+
+    for success in (0.95, 0.99):
+        gammas = [data[success]["gamma"][a] for a in ALPHAS]
+        # Monotone increasing and convex (differences grow).
+        assert gammas == sorted(gammas)
+        diffs = [b - a for a, b in zip(gammas, gammas[1:])]
+        assert diffs[-1] >= diffs[0]
+        # Weak M dependence: the band (M = 10..100) stays around one
+        # unit of γ even at the α = 0.5 / S = 99% corner — which is
+        # why the paper's Figure 3 axis tops out at 3.5.
+        for alpha in ALPHAS:
+            low, high = data[success]["band"][alpha]
+            assert high - low < 1.1
+            assert high <= 3.5
+
+    # γ = 1.5 covers α up to ≈ 0.25 at S = 95% — the paper's default.
+    assert data[0.95]["gamma"][0.2] <= 1.5 <= data[0.95]["gamma"][0.3]

@@ -1,0 +1,82 @@
+"""Figure 4 (Experiment #1) — Caching vs NoCaching across γ.
+
+Regenerates all four panels: {NoCaching, Caching} × {I = 0, I = 0.5},
+one response-time curve per α ∈ {0.1..0.5}, documents at the document
+LOD.  Checks the paper's conclusions: the cache dominates at high α,
+irrelevant share matters far less than caching, and γ = 1.5 is a
+reasonable default.
+"""
+
+import os
+import random
+
+from conftest import bench_parameters, emit
+
+from repro.figures import format_table
+from repro.simulation.experiments import experiment1
+from repro.simulation.runner import simulate_session
+
+ALPHAS = (0.1, 0.2, 0.3, 0.4, 0.5)
+GAMMAS = (
+    tuple(round(1.1 + 0.1 * i, 2) for i in range(15))
+    if os.environ.get("REPRO_FULL") == "1"
+    else (1.1, 1.3, 1.5, 1.7, 2.0, 2.5)
+)
+
+
+def test_fig4_reproduction(benchmark):
+    panels = benchmark.pedantic(
+        experiment1,
+        kwargs=dict(
+            params=bench_parameters(), gammas=GAMMAS, alphas=ALPHAS, seed=41
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for (strategy, irrelevant), curves in sorted(panels.items()):
+        for alpha, points in sorted(curves.items()):
+            for point in points:
+                rows.append(
+                    (f"{strategy}/I={irrelevant:g}", f"alpha={alpha:g}",
+                     point.x, point.mean, point.stdev)
+                )
+    emit(
+        "fig4_caching_vs_nocaching",
+        format_table(rows, headers=("panel", "series", "gamma", "mean rt (s)", "stdev")),
+    )
+
+    for irrelevant in (0.0, 0.5):
+        caching = panels[("caching", irrelevant)]
+        nocaching = panels[("nocaching", irrelevant)]
+        # Caching never loses, and wins big at alpha = 0.5.
+        for alpha in ALPHAS:
+            for nc, c in zip(nocaching[alpha], caching[alpha]):
+                assert c.mean <= nc.mean * 1.05
+        assert nocaching[0.5][0].mean > 3 * caching[0.5][0].mean
+
+    # "The amount of irrelevant documents is not playing such an
+    # important role" compared to caching: at alpha=0.5, gamma=1.1 the
+    # caching-vs-not gap dwarfs the I=0 vs I=0.5 gap.
+    caching_gap = (
+        panels[("nocaching", 0.0)][0.5][0].mean
+        - panels[("caching", 0.0)][0.5][0].mean
+    )
+    irrelevant_gap = abs(
+        panels[("caching", 0.0)][0.5][0].mean
+        - panels[("caching", 0.5)][0.5][0].mean
+    )
+    assert caching_gap > irrelevant_gap
+
+    # gamma = 1.5 is adequate for small-to-moderate alpha with caching:
+    # raising it further buys < 15% at alpha <= 0.3.
+    for alpha in (0.1, 0.2, 0.3):
+        curve = {p.x: p.mean for p in panels[("caching", 0.0)][alpha]}
+        assert curve[max(GAMMAS)] >= curve[1.5] * 0.85
+
+
+def test_single_session_cost(benchmark):
+    """Benchmark one browsing session (the unit of Figure 4)."""
+    params = bench_parameters()
+    benchmark(lambda: simulate_session(params, random.Random(1), caching=True))

@@ -1,0 +1,68 @@
+"""Figure 5 (Experiment #2) — impact of I and of F on response time.
+
+Panels: response time vs I at F = 0.5, and vs F at I = 0.5, for both
+caching strategies and α series, document LOD.  Checks the paper's
+claims: linear decrease in I, and the slow–fast–flat S-shape in F
+caused by the clear-text → reconstruction transition.
+"""
+
+import os
+
+import pytest
+
+from conftest import bench_parameters, emit
+
+from repro.figures import format_table
+from repro.simulation.experiments import experiment2
+
+ALPHAS = (
+    (0.1, 0.2, 0.3, 0.4, 0.5)
+    if os.environ.get("REPRO_FULL") == "1"
+    else (0.1, 0.3, 0.5)
+)
+FRACTIONS = tuple(round(0.1 * i, 1) for i in range(11))
+
+
+def test_fig5_reproduction(benchmark):
+    panels = benchmark.pedantic(
+        experiment2,
+        kwargs=dict(
+            params=bench_parameters(), fractions=FRACTIONS, alphas=ALPHAS, seed=52
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for (panel_kind, strategy), curves in sorted(panels.items()):
+        for alpha, points in sorted(curves.items()):
+            for point in points:
+                rows.append(
+                    (f"{panel_kind}/{strategy}", f"alpha={alpha:g}",
+                     point.x, point.mean, point.stdev)
+                )
+    emit(
+        "fig5_irrelevance_and_threshold",
+        format_table(rows, headers=("panel", "series", "x", "mean rt (s)", "stdev")),
+    )
+
+    for strategy in ("caching", "nocaching"):
+        for alpha in ALPHAS:
+            by_i = {p.x: p.mean for p in panels[("vary_i", strategy)][alpha]}
+            # Response time decreases as more documents are irrelevant.
+            assert by_i[0.0] > by_i[1.0]
+            # Roughly linear: the midpoint sits near the average of the
+            # endpoints (the paper: "quite linear in nature").
+            midpoint = (by_i[0.0] + by_i[1.0]) / 2
+            assert by_i[0.5] == pytest.approx(midpoint, rel=0.25)
+
+    for alpha in ALPHAS:
+        by_f = {p.x: p.mean for p in panels[("vary_f", "caching")][alpha]}
+        # Increasing in F overall, with a cheap start...
+        assert by_f[0.0] < by_f[0.5] <= by_f[1.0] * 1.02
+        assert by_f[0.1] < by_f[1.0] * 0.6
+        # ...and flattening at the end: once F forces reconstruction,
+        # asking for more content costs nothing extra.
+        middle_slope = by_f[0.8] - by_f[0.7]
+        end_slope = by_f[1.0] - by_f[0.9]
+        assert end_slope <= middle_slope + 0.35

@@ -1,0 +1,65 @@
+"""Figure 6 (Experiment #3) — multi-resolution improvement per LOD.
+
+All documents irrelevant (I = 1), Caching; improvement over
+document-LOD transmission for section/subsection/paragraph LODs at
+α ∈ {0.1, 0.3, 0.5} across the relevance threshold F.  Checks the
+paper's claims: paragraph LOD best (30–50% faster at F ∈ [0.1, 0.3]),
+section/subsection 10–30%, and insensitivity to α.
+"""
+
+from conftest import bench_parameters, emit
+
+from repro.core.lod import LOD
+from repro.figures import format_table
+from repro.simulation.experiments import experiment3
+
+ALPHAS = (0.1, 0.3, 0.5)
+THRESHOLDS = tuple(round(0.1 * i, 1) for i in range(11))
+
+
+def test_fig6_reproduction(benchmark):
+    results = benchmark.pedantic(
+        experiment3,
+        kwargs=dict(
+            params=bench_parameters(), thresholds=THRESHOLDS, alphas=ALPHAS, seed=63
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for alpha in ALPHAS:
+        for lod, points in results[alpha].items():
+            for point in points:
+                rows.append((f"alpha={alpha:g}", lod.name.lower(), point.x, point.mean))
+    emit(
+        "fig6_lod_improvement",
+        format_table(rows, headers=("panel", "LOD", "F", "improvement")),
+    )
+
+    for alpha in ALPHAS:
+        per_lod = results[alpha]
+        by_f = {
+            lod: {p.x: p.mean for p in points} for lod, points in per_lod.items()
+        }
+        # Document LOD is the baseline: improvement identically 1.
+        assert all(abs(v - 1.0) < 1e-9 for v in by_f[LOD.DOCUMENT].values())
+        for f in (0.1, 0.2, 0.3):
+            # Paragraph beats subsection beats section beats document
+            # (with slack for simulation noise).
+            assert by_f[LOD.PARAGRAPH][f] >= by_f[LOD.SUBSECTION][f] * 0.97
+            assert by_f[LOD.SUBSECTION][f] >= by_f[LOD.SECTION][f] * 0.97
+            assert by_f[LOD.SECTION][f] >= 1.0
+        # Paper magnitude: paragraph improvement ≈ 1.3–1.5 at F=0.1–0.3.
+        assert 1.2 <= by_f[LOD.PARAGRAPH][0.1] <= 1.75
+        assert 1.15 <= by_f[LOD.PARAGRAPH][0.3] <= 1.6
+        # Both ends pinch to 1: F=0 downloads nothing, F=1 downloads all.
+        assert abs(by_f[LOD.PARAGRAPH][0.0] - 1.0) < 1e-9
+        assert by_f[LOD.PARAGRAPH][1.0] < 1.1
+
+    # "The improvement is not as sensitive to the failure probability":
+    # the paragraph peak varies by < 0.3 across alpha.
+    peaks = [
+        max(p.mean for p in results[alpha][LOD.PARAGRAPH]) for alpha in ALPHAS
+    ]
+    assert max(peaks) - min(peaks) < 0.3

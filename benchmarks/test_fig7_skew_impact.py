@@ -1,0 +1,59 @@
+"""Figure 7 (Experiment #4) — impact of the skew factor δ.
+
+Experiment #3 repeated at α = 0.1 for δ ∈ {2, 3, 4, 5}.  Checks the
+paper's claims: higher skew → more improvement; the peak sits at
+F ≈ 0.1–0.2; low skew (δ = 2) approaches sequential transmission.
+"""
+
+from conftest import bench_parameters, emit
+
+from repro.core.lod import LOD
+from repro.figures import format_table
+from repro.simulation.experiments import experiment4
+
+DELTAS = (2.0, 3.0, 4.0, 5.0)
+THRESHOLDS = tuple(round(0.1 * i, 1) for i in range(11))
+
+
+def test_fig7_reproduction(benchmark):
+    results = benchmark.pedantic(
+        experiment4,
+        kwargs=dict(
+            params=bench_parameters(),
+            thresholds=THRESHOLDS,
+            deltas=DELTAS,
+            seed=74,
+            alpha=0.1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for delta in DELTAS:
+        for lod, points in results[delta].items():
+            for point in points:
+                rows.append((f"delta={delta:g}", lod.name.lower(), point.x, point.mean))
+    emit(
+        "fig7_skew_impact",
+        format_table(rows, headers=("panel", "LOD", "F", "improvement")),
+    )
+
+    paragraph_peaks = {}
+    for delta in DELTAS:
+        points = results[delta][LOD.PARAGRAPH]
+        by_f = {p.x: p.mean for p in points}
+        paragraph_peaks[delta] = max(by_f.values())
+        # The peak improvement occurs at a low threshold (F ≤ 0.3).
+        best_f = max(by_f, key=by_f.get)
+        assert best_f <= 0.3
+        # Document baseline is 1 everywhere.
+        assert all(
+            abs(p.mean - 1.0) < 1e-9 for p in results[delta][LOD.DOCUMENT]
+        )
+
+    # Higher skew yields more improvement (monotone within noise).
+    assert paragraph_peaks[5.0] > paragraph_peaks[2.0]
+    assert paragraph_peaks[4.0] >= paragraph_peaks[2.0] * 0.98
+    # δ = 2 is closest to sequential: the flattest curve of the four.
+    assert paragraph_peaks[2.0] == min(paragraph_peaks.values())

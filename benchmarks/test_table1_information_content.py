@@ -1,0 +1,52 @@
+"""Table 1 — IC/QIC/MQIC of the draft paper.
+
+Regenerates the paper's Table 1 on the bundled draft-paper XML with
+the query Q = {browsing, mobile, web}, and benchmarks the SC pipeline
+plus the per-query annotation cost (the paper argues QIC is cheap to
+recompute per query, §3.3).
+"""
+
+import pytest
+
+from conftest import emit
+
+from repro.core.information import annotate_sc
+from repro.core.pipeline import SCPipeline
+from repro.core.query import Query
+from repro.data import draft_paper_source
+from repro.figures import format_table, table1
+from repro.text.keywords import KeywordExtractor
+from repro.xmlkit.parser import parse_xml
+
+
+def test_table1_reproduction(benchmark):
+    rows = benchmark(table1)
+    emit(
+        "table1_information_content",
+        format_table(rows, headers=("Sect./Subsect./Para.", "IC p", "QIC q^Q", "MQIC q~Q")),
+    )
+    # Shape assertions mirroring the paper's Table 1:
+    labels = {label for label, *_ in rows}
+    assert "0" in labels and "1.0.1" in labels
+    # some units have QIC = 0 while MQIC smooths them above 0.
+    assert any(qic == 0.0 and mqic > 0.0 for _l, _ic, qic, mqic in rows)
+    # additivity: every top-level value within [0, 1].
+    assert all(0.0 <= ic <= 1.0 for _l, ic, _q, _m in rows)
+
+
+def test_sc_pipeline_throughput(benchmark):
+    """Cost of the five-stage pipeline on the draft paper."""
+    document = parse_xml(draft_paper_source())
+    pipeline = SCPipeline()
+    sc = benchmark(pipeline.run, document)
+    assert sc.size_bytes() > 0
+
+
+def test_query_annotation_cost(benchmark):
+    """Per-query QIC/MQIC annotation — "the computational overhead of
+    QIC is quite low" (§3.3)."""
+    pipeline = SCPipeline()
+    sc = pipeline.run(parse_xml(draft_paper_source()))
+    extractor = KeywordExtractor(lemmatizer=pipeline.shared_lemmatizer)
+    query = Query("browsing mobile web", extractor=extractor)
+    benchmark(annotate_sc, sc, query=query)

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Reproduce every table and figure of the paper's evaluation (§3, §5).
+
+Prints the data series behind Table 1, Table 2, and Figures 2–7.
+Defaults to a quick configuration (60 documents per session, 5
+repetitions); set ``REPRO_FULL=1`` for the paper's full scale
+(200 documents, 50 repetitions — takes considerably longer).
+
+Run:  python examples/reproduce_evaluation.py [table1|table2|fig2|...|all]
+"""
+
+import sys
+
+import repro.figures as figures
+from repro.simulation import from_environment
+
+ARTIFACTS = {
+    "table1": figures.print_table1,
+    "table2": figures.print_table2,
+    "fig2": figures.print_figure2,
+    "fig3": figures.print_figure3,
+    "fig4": lambda: figures.print_figure4(from_environment()),
+    "fig5": lambda: figures.print_figure5(from_environment()),
+    "fig6": lambda: figures.print_figure6(from_environment()),
+    "fig7": lambda: figures.print_figure7(from_environment()),
+}
+
+
+def main(argv) -> int:
+    requested = argv[1:] or ["all"]
+    if requested == ["all"]:
+        requested = list(ARTIFACTS)
+    unknown = [name for name in requested if name not in ARTIFACTS]
+    if unknown:
+        print(f"unknown artifact(s): {unknown}; choose from {sorted(ARTIFACTS)}")
+        return 2
+    for name in requested:
+        ARTIFACTS[name]()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,20 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so
+``pip install -e . --no-use-pep517`` works in offline environments
+that lack the ``wheel`` package required for PEP 660 editable builds.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Fault-tolerant multi-resolution transmission for weakly-connected "
+        "mobile web browsing (reproduction of Leong/McLeod/Si/Yau, ICDCS 2000)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

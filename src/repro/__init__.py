@@ -1,0 +1,107 @@
+"""repro — fault-tolerant multi-resolution transmission for
+weakly-connected mobile web browsing.
+
+A complete reproduction of *"On Supporting Weakly-Connected Browsing
+in a Mobile Web Environment"* (Leong, McLeod, Si, Yau; ICDCS 2000),
+including every substrate the paper depends on:
+
+* :mod:`repro.core` — organizational units, the structural
+  characteristic pipeline, the IC/QIC/MQIC content measures, and
+  LOD-ordered transmission scheduling (the paper's contribution);
+* :mod:`repro.coding` — GF(2^8) erasure coding (Rabin dispersal and
+  its systematic Vandermonde form), CRC, and packet framing;
+* :mod:`repro.analysis` — the negative binomial packet model, the
+  minimal-N planner, and EWMA-adaptive redundancy;
+* :mod:`repro.transport` — the lossy wireless channel, the
+  round-based transfer protocol with Caching/NoCaching, ARQ and
+  compression baselines, and content-driven prefetching;
+* :mod:`repro.xmlkit` / :mod:`repro.htmlkit` — from-scratch XML and
+  HTML parsing plus research-paper structure extraction;
+* :mod:`repro.text` — tokenization, Porter stemming, stop-word
+  filtering, keyword extraction, occurrence vectors;
+* :mod:`repro.search` — the inverted-index search engine that drives
+  query-based content measures;
+* :mod:`repro.simulation` — the §5 evaluation: Table 2 parameters,
+  synthetic workloads, and Experiments #1–#4;
+* :mod:`repro.prototype` — the Figure 1 browser/server prototype;
+* :mod:`repro.figures` — one entry point per paper table and figure.
+
+Quickstart::
+
+    from repro import build_sc, annotate_sc, Query, TransmissionSchedule, LOD
+    from repro.xmlkit import parse_xml
+
+    sc = build_sc(parse_xml(xml_source))
+    annotate_sc(sc, query=Query("mobile web browsing"))
+    schedule = TransmissionSchedule(sc, lod=LOD.PARAGRAPH, measure="qic")
+"""
+
+from repro.core import (
+    LOD,
+    ModifiedQueryIC,
+    OrganizationalUnit,
+    Query,
+    QueryIC,
+    SCPipeline,
+    StaticIC,
+    StructuralCharacteristic,
+    TransmissionSchedule,
+    annotate_sc,
+    best_first_schedule,
+    build_sc,
+    conventional_schedule,
+)
+from repro.coding import Packetizer, RabinDispersal, SystematicRSCodec
+from repro.analysis import (
+    AdaptiveRedundancyController,
+    minimal_cooked_packets,
+    redundancy_ratio,
+)
+from repro.transport import (
+    DocumentSender,
+    NullCache,
+    PacketCache,
+    TransferResult,
+    WirelessChannel,
+    transfer_document,
+)
+from repro.simulation import Parameters, simulate_session, table2_defaults
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "LOD",
+    "OrganizationalUnit",
+    "StructuralCharacteristic",
+    "Query",
+    "StaticIC",
+    "QueryIC",
+    "ModifiedQueryIC",
+    "annotate_sc",
+    "SCPipeline",
+    "build_sc",
+    "TransmissionSchedule",
+    "best_first_schedule",
+    "conventional_schedule",
+    # coding
+    "SystematicRSCodec",
+    "RabinDispersal",
+    "Packetizer",
+    # analysis
+    "minimal_cooked_packets",
+    "redundancy_ratio",
+    "AdaptiveRedundancyController",
+    # transport
+    "WirelessChannel",
+    "PacketCache",
+    "NullCache",
+    "DocumentSender",
+    "transfer_document",
+    "TransferResult",
+    # simulation
+    "Parameters",
+    "table2_defaults",
+    "simulate_session",
+]

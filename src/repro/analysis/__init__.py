@@ -1,0 +1,52 @@
+"""Analytic model of fault-tolerant transmission (paper §4.1–4.2):
+negative binomial packet counts, the minimal-N planner, and the EWMA
+adaptive-redundancy controller.
+"""
+
+from repro.analysis.negbinom import (
+    cdf,
+    expectation,
+    pmf,
+    pmf_series,
+    survival,
+    variance,
+)
+from repro.analysis.planner import (
+    PlannerPoint,
+    gamma_band,
+    gamma_versus_alpha,
+    minimal_cooked_packets,
+    redundancy_ratio,
+    stall_probability,
+    sweep,
+)
+from repro.analysis.ewma import AdaptiveRedundancyController, EwmaEstimator
+from repro.analysis.sequential import SequentialResult, run_until_tight
+from repro.analysis.response import (
+    caching_expected_time,
+    expected_response_time,
+    nocaching_expected_time,
+)
+
+__all__ = [
+    "pmf",
+    "cdf",
+    "survival",
+    "expectation",
+    "variance",
+    "pmf_series",
+    "minimal_cooked_packets",
+    "redundancy_ratio",
+    "PlannerPoint",
+    "sweep",
+    "gamma_versus_alpha",
+    "gamma_band",
+    "stall_probability",
+    "EwmaEstimator",
+    "AdaptiveRedundancyController",
+    "run_until_tight",
+    "SequentialResult",
+    "expected_response_time",
+    "caching_expected_time",
+    "nocaching_expected_time",
+]

@@ -1,0 +1,109 @@
+"""Adaptive redundancy via EWMA channel estimation (paper §4.2).
+
+"To balance the amount of redundancy with successful transmission
+probability, the value of γ could be defined as an adaptive function
+of the observed summarized value of α, using perhaps a kind of EWMA
+measure."  The estimator below tracks the observed corruption rate,
+and the controller maps it through the planner to a fresh γ before
+each document transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.planner import redundancy_ratio
+from repro.util.validation import check_fraction, check_positive_int, check_probability, check_range
+
+
+class EwmaEstimator:
+    """Exponentially weighted moving average of a probability signal.
+
+    ``estimate ← (1−weight)·estimate + weight·observation``; the first
+    observation initializes the estimate directly.
+    """
+
+    def __init__(self, weight: float = 0.25, initial: Optional[float] = None) -> None:
+        check_range(weight, 0.0, 1.0, "weight")
+        self.weight = weight
+        self._estimate: Optional[float] = None
+        if initial is not None:
+            self._estimate = check_probability(initial, "initial")
+
+    def observe(self, value: float) -> float:
+        """Fold one observation in; returns the updated estimate."""
+        check_probability(value, "value")
+        if self._estimate is None:
+            self._estimate = value
+        else:
+            self._estimate = (1.0 - self.weight) * self._estimate + self.weight * value
+        return self._estimate
+
+    @property
+    def estimate(self) -> Optional[float]:
+        """The current estimate, or ``None`` before any observation."""
+        return self._estimate
+
+    def reset(self) -> None:
+        self._estimate = None
+
+
+class AdaptiveRedundancyController:
+    """Chooses γ for the next transfer from the estimated α.
+
+    Parameters
+    ----------
+    success:
+        Target per-document success probability S.
+    m_hint:
+        Representative raw-packet count used when converting α to γ
+        (the paper's Figure 3 uses M = 50 and notes the weak M
+        dependence).
+    weight:
+        EWMA weight for channel observations.
+    initial_alpha:
+        Prior channel estimate before any feedback arrives.
+    floor / ceiling:
+        Clamp on the returned γ, defending against estimator noise.
+    """
+
+    def __init__(
+        self,
+        success: float = 0.95,
+        m_hint: int = 50,
+        weight: float = 0.25,
+        initial_alpha: float = 0.1,
+        floor: float = 1.0,
+        ceiling: float = 5.0,
+    ) -> None:
+        check_fraction(success, "success")
+        check_positive_int(m_hint, "m_hint")
+        if floor < 1.0:
+            raise ValueError("gamma floor below 1.0 cannot reconstruct")
+        if ceiling < floor:
+            raise ValueError("gamma ceiling must be >= floor")
+        self.success = success
+        self.m_hint = m_hint
+        self.floor = floor
+        self.ceiling = ceiling
+        self._estimator = EwmaEstimator(weight=weight, initial=initial_alpha)
+
+    @property
+    def alpha_estimate(self) -> float:
+        estimate = self._estimator.estimate
+        return estimate if estimate is not None else 0.0
+
+    def record_transfer(self, corrupted: int, total: int) -> float:
+        """Feed back one transfer's observed corruption counts."""
+        check_positive_int(total, "total")
+        if corrupted < 0 or corrupted > total:
+            raise ValueError(f"corrupted={corrupted} outside 0..{total}")
+        return self._estimator.observe(corrupted / total)
+
+    def gamma(self) -> float:
+        """The γ to use for the next transfer."""
+        alpha = self.alpha_estimate
+        if alpha >= 1.0:
+            return self.ceiling
+        value = redundancy_ratio(self.m_hint, alpha, self.success)
+        return min(max(value, self.floor), self.ceiling)

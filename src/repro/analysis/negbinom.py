@@ -1,0 +1,108 @@
+"""The negative binomial packet-count model (paper §4.1).
+
+With per-packet corruption probability α (i.i.d.), the number of
+cooked packets P that must be *sent* before M intact ones have arrived
+follows a negative binomial distribution:
+
+    Pr(P = x) = C(x−1, M−1) · α^(x−M) · (1−α)^M,   x = M, M+1, ...
+
+with expectation E[P] = M / (1−α).  Everything is computed in log
+space (``math.lgamma``) so the M = 100, N ≈ 250 range of the paper's
+Figure 2 stays numerically exact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.util.validation import check_positive_int, check_probability
+
+
+def _log_choose(n: int, k: int) -> float:
+    if k < 0 or k > n:
+        return float("-inf")
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def pmf(x: int, m: int, alpha: float) -> float:
+    """Pr(P = x): exactly *x* packets sent to collect *m* intact ones."""
+    check_positive_int(m, "m")
+    check_probability(alpha, "alpha")
+    if x < m:
+        return 0.0
+    if alpha == 0.0:
+        return 1.0 if x == m else 0.0
+    if alpha == 1.0:
+        return 0.0
+    log_p = (
+        _log_choose(x - 1, m - 1)
+        + (x - m) * math.log(alpha)
+        + m * math.log1p(-alpha)
+    )
+    return math.exp(log_p)
+
+
+def cdf(x: int, m: int, alpha: float) -> float:
+    """Pr(P ≤ x): at most *x* packets suffice to collect *m* intact ones.
+
+    Computed by direct summation with a running recurrence for the
+    pmf, avoiding per-term lgamma calls.
+    """
+    check_positive_int(m, "m")
+    check_probability(alpha, "alpha")
+    if x < m:
+        return 0.0
+    if alpha == 0.0:
+        return 1.0
+    if alpha == 1.0:
+        return 0.0
+    # pmf(m) = (1-α)^m; pmf(x+1)/pmf(x) = α·x/(x−m+1).
+    term = math.exp(m * math.log1p(-alpha))
+    total = term
+    for current in range(m, x):
+        term *= alpha * current / (current - m + 1)
+        total += term
+    return min(total, 1.0)
+
+
+def survival(x: int, m: int, alpha: float) -> float:
+    """Pr(P > x) — the stall probability when only *x* packets exist."""
+    return max(0.0, 1.0 - cdf(x, m, alpha))
+
+
+def expectation(m: int, alpha: float) -> float:
+    """E[P] = M / (1−α)."""
+    check_positive_int(m, "m")
+    check_probability(alpha, "alpha")
+    if alpha >= 1.0:
+        return math.inf
+    return m / (1.0 - alpha)
+
+
+def variance(m: int, alpha: float) -> float:
+    """Var[P] = M·α / (1−α)²."""
+    check_positive_int(m, "m")
+    check_probability(alpha, "alpha")
+    if alpha >= 1.0:
+        return math.inf
+    return m * alpha / (1.0 - alpha) ** 2
+
+
+def pmf_series(m: int, alpha: float, upto: int) -> List[float]:
+    """[Pr(P = x) for x in m..upto] via the same stable recurrence."""
+    check_positive_int(m, "m")
+    check_probability(alpha, "alpha")
+    if upto < m:
+        return []
+    if alpha == 0.0:
+        return [1.0] + [0.0] * (upto - m)
+    if alpha == 1.0:
+        return [0.0] * (upto - m + 1)
+    series = []
+    term = math.exp(m * math.log1p(-alpha))
+    series.append(term)
+    for current in range(m, upto):
+        term *= alpha * current / (current - m + 1)
+        series.append(term)
+    return series

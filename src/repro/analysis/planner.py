@@ -1,0 +1,129 @@
+"""Choosing N: the redundancy planner (paper §4.1–4.2, Figures 2–3).
+
+Given M raw packets, corruption probability α, and a target success
+probability S, the planner solves
+
+    Pr(P ≤ N) = Σ_{i=M..N} C(i−1, M−1) α^(i−M) (1−α)^M  ≥  S
+
+for the minimal N — "yielding an optimal number of cooked packets".
+The redundancy ratio γ = N/M is the practical guideline the paper
+derives (Figure 3): it varies little with M, so γ can be treated as a
+function of α alone.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, NamedTuple, Sequence
+
+from repro.analysis.negbinom import cdf, expectation
+from repro.util.validation import check_fraction, check_positive_int, check_probability
+
+
+def minimal_cooked_packets(m: int, alpha: float, success: float) -> int:
+    """The smallest N with Pr(P ≤ N) ≥ *success*.
+
+    Uses the closed-form expectation as a starting point, then walks
+    the cdf with its stable recurrence.  α = 0 gives N = M; α = 1 is
+    rejected because no finite N can succeed.
+    """
+    check_positive_int(m, "m")
+    check_probability(alpha, "alpha")
+    check_fraction(success, "success")
+    if alpha == 0.0:
+        return m
+    if alpha == 1.0:
+        raise ValueError("alpha = 1 admits no finite solution")
+
+    # pmf recurrence walk: pmf(m) = (1-α)^m; pmf(x+1) = pmf(x)·α·x/(x−m+1).
+    term = math.exp(m * math.log1p(-alpha))
+    total = term
+    n = m
+    while total < success:
+        term *= alpha * n / (n - m + 1)
+        n += 1
+        total += term
+        if n > 10_000_000:  # pragma: no cover - safety valve
+            raise RuntimeError("planner failed to converge")
+    return n
+
+
+def redundancy_ratio(m: int, alpha: float, success: float) -> float:
+    """γ = N/M for the minimal N."""
+    return minimal_cooked_packets(m, alpha, success) / m
+
+
+class PlannerPoint(NamedTuple):
+    """One point of a planner sweep."""
+
+    m: int
+    alpha: float
+    success: float
+    n: int
+    gamma: float
+    expected_packets: float
+
+
+def sweep(
+    ms: Sequence[int],
+    alphas: Sequence[float],
+    success: float,
+) -> List[PlannerPoint]:
+    """Planner grid over raw-packet counts × corruption probabilities.
+
+    This is the computation behind the paper's Figure 2 (N against M
+    for α ∈ {0.1..0.5} at S = 95% and 99%).
+    """
+    points: List[PlannerPoint] = []
+    for alpha in alphas:
+        for m in ms:
+            n = minimal_cooked_packets(m, alpha, success)
+            points.append(
+                PlannerPoint(
+                    m=m,
+                    alpha=alpha,
+                    success=success,
+                    n=n,
+                    gamma=n / m,
+                    expected_packets=expectation(m, alpha),
+                )
+            )
+    return points
+
+
+def gamma_versus_alpha(
+    alphas: Sequence[float],
+    success: float,
+    m: int = 50,
+) -> Dict[float, float]:
+    """γ as a function of α at fixed M — the paper's Figure 3 series."""
+    return {alpha: redundancy_ratio(m, alpha, success) for alpha in alphas}
+
+
+def gamma_band(
+    alphas: Sequence[float],
+    success: float,
+    ms: Iterable[int] = (10, 50, 100),
+) -> Dict[float, tuple]:
+    """(min γ, max γ) across *ms* for each α.
+
+    The paper observes "the range of γ for different values of M does
+    not change too much", justifying treating γ as a function of α
+    alone; the band quantifies that claim.
+    """
+    band: Dict[float, tuple] = {}
+    ms = list(ms)
+    for alpha in alphas:
+        gammas = [redundancy_ratio(m, alpha, success) for m in ms]
+        band[alpha] = (min(gammas), max(gammas))
+    return band
+
+
+def stall_probability(m: int, n: int, alpha: float) -> float:
+    """Pr(P > N): the chance a single round of N packets stalls."""
+    check_positive_int(m, "m")
+    check_positive_int(n, "n")
+    check_probability(alpha, "alpha")
+    if n < m:
+        return 1.0
+    return max(0.0, 1.0 - cdf(n, m, alpha))

@@ -1,0 +1,74 @@
+"""Sequential repetition control: repeat until the CI is tight.
+
+The paper repeats every experiment 50 times and reports that the
+standard deviation stays within 1–5% of the mean, "giving tight
+confidence intervals to our results".  A fixed repetition count either
+wastes work (smooth configurations) or under-samples (noisy corners);
+sequential sampling stops when the 95% confidence half-width falls
+below a target fraction of the mean.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, NamedTuple
+
+from repro.util.stats import confidence_interval, mean
+from repro.util.validation import check_fraction, check_positive_int
+
+
+class SequentialResult(NamedTuple):
+    """Outcome of a sequential sampling run."""
+
+    mean: float
+    samples: List[float]
+    half_width: float
+    converged: bool
+
+    @property
+    def repetitions(self) -> int:
+        return len(self.samples)
+
+    @property
+    def relative_half_width(self) -> float:
+        if self.mean == 0:
+            return 0.0
+        return self.half_width / abs(self.mean)
+
+
+def run_until_tight(
+    sample: Callable[[int], float],
+    relative_precision: float = 0.05,
+    min_repetitions: int = 3,
+    max_repetitions: int = 100,
+) -> SequentialResult:
+    """Call ``sample(repetition_index)`` until the CI is tight enough.
+
+    Stops when the 95% confidence half-width is below
+    ``relative_precision × |mean|`` (after *min_repetitions*), or when
+    *max_repetitions* is exhausted (``converged=False``).
+
+    A degenerate zero-variance stream converges at *min_repetitions*.
+    """
+    check_fraction(relative_precision, "relative_precision")
+    check_positive_int(min_repetitions, "min_repetitions")
+    check_positive_int(max_repetitions, "max_repetitions")
+    if max_repetitions < min_repetitions:
+        raise ValueError("max_repetitions must be >= min_repetitions")
+
+    samples: List[float] = []
+    for index in range(max_repetitions):
+        samples.append(float(sample(index)))
+        if len(samples) < min_repetitions:
+            continue
+        low, high = confidence_interval(samples)
+        half_width = (high - low) / 2.0
+        mu = mean(samples)
+        if mu == 0.0 and half_width == 0.0:
+            return SequentialResult(mu, samples, half_width, True)
+        if mu != 0.0 and half_width <= relative_precision * abs(mu):
+            return SequentialResult(mu, samples, half_width, True)
+
+    low, high = confidence_interval(samples)
+    return SequentialResult(
+        mean(samples), samples, (high - low) / 2.0, False
+    )

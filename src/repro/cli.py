@@ -1,0 +1,218 @@
+"""Command-line interface.
+
+Exposes the library's main entry points without writing Python::
+
+    python -m repro sc document.xml              # print the SC tree
+    python -m repro sc page.html --html          # via structure extraction
+    python -m repro schedule document.xml --query "mobile web" --lod paragraph
+    python -m repro plan --m 40 --alpha 0.3 --success 0.95
+    python -m repro transfer document.xml --alpha 0.3 --gamma 1.5 --seed 7
+    python -m repro figure table1|table2|fig2|...|fig7
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.planner import minimal_cooked_packets
+from repro.coding.packets import Packetizer
+from repro.core.information import annotate_sc
+from repro.core.lod import LOD
+from repro.core.multires import TransmissionSchedule
+from repro.core.pipeline import SCPipeline
+from repro.core.query import Query
+from repro.htmlkit.extract import html_to_research_paper
+from repro.text.keywords import KeywordExtractor
+from repro.transport.cache import PacketCache
+from repro.transport.channel import WirelessChannel
+from repro.transport.sender import DocumentSender
+from repro.transport.session import transfer_document
+from repro.xmlkit.parser import parse_xml
+
+
+def _load_document(path: str, html: bool):
+    source = Path(path).read_text(encoding="utf-8")
+    if html:
+        return html_to_research_paper(source)
+    return parse_xml(source)
+
+
+def _build_annotated_sc(args):
+    pipeline = SCPipeline()
+    document = _load_document(args.path, getattr(args, "html", False))
+    sc = pipeline.run(document)
+    query = None
+    query_text = getattr(args, "query", "") or ""
+    if query_text.strip():
+        extractor = KeywordExtractor(lemmatizer=pipeline.shared_lemmatizer)
+        query = Query(query_text, extractor=extractor)
+    annotate_sc(sc, query=query)
+    return sc, query
+
+
+def cmd_sc(args) -> int:
+    """Print the structural characteristic as an indented tree."""
+    sc, query = _build_annotated_sc(args)
+    measure = "mqic" if query is not None and not query.is_empty else "ic"
+    print(f"# measure: {measure}")
+    for unit in sc.root.walk():
+        indent = "  " * unit.lod.value
+        title = f" {unit.title!r}" if unit.title else ""
+        value = unit.content.get(measure, 0.0)
+        print(
+            f"{indent}{unit.label:12s} {unit.lod.name.lower():13s} "
+            f"{value:8.5f}  {unit.size_bytes():6d}B{title}"
+        )
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    """Print the transmission schedule at the chosen LOD."""
+    sc, query = _build_annotated_sc(args)
+    measure = args.measure
+    if measure == "auto":
+        measure = "mqic" if query is not None and not query.is_empty else "ic"
+    schedule = TransmissionSchedule(sc, lod=LOD[args.lod.upper()], measure=measure)
+    print(f"# lod: {schedule.lod.name.lower()}  measure: {measure}")
+    cumulative = 0.0
+    for segment in schedule.segments():
+        cumulative += segment.content
+        print(
+            f"{segment.label:14s} {segment.size:6d}B  "
+            f"content={segment.content:8.5f}  cumulative={cumulative:8.5f}"
+        )
+    return 0
+
+
+def cmd_plan(args) -> int:
+    """Solve for the minimal cooked-packet count."""
+    n = minimal_cooked_packets(args.m, args.alpha, args.success)
+    print(f"M={args.m} alpha={args.alpha:g} S={args.success:g}")
+    print(f"N={n}  gamma={n / args.m:.3f}  expected packets={args.m / (1 - args.alpha):.1f}")
+    return 0
+
+
+def cmd_transfer(args) -> int:
+    """Simulate one fault-tolerant transfer of a document file."""
+    sc, query = _build_annotated_sc(args)
+    measure = "mqic" if query is not None and not query.is_empty else "ic"
+    schedule = TransmissionSchedule(sc, lod=LOD[args.lod.upper()], measure=measure)
+    sender = DocumentSender(
+        Packetizer(packet_size=args.packet_size, redundancy_ratio=args.gamma)
+    )
+    prepared = sender.prepare(args.path, schedule)
+    channel = WirelessChannel(
+        bandwidth_kbps=args.bandwidth, alpha=args.alpha, rng=random.Random(args.seed)
+    )
+    cache = PacketCache() if args.cache else None
+    result = transfer_document(
+        prepared,
+        channel,
+        cache=cache,
+        relevance_threshold=args.stop_at,
+    )
+    status = "early-stop" if result.terminated_early else ("ok" if result.success else "FAILED")
+    print(
+        f"{status}: {result.response_time:.2f}s, {result.rounds} round(s), "
+        f"{result.frames_sent} frames (M={prepared.m}, N={prepared.n}), "
+        f"content={result.content_received:.3f}"
+    )
+    return 0 if result.success else 1
+
+
+def cmd_figure(args) -> int:
+    """Reproduce a paper artifact (see repro.figures)."""
+    import repro.figures as figures
+    from repro.simulation.parameters import from_environment
+
+    printers = {
+        "table1": figures.print_table1,
+        "table2": figures.print_table2,
+        "fig2": figures.print_figure2,
+        "fig3": figures.print_figure3,
+        "fig4": lambda: figures.print_figure4(from_environment()),
+        "fig5": lambda: figures.print_figure5(from_environment()),
+        "fig6": lambda: figures.print_figure6(from_environment()),
+        "fig7": lambda: figures.print_figure7(from_environment()),
+    }
+    if args.artifact == "list":
+        for name in sorted(printers):
+            print(name)
+        return 0
+    printer = printers.get(args.artifact)
+    if printer is None:
+        print(f"unknown artifact {args.artifact!r}; choose from {sorted(printers)}")
+        return 2
+    printer()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerant multi-resolution web transmission (ICDCS 2000 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sc = sub.add_parser("sc", help="print a document's structural characteristic")
+    p_sc.add_argument("path")
+    p_sc.add_argument("--html", action="store_true", help="treat input as HTML")
+    p_sc.add_argument("--query", default="", help="query for QIC/MQIC annotation")
+    p_sc.set_defaults(func=cmd_sc)
+
+    p_sched = sub.add_parser("schedule", help="print a transmission schedule")
+    p_sched.add_argument("path")
+    p_sched.add_argument("--html", action="store_true")
+    p_sched.add_argument("--query", default="")
+    p_sched.add_argument(
+        "--lod",
+        default="paragraph",
+        choices=[lod.name.lower() for lod in LOD],
+    )
+    p_sched.add_argument(
+        "--measure",
+        default="auto",
+        help="content measure key (auto = mqic with a query, else ic)",
+    )
+    p_sched.set_defaults(func=cmd_schedule)
+
+    p_plan = sub.add_parser("plan", help="minimal cooked packets for (M, alpha, S)")
+    p_plan.add_argument("--m", type=int, required=True)
+    p_plan.add_argument("--alpha", type=float, required=True)
+    p_plan.add_argument("--success", type=float, default=0.95)
+    p_plan.set_defaults(func=cmd_plan)
+
+    p_xfer = sub.add_parser("transfer", help="simulate one document transfer")
+    p_xfer.add_argument("path")
+    p_xfer.add_argument("--html", action="store_true")
+    p_xfer.add_argument("--query", default="")
+    p_xfer.add_argument("--lod", default="paragraph",
+                        choices=[lod.name.lower() for lod in LOD])
+    p_xfer.add_argument("--alpha", type=float, default=0.1)
+    p_xfer.add_argument("--gamma", type=float, default=1.5)
+    p_xfer.add_argument("--bandwidth", type=float, default=19.2)
+    p_xfer.add_argument("--packet-size", type=int, default=256)
+    p_xfer.add_argument("--seed", type=int, default=0)
+    p_xfer.add_argument("--cache", action="store_true", help="enable the packet cache")
+    p_xfer.add_argument("--stop-at", type=float, default=None,
+                        help="relevance threshold F for early termination")
+    p_xfer.set_defaults(func=cmd_transfer)
+
+    p_fig = sub.add_parser("figure", help="reproduce a paper table/figure")
+    p_fig.add_argument("artifact")
+    p_fig.set_defaults(func=cmd_figure)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Fault-tolerating encoding substrate (paper §4.1).
+
+GF(2^8) arithmetic, matrices, the Rabin-dispersal / systematic
+Reed–Solomon erasure codecs, CRC error detection, and packet framing.
+"""
+
+from repro.coding.gf256 import (
+    FIELD_SIZE,
+    PRIMITIVE_POLY,
+    gf_add,
+    gf_div,
+    gf_dot,
+    gf_inv,
+    gf_mul,
+    gf_mul_bytes,
+    gf_pow,
+    gf_sub,
+)
+from repro.coding.matrix import GFMatrix
+from repro.coding.rs import (
+    MAX_COOKED,
+    CodecError,
+    RabinDispersal,
+    SystematicRSCodec,
+)
+from repro.coding.stream import IncrementalDecoder
+from repro.coding.crc import crc16, crc32, verify_crc16, verify_crc32
+from repro.coding.packets import (
+    FRAME_OVERHEAD,
+    CookedDocument,
+    Frame,
+    Packetizer,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "FIELD_SIZE",
+    "PRIMITIVE_POLY",
+    "gf_add",
+    "gf_sub",
+    "gf_mul",
+    "gf_div",
+    "gf_inv",
+    "gf_pow",
+    "gf_dot",
+    "gf_mul_bytes",
+    "GFMatrix",
+    "CodecError",
+    "RabinDispersal",
+    "SystematicRSCodec",
+    "MAX_COOKED",
+    "IncrementalDecoder",
+    "crc16",
+    "crc32",
+    "verify_crc16",
+    "verify_crc32",
+    "FRAME_OVERHEAD",
+    "Frame",
+    "encode_frame",
+    "decode_frame",
+    "Packetizer",
+    "CookedDocument",
+]

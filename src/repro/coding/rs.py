@@ -1,0 +1,174 @@
+"""Erasure coding: Rabin dispersal and its systematic Vandermonde form.
+
+The paper (§4.1) adopts the information-dispersal construction of
+Rabin [18]: a file of M raw packets is transformed into N ≥ M *cooked*
+packets such that **any** M intact cooked packets reconstruct the
+original.  Two variants are provided:
+
+``RabinDispersal``
+    The original construction — the generator is a plain Vandermonde
+    matrix, so no cooked packet reveals a raw packet in clear text
+    (collecting M−1 cooked packets is "completely useless").
+
+``SystematicRSCodec``
+    The paper's "slight modification": elementary matrix operations
+    turn the upper M×M block of the Vandermonde matrix into an
+    identity, so the first M cooked packets equal the raw packets in
+    clear text.  Clear-text packets are usable immediately on arrival
+    (the property the multi-resolution early-termination logic and the
+    Caching strategy both exploit), while the remaining N−M packets
+    provide the redundancy.
+
+Both codecs guarantee the *any-M-of-N* reconstruction property, which
+is verified by construction (every M-row submatrix of a Vandermonde
+matrix with distinct nonzero evaluation points is invertible, and
+right-multiplying by a fixed invertible matrix preserves that).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from repro.coding.gf256 import gf_mul_bytes
+from repro.coding.matrix import GFMatrix
+from repro.util.bitops import xor_bytes
+from repro.util.validation import check_positive_int
+
+MAX_COOKED = 255  # GF(2^8) admits at most 255 distinct nonzero points
+
+
+class CodecError(Exception):
+    """Raised on invalid codec configuration or failed reconstruction."""
+
+
+@lru_cache(maxsize=128)
+def _generator_matrix(m: int, n: int, systematic: bool) -> GFMatrix:
+    vandermonde = GFMatrix.vandermonde(n, m)
+    if not systematic:
+        return vandermonde
+    top = GFMatrix([vandermonde.row(i) for i in range(m)])
+    return vandermonde.multiply(top.inverse())
+
+
+class _VandermondeCodec:
+    """Shared encode/decode machinery for both variants."""
+
+    systematic = False
+
+    def __init__(self, m: int, n: int) -> None:
+        check_positive_int(m, "m")
+        check_positive_int(n, "n")
+        if n < m:
+            raise CodecError(f"need n >= m, got n={n} < m={m}")
+        if n > MAX_COOKED:
+            raise CodecError(
+                f"n={n} exceeds the GF(2^8) limit of {MAX_COOKED} cooked packets"
+            )
+        self.m = m
+        self.n = n
+        self.generator = _generator_matrix(m, n, self.systematic)
+        self._decode_cache: Dict[Tuple[int, ...], GFMatrix] = {}
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode(self, raw_packets: Sequence[bytes]) -> List[bytes]:
+        """Transform M raw packets into N cooked packets.
+
+        All raw packets must have equal length (pad beforehand).
+        Cooked packet *i* is the GF(2^8) inner product of generator row
+        *i* with the raw packet column.
+        """
+        if len(raw_packets) != self.m:
+            raise CodecError(f"expected {self.m} raw packets, got {len(raw_packets)}")
+        size = len(raw_packets[0])
+        if any(len(packet) != size for packet in raw_packets):
+            raise CodecError("raw packets must all have the same length")
+
+        cooked: List[bytes] = []
+        for i in range(self.n):
+            row = self.generator.row(i)
+            if self.systematic and i < self.m:
+                cooked.append(bytes(raw_packets[i]))
+                continue
+            acc = bytes(size)
+            for coefficient, packet in zip(row, raw_packets):
+                if coefficient:
+                    acc = xor_bytes(acc, gf_mul_bytes(coefficient, packet))
+            cooked.append(acc)
+        return cooked
+
+    # -- decoding ------------------------------------------------------------
+
+    def decode(self, cooked: Dict[int, bytes]) -> List[bytes]:
+        """Reconstruct the M raw packets from any M intact cooked packets.
+
+        *cooked* maps cooked-packet index → payload.  Extra packets
+        beyond M are ignored (preferring clear-text rows when the code
+        is systematic, which avoids any matrix work for a loss-free
+        prefix).
+        """
+        if len(cooked) < self.m:
+            raise CodecError(
+                f"need at least {self.m} cooked packets to decode, got {len(cooked)}"
+            )
+        for index in cooked:
+            if not 0 <= index < self.n:
+                raise CodecError(f"cooked packet index {index} out of range 0..{self.n - 1}")
+
+        indices = sorted(cooked)
+        if self.systematic:
+            clear = [i for i in indices if i < self.m]
+            redundant = [i for i in indices if i >= self.m]
+            chosen = (clear + redundant)[: self.m]
+        else:
+            chosen = indices[: self.m]
+        chosen.sort()
+
+        sizes = {len(cooked[i]) for i in chosen}
+        if len(sizes) != 1:
+            raise CodecError("cooked packets must all have the same length")
+        size = sizes.pop()
+
+        if self.systematic and chosen == list(range(self.m)):
+            return [bytes(cooked[i]) for i in chosen]
+
+        key = tuple(chosen)
+        inverse = self._decode_cache.get(key)
+        if inverse is None:
+            inverse = self.generator.submatrix(chosen).inverse()
+            self._decode_cache[key] = inverse
+
+        raw: List[bytes] = []
+        for row_index in range(self.m):
+            row = inverse.row(row_index)
+            acc = bytes(size)
+            for coefficient, cooked_index in zip(row, chosen):
+                if coefficient:
+                    acc = xor_bytes(acc, gf_mul_bytes(coefficient, cooked[cooked_index]))
+            raw.append(acc)
+        return raw
+
+    def __repr__(self) -> str:
+        kind = "systematic" if self.systematic else "non-systematic"
+        return f"{type(self).__name__}(m={self.m}, n={self.n}, {kind})"
+
+
+class RabinDispersal(_VandermondeCodec):
+    """Rabin's original (non-systematic) information dispersal."""
+
+    systematic = False
+
+
+class SystematicRSCodec(_VandermondeCodec):
+    """The paper's clear-text-prefix variant (identity upper block)."""
+
+    systematic = True
+
+    def clear_text_indices(self) -> range:
+        """Indices of the cooked packets that are raw packets verbatim."""
+        return range(self.m)
+
+    def redundancy_indices(self) -> range:
+        """Indices of the redundancy-bearing cooked packets."""
+        return range(self.m, self.n)

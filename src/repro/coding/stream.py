@@ -1,0 +1,146 @@
+"""Incremental erasure decoding.
+
+The batch decoder in :mod:`repro.coding.rs` inverts an M×M matrix when
+the M-th intact packet arrives — a latency spike right at the moment
+the user wants the document rendered.  The incremental decoder below
+spreads that work across packet arrivals: each cooked packet's
+generator row is eliminated against the rows already held (one O(M²)
+step), so by the time the M-th useful packet arrives the system is
+already upper-triangular and only the O(M²) back-substitution remains.
+
+It also answers a question the round-based protocol needs *before*
+reconstruction: whether a newly arrived packet is *useful* (linearly
+independent of what is already held) — with a systematic code every
+fresh packet is, but the API verifies rather than assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.coding.gf256 import gf_inv, gf_mul, gf_mul_bytes
+from repro.coding.rs import CodecError, _VandermondeCodec
+from repro.util.bitops import xor_bytes
+
+
+class IncrementalDecoder:
+    """Online Gauss elimination over arriving cooked packets.
+
+    Parameters
+    ----------
+    codec:
+        The (systematic or Rabin) codec the packets were encoded with.
+
+    Usage::
+
+        decoder = IncrementalDecoder(codec)
+        for seq, payload in arrivals:
+            decoder.add(seq, payload)
+            if decoder.complete:
+                raw = decoder.solve()
+                break
+    """
+
+    def __init__(self, codec: _VandermondeCodec) -> None:
+        self.codec = codec
+        self._m = codec.m
+        # One slot per pivot column: (reduced_row, reduced_payload).
+        self._pivot_rows: List[Optional[List[int]]] = [None] * self._m
+        self._pivot_payloads: List[Optional[bytes]] = [None] * self._m
+        self._rank = 0
+        self._seen: set = set()
+        self._payload_size: Optional[int] = None
+
+    @property
+    def rank(self) -> int:
+        """Number of linearly independent packets absorbed so far."""
+        return self._rank
+
+    @property
+    def complete(self) -> bool:
+        return self._rank >= self._m
+
+    @property
+    def needed(self) -> int:
+        """How many more independent packets are required."""
+        return self._m - self._rank
+
+    def add(self, sequence: int, payload: bytes) -> bool:
+        """Absorb one intact cooked packet.
+
+        Returns True when the packet was *useful* (raised the rank);
+        duplicates and linearly dependent packets return False.
+        Payload sizes must be consistent.
+        """
+        if not 0 <= sequence < self.codec.n:
+            raise CodecError(
+                f"sequence {sequence} out of range 0..{self.codec.n - 1}"
+            )
+        if sequence in self._seen:
+            return False
+        if self._payload_size is None:
+            self._payload_size = len(payload)
+        elif len(payload) != self._payload_size:
+            raise CodecError(
+                f"payload size {len(payload)} != {self._payload_size}"
+            )
+        self._seen.add(sequence)
+        if self.complete:
+            return False
+
+        row = self.codec.generator.row(sequence)
+        data = bytes(payload)
+        # Eliminate against existing pivots.
+        for column in range(self._m):
+            if row[column] == 0:
+                continue
+            pivot = self._pivot_rows[column]
+            if pivot is None:
+                # New pivot: normalize so row[column] == 1.
+                inverse = gf_inv(row[column])
+                row = [gf_mul(inverse, value) for value in row]
+                data = gf_mul_bytes(inverse, data)
+                self._pivot_rows[column] = row
+                self._pivot_payloads[column] = data
+                self._rank += 1
+                return True
+            factor = row[column]
+            row = [
+                value ^ gf_mul(factor, pivot_value)
+                for value, pivot_value in zip(row, pivot)
+            ]
+            data = xor_bytes(data, gf_mul_bytes(factor, self._pivot_payloads[column]))
+        # Row reduced to zero: linearly dependent.
+        return False
+
+    def solve(self) -> List[bytes]:
+        """Back-substitute and return the M raw packets.
+
+        Raises :class:`CodecError` before rank M is reached.
+        """
+        if not self.complete:
+            raise CodecError(
+                f"cannot solve: rank {self._rank} < {self._m} required"
+            )
+        size = self._payload_size or 0
+        # Rows are unit-diagonal upper-triangular up to permutation;
+        # eliminate the above-diagonal coefficients column by column,
+        # from the last pivot back to the first.
+        rows = [list(r) for r in self._pivot_rows]        # type: ignore[arg-type]
+        payloads = [bytes(p) for p in self._pivot_payloads]  # type: ignore[arg-type]
+        for column in range(self._m - 1, -1, -1):
+            for upper in range(column):
+                factor = rows[upper][column]
+                if factor:
+                    rows[upper] = [
+                        value ^ gf_mul(factor, pivot_value)
+                        for value, pivot_value in zip(rows[upper], rows[column])
+                    ]
+                    payloads[upper] = xor_bytes(
+                        payloads[upper], gf_mul_bytes(factor, payloads[column])
+                    )
+        return payloads
+
+    def solve_document(self, original_size: int) -> bytes:
+        """Convenience: concatenate the raw packets and trim padding."""
+        return b"".join(self.solve())[:original_size]

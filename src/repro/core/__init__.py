@@ -1,0 +1,74 @@
+"""The paper's primary contribution: structural characteristics,
+information-content measures, and multi-resolution transmission
+scheduling.
+"""
+
+from repro.core.lod import ALL_LODS, LOD
+from repro.core.structure import OrganizationalUnit, StructuralCharacteristic
+from repro.core.query import Query
+from repro.core.information import (
+    ContentMeasure,
+    ModifiedQueryIC,
+    ProportionalIC,
+    QueryIC,
+    StaticIC,
+    TfIdfIC,
+    annotate_sc,
+)
+from repro.core.pipeline import (
+    DocumentRecognizer,
+    KeywordExtractorStage,
+    LemmatizerStage,
+    SCGeneratorStage,
+    SCPipeline,
+    WordFilterStage,
+    build_sc,
+)
+from repro.core.multires import (
+    ScheduledSegment,
+    TransmissionSchedule,
+    best_first_schedule,
+    conventional_schedule,
+)
+from repro.core.intuition import IntuitionModel, annotate_intuition
+from repro.core.summarize import (
+    SummaryFirstResult,
+    build_summary,
+    multiresolution_browse,
+    summary_first_browse,
+)
+from repro.core.cluster import ClusterError, DocumentCluster
+
+__all__ = [
+    "LOD",
+    "ALL_LODS",
+    "OrganizationalUnit",
+    "StructuralCharacteristic",
+    "Query",
+    "ContentMeasure",
+    "StaticIC",
+    "QueryIC",
+    "ModifiedQueryIC",
+    "ProportionalIC",
+    "TfIdfIC",
+    "annotate_sc",
+    "DocumentRecognizer",
+    "LemmatizerStage",
+    "WordFilterStage",
+    "KeywordExtractorStage",
+    "SCGeneratorStage",
+    "SCPipeline",
+    "build_sc",
+    "ScheduledSegment",
+    "TransmissionSchedule",
+    "best_first_schedule",
+    "conventional_schedule",
+    "IntuitionModel",
+    "annotate_intuition",
+    "build_summary",
+    "summary_first_browse",
+    "multiresolution_browse",
+    "SummaryFirstResult",
+    "DocumentCluster",
+    "ClusterError",
+]

@@ -1,0 +1,160 @@
+"""Intuition level: position-aware transmission ordering (paper §6).
+
+The paper's closing discussion proposes to "consider the concept of
+'intuition level' of each organizational unit in addition to its
+information content in defining the transmission order".  Readers
+bring structural intuition to a document — abstracts, introductions,
+conclusions, and lead paragraphs tell you more per word than the
+middle of a methods section.  This module encodes that intuition as a
+multiplicative prior over organizational units and combines it with
+any content measure.
+
+The intuition prior is normalized so that the composite measure still
+sums to the plain measure's document total, preserving the additive
+bookkeeping downstream consumers rely on at a single LOD frontier.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Sequence
+
+from repro.core.lod import LOD
+from repro.core.structure import OrganizationalUnit, StructuralCharacteristic
+
+#: Section titles that readers weight highly, matched case-insensitively.
+_PRIORITY_TITLES = {
+    "abstract": 2.0,
+    "introduction": 1.6,
+    "conclusion": 1.6,
+    "conclusions": 1.6,
+    "summary": 1.5,
+    "discussion": 1.3,
+    "results": 1.3,
+    "evaluation": 1.3,
+    "related work": 0.8,
+    "acknowledgments": 0.4,
+    "acknowledgements": 0.4,
+    "references": 0.3,
+}
+
+_WORD_RE = re.compile(r"[a-z]+(?:\s[a-z]+)*")
+
+
+class IntuitionModel:
+    """A structural prior over organizational units.
+
+    Parameters
+    ----------
+    title_weights:
+        Overrides/extends the built-in section-title table.
+    lead_paragraph_boost:
+        Multiplier for the first paragraph of each section/subsection
+        (lead-in content summarizes what follows [5]).
+    depth_decay:
+        Multiplier applied per level of depth below the section level;
+        deeper material is assumed more detailed and less skimmable.
+    """
+
+    def __init__(
+        self,
+        title_weights: Optional[Dict[str, float]] = None,
+        lead_paragraph_boost: float = 1.4,
+        depth_decay: float = 0.9,
+    ) -> None:
+        if lead_paragraph_boost <= 0:
+            raise ValueError("lead_paragraph_boost must be positive")
+        if not 0 < depth_decay <= 1.0:
+            raise ValueError("depth_decay must be in (0, 1]")
+        self._titles = {k.lower(): v for k, v in _PRIORITY_TITLES.items()}
+        if title_weights:
+            self._titles.update({k.lower(): v for k, v in title_weights.items()})
+        self.lead_paragraph_boost = lead_paragraph_boost
+        self.depth_decay = depth_decay
+
+    # -- priors ------------------------------------------------------------
+
+    def title_prior(self, title: str) -> float:
+        """Prior from a unit's title (1.0 when the title says nothing)."""
+        normalized = " ".join(_WORD_RE.findall(title.lower()))
+        if not normalized:
+            return 1.0
+        if normalized in self._titles:
+            return self._titles[normalized]
+        for phrase, weight in self._titles.items():
+            if phrase in normalized:
+                return weight
+        return 1.0
+
+    def unit_prior(self, unit: OrganizationalUnit) -> float:
+        """The full structural prior of one unit.
+
+        Combines the title prior of the unit's closest titled ancestor
+        (or itself), a lead-paragraph boost, and depth decay.
+        """
+        prior = 1.0
+
+        # Title signal: own title, else nearest ancestor's.
+        node: Optional[OrganizationalUnit] = unit
+        while node is not None:
+            if node.title:
+                prior *= self.title_prior(node.title)
+                break
+            node = node.parent
+
+        # Lead-paragraph boost: first paragraph among its siblings.
+        if unit.lod is LOD.PARAGRAPH and unit.parent is not None:
+            paragraph_siblings = [
+                child for child in unit.parent.children
+                if child.lod is LOD.PARAGRAPH
+            ]
+            if paragraph_siblings and paragraph_siblings[0] is unit:
+                prior *= self.lead_paragraph_boost
+
+        # Depth decay below the section level.
+        depth_below_section = max(0, unit.lod.value - LOD.SECTION.value)
+        prior *= self.depth_decay ** depth_below_section
+        return prior
+
+
+def annotate_intuition(
+    sc: StructuralCharacteristic,
+    base_measure: str = "ic",
+    model: Optional[IntuitionModel] = None,
+    name: str = "intuition",
+) -> str:
+    """Attach the composite intuition-weighted measure to every unit.
+
+    Each unit's *intrinsic* base content is multiplied by its
+    structural prior; subtree values are the sums of intrinsic values,
+    so the additive rule holds by construction.  A global scale
+    renormalizes the document total back to the base measure's total,
+    keeping the composite usable as a content profile.  Requires the
+    base measure to be annotated already (see
+    :func:`repro.core.information.annotate_sc`).  Returns *name* so
+    callers can pass it straight to a ``TransmissionSchedule``.
+    """
+    if model is None:
+        model = IntuitionModel()
+
+    if base_measure not in sc.root.content:
+        raise ValueError(
+            f"measure {base_measure!r} not annotated; call annotate_sc first"
+        )
+
+    own_weighted: Dict[int, float] = {}
+    for unit in sc.root.walk():
+        own_base = unit.own_content.get(base_measure, 0.0)
+        own_weighted[id(unit)] = own_base * model.unit_prior(unit)
+
+    def subtree(unit: OrganizationalUnit) -> float:
+        return own_weighted[id(unit)] + sum(subtree(child) for child in unit.children)
+
+    weighted_total = subtree(sc.root)
+    base_total = sc.root.content[base_measure]
+    scale = base_total / weighted_total if weighted_total > 0 else 0.0
+
+    for unit in sc.root.walk():
+        unit.content[name] = subtree(unit) * scale
+        unit.own_content[name] = own_weighted[id(unit)] * scale
+    return name

@@ -1,0 +1,66 @@
+"""Levels of detail (LOD) for multi-resolution browsing (paper §3).
+
+The paper defines five LODs — document, section, subsection,
+subsubsection, and paragraph — as an abstraction over the actual
+formatting tags of a document.  ``LOD`` is an ordered enum: a *finer*
+LOD has a larger value, and comparisons follow document depth.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+
+class LOD(enum.IntEnum):
+    """Level of detail, ordered from coarsest to finest."""
+
+    DOCUMENT = 0
+    SECTION = 1
+    SUBSECTION = 2
+    SUBSUBSECTION = 3
+    PARAGRAPH = 4
+
+    def finer(self) -> Optional["LOD"]:
+        """The next finer LOD, or ``None`` at paragraph level."""
+        if self is LOD.PARAGRAPH:
+            return None
+        return LOD(self.value + 1)
+
+    def coarser(self) -> Optional["LOD"]:
+        """The next coarser LOD, or ``None`` at document level."""
+        if self is LOD.DOCUMENT:
+            return None
+        return LOD(self.value - 1)
+
+    @classmethod
+    def from_tag(cls, tag: str) -> Optional["LOD"]:
+        """Map a research-paper element tag to its LOD, if it has one."""
+        return _TAG_TO_LOD.get(tag)
+
+    @property
+    def tag(self) -> str:
+        """The research-paper element tag implementing this LOD."""
+        return _LOD_TO_TAG[self]
+
+
+_TAG_TO_LOD: Dict[str, LOD] = {
+    "paper": LOD.DOCUMENT,
+    "section": LOD.SECTION,
+    # The abstract acts as "Section 0" in the paper's Table 1.
+    "abstract": LOD.SECTION,
+    "subsection": LOD.SUBSECTION,
+    "subsubsection": LOD.SUBSUBSECTION,
+    "paragraph": LOD.PARAGRAPH,
+}
+
+_LOD_TO_TAG: Dict[LOD, str] = {
+    LOD.DOCUMENT: "paper",
+    LOD.SECTION: "section",
+    LOD.SUBSECTION: "subsection",
+    LOD.SUBSUBSECTION: "subsubsection",
+    LOD.PARAGRAPH: "paragraph",
+}
+
+#: All LODs from coarsest to finest, convenient for sweeps.
+ALL_LODS = tuple(LOD)

@@ -1,0 +1,306 @@
+"""The five-module SC generation pipeline (paper §3.3).
+
+    document recognizer → lemmatizer → word filter → keyword extractor
+    → structural characteristic generator
+
+operating "in a pipelined fashion".  Each module is an explicit class
+so individual stages can be swapped (e.g. a different lemmatizer) and
+tested in isolation; :class:`SCPipeline` wires the default chain and
+:func:`build_sc` is the one-call convenience entry point.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.lod import LOD
+from repro.core.structure import OrganizationalUnit, StructuralCharacteristic
+from repro.text.lemmatizer import Lemmatizer
+from repro.text.stopwords import DEFAULT_STOPWORDS
+from repro.text.tokens import tokenize
+from repro.text.vector import OccurrenceVector
+from repro.xmlkit.dom import Document, Element, Text
+
+
+class RecognizedUnit:
+    """Intermediate representation between recognizer and SC generator."""
+
+    __slots__ = ("lod", "label", "title", "text", "emphasized", "children", "virtual", "tokens", "counts")
+
+    def __init__(
+        self,
+        lod: LOD,
+        label: str,
+        title: str = "",
+        text: str = "",
+        emphasized: Optional[List[str]] = None,
+        virtual: bool = False,
+    ) -> None:
+        self.lod = lod
+        self.label = label
+        self.title = title
+        self.text = text
+        self.emphasized: List[str] = list(emphasized or [])
+        self.children: List["RecognizedUnit"] = []
+        self.virtual = virtual
+        #: (original, lemma) pairs, produced by the lemmatizer stage.
+        self.tokens: List[Tuple[str, str]] = []
+        #: lemma -> count, produced by the keyword extractor stage.
+        self.counts: Dict[str, int] = {}
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class DocumentRecognizer:
+    """Stage 1: convert an XML document into a plain-text unit tree.
+
+    Understands the ``research-paper`` document type: the abstract is
+    "Section 0", paragraphs directly under a section/abstract are
+    grouped into a virtual subsection labelled ``k.0``, and specially
+    formatted words (``<emph>``, ``<keyword>``) are collected so later
+    stages can treat them as keywords regardless of frequency.
+    """
+
+    def recognize(self, document: Document) -> RecognizedUnit:
+        paper = document.root
+        if paper.tag != "paper":
+            raise ValueError(f"expected a <paper> document, got <{paper.tag}>")
+
+        title = self._child_text(paper, "title")
+        root = RecognizedUnit(LOD.DOCUMENT, label="D", title=title, text=title)
+        root.emphasized.extend(tokenize(title))
+
+        section_index = 0
+        for child in paper.child_elements():
+            if child.tag == "abstract":
+                root.children.append(self._recognize_section(child, label="0", title="Abstract"))
+            elif child.tag == "section":
+                section_index += 1
+                root.children.append(
+                    self._recognize_section(child, label=str(section_index))
+                )
+        return root
+
+    def _recognize_section(
+        self, element: Element, label: str, title: Optional[str] = None
+    ) -> RecognizedUnit:
+        if title is None:
+            title = self._child_text(element, "title")
+        unit = RecognizedUnit(LOD.SECTION, label=label, title=title, text=title)
+        unit.emphasized.extend(tokenize(title))
+
+        loose_paragraphs: List[RecognizedUnit] = []
+        subsection_index = 0
+        for child in element.child_elements():
+            if child.tag == "paragraph":
+                loose_paragraphs.append(self._recognize_paragraph(child, label="?"))
+            elif child.tag == "subsection":
+                subsection_index += 1
+                unit.children.append(
+                    self._recognize_subsection(child, label=f"{label}.{subsection_index}")
+                )
+
+        if loose_paragraphs:
+            virtual = RecognizedUnit(
+                LOD.SUBSECTION, label=f"{label}.0", virtual=True
+            )
+            for index, paragraph in enumerate(loose_paragraphs, start=1):
+                paragraph.label = f"{virtual.label}.{index}"
+                virtual.children.append(paragraph)
+            unit.children.insert(0, virtual)
+        return unit
+
+    def _recognize_subsection(self, element: Element, label: str) -> RecognizedUnit:
+        title = self._child_text(element, "title")
+        unit = RecognizedUnit(LOD.SUBSECTION, label=label, title=title, text=title)
+        unit.emphasized.extend(tokenize(title))
+
+        loose: List[RecognizedUnit] = []
+        sub_index = 0
+        for child in element.child_elements():
+            if child.tag == "paragraph":
+                loose.append(self._recognize_paragraph(child, label="?"))
+            elif child.tag == "subsubsection":
+                sub_index += 1
+                unit.children.append(
+                    self._recognize_subsubsection(child, label=f"{label}.{sub_index}")
+                )
+        if unit.children and loose:
+            # Mixed content: group loose paragraphs under a virtual
+            # subsubsection, mirroring the section-level rule.
+            virtual = RecognizedUnit(LOD.SUBSUBSECTION, label=f"{label}.0", virtual=True)
+            for index, paragraph in enumerate(loose, start=1):
+                paragraph.label = f"{virtual.label}.{index}"
+                virtual.children.append(paragraph)
+            unit.children.insert(0, virtual)
+        else:
+            for index, paragraph in enumerate(loose, start=1):
+                paragraph.label = f"{label}.{index}"
+                unit.children.append(paragraph)
+        return unit
+
+    def _recognize_subsubsection(self, element: Element, label: str) -> RecognizedUnit:
+        title = self._child_text(element, "title")
+        unit = RecognizedUnit(LOD.SUBSUBSECTION, label=label, title=title, text=title)
+        unit.emphasized.extend(tokenize(title))
+        for index, child in enumerate(
+            (c for c in element.child_elements() if c.tag == "paragraph"), start=1
+        ):
+            unit.children.append(self._recognize_paragraph(child, label=f"{label}.{index}"))
+        return unit
+
+    def _recognize_paragraph(self, element: Element, label: str) -> RecognizedUnit:
+        text_parts: List[str] = []
+        emphasized: List[str] = []
+        for node in element.children:
+            if isinstance(node, Text):
+                text_parts.append(node.data)
+            elif isinstance(node, Element) and node.tag in ("emph", "keyword"):
+                content = node.text_content()
+                text_parts.append(content)
+                emphasized.extend(tokenize(content))
+        return RecognizedUnit(
+            LOD.PARAGRAPH,
+            label=label,
+            text=" ".join(part.strip() for part in text_parts if part.strip()),
+            emphasized=emphasized,
+        )
+
+    @staticmethod
+    def _child_text(element: Element, tag: str) -> str:
+        for child in element.child_elements():
+            if child.tag == tag:
+                return " ".join(child.text_content().split())
+        return ""
+
+
+class LemmatizerStage:
+    """Stage 2: annotate each unit with (original, lemma) token pairs."""
+
+    def __init__(self, lemmatizer: Optional[Lemmatizer] = None) -> None:
+        self.lemmatizer = lemmatizer if lemmatizer is not None else Lemmatizer()
+
+    def process(self, root: RecognizedUnit) -> RecognizedUnit:
+        for unit in root.walk():
+            words = tokenize(unit.text)
+            unit.tokens = [(word, self.lemmatizer.lemma(word)) for word in words]
+            unit.emphasized = [self.lemmatizer.lemma(word) for word in unit.emphasized]
+        return root
+
+
+class WordFilterStage:
+    """Stage 3: drop stop words and ultra-short tokens."""
+
+    def __init__(self, extra_stopwords: Sequence[str] = (), min_length: int = 2) -> None:
+        self._stopwords = DEFAULT_STOPWORDS | frozenset(w.lower() for w in extra_stopwords)
+        self._min_length = min_length
+
+    def process(self, root: RecognizedUnit) -> RecognizedUnit:
+        for unit in root.walk():
+            unit.tokens = [
+                (original, lemma)
+                for original, lemma in unit.tokens
+                if len(original) >= self._min_length
+                and original not in self._stopwords
+                and lemma not in self._stopwords
+            ]
+        return root
+
+
+class KeywordExtractorStage:
+    """Stage 4: frequency analysis producing per-unit keyword counts.
+
+    A lemma qualifies as a keyword when its document-wide frequency
+    reaches *min_count* or it was specially formatted anywhere in the
+    document (boldface/italics/title words, per §3.3).
+    """
+
+    def __init__(self, min_count: int = 1) -> None:
+        if min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        self._min_count = min_count
+
+    def process(self, root: RecognizedUnit) -> RecognizedUnit:
+        document_counts: Counter = Counter()
+        special: set = set()
+        for unit in root.walk():
+            document_counts.update(lemma for _original, lemma in unit.tokens)
+            special.update(unit.emphasized)
+
+        qualified = {
+            lemma
+            for lemma, count in document_counts.items()
+            if count >= self._min_count or lemma in special
+        }
+        for unit in root.walk():
+            unit.counts = dict(
+                Counter(
+                    lemma for _original, lemma in unit.tokens if lemma in qualified
+                )
+            )
+        return root
+
+
+class SCGeneratorStage:
+    """Stage 5: emit the :class:`StructuralCharacteristic`."""
+
+    def process(self, root: RecognizedUnit) -> StructuralCharacteristic:
+        unit_root = self._convert(root)
+        totals: Counter = Counter()
+        for recognized in root.walk():
+            totals.update(recognized.counts)
+        vector = OccurrenceVector(dict(totals)) if totals else OccurrenceVector({"_": 1})
+        return StructuralCharacteristic(unit_root, vector)
+
+    def _convert(self, recognized: RecognizedUnit) -> OrganizationalUnit:
+        unit = OrganizationalUnit(
+            lod=recognized.lod,
+            label=recognized.label,
+            title=recognized.title,
+            own_counts=recognized.counts,
+            payload=recognized.text.encode("utf-8"),
+            virtual=recognized.virtual,
+        )
+        for child in recognized.children:
+            unit.add_child(self._convert(child))
+        return unit
+
+
+class SCPipeline:
+    """The full five-stage pipeline with swappable stages."""
+
+    def __init__(
+        self,
+        recognizer: Optional[DocumentRecognizer] = None,
+        lemmatizer: Optional[LemmatizerStage] = None,
+        word_filter: Optional[WordFilterStage] = None,
+        extractor: Optional[KeywordExtractorStage] = None,
+        generator: Optional[SCGeneratorStage] = None,
+    ) -> None:
+        self.recognizer = recognizer or DocumentRecognizer()
+        self.lemmatizer = lemmatizer or LemmatizerStage()
+        self.word_filter = word_filter or WordFilterStage()
+        self.extractor = extractor or KeywordExtractorStage()
+        self.generator = generator or SCGeneratorStage()
+
+    def run(self, document: Document) -> StructuralCharacteristic:
+        """Execute all five stages on *document*."""
+        recognized = self.recognizer.recognize(document)
+        recognized = self.lemmatizer.process(recognized)
+        recognized = self.word_filter.process(recognized)
+        recognized = self.extractor.process(recognized)
+        return self.generator.process(recognized)
+
+    @property
+    def shared_lemmatizer(self) -> Lemmatizer:
+        """The lemmatizer instance, for building compatible queries."""
+        return self.lemmatizer.lemmatizer
+
+
+def build_sc(document: Document) -> StructuralCharacteristic:
+    """Build the SC of *document* with the default pipeline."""
+    return SCPipeline().run(document)

@@ -1,0 +1,71 @@
+"""Keyword-based queries driving QIC/MQIC (paper §3.2).
+
+A query is represented by an occurrence vector exactly like a
+document: "all words in Q which are not stop words should be
+considered as keywords".  Repeating a word in the query raises its
+occurrence count, which is the paper's mechanism for emphasizing a
+querying word.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Optional
+
+from repro.text.keywords import KeywordExtractor
+from repro.text.vector import OccurrenceVector
+
+
+class Query:
+    """A parsed keyword query.
+
+    Parameters
+    ----------
+    text:
+        The raw query string, e.g. ``"browsing mobile web"``.
+    extractor:
+        The keyword extractor whose lemmatizer must match the one used
+        to build the document SCs, so query words and document words
+        conflate identically.
+    """
+
+    def __init__(self, text: str, extractor: Optional[KeywordExtractor] = None) -> None:
+        self.text = text
+        self._extractor = extractor if extractor is not None else KeywordExtractor()
+        lemmas = self._extractor.candidate_lemmas(text)
+        self._counts: Dict[str, int] = dict(Counter(lemmas))
+        self.vector = OccurrenceVector(self._counts) if self._counts else None
+
+    @classmethod
+    def from_keywords(
+        cls, keywords: Iterable[str], extractor: Optional[KeywordExtractor] = None
+    ) -> "Query":
+        """Build a query from an iterable of (possibly repeated) words."""
+        return cls(" ".join(keywords), extractor=extractor)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.vector is None
+
+    def keywords(self) -> frozenset:
+        """The lemmatized querying words A_Q."""
+        if self.vector is None:
+            return frozenset()
+        return self.vector.keywords()
+
+    def count(self, lemma: str) -> int:
+        """|a_Q| — occurrences of the querying word in the query."""
+        return self._counts.get(lemma, 0)
+
+    def weight(self, lemma: str) -> float:
+        """ω_a^Q = 1 − log2(|a_Q| / ‖V_Q‖) when present, else 0 (§3.2)."""
+        if self.vector is None:
+            return 0.0
+        return self.vector.weight(lemma)
+
+    def total_occurrences(self) -> int:
+        """Σ_a |a_Q| — the denominator of the MQIC scaling factor λ."""
+        return sum(self._counts.values())
+
+    def __repr__(self) -> str:
+        return f"Query({self.text!r}, {len(self._counts)} keywords)"

@@ -1,0 +1,17 @@
+"""Bundled data files (the Table 1 draft paper)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+_DATA_DIR = Path(__file__).resolve().parent
+
+
+def draft_paper_path() -> Path:
+    """Path of the bundled draft-paper XML used by Table 1."""
+    return _DATA_DIR / "draft_paper.xml"
+
+
+def draft_paper_source() -> str:
+    """The bundled draft-paper XML as a string."""
+    return draft_paper_path().read_text(encoding="utf-8")

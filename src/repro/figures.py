@@ -1,0 +1,283 @@
+"""Per-table and per-figure reproduction entry points.
+
+Every artifact in the paper's evaluation has one function here that
+computes its data and one ``print_*`` companion that renders it as the
+rows/series the paper reports.  The benchmark harnesses under
+``benchmarks/`` call these functions; examples and ad-hoc exploration
+can too::
+
+    python -c "import repro.figures as f; f.print_table1()"
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.planner import gamma_band, gamma_versus_alpha, sweep
+from repro.plotting import ascii_chart, chart_series_points
+from repro.core.information import annotate_sc
+from repro.core.lod import LOD
+from repro.core.pipeline import SCPipeline
+from repro.core.query import Query
+from repro.data import draft_paper_source
+from repro.simulation.experiments import (
+    DEFAULT_ALPHAS,
+    DEFAULT_FRACTIONS,
+    DEFAULT_GAMMAS,
+    EXPERIMENT_LODS,
+    experiment1,
+    experiment2,
+    experiment3,
+    experiment4,
+)
+from repro.simulation.parameters import Parameters, from_environment
+from repro.text.keywords import KeywordExtractor
+from repro.xmlkit.parser import parse_xml
+
+#: The query of the paper's Table 1.
+TABLE1_QUERY = "browsing mobile web"
+
+
+def format_table(rows: Sequence[Sequence], headers: Sequence[str]) -> str:
+    """Plain-text table rendering (right-aligned numeric columns)."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.5f}"
+        return str(value)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in text_rows)) if text_rows else len(header)
+        for i, header in enumerate(headers)
+    ]
+    out = io.StringIO()
+    out.write("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip() + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in text_rows:
+        out.write("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip() + "\n")
+    return out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — IC / QIC / MQIC of the draft paper
+# ---------------------------------------------------------------------------
+
+def table1(
+    xml_source: Optional[str] = None, query_text: str = TABLE1_QUERY
+) -> List[Tuple[str, float, float, float]]:
+    """(label, IC, QIC, MQIC) per organizational unit, document order.
+
+    Uses the bundled draft-paper XML by default, with the paper's own
+    query Q = {browsing, mobile, web}.
+    """
+    source = xml_source if xml_source is not None else draft_paper_source()
+    pipeline = SCPipeline()
+    sc = pipeline.run(parse_xml(source))
+    extractor = KeywordExtractor(lemmatizer=pipeline.shared_lemmatizer)
+    query = Query(query_text, extractor=extractor)
+    annotate_sc(sc, query=query)
+    rows = []
+    for unit in sc.root.walk():
+        if unit.lod is LOD.DOCUMENT:
+            continue
+        rows.append(
+            (
+                unit.label,
+                unit.content.get("ic", 0.0),
+                unit.content.get("qic", 0.0),
+                unit.content.get("mqic", 0.0),
+            )
+        )
+    return rows
+
+
+def print_table1(**kwargs) -> None:
+    rows = table1(**kwargs)
+    print("Table 1 — information content of the draft paper")
+    print(format_table(rows, headers=("Sect./Subsect./Para.", "IC p", "QIC q^Q", "MQIC q~Q")))
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — cooked packets N versus raw packets M
+# ---------------------------------------------------------------------------
+
+def figure2(
+    ms: Sequence[int] = tuple(range(10, 101, 10)),
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    successes: Sequence[float] = (0.95, 0.99),
+) -> Dict[float, Dict[float, List[Tuple[int, int]]]]:
+    """{S: {α: [(M, N)]}} — both panels of Figure 2."""
+    result: Dict[float, Dict[float, List[Tuple[int, int]]]] = {}
+    for success in successes:
+        panel: Dict[float, List[Tuple[int, int]]] = {}
+        for point in sweep(ms, alphas, success):
+            panel.setdefault(point.alpha, []).append((point.m, point.n))
+        result[success] = panel
+    return result
+
+
+def print_figure2(chart: bool = True, **kwargs) -> None:
+    data = figure2(**kwargs)
+    for success, panel in sorted(data.items()):
+        print(f"Figure 2 — cooked packets needed (S = {success:.0%})")
+        rows = []
+        for alpha, series in sorted(panel.items()):
+            for m, n in series:
+                rows.append((f"alpha={alpha:g}", m, n, n / m))
+        print(format_table(rows, headers=("series", "M", "N", "gamma")))
+        if chart:
+            curves = {
+                f"alpha={alpha:g}": [(float(m), float(n)) for m, n in series]
+                for alpha, series in sorted(panel.items())
+            }
+            print(ascii_chart(curves, x_label="M", y_label="N"))
+            print()
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — redundancy ratio versus failure probability
+# ---------------------------------------------------------------------------
+
+def figure3(
+    alphas: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5),
+    successes: Sequence[float] = (0.95, 0.99),
+    m: int = 50,
+    band_ms: Sequence[int] = (10, 50, 100),
+) -> Dict[float, Dict[str, Dict[float, object]]]:
+    """{S: {"gamma": {α: γ}, "band": {α: (min γ, max γ)}}}."""
+    result: Dict[float, Dict[str, Dict[float, object]]] = {}
+    for success in successes:
+        result[success] = {
+            "gamma": gamma_versus_alpha(alphas, success, m=m),
+            "band": gamma_band(alphas, success, ms=band_ms),
+        }
+    return result
+
+
+def print_figure3(chart: bool = True, **kwargs) -> None:
+    data = figure3(**kwargs)
+    print("Figure 3 — redundancy ratio versus failure probability (M = 50)")
+    rows = []
+    for success, series in sorted(data.items()):
+        for alpha in sorted(series["gamma"]):
+            low, high = series["band"][alpha]
+            rows.append(
+                (f"S={success:.0%}", alpha, series["gamma"][alpha], low, high)
+            )
+    print(format_table(rows, headers=("series", "alpha", "gamma(M=50)", "band lo", "band hi")))
+    if chart:
+        curves = {
+            f"S={success:.0%}": sorted(series["gamma"].items())
+            for success, series in sorted(data.items())
+        }
+        print(ascii_chart(curves, x_label="alpha", y_label="gamma"))
+        print()
+
+
+# ---------------------------------------------------------------------------
+# Figures 4–7 — the four simulated experiments
+# ---------------------------------------------------------------------------
+
+def figure4(params: Optional[Parameters] = None, **kwargs):
+    """Experiment #1 panels (see :func:`simulation.experiments.experiment1`)."""
+    return experiment1(params if params is not None else from_environment(), **kwargs)
+
+
+def print_figure4(params: Optional[Parameters] = None, chart: bool = True, **kwargs) -> None:
+    panels = figure4(params, **kwargs)
+    for (strategy, irrelevant), curves in sorted(panels.items()):
+        print(f"Figure 4 — {strategy} (I = {irrelevant:g}), response time vs gamma")
+        rows = []
+        for alpha, points in sorted(curves.items()):
+            for point in points:
+                rows.append((f"alpha={alpha:g}", point.x, point.mean, point.stdev))
+        print(format_table(rows, headers=("series", "gamma", "mean rt (s)", "stdev")))
+        if chart:
+            named = {f"alpha={alpha:g}": points for alpha, points in sorted(curves.items())}
+            print(chart_series_points(named, x_label="gamma"))
+            print()
+
+
+def figure5(params: Optional[Parameters] = None, **kwargs):
+    """Experiment #2 panels (vary I at F = 0.5; vary F at I = 0.5)."""
+    return experiment2(params if params is not None else from_environment(), **kwargs)
+
+
+def print_figure5(params: Optional[Parameters] = None, chart: bool = True, **kwargs) -> None:
+    panels = figure5(params, **kwargs)
+    titles = {"vary_i": "response time vs I (F = 0.5)", "vary_f": "response time vs F (I = 0.5)"}
+    for (panel_kind, strategy), curves in sorted(panels.items()):
+        print(f"Figure 5 — {strategy}, {titles[panel_kind]}")
+        rows = []
+        for alpha, points in sorted(curves.items()):
+            for point in points:
+                rows.append((f"alpha={alpha:g}", point.x, point.mean, point.stdev))
+        print(format_table(rows, headers=("series", "x", "mean rt (s)", "stdev")))
+        if chart:
+            named = {f"alpha={alpha:g}": points for alpha, points in sorted(curves.items())}
+            print(chart_series_points(named, x_label=panel_kind))
+            print()
+
+
+def figure6(params: Optional[Parameters] = None, **kwargs):
+    """Experiment #3: LOD improvement vs F at α ∈ {0.1, 0.3, 0.5}."""
+    return experiment3(params if params is not None else from_environment(), **kwargs)
+
+
+def print_figure6(params: Optional[Parameters] = None, chart: bool = True, **kwargs) -> None:
+    results = figure6(params, **kwargs)
+    for alpha, per_lod in sorted(results.items()):
+        print(f"Figure 6 — Caching (I = 1, alpha = {alpha:g}), improvement vs F")
+        rows = []
+        for lod in per_lod:
+            for point in per_lod[lod]:
+                rows.append((lod.name.lower(), point.x, point.mean))
+        print(format_table(rows, headers=("LOD", "F", "improvement")))
+        if chart:
+            named = {lod.name.lower(): points for lod, points in per_lod.items()}
+            print(chart_series_points(named, x_label="F"))
+            print()
+
+
+def figure7(params: Optional[Parameters] = None, **kwargs):
+    """Experiment #4: LOD improvement vs F for δ ∈ {2, 3, 4, 5}."""
+    return experiment4(params if params is not None else from_environment(), **kwargs)
+
+
+def print_figure7(params: Optional[Parameters] = None, chart: bool = True, **kwargs) -> None:
+    results = figure7(params, **kwargs)
+    for delta, per_lod in sorted(results.items()):
+        print(f"Figure 7 — Caching (delta = {delta:g}, alpha = 0.1), improvement vs F")
+        rows = []
+        for lod in per_lod:
+            for point in per_lod[lod]:
+                rows.append((lod.name.lower(), point.x, point.mean))
+        print(format_table(rows, headers=("LOD", "F", "improvement")))
+        if chart:
+            named = {lod.name.lower(): points for lod, points in per_lod.items()}
+            print(chart_series_points(named, x_label="F"))
+            print()
+
+
+def table2(params: Optional[Parameters] = None) -> List[Tuple[str, object]]:
+    """The Table 2 parameter listing for the active configuration."""
+    p = params if params is not None else Parameters()
+    return [
+        ("sp (raw bytes/packet)", p.sp),
+        ("sD (document bytes)", p.sd),
+        ("O (overhead bytes)", p.overhead),
+        ("M (raw packets)", p.m),
+        ("N (cooked packets)", p.n),
+        ("B (bandwidth kbps)", p.bandwidth_kbps),
+        ("delta (skew factor)", p.delta),
+        ("I (irrelevant fraction)", p.irrelevant),
+        ("F (relevance threshold)", p.threshold),
+        ("alpha (corruption prob.)", p.alpha),
+        ("gamma (redundancy ratio)", p.gamma),
+    ]
+
+
+def print_table2(params: Optional[Parameters] = None) -> None:
+    print("Table 2 — parameter settings")
+    print(format_table(table2(params), headers=("Parameter", "Value")))

@@ -1,0 +1,19 @@
+"""Tolerant HTML parsing and research-paper structure extraction.
+
+Implements the paper's §6 direction of serving unstructured HTML by
+recovering an XML-like structure from headings and block elements.
+"""
+
+from repro.htmlkit.parser import VOID_ELEMENTS, parse_html
+from repro.htmlkit.extract import html_to_research_paper, structure_from_dom
+from repro.htmlkit.links import cluster_from_pages, extract_links, normalize_url
+
+__all__ = [
+    "parse_html",
+    "VOID_ELEMENTS",
+    "html_to_research_paper",
+    "structure_from_dom",
+    "extract_links",
+    "normalize_url",
+    "cluster_from_pages",
+]

@@ -1,0 +1,181 @@
+"""Tolerant tag-soup HTML parser.
+
+Real-world HTML of the paper's era (and today) omits end tags, leaves
+attributes unquoted, and interleaves block elements freely.  This
+parser accepts all of that and produces the same DOM classes as the
+XML parser, so the structure extractor can treat both uniformly.
+
+Recovery rules implemented:
+
+* void elements (``br``, ``img``, ...) never take children;
+* ``p``/``li``/``td``/``tr``/``option`` auto-close when a sibling of
+  the same kind opens;
+* an end tag with no matching open element is ignored;
+* an end tag for an outer element closes every inner element;
+* unknown entities are left verbatim.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.xmlkit.dom import Comment, Document, Element, Text
+from repro.xmlkit.tokenizer import resolve_entities
+
+VOID_ELEMENTS = frozenset(
+    "area base br col embed hr img input link meta param source track wbr".split()
+)
+
+# Opening any tag in the value set closes an open tag in the key.
+_AUTO_CLOSE: Dict[str, frozenset] = {
+    "p": frozenset(
+        "p div ul ol li table h1 h2 h3 h4 h5 h6 blockquote pre form hr section".split()
+    ),
+    "li": frozenset(["li"]),
+    "dt": frozenset(["dt", "dd"]),
+    "dd": frozenset(["dt", "dd"]),
+    "tr": frozenset(["tr"]),
+    "td": frozenset(["td", "th", "tr"]),
+    "th": frozenset(["td", "th", "tr"]),
+    "option": frozenset(["option", "optgroup"]),
+}
+
+# Content of these elements is raw text up to the matching end tag.
+_RAW_TEXT_ELEMENTS = frozenset(["script", "style"])
+
+_TAG_RE = re.compile(
+    r"<(?P<end>/?)(?P<name>[A-Za-z][A-Za-z0-9:_\-]*)(?P<attrs>[^>]*?)(?P<self>/?)>",
+)
+_COMMENT_RE = re.compile(r"<!--(?P<data>.*?)-->", re.S)
+_DOCTYPE_RE = re.compile(r"<!(?P<data>[^>]*)>")
+_ATTR_RE = re.compile(
+    r"""(?P<name>[A-Za-z_:][A-Za-z0-9_:.\-]*)\s*
+        (?:=\s*(?P<quoted>"[^"]*"|'[^']*')|=\s*(?P<bare>[^\s"'>]+))?""",
+    re.X,
+)
+
+
+def parse_html(source: str) -> Document:
+    """Parse *source* leniently; always succeeds on any input string.
+
+    The returned document's root is the ``<html>`` element when
+    present, otherwise a synthetic ``html`` root wrapping whatever was
+    found.
+    """
+    root = Element("html")
+    stack: List[Element] = [root]
+    pos = 0
+    length = len(source)
+
+    while pos < length:
+        lt = source.find("<", pos)
+        if lt < 0:
+            _append_text(stack[-1], source[pos:])
+            break
+        if lt > pos:
+            _append_text(stack[-1], source[pos:lt])
+            pos = lt
+
+        comment = _COMMENT_RE.match(source, pos)
+        if comment:
+            stack[-1].append(Comment(comment.group("data")))
+            pos = comment.end()
+            continue
+
+        tag = _TAG_RE.match(source, pos)
+        if tag:
+            pos = tag.end()
+            name = tag.group("name").lower()
+            if tag.group("end"):
+                _close_tag(stack, name)
+            else:
+                attrs = _parse_attributes(tag.group("attrs"))
+                self_closing = bool(tag.group("self")) or name in VOID_ELEMENTS
+                pos = _open_tag(stack, name, attrs, self_closing, source, pos)
+            continue
+
+        doctype = _DOCTYPE_RE.match(source, pos)
+        if doctype:
+            pos = doctype.end()
+            continue
+
+        # A bare '<' that opens no recognizable markup is literal text.
+        _append_text(stack[-1], "<")
+        pos += 1
+
+    html = _find_html_element(root)
+    return Document(html if html is not None else root)
+
+
+def _append_text(parent: Element, raw: str) -> None:
+    if not raw:
+        return
+    data = resolve_entities(raw, strict=False)
+    parent.append(Text(data))
+
+
+def _parse_attributes(raw: str) -> Dict[str, str]:
+    attrs: Dict[str, str] = {}
+    for match in _ATTR_RE.finditer(raw):
+        name = match.group("name").lower()
+        quoted = match.group("quoted")
+        bare = match.group("bare")
+        if quoted is not None:
+            value = resolve_entities(quoted[1:-1], strict=False)
+        elif bare is not None:
+            value = resolve_entities(bare, strict=False)
+        else:
+            value = name  # boolean attribute, e.g. <input disabled>
+        attrs.setdefault(name, value)
+    return attrs
+
+
+def _open_tag(
+    stack: List[Element],
+    name: str,
+    attrs: Dict[str, str],
+    self_closing: bool,
+    source: str,
+    pos: int,
+) -> int:
+    # Auto-close siblings that cannot nest (e.g. <p> inside <p>).
+    while len(stack) > 1:
+        open_name = stack[-1].tag
+        closers = _AUTO_CLOSE.get(open_name)
+        if closers and name in closers:
+            stack.pop()
+        else:
+            break
+
+    element = Element(name, attrs)
+    stack[-1].append(element)
+    if self_closing:
+        return pos
+
+    if name in _RAW_TEXT_ELEMENTS:
+        end_re = re.compile(rf"</{name}\s*>", re.I)
+        match = end_re.search(source, pos)
+        end = match.start() if match else len(source)
+        raw = source[pos:end]
+        if raw:
+            element.append(Text(raw))
+        return match.end() if match else len(source)
+
+    stack.append(element)
+    return pos
+
+
+def _close_tag(stack: List[Element], name: str) -> None:
+    for index in range(len(stack) - 1, 0, -1):
+        if stack[index].tag == name:
+            del stack[index:]
+            return
+    # No matching open element: ignore the stray end tag.
+
+
+def _find_html_element(root: Element) -> Optional[Element]:
+    for child in root.child_elements():
+        if child.tag == "html":
+            return child
+    return None

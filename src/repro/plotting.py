@@ -1,0 +1,100 @@
+"""Terminal (ASCII) charts for the figure printers.
+
+The reproduction is headless; the closest thing to the paper's plots
+the harness can produce is a character-cell chart.  The renderer
+supports multiple named series over a shared x-axis, auto-scaled axes
+with tick labels, and distinct glyphs per series — enough to *see*
+the crossovers and knees the paper's figures show.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.util.validation import check_positive_int
+
+#: Per-series plot glyphs, assigned in insertion order.
+GLYPHS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render named series of (x, y) points as an ASCII chart.
+
+    Points are plotted on a *width*×*height* grid with linear scales;
+    colliding points show the glyph of the earlier series.  Returns a
+    string ending in a legend line.
+    """
+    check_positive_int(width, "width")
+    check_positive_int(height, "height")
+    if not series:
+        raise ValueError("at least one series is required")
+    named = {name: list(points) for name, points in series.items()}
+    all_points = [point for points in named.values() for point in points]
+    if not all_points:
+        raise ValueError("series contain no points")
+
+    xs = [x for x, _y in all_points]
+    ys = [y for _x, y in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low = min(ys) if y_min is None else y_min
+    y_high = max(ys) if y_max is None else y_max
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    def column(x: float) -> int:
+        return round((x - x_low) / (x_high - x_low) * (width - 1))
+
+    def row(y: float) -> int:
+        clamped = min(max(y, y_low), y_high)
+        return (height - 1) - round(
+            (clamped - y_low) / (y_high - y_low) * (height - 1)
+        )
+
+    grid = [[" "] * width for _ in range(height)]
+    legend: List[str] = []
+    for index, (name, points) in enumerate(named.items()):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        legend.append(f"{glyph}={name}")
+        for x, y in points:
+            r, c = row(y), column(x)
+            if grid[r][c] == " ":
+                grid[r][c] = glyph
+
+    lines: List[str] = []
+    top_label = f"{y_high:.3g}"
+    bottom_label = f"{y_low:.3g}"
+    margin = max(len(top_label), len(bottom_label)) + 1
+    for r, cells in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(margin - 1) + " "
+        elif r == height - 1:
+            prefix = bottom_label.rjust(margin - 1) + " "
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(cells))
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_low:.3g}".ljust(width // 2) + f"{x_high:.3g}".rjust(width // 2)
+    lines.append(" " * (margin + 1) + x_axis)
+    lines.append(f"{y_label} vs {x_label}   " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def chart_series_points(
+    curves: Dict, width: int = 64, height: int = 16, x_label: str = "x"
+) -> str:
+    """Chart a {name: [SeriesPoint, ...]} mapping (experiment output)."""
+    series = {
+        str(name): [(point.x, point.mean) for point in points]
+        for name, points in curves.items()
+    }
+    return ascii_chart(series, width=width, height=height, x_label=x_label, y_label="mean")

@@ -1,0 +1,40 @@
+"""The Figure 1 prototype: an ORB-connected browser/server pair that
+demonstrates incremental multi-resolution rendering over the lossy
+wireless channel.
+"""
+
+from repro.prototype.broker import (
+    BrokerError,
+    Interceptor,
+    ObjectRequestBroker,
+    PassthroughInterceptor,
+)
+from repro.prototype.messages import (
+    BrowseResult,
+    FetchManifest,
+    FetchRequest,
+    RenderEvent,
+    UnitDescriptor,
+)
+from repro.prototype.server import DatabaseGateway, DocumentTransmitterService
+from repro.prototype.searchsvc import SearchResult, SearchService
+from repro.prototype.client import MobileBrowser, RenderingManager, SequenceManager
+
+__all__ = [
+    "ObjectRequestBroker",
+    "BrokerError",
+    "Interceptor",
+    "PassthroughInterceptor",
+    "FetchRequest",
+    "FetchManifest",
+    "UnitDescriptor",
+    "RenderEvent",
+    "BrowseResult",
+    "DatabaseGateway",
+    "DocumentTransmitterService",
+    "SearchService",
+    "SearchResult",
+    "MobileBrowser",
+    "RenderingManager",
+    "SequenceManager",
+]

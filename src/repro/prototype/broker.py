@@ -1,0 +1,88 @@
+"""A minimal object request broker.
+
+The paper's Java prototype is "based on the CORBA infrastructure"
+(Figure 1): browser-side managers invoke the server-side document
+transmitter through an ORB, and "client and server side interceptors"
+host alternative mechanisms such as compression or ARQ [8].  This
+in-process broker reproduces exactly that component topology: named
+servants, method invocation by name, and an interceptor chain applied
+to invocation payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Protocol
+
+
+class BrokerError(Exception):
+    """Unknown servant or method."""
+
+
+class Interceptor(Protocol):
+    """An interceptor transforms payloads crossing the broker.
+
+    ``outbound`` runs on values flowing client → servant;
+    ``inbound`` on values flowing servant → client.  Interceptors
+    compose in registration order outbound and reverse order inbound.
+    """
+
+    def outbound(self, payload: Any) -> Any: ...
+
+    def inbound(self, payload: Any) -> Any: ...
+
+
+class PassthroughInterceptor:
+    """The identity interceptor (useful as a base class)."""
+
+    def outbound(self, payload: Any) -> Any:
+        return payload
+
+    def inbound(self, payload: Any) -> Any:
+        return payload
+
+
+class ObjectRequestBroker:
+    """Name → servant registry with interceptor support."""
+
+    def __init__(self) -> None:
+        self._servants: Dict[str, object] = {}
+        self._interceptors: List[Interceptor] = []
+        self.invocations = 0
+
+    def register(self, name: str, servant: object) -> None:
+        """Bind *servant* under *name*; rebinding replaces silently."""
+        self._servants[name] = servant
+
+    def unregister(self, name: str) -> None:
+        self._servants.pop(name, None)
+
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        self._interceptors.append(interceptor)
+
+    def resolve(self, name: str) -> object:
+        servant = self._servants.get(name)
+        if servant is None:
+            raise BrokerError(f"no servant registered under {name!r}")
+        return servant
+
+    def invoke(self, name: str, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke ``servant.method(*args, **kwargs)`` through the chain.
+
+        Positional arguments pass outbound through the interceptors;
+        the return value passes inbound through them in reverse.
+        """
+        servant = self.resolve(name)
+        target: Callable = getattr(servant, method, None)  # type: ignore[assignment]
+        if target is None or not callable(target):
+            raise BrokerError(f"servant {name!r} has no method {method!r}")
+        processed_args = list(args)
+        for interceptor in self._interceptors:
+            processed_args = [interceptor.outbound(a) for a in processed_args]
+        self.invocations += 1
+        result = target(*processed_args, **kwargs)
+        for interceptor in reversed(self._interceptors):
+            result = interceptor.inbound(result)
+        return result
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._servants

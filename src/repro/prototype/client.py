@@ -1,0 +1,201 @@
+"""Client-side prototype components (Figure 1, left half).
+
+``SequenceManager`` drives the packet stream for one fetch: it feeds
+deliveries to the transfer receiver, triggers rendering as clear-text
+bytes become available, and applies the stall/retransmission policy.
+``RenderingManager`` "renders each organizational unit incrementally
+at the proper position in the browsing window when the unit is
+received" (§3.3).  ``MobileBrowser`` wires both to the broker.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.prototype.broker import ObjectRequestBroker
+from repro.prototype.messages import (
+    BrowseResult,
+    FetchManifest,
+    FetchRequest,
+    RenderEvent,
+)
+from repro.transport.cache import NullCache, PacketCache
+from repro.transport.channel import WirelessChannel
+from repro.transport.receiver import TransferReceiver
+from repro.transport.sender import PreparedDocument
+
+
+def _label_sort_key(label: str) -> Tuple:
+    """Document-order key for hierarchical labels like ``3.2.1``."""
+    parts = []
+    for piece in label.replace("(title)", "").split("."):
+        piece = piece.strip()
+        parts.append(int(piece) if piece.isdigit() else -1)
+    return tuple(parts)
+
+
+class RenderingManager:
+    """Incremental renderer: shows units as their bytes become usable."""
+
+    def __init__(self, manifest: FetchManifest) -> None:
+        self._manifest = manifest
+        ordered = sorted(manifest.units, key=lambda unit: _label_sort_key(unit.label))
+        self._positions = {unit.label: index for index, unit in enumerate(ordered)}
+        self._rendered_labels: set = set()
+        self.events: List[RenderEvent] = []
+
+    def on_bytes(self, stream: bytes, time: float) -> List[RenderEvent]:
+        """Render every not-yet-shown unit fully covered by *stream*.
+
+        *stream* is the contiguous prefix of the transmission stream
+        that the receiver can decode so far (clear-text prefix, or the
+        whole document after reconstruction).
+        """
+        fresh: List[RenderEvent] = []
+        available = len(stream)
+        for unit in self._manifest.units:
+            if unit.label in self._rendered_labels:
+                continue
+            end = unit.offset + unit.size
+            if end <= available:
+                text = stream[unit.offset : end].decode("utf-8", errors="replace")
+                event = RenderEvent(
+                    time=time,
+                    label=unit.label,
+                    text=text,
+                    position=self._positions[unit.label],
+                )
+                self._rendered_labels.add(unit.label)
+                self.events.append(event)
+                fresh.append(event)
+        return fresh
+
+    @property
+    def rendered_count(self) -> int:
+        return len(self._rendered_labels)
+
+    def rendered_content(self) -> float:
+        """Content-measure mass of everything rendered so far."""
+        return sum(
+            unit.content
+            for unit in self._manifest.units
+            if unit.label in self._rendered_labels
+        )
+
+
+class SequenceManager:
+    """Round-driving receiver loop with incremental rendering."""
+
+    def __init__(
+        self,
+        channel: WirelessChannel,
+        cache: Optional[PacketCache] = None,
+        max_rounds: int = 50,
+    ) -> None:
+        self.channel = channel
+        self.cache = cache if cache is not None else NullCache()
+        self.max_rounds = max_rounds
+
+    def run(
+        self,
+        manifest: FetchManifest,
+        prepared: PreparedDocument,
+        renderer: RenderingManager,
+        relevance_threshold: Optional[float] = None,
+    ) -> BrowseResult:
+        start = self.channel.clock
+        receiver = TransferReceiver(prepared)
+        receiver.preload(self.cache.load(prepared.document_id))
+        frames = prepared.frames()
+        document_text: Optional[str] = None
+
+        for round_index in range(1, self.max_rounds + 1):
+            for wire in frames:
+                delivery = self.channel.send(wire)
+                receiver.offer(delivery)
+                renderer.on_bytes(receiver.clear_prefix(), self.channel.clock)
+
+                if receiver.can_reconstruct():
+                    payload = receiver.reconstruct()
+                    renderer.on_bytes(payload, self.channel.clock)
+                    self.cache.discard(prepared.document_id)
+                    document_text = payload.decode("utf-8", errors="replace")
+                    return BrowseResult(
+                        document_id=manifest.document_id,
+                        success=True,
+                        terminated_early=False,
+                        response_time=self.channel.clock - start,
+                        rounds=round_index,
+                        rendered=list(renderer.events),
+                        document_text=document_text,
+                    )
+                if (
+                    relevance_threshold is not None
+                    and receiver.content_received >= relevance_threshold
+                ):
+                    # The user hits "stop": enough content to judge.
+                    self._store(prepared, receiver)
+                    return BrowseResult(
+                        document_id=manifest.document_id,
+                        success=True,
+                        terminated_early=True,
+                        response_time=self.channel.clock - start,
+                        rounds=round_index,
+                        rendered=list(renderer.events),
+                        document_text=None,
+                    )
+            self._store(prepared, receiver)
+            if isinstance(self.cache, NullCache):
+                receiver = TransferReceiver(prepared)
+
+        return BrowseResult(
+            document_id=manifest.document_id,
+            success=False,
+            terminated_early=False,
+            response_time=self.channel.clock - start,
+            rounds=self.max_rounds,
+            rendered=list(renderer.events),
+            document_text=None,
+        )
+
+    def _store(self, prepared: PreparedDocument, receiver: TransferReceiver) -> None:
+        for sequence, payload in receiver.intact.items():
+            self.cache.store(prepared.document_id, sequence, payload)
+
+
+class MobileBrowser:
+    """The end-to-end client: resolve, fetch, render."""
+
+    def __init__(
+        self,
+        broker: ObjectRequestBroker,
+        channel: WirelessChannel,
+        cache: Optional[PacketCache] = None,
+    ) -> None:
+        self.broker = broker
+        self.sequence_manager = SequenceManager(channel, cache=cache)
+
+    def search(self, query_text: str, limit: int = 10):
+        """Query the server-side search service (ORB name "search")."""
+        return self.broker.invoke("search", "search", query_text, limit=limit)
+
+    def browse(
+        self,
+        document_id: str,
+        query_text: str = "",
+        lod_name: str = "paragraph",
+        gamma: float = 1.5,
+        relevance_threshold: Optional[float] = None,
+    ) -> BrowseResult:
+        """Fetch and incrementally render one document."""
+        request = FetchRequest(
+            document_id=document_id,
+            query_text=query_text,
+            lod_name=lod_name,
+            gamma=gamma,
+        )
+        manifest, prepared = self.broker.invoke("transmitter", "fetch", request)
+        renderer = RenderingManager(manifest)
+        return self.sequence_manager.run(
+            manifest, prepared, renderer, relevance_threshold=relevance_threshold
+        )

@@ -1,0 +1,55 @@
+"""Typed messages exchanged between prototype components (Figure 1)."""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+
+class FetchRequest(NamedTuple):
+    """Browser → server: fetch one document for browsing."""
+
+    document_id: str
+    query_text: str = ""           # drives QIC ordering when non-empty
+    lod_name: str = "paragraph"    # document|section|subsection|subsubsection|paragraph
+    gamma: float = 1.5             # redundancy ratio for this transfer
+
+
+class UnitDescriptor(NamedTuple):
+    """Manifest entry: one scheduled organizational unit."""
+
+    label: str        # hierarchical label, e.g. "3.2.1"
+    offset: int       # byte offset within the transmission stream
+    size: int         # byte length of the unit's subtree payload
+    content: float    # content-measure share of this unit
+
+
+class FetchManifest(NamedTuple):
+    """Server → browser: what the packet stream will contain."""
+
+    document_id: str
+    measure: str                    # which content measure ranked the units
+    total_bytes: int
+    m: int                          # raw packets
+    n: int                          # cooked packets
+    units: List[UnitDescriptor]     # in transmission order
+
+
+class RenderEvent(NamedTuple):
+    """Rendering manager output: one unit became displayable."""
+
+    time: float
+    label: str
+    text: str
+    position: int      # index of the unit's proper position in the document
+
+
+class BrowseResult(NamedTuple):
+    """Browser → caller: the outcome of browsing one document."""
+
+    document_id: str
+    success: bool
+    terminated_early: bool
+    response_time: float
+    rounds: int
+    rendered: List[RenderEvent]
+    document_text: Optional[str]

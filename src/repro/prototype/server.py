@@ -1,0 +1,118 @@
+"""Server-side prototype components (Figure 1, right half).
+
+``DatabaseGateway`` fronts the document store: it parses and pipelines
+XML sources into SCs on ingest and caches them ("the SC is created by
+deriving the information content of each organizational unit", §3.3).
+``DocumentTransmitterService`` is the servant the browser invokes: it
+ranks the requested document's units by the query-appropriate measure,
+cooks the packet stream, and returns the manifest plus the prepared
+document.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.coding.packets import Packetizer
+from repro.core.information import annotate_sc
+from repro.core.lod import LOD
+from repro.core.multires import TransmissionSchedule
+from repro.core.pipeline import SCPipeline
+from repro.core.query import Query
+from repro.core.structure import StructuralCharacteristic
+from repro.prototype.messages import FetchManifest, FetchRequest, UnitDescriptor
+from repro.text.keywords import KeywordExtractor
+from repro.transport.sender import DocumentSender, PreparedDocument
+from repro.xmlkit.parser import parse_xml
+
+
+class DatabaseGateway:
+    """Document store + SC cache."""
+
+    def __init__(self, pipeline: Optional[SCPipeline] = None) -> None:
+        self._pipeline = pipeline if pipeline is not None else SCPipeline()
+        self._sources: Dict[str, str] = {}
+        self._scs: Dict[str, StructuralCharacteristic] = {}
+
+    def put(self, document_id: str, xml_source: str) -> StructuralCharacteristic:
+        """Store an XML document and build its SC immediately."""
+        document = parse_xml(xml_source)
+        sc = self._pipeline.run(document)
+        self._sources[document_id] = xml_source
+        self._scs[document_id] = sc
+        return sc
+
+    def sc(self, document_id: str) -> StructuralCharacteristic:
+        sc = self._scs.get(document_id)
+        if sc is None:
+            raise KeyError(f"unknown document {document_id!r}")
+        return sc
+
+    def source(self, document_id: str) -> str:
+        source = self._sources.get(document_id)
+        if source is None:
+            raise KeyError(f"unknown document {document_id!r}")
+        return source
+
+    @property
+    def pipeline(self) -> SCPipeline:
+        return self._pipeline
+
+    def __contains__(self, document_id: str) -> bool:
+        return document_id in self._sources
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+
+class DocumentTransmitterService:
+    """The servant behind the ORB name ``"transmitter"``."""
+
+    def __init__(self, gateway: DatabaseGateway, packet_size: int = 256) -> None:
+        self._gateway = gateway
+        self._packet_size = packet_size
+
+    def fetch(self, request: FetchRequest) -> Tuple[FetchManifest, PreparedDocument]:
+        """Prepare one document for transmission per *request*."""
+        sc = self._gateway.sc(request.document_id)
+        lod = LOD[request.lod_name.upper()]
+
+        measure = "ic"
+        query: Optional[Query] = None
+        if request.query_text.strip():
+            extractor = KeywordExtractor(
+                lemmatizer=self._gateway.pipeline.shared_lemmatizer
+            )
+            query = Query(request.query_text, extractor=extractor)
+            if not query.is_empty:
+                measure = "mqic"
+        annotate_sc(sc, query=query)
+
+        schedule = TransmissionSchedule(sc, lod=lod, measure=measure)
+        packetizer = Packetizer(
+            packet_size=self._packet_size, redundancy_ratio=request.gamma
+        )
+        sender = DocumentSender(packetizer)
+        prepared = sender.prepare(request.document_id, schedule)
+
+        units = []
+        offset = 0
+        for segment in schedule.segments():
+            units.append(
+                UnitDescriptor(
+                    label=segment.label,
+                    offset=offset,
+                    size=segment.size,
+                    content=segment.content,
+                )
+            )
+            offset += segment.size
+        manifest = FetchManifest(
+            document_id=request.document_id,
+            measure=measure,
+            total_bytes=offset,
+            m=prepared.m,
+            n=prepared.n,
+            units=units,
+        )
+        return manifest, prepared

@@ -1,0 +1,27 @@
+"""Search-engine substrate: the inverted index, the ranked keyword
+search that triggers QIC annotation, and user profiles with relevance
+feedback.
+"""
+
+from repro.search.index import InvertedIndex, Posting
+from repro.search.engine import SearchEngine, SearchHit
+from repro.search.profile import UserProfile
+from repro.search.boolean import (
+    BooleanQueryParser,
+    QuerySyntaxError,
+    evaluate_boolean,
+)
+from repro.search.snippets import best_paragraph, make_snippet
+
+__all__ = [
+    "InvertedIndex",
+    "Posting",
+    "SearchEngine",
+    "SearchHit",
+    "UserProfile",
+    "BooleanQueryParser",
+    "QuerySyntaxError",
+    "evaluate_boolean",
+    "make_snippet",
+    "best_paragraph",
+]

@@ -1,0 +1,228 @@
+"""Boolean query language over the inverted index.
+
+Classic search engines of the paper's era (Lycos, WebCrawler — its
+refs [15, 17]) expose boolean operators.  This module provides a small
+recursive-descent parser and evaluator:
+
+    mobile AND (browsing OR navigation) AND NOT database
+    "mobile web" caching            # quoted phrase, implicit AND
+
+Grammar (standard precedence NOT > AND > OR, juxtaposition = AND)::
+
+    expr   := orExpr
+    orExpr := andExpr ('OR' andExpr)*
+    andExpr:= notExpr (('AND')? notExpr)*
+    notExpr:= 'NOT' notExpr | atom
+    atom   := '(' expr ')' | '"' words '"' | word
+
+Quoted phrases evaluate as a conjunction of their words (the index
+stores frequencies, not positions; the approximation is documented and
+tested).  Terms are lemmatized with the same lemmatizer as the corpus
+so "browsing" matches documents indexed under its lemma.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Set
+
+from repro.search.index import InvertedIndex
+from repro.text.lemmatizer import Lemmatizer
+
+_TOKEN_RE = re.compile(
+    r"""\s*(?:
+        (?P<lparen>\() |
+        (?P<rparen>\)) |
+        (?P<quote>"[^"]*") |
+        (?P<word>[^\s()"]+)
+    )""",
+    re.X,
+)
+
+
+class QuerySyntaxError(Exception):
+    """Malformed boolean query."""
+
+
+class _Node:
+    def evaluate(self, index: InvertedIndex, universe: Set[str]) -> Set[str]:
+        raise NotImplementedError
+
+
+class Term(_Node):
+    def __init__(self, lemma: str) -> None:
+        self.lemma = lemma
+
+    def evaluate(self, index: InvertedIndex, universe: Set[str]) -> Set[str]:
+        return index.candidates([self.lemma])
+
+    def __repr__(self) -> str:
+        return f"Term({self.lemma!r})"
+
+
+class Phrase(_Node):
+    def __init__(self, lemmas: List[str]) -> None:
+        self.lemmas = lemmas
+
+    def evaluate(self, index: InvertedIndex, universe: Set[str]) -> Set[str]:
+        if not self.lemmas:
+            return set()
+        return index.candidates_all(self.lemmas)
+
+    def __repr__(self) -> str:
+        return f"Phrase({self.lemmas!r})"
+
+
+class And(_Node):
+    def __init__(self, children: List[_Node]) -> None:
+        self.children = children
+
+    def evaluate(self, index: InvertedIndex, universe: Set[str]) -> Set[str]:
+        result: Optional[Set[str]] = None
+        for child in self.children:
+            matched = child.evaluate(index, universe)
+            result = matched if result is None else (result & matched)
+            if not result:
+                return set()
+        return result or set()
+
+    def __repr__(self) -> str:
+        return f"And({self.children!r})"
+
+
+class Or(_Node):
+    def __init__(self, children: List[_Node]) -> None:
+        self.children = children
+
+    def evaluate(self, index: InvertedIndex, universe: Set[str]) -> Set[str]:
+        result: Set[str] = set()
+        for child in self.children:
+            result |= child.evaluate(index, universe)
+        return result
+
+    def __repr__(self) -> str:
+        return f"Or({self.children!r})"
+
+
+class Not(_Node):
+    def __init__(self, child: _Node) -> None:
+        self.child = child
+
+    def evaluate(self, index: InvertedIndex, universe: Set[str]) -> Set[str]:
+        return universe - self.child.evaluate(index, universe)
+
+    def __repr__(self) -> str:
+        return f"Not({self.child!r})"
+
+
+class BooleanQueryParser:
+    """Parses query strings into evaluable expression trees."""
+
+    def __init__(self, lemmatizer: Optional[Lemmatizer] = None) -> None:
+        self._lemmatizer = lemmatizer if lemmatizer is not None else Lemmatizer()
+
+    # -- tokenization -------------------------------------------------------
+
+    def _tokenize(self, text: str) -> List[str]:
+        tokens: List[str] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                break  # trailing whitespace
+            if match.end() == position:  # pragma: no cover - regex always advances
+                raise QuerySyntaxError(f"cannot tokenize at {position}")
+            position = match.end()
+            for kind in ("lparen", "rparen", "quote", "word"):
+                value = match.group(kind)
+                if value is not None:
+                    tokens.append(value)
+                    break
+        return tokens
+
+    # -- parsing ----------------------------------------------------------------
+
+    def parse(self, text: str) -> _Node:
+        self._tokens = self._tokenize(text)
+        self._position = 0
+        if not self._tokens:
+            raise QuerySyntaxError("empty query")
+        node = self._parse_or()
+        if self._position != len(self._tokens):
+            raise QuerySyntaxError(
+                f"unexpected token {self._tokens[self._position]!r}"
+            )
+        return node
+
+    def _peek(self) -> Optional[str]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _advance(self) -> str:
+        token = self._tokens[self._position]
+        self._position += 1
+        return token
+
+    def _parse_or(self) -> _Node:
+        children = [self._parse_and()]
+        while self._peek() is not None and self._peek().upper() == "OR":
+            self._advance()
+            children.append(self._parse_and())
+        return children[0] if len(children) == 1 else Or(children)
+
+    def _parse_and(self) -> _Node:
+        children = [self._parse_not()]
+        while True:
+            token = self._peek()
+            if token is None or token == ")" or token.upper() == "OR":
+                break
+            if token.upper() == "AND":
+                self._advance()
+                token = self._peek()
+                if token is None or token == ")":
+                    raise QuerySyntaxError("AND missing right operand")
+            children.append(self._parse_not())
+        return children[0] if len(children) == 1 else And(children)
+
+    def _parse_not(self) -> _Node:
+        token = self._peek()
+        if token is not None and token.upper() == "NOT":
+            self._advance()
+            if self._peek() is None:
+                raise QuerySyntaxError("NOT missing operand")
+            return Not(self._parse_not())
+        return self._parse_atom()
+
+    def _parse_atom(self) -> _Node:
+        token = self._peek()
+        if token is None:
+            raise QuerySyntaxError("unexpected end of query")
+        if token == "(":
+            self._advance()
+            node = self._parse_or()
+            if self._peek() != ")":
+                raise QuerySyntaxError("missing closing parenthesis")
+            self._advance()
+            return node
+        if token == ")":
+            raise QuerySyntaxError("unexpected ')'")
+        self._advance()
+        if token.startswith('"'):
+            words = token.strip('"').split()
+            lemmas = [self._lemmatizer.lemma(word) for word in words]
+            return Phrase(lemmas)
+        if token.upper() in ("AND", "OR"):
+            raise QuerySyntaxError(f"operator {token!r} used as a term")
+        return Term(self._lemmatizer.lemma(token))
+
+
+def evaluate_boolean(
+    text: str,
+    index: InvertedIndex,
+    universe: Set[str],
+    lemmatizer: Optional[Lemmatizer] = None,
+) -> Set[str]:
+    """Parse *text* and return the matching document ids."""
+    parser = BooleanQueryParser(lemmatizer=lemmatizer)
+    return parser.parse(text).evaluate(index, universe)

@@ -1,0 +1,124 @@
+"""Inverted index over a document corpus.
+
+The paper's browsing model begins with "searching of web documents via
+some search engines" (§1); QIC exists precisely because the documents
+a client browses were selected by a keyword query.  This module
+provides the index substrate: postings lists with term frequencies,
+document frequencies for idf weighting, and incremental insertion.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+
+class Posting:
+    """One (document, term frequency) entry of a postings list."""
+
+    __slots__ = ("document_id", "frequency")
+
+    def __init__(self, document_id: str, frequency: int) -> None:
+        self.document_id = document_id
+        self.frequency = frequency
+
+    def __repr__(self) -> str:
+        return f"Posting({self.document_id!r}, tf={self.frequency})"
+
+
+class InvertedIndex:
+    """Term → postings mapping with document statistics."""
+
+    def __init__(self) -> None:
+        self._postings: Dict[str, Dict[str, int]] = {}
+        self._document_lengths: Dict[str, int] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def add_document(self, document_id: str, term_counts: Mapping[str, int]) -> None:
+        """Index a document by its term→count mapping.
+
+        Re-adding an existing id replaces the previous contents.
+        """
+        if document_id in self._document_lengths:
+            self.remove_document(document_id)
+        length = 0
+        for term, count in term_counts.items():
+            if count <= 0:
+                raise ValueError(f"count for {term!r} must be positive")
+            self._postings.setdefault(term, {})[document_id] = count
+            length += count
+        self._document_lengths[document_id] = length
+
+    def remove_document(self, document_id: str) -> None:
+        """Drop a document from all postings lists."""
+        if document_id not in self._document_lengths:
+            return
+        empty_terms: List[str] = []
+        for term, postings in self._postings.items():
+            postings.pop(document_id, None)
+            if not postings:
+                empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+        del self._document_lengths[document_id]
+
+    # -- statistics ---------------------------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        return len(self._document_lengths)
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing *term*."""
+        return len(self._postings.get(term, {}))
+
+    def document_frequencies(self) -> Dict[str, int]:
+        """df for every indexed term (feeds :class:`TfIdfIC`)."""
+        return {term: len(postings) for term, postings in self._postings.items()}
+
+    def term_frequency(self, term: str, document_id: str) -> int:
+        return self._postings.get(term, {}).get(document_id, 0)
+
+    def document_length(self, document_id: str) -> Optional[int]:
+        return self._document_lengths.get(document_id)
+
+    def vocabulary(self) -> Set[str]:
+        return set(self._postings)
+
+    # -- retrieval --------------------------------------------------------------
+
+    def postings(self, term: str) -> List[Posting]:
+        """The postings list of *term*, document id order."""
+        entries = self._postings.get(term, {})
+        return [Posting(doc, tf) for doc, tf in sorted(entries.items())]
+
+    def candidates(self, terms: Iterable[str]) -> Set[str]:
+        """Documents containing at least one of *terms* (OR semantics)."""
+        result: Set[str] = set()
+        for term in terms:
+            result.update(self._postings.get(term, {}))
+        return result
+
+    def candidates_all(self, terms: Iterable[str]) -> Set[str]:
+        """Documents containing every one of *terms* (AND semantics)."""
+        term_list = list(terms)
+        if not term_list:
+            return set()
+        sets = [set(self._postings.get(term, {})) for term in term_list]
+        sets.sort(key=len)
+        result = sets[0]
+        for other in sets[1:]:
+            result = result & other
+            if not result:
+                break
+        return result
+
+    def __contains__(self, document_id: str) -> bool:
+        return document_id in self._document_lengths
+
+    def __repr__(self) -> str:
+        return (
+            f"InvertedIndex({self.document_count} documents, "
+            f"{len(self._postings)} terms)"
+        )

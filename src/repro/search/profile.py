@@ -1,0 +1,92 @@
+"""User profiles with relevance feedback.
+
+The paper's related work (§2) surveys profile-based filtering: "a user
+profile, capturing individual users' interests ... relevance feedback
+plays an important role in modifying the profile appropriately".  The
+profile below is the classic Rocchio-style keyword-weight vector: it
+drifts toward documents the user accepts and away from documents the
+user rejects, and its top keywords form the standing query that drives
+prefetching (§6: "intelligent prefetching based on information content
+and user-profiling").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.util.validation import check_fraction, check_positive
+
+
+class UserProfile:
+    """A keyword-weight interest vector updated by relevance feedback.
+
+    Parameters
+    ----------
+    learning_rate:
+        How strongly one feedback event moves the profile (0..1].
+    decay:
+        Multiplicative decay applied to all weights before each
+        update, so stale interests fade ("the profile ... adapts to
+        changes in user interest").
+    """
+
+    def __init__(self, learning_rate: float = 0.3, decay: float = 0.98) -> None:
+        check_fraction(learning_rate, "learning_rate")
+        check_fraction(decay, "decay")
+        self.learning_rate = learning_rate
+        self.decay = decay
+        self._weights: Dict[str, float] = {}
+
+    # -- feedback ------------------------------------------------------------
+
+    def accept(self, term_counts: Mapping[str, int]) -> None:
+        """Positive feedback: the user found this document relevant."""
+        self._update(term_counts, sign=1.0)
+
+    def reject(self, term_counts: Mapping[str, int]) -> None:
+        """Negative feedback: the user discarded this document."""
+        self._update(term_counts, sign=-0.5)
+
+    def _update(self, term_counts: Mapping[str, int], sign: float) -> None:
+        total = sum(term_counts.values())
+        if total <= 0:
+            return
+        for term in self._weights:
+            self._weights[term] *= self.decay
+        for term, count in term_counts.items():
+            delta = sign * self.learning_rate * (count / total)
+            self._weights[term] = self._weights.get(term, 0.0) + delta
+        # Drop negligible weights so the profile stays compact.
+        self._weights = {
+            term: weight
+            for term, weight in self._weights.items()
+            if abs(weight) > 1e-6
+        }
+
+    # -- use --------------------------------------------------------------------
+
+    def weight(self, term: str) -> float:
+        return self._weights.get(term, 0.0)
+
+    def top_terms(self, limit: int = 10) -> List[Tuple[str, float]]:
+        """Strongest positive interests, for building standing queries."""
+        positive = [(t, w) for t, w in self._weights.items() if w > 0]
+        positive.sort(key=lambda item: (-item[1], item[0]))
+        return positive[:limit]
+
+    def standing_query(self, limit: int = 5) -> str:
+        """A query string of the profile's top terms (prefetch driver)."""
+        return " ".join(term for term, _weight in self.top_terms(limit))
+
+    def score(self, term_counts: Mapping[str, int]) -> float:
+        """Interest score of a document under the current profile."""
+        total = sum(term_counts.values())
+        if total <= 0:
+            return 0.0
+        return sum(
+            count * self._weights.get(term, 0.0)
+            for term, count in term_counts.items()
+        ) / total
+
+    def __len__(self) -> int:
+        return len(self._weights)

@@ -1,0 +1,95 @@
+"""Query-biased result snippets.
+
+Search engines show a short extract with each hit so the user can
+judge relevance before any transfer happens — the zeroth stage of the
+paper's bandwidth-saving story.  The snippet generator picks the
+highest-QIC paragraph (falling back to static IC without a query) and
+trims it to a window centred on the first query-word occurrence.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.core.query import Query
+from repro.core.structure import StructuralCharacteristic
+from repro.text.lemmatizer import Lemmatizer
+from repro.text.tokens import tokenize
+from repro.util.validation import check_positive_int
+
+_ELLIPSIS = "..."
+
+
+def best_paragraph(
+    sc: StructuralCharacteristic, measure: str = "qic"
+) -> Optional[str]:
+    """Text of the highest-scoring paragraph under *measure*.
+
+    Falls back to ``"ic"`` when the requested measure is absent, and
+    to the first paragraph when nothing is annotated.
+    """
+    paragraphs = sc.paragraphs()
+    if not paragraphs:
+        return None
+
+    def score(unit) -> float:
+        if measure in unit.content:
+            return unit.content[measure]
+        return unit.content.get("ic", 0.0)
+
+    best = max(paragraphs, key=score)
+    if score(best) == 0.0:
+        best = paragraphs[0]
+    return best.payload.decode("utf-8", errors="replace")
+
+
+def make_snippet(
+    sc: StructuralCharacteristic,
+    query: Optional[Query] = None,
+    width: int = 160,
+    lemmatizer: Optional[Lemmatizer] = None,
+) -> str:
+    """A ≤ *width*-character extract biased toward *query*.
+
+    The window is centred on the first occurrence of a querying word
+    in the best paragraph; ellipses mark trimmed edges.
+    """
+    check_positive_int(width, "width")
+    measure = "qic" if query is not None else "ic"
+    text = best_paragraph(sc, measure=measure)
+    if text is None:
+        return ""
+    text = " ".join(text.split())
+    if len(text) <= width:
+        return text
+
+    anchor = 0
+    if query is not None and not query.is_empty:
+        lem = lemmatizer if lemmatizer is not None else Lemmatizer()
+        query_lemmas = query.keywords()
+        for match in re.finditer(r"\S+", text):
+            word = tokenize(match.group(0))
+            if word and lem.lemma(word[0]) in query_lemmas:
+                anchor = match.start()
+                break
+
+    start = max(0, anchor - width // 3)
+    end = start + width
+    if end > len(text):
+        end = len(text)
+        start = max(0, end - width)
+    snippet = text[start:end]
+
+    # Snap to word boundaries.
+    if start > 0:
+        cut = snippet.find(" ")
+        if 0 <= cut < width // 4:
+            snippet = snippet[cut + 1 :]
+        snippet = _ELLIPSIS + snippet
+    if end < len(text):
+        cut = snippet.rfind(" ")
+        if cut > len(snippet) - width // 4:
+            snippet = snippet[:cut]
+        snippet = snippet + _ELLIPSIS
+    return snippet

@@ -1,0 +1,87 @@
+"""Evaluation substrate (paper §5): Table 2 parameters, synthetic
+workloads, the oracle-mode transfer simulator, and the drivers for
+Experiments #1–#4.
+"""
+
+from repro.simulation.parameters import Parameters, from_environment, quick, table2_defaults
+from repro.simulation.workload import (
+    SyntheticDocument,
+    generate_session,
+    relevance_flags,
+)
+from repro.simulation.runner import (
+    SessionResult,
+    TransferOutcome,
+    repeated_sessions,
+    simulate_session,
+    simulate_transfer,
+)
+from repro.simulation.metrics import SeriesPoint, improvement_ratio, series_table
+from repro.simulation.energy import (
+    EnergyModel,
+    SessionEnergy,
+    energy_saving,
+    session_energy,
+    transfer_energy,
+)
+from repro.simulation.throughput import (
+    ThroughputResult,
+    session_throughput,
+    throughput_comparison,
+)
+from repro.simulation.export import dumps as export_dumps
+from repro.simulation.export import load as export_load
+from repro.simulation.export import loads as export_loads
+from repro.simulation.export import save as export_save
+from repro.simulation.textgen import CorpusGenerator, ZipfSampler, make_vocabulary
+from repro.simulation.experiments import (
+    DEFAULT_ALPHAS,
+    DEFAULT_FRACTIONS,
+    DEFAULT_GAMMAS,
+    EXPERIMENT_LODS,
+    experiment1,
+    experiment2,
+    experiment3,
+    experiment4,
+)
+
+__all__ = [
+    "Parameters",
+    "table2_defaults",
+    "quick",
+    "from_environment",
+    "SyntheticDocument",
+    "generate_session",
+    "relevance_flags",
+    "simulate_transfer",
+    "simulate_session",
+    "repeated_sessions",
+    "TransferOutcome",
+    "SessionResult",
+    "SeriesPoint",
+    "improvement_ratio",
+    "series_table",
+    "experiment1",
+    "experiment2",
+    "experiment3",
+    "experiment4",
+    "DEFAULT_ALPHAS",
+    "DEFAULT_GAMMAS",
+    "DEFAULT_FRACTIONS",
+    "EXPERIMENT_LODS",
+    "EnergyModel",
+    "SessionEnergy",
+    "transfer_energy",
+    "session_energy",
+    "energy_saving",
+    "ThroughputResult",
+    "session_throughput",
+    "throughput_comparison",
+    "export_save",
+    "export_load",
+    "export_dumps",
+    "export_loads",
+    "CorpusGenerator",
+    "ZipfSampler",
+    "make_vocabulary",
+]

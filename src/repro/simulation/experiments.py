@@ -1,0 +1,209 @@
+"""Drivers for the paper's four simulated experiments (§5.1–§5.4).
+
+Each driver returns plain nested dictionaries of
+:class:`~repro.simulation.metrics.SeriesPoint` objects keyed the way
+the corresponding figure is panelled, so benchmark harnesses and
+examples can print the same rows the paper plots.
+
+Common random numbers: every repetition draws its seed from the
+master seed *independently of the swept parameter*, so two
+configurations compared at the same repetition index see identical
+workloads — reducing comparison variance exactly where the paper's
+"same experiment repeated 50 times" averaging matters.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.lod import LOD
+from repro.simulation.metrics import SeriesPoint, improvement_ratio
+from repro.simulation.parameters import Parameters
+from repro.simulation.runner import simulate_session
+
+#: The α values the paper sweeps in Figures 2 and 4–5.
+DEFAULT_ALPHAS = (0.1, 0.2, 0.3, 0.4, 0.5)
+
+#: The γ grid of Figure 4 (1.1 .. 2.5 step 0.1).
+DEFAULT_GAMMAS = tuple(round(1.1 + 0.1 * i, 2) for i in range(15))
+
+#: The F/I grid of Figures 5–7 (0.1 .. 1.0 step 0.1; F = 0 is the
+#: paper's "artificial" do-not-download point, included for shape).
+DEFAULT_FRACTIONS = tuple(round(0.1 * i, 1) for i in range(11))
+
+#: LODs compared in Experiments #3 and #4 (the simulated documents
+#: "do not have subsubsection defined", §5.3).
+EXPERIMENT_LODS = (LOD.DOCUMENT, LOD.SECTION, LOD.SUBSECTION, LOD.PARAGRAPH)
+
+
+def _repetition_seeds(seed: int, repetitions: int) -> List[int]:
+    master = random.Random(seed)
+    return [master.getrandbits(64) for _ in range(repetitions)]
+
+
+def _session_means(
+    params: Parameters,
+    seeds: Sequence[int],
+    caching: bool,
+    lod: LOD = LOD.DOCUMENT,
+) -> List[float]:
+    means = []
+    for seed in seeds:
+        result = simulate_session(
+            params, random.Random(seed), caching=caching, lod=lod
+        )
+        means.append(result.mean_response_time)
+    return means
+
+
+# ---------------------------------------------------------------------------
+# Experiment #1 — Caching vs NoCaching across the redundancy ratio (Fig. 4)
+# ---------------------------------------------------------------------------
+
+def experiment1(
+    params: Parameters,
+    gammas: Sequence[float] = DEFAULT_GAMMAS,
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    irrelevant_fractions: Sequence[float] = (0.0, 0.5),
+    seed: int = 20000401,
+) -> Dict[Tuple[str, float], Dict[float, List[SeriesPoint]]]:
+    """Response time vs γ for each α, panelled by (strategy, I).
+
+    Reproduces Figure 4: panels (NoCaching, I=0), (Caching, I=0),
+    (NoCaching, I=0.5), (Caching, I=0.5); one curve per α.  All
+    documents are transmitted at the document LOD ("modeling [the]
+    conventional transmission paradigm").
+    """
+    seeds = _repetition_seeds(seed, params.repetitions)
+    panels: Dict[Tuple[str, float], Dict[float, List[SeriesPoint]]] = {}
+    for irrelevant in irrelevant_fractions:
+        for strategy, caching in (("nocaching", False), ("caching", True)):
+            curves: Dict[float, List[SeriesPoint]] = {}
+            for alpha in alphas:
+                points = []
+                for gamma in gammas:
+                    config = params.replace(
+                        gamma=gamma, alpha=alpha, irrelevant=irrelevant
+                    )
+                    means = _session_means(config, seeds, caching=caching)
+                    points.append(SeriesPoint(gamma, means))
+                curves[alpha] = points
+            panels[(strategy, irrelevant)] = curves
+    return panels
+
+
+# ---------------------------------------------------------------------------
+# Experiment #2 — impact of I and of F (Fig. 5)
+# ---------------------------------------------------------------------------
+
+def experiment2(
+    params: Parameters,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    seed: int = 20000402,
+) -> Dict[Tuple[str, str], Dict[float, List[SeriesPoint]]]:
+    """Response time vs I (F = 0.5) and vs F (I = 0.5).
+
+    Reproduces Figure 5: panels keyed ("vary_i" | "vary_f",
+    "nocaching" | "caching"), one curve per α, document LOD.
+    """
+    seeds = _repetition_seeds(seed, params.repetitions)
+    panels: Dict[Tuple[str, str], Dict[float, List[SeriesPoint]]] = {}
+
+    for strategy, caching in (("nocaching", False), ("caching", True)):
+        by_alpha_i: Dict[float, List[SeriesPoint]] = {}
+        by_alpha_f: Dict[float, List[SeriesPoint]] = {}
+        for alpha in alphas:
+            points_i = []
+            for irrelevant in fractions:
+                config = params.replace(
+                    alpha=alpha, irrelevant=irrelevant, threshold=0.5
+                )
+                means = _session_means(config, seeds, caching=caching)
+                points_i.append(SeriesPoint(irrelevant, means))
+            by_alpha_i[alpha] = points_i
+
+            points_f = []
+            for threshold in fractions:
+                config = params.replace(
+                    alpha=alpha, irrelevant=0.5, threshold=threshold
+                )
+                means = _session_means(config, seeds, caching=caching)
+                points_f.append(SeriesPoint(threshold, means))
+            by_alpha_f[alpha] = points_f
+        panels[("vary_i", strategy)] = by_alpha_i
+        panels[("vary_f", strategy)] = by_alpha_f
+    return panels
+
+
+# ---------------------------------------------------------------------------
+# Experiment #3 — multi-resolution improvement per LOD (Fig. 6)
+# ---------------------------------------------------------------------------
+
+def experiment3(
+    params: Parameters,
+    thresholds: Sequence[float] = DEFAULT_FRACTIONS,
+    alphas: Sequence[float] = (0.1, 0.3, 0.5),
+    lods: Sequence[LOD] = EXPERIMENT_LODS,
+    seed: int = 20000403,
+    caching: bool = True,
+) -> Dict[float, Dict[LOD, List[SeriesPoint]]]:
+    """Improvement over document-LOD transmission, per LOD and α.
+
+    Reproduces Figure 6: all documents irrelevant (I = 1) so only the
+    early-discard path is measured; the improvement at LOD ℓ and
+    threshold F is mean-RT(document LOD) / mean-RT(ℓ).  Values are
+    :class:`SeriesPoint` objects whose samples are the per-repetition
+    improvement ratios.
+    """
+    seeds = _repetition_seeds(seed, params.repetitions)
+    results: Dict[float, Dict[LOD, List[SeriesPoint]]] = {}
+    for alpha in alphas:
+        per_lod: Dict[LOD, List[SeriesPoint]] = {lod: [] for lod in lods}
+        for threshold in thresholds:
+            config = params.replace(alpha=alpha, irrelevant=1.0, threshold=threshold)
+            baseline = _session_means(config, seeds, caching=caching, lod=LOD.DOCUMENT)
+            for lod in lods:
+                if lod is LOD.DOCUMENT:
+                    candidate = baseline
+                else:
+                    candidate = _session_means(config, seeds, caching=caching, lod=lod)
+                ratios = [
+                    1.0 if base == 0.0 and cand == 0.0 else improvement_ratio(base, cand)
+                    for base, cand in zip(baseline, candidate)
+                    if cand > 0.0 or base == 0.0
+                ]
+                per_lod[lod].append(SeriesPoint(threshold, ratios or [1.0]))
+        results[alpha] = per_lod
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Experiment #4 — impact of the skew factor δ (Fig. 7)
+# ---------------------------------------------------------------------------
+
+def experiment4(
+    params: Parameters,
+    thresholds: Sequence[float] = DEFAULT_FRACTIONS,
+    deltas: Sequence[float] = (2.0, 3.0, 4.0, 5.0),
+    lods: Sequence[LOD] = EXPERIMENT_LODS,
+    seed: int = 20000404,
+    alpha: float = 0.1,
+) -> Dict[float, Dict[LOD, List[SeriesPoint]]]:
+    """Experiment #3 repeated at α = 0.1 for several skew factors δ.
+
+    Reproduces Figure 7; higher δ concentrates content in fewer
+    paragraphs, so finer LODs discard irrelevant documents sooner.
+    """
+    results: Dict[float, Dict[LOD, List[SeriesPoint]]] = {}
+    for delta in deltas:
+        config = params.replace(delta=delta)
+        results[delta] = experiment3(
+            config,
+            thresholds=thresholds,
+            alphas=(alpha,),
+            lods=lods,
+            seed=seed,
+        )[alpha]
+    return results

@@ -1,0 +1,101 @@
+"""Persistence of experiment results.
+
+Experiment drivers return nested dictionaries of
+:class:`~repro.simulation.metrics.SeriesPoint`; re-plotting or
+cross-run comparison wants them on disk.  This module serializes any
+experiment result to a stable JSON form and loads it back:
+
+* dictionary keys of any scalar/tuple/LOD type are encoded as tagged
+  strings so round-trips are exact;
+* SeriesPoints keep their raw samples, so dispersion statistics can be
+  recomputed after loading.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.lod import LOD
+from repro.simulation.metrics import SeriesPoint
+
+
+def _encode_key(key: Any) -> str:
+    if isinstance(key, str):
+        return f"s:{key}"
+    if isinstance(key, bool):
+        raise TypeError("boolean keys are ambiguous; use strings")
+    if isinstance(key, int):
+        return f"i:{key}"
+    if isinstance(key, float):
+        return f"f:{key!r}"
+    if isinstance(key, LOD):
+        return f"lod:{key.name}"
+    if isinstance(key, tuple):
+        return "t:" + json.dumps([_encode_key(part) for part in key])
+    raise TypeError(f"cannot encode key of type {type(key).__name__}")
+
+
+def _decode_key(encoded: str) -> Any:
+    tag, _, body = encoded.partition(":")
+    if tag == "s":
+        return body
+    if tag == "i":
+        return int(body)
+    if tag == "f":
+        return float(body)
+    if tag == "lod":
+        return LOD[body]
+    if tag == "t":
+        return tuple(_decode_key(part) for part in json.loads(body))
+    raise ValueError(f"unknown key tag {tag!r} in {encoded!r}")
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, SeriesPoint):
+        return {"__series_point__": True, "x": value.x, "samples": value.samples}
+    if isinstance(value, dict):
+        return {_encode_key(k): _encode_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item) for item in value]
+    if isinstance(value, LOD):
+        return {"__lod__": value.name}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot encode value of type {type(value).__name__}")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if value.get("__series_point__"):
+            return SeriesPoint(value["x"], value["samples"])
+        if "__lod__" in value:
+            return LOD[value["__lod__"]]
+        return {_decode_key(k): _decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def dumps(result: Any, indent: int = 2) -> str:
+    """Serialize an experiment result to a JSON string."""
+    return json.dumps(_encode_value(result), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> Any:
+    """Inverse of :func:`dumps`."""
+    return _decode_value(json.loads(text))
+
+
+def save(result: Any, path: Union[str, Path]) -> Path:
+    """Write an experiment result to *path*; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps(result), encoding="utf-8")
+    return path
+
+
+def load(path: Union[str, Path]) -> Any:
+    """Read an experiment result written by :func:`save`."""
+    return loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,51 @@
+"""Metrics helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.util.stats import confidence_interval, mean, sample_stdev
+
+
+class SeriesPoint:
+    """One (x, mean response time) point with dispersion information."""
+
+    __slots__ = ("x", "mean", "stdev", "ci_low", "ci_high", "samples")
+
+    def __init__(self, x: float, samples: Sequence[float]) -> None:
+        self.x = x
+        self.samples = list(samples)
+        self.mean = mean(self.samples)
+        self.stdev = sample_stdev(self.samples)
+        self.ci_low, self.ci_high = confidence_interval(self.samples)
+
+    def relative_stdev(self) -> float:
+        """Dispersion as a fraction of the mean (the paper's 1–5% check)."""
+        if self.mean == 0:
+            return 0.0
+        return self.stdev / self.mean
+
+    def __repr__(self) -> str:
+        return f"SeriesPoint(x={self.x:g}, mean={self.mean:.4g}±{self.stdev:.2g})"
+
+
+def improvement_ratio(baseline: float, candidate: float) -> float:
+    """The paper's improvement metric: baseline time / candidate time.
+
+    Values above 1 mean the candidate (a finer LOD) responds faster
+    than document-LOD transmission.
+    """
+    if candidate <= 0:
+        raise ValueError("candidate response time must be positive")
+    return baseline / candidate
+
+
+def series_table(
+    series: Dict[str, List[SeriesPoint]], x_label: str = "x"
+) -> List[Tuple]:
+    """Flatten named series into printable rows (series, x, mean, stdev)."""
+    rows: List[Tuple] = []
+    for name in sorted(series):
+        for point in series[name]:
+            rows.append((name, point.x, point.mean, point.stdev))
+    return rows

@@ -1,0 +1,121 @@
+"""Simulation parameters — the paper's Table 2.
+
+==============  =============================================  =======
+Parameter       Description                                    Default
+==============  =============================================  =======
+``sp``          Raw size per packet (bytes)                    256
+``sd``          Size per document (bytes)                      10240
+``overhead``    Frame overhead: CRC + sequence number (bytes)  4
+``m``           Number of raw packets (derived: ⌈sd/sp⌉)       40
+``n``           Number of cooked packets (derived: ⌈γ·m⌉)      60
+``bandwidth``   Channel bandwidth (kbps)                       19.2
+``delta``       Skew factor of paragraph information content   3
+``irrelevant``  Fraction I of irrelevant documents             0.5
+``threshold``   Information content F deciding irrelevance     0.5
+``alpha``       Per-packet corruption probability              0.1
+``gamma``       Redundancy ratio N/M                           1.5
+==============  =============================================  =======
+
+Document structure (§5): 5 sections × 2 subsections × 2 paragraphs
+per document; a browsing session visits 200 documents and every
+experiment is repeated 50 times.  The defaults below reproduce that;
+``quick()`` returns a scaled-down configuration for fast test runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+
+from repro.util.validation import (
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_range,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Parameters:
+    """One complete simulation configuration (immutable)."""
+
+    sp: int = 256                 # raw bytes per packet
+    sd: int = 10240               # document size in bytes
+    overhead: int = 4             # CRC + sequence number bytes per frame
+    bandwidth_kbps: float = 19.2  # wireless channel bandwidth
+    delta: float = 3.0            # information-content skew factor
+    irrelevant: float = 0.5       # fraction I of irrelevant documents
+    threshold: float = 0.5        # relevance threshold F
+    alpha: float = 0.1            # per-packet corruption probability
+    gamma: float = 1.5            # redundancy ratio N/M
+    sections: int = 5
+    subsections_per_section: int = 2
+    paragraphs_per_subsection: int = 2
+    documents_per_session: int = 200
+    repetitions: int = 50
+    max_rounds: int = 25          # retransmission bound per document
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.sp, "sp")
+        check_positive_int(self.sd, "sd")
+        check_positive_int(self.overhead + 1, "overhead")  # allow 0
+        check_positive(self.bandwidth_kbps, "bandwidth_kbps")
+        check_range(self.delta, 1.0, 1000.0, "delta")
+        check_probability(self.irrelevant, "irrelevant")
+        check_range(self.threshold, 0.0, 1.0, "threshold")
+        check_probability(self.alpha, "alpha")
+        check_range(self.gamma, 1.0, 6.0, "gamma")
+        check_positive_int(self.sections, "sections")
+        check_positive_int(self.subsections_per_section, "subsections_per_section")
+        check_positive_int(self.paragraphs_per_subsection, "paragraphs_per_subsection")
+        check_positive_int(self.documents_per_session, "documents_per_session")
+        check_positive_int(self.repetitions, "repetitions")
+        check_positive_int(self.max_rounds, "max_rounds")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of raw packets M = ⌈s_D / s_p⌉."""
+        return -(-self.sd // self.sp)
+
+    @property
+    def n(self) -> int:
+        """Number of cooked packets N = ⌈γ·M⌉ (min M, max 255)."""
+        return min(max(math.ceil(self.gamma * self.m - 1e-9), self.m), 255)
+
+    @property
+    def paragraphs(self) -> int:
+        """Paragraphs per document (20 with Table 2 defaults)."""
+        return (
+            self.sections
+            * self.subsections_per_section
+            * self.paragraphs_per_subsection
+        )
+
+    @property
+    def packet_time(self) -> float:
+        """Air time of one cooked packet: (s_p + O)·8 / bandwidth."""
+        return (self.sp + self.overhead) * 8.0 / (self.bandwidth_kbps * 1000.0)
+
+    def replace(self, **changes) -> "Parameters":
+        """A modified copy (convenience over ``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+
+def table2_defaults() -> Parameters:
+    """The exact Table 2 configuration."""
+    return Parameters()
+
+
+def quick(documents: int = 60, repetitions: int = 5) -> Parameters:
+    """A scaled-down configuration for fast CI-grade runs."""
+    return Parameters(documents_per_session=documents, repetitions=repetitions)
+
+
+def from_environment() -> Parameters:
+    """Full Table 2 scale when ``REPRO_FULL=1``, quick scale otherwise."""
+    if os.environ.get("REPRO_FULL") == "1":
+        return table2_defaults()
+    return quick()

@@ -1,0 +1,187 @@
+"""The transfer simulator: fast oracle-mode replay of the §4.2 protocol.
+
+The byte-level protocol in :mod:`repro.transport` is exact but carries
+real frames; the evaluation (§5) needs hundreds of thousands of
+packet events, so this runner replays the identical decision logic on
+packet *indices* only.  Equivalence between the two paths is asserted
+by an integration test (`tests/test_integration_transport_vs_runner.py`).
+
+Per round, all N cooked packets are sent in sequence order; each is
+corrupted independently with probability α.  The transfer terminates
+when
+
+* M intact packets are held (document reconstructable), or
+* received content ≥ the relevance threshold F (irrelevant document
+  discarded — the "stop button"), or
+* the round ends with < M intact: a stall.  Caching keeps the intact
+  set across the retransmission; NoCaching starts over.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, NamedTuple, Optional, Sequence
+
+from repro.simulation.parameters import Parameters
+from repro.simulation.workload import SyntheticDocument, generate_session, relevance_flags
+from repro.core.lod import LOD
+
+
+class TransferOutcome(NamedTuple):
+    """Result of one simulated document transfer."""
+
+    response_time: float
+    rounds: int
+    packets_sent: int
+    success: bool
+    terminated_early: bool
+
+
+def simulate_transfer(
+    m: int,
+    n: int,
+    alpha: float,
+    packet_time: float,
+    rng: random.Random,
+    caching: bool,
+    relevance_threshold: Optional[float] = None,
+    content_profile: Optional[Sequence[float]] = None,
+    max_rounds: int = 25,
+) -> TransferOutcome:
+    """Simulate one document download; see the module docstring.
+
+    *content_profile* gives the content of clear-text packet i (in
+    transmission order); required when *relevance_threshold* is set.
+    """
+    if relevance_threshold is not None and content_profile is None:
+        raise ValueError("relevance termination requires a content_profile")
+    if relevance_threshold is not None and relevance_threshold <= 0.0:
+        return TransferOutcome(0.0, 0, 0, True, True)
+
+    rand = rng.random
+    intact = bytearray(n)
+    intact_count = 0
+    content = 0.0
+    time = 0.0
+    packets_sent = 0
+
+    for round_index in range(1, max_rounds + 1):
+        for seq in range(n):
+            time += packet_time
+            packets_sent += 1
+            if rand() < alpha:
+                continue
+            if intact[seq]:
+                continue
+            intact[seq] = 1
+            intact_count += 1
+            if seq < m and content_profile is not None:
+                content += content_profile[seq]
+
+            if relevance_threshold is not None:
+                # Once reconstruction is possible the whole document's
+                # content is in hand; either way the check is against
+                # the usable content, matching TransferReceiver.
+                usable = 1.0 if intact_count >= m else content
+                if usable >= relevance_threshold:
+                    return TransferOutcome(time, round_index, packets_sent, True, True)
+            if intact_count >= m:
+                # Reconstruction possible: the transfer is complete.
+                return TransferOutcome(time, round_index, packets_sent, True, False)
+
+        if not caching:
+            intact = bytearray(n)
+            intact_count = 0
+            content = 0.0
+
+    return TransferOutcome(time, max_rounds, packets_sent, False, False)
+
+
+class SessionResult(NamedTuple):
+    """Aggregate outcome of one browsing session."""
+
+    mean_response_time: float
+    response_times: List[float]
+    stalled_documents: int
+    early_terminations: int
+    outcomes: List[TransferOutcome] = []
+
+
+def simulate_session(
+    params: Parameters,
+    rng: random.Random,
+    caching: bool,
+    lod: LOD = LOD.DOCUMENT,
+    collect_times: bool = False,
+    collect_outcomes: bool = False,
+) -> SessionResult:
+    """Simulate one browsing session of ``params.documents_per_session``.
+
+    A fraction I of the documents is irrelevant and terminates at
+    content F; the rest download to reconstruction.  Transmission
+    order (and hence the clear-packet content profile) follows *lod*.
+    """
+    documents = generate_session(params, rng)
+    irrelevant = relevance_flags(params, rng)
+
+    m, n = params.m, params.n
+    packet_time = params.packet_time
+    total_time = 0.0
+    times: List[float] = []
+    outcomes: List[TransferOutcome] = []
+    stalled = 0
+    early = 0
+
+    for document, is_irrelevant in zip(documents, irrelevant):
+        threshold = params.threshold if is_irrelevant else None
+        profile = document.content_profile(lod) if is_irrelevant else None
+        outcome = simulate_transfer(
+            m=m,
+            n=n,
+            alpha=params.alpha,
+            packet_time=packet_time,
+            rng=rng,
+            caching=caching,
+            relevance_threshold=threshold,
+            content_profile=profile,
+            max_rounds=params.max_rounds,
+        )
+        total_time += outcome.response_time
+        if collect_times:
+            times.append(outcome.response_time)
+        if collect_outcomes:
+            outcomes.append(outcome)
+        if not outcome.success:
+            stalled += 1
+        if outcome.terminated_early:
+            early += 1
+
+    mean_time = total_time / len(documents)
+    return SessionResult(
+        mean_response_time=mean_time,
+        response_times=times,
+        stalled_documents=stalled,
+        early_terminations=early,
+        outcomes=outcomes,
+    )
+
+
+def repeated_sessions(
+    params: Parameters,
+    seed: int,
+    caching: bool,
+    lod: LOD = LOD.DOCUMENT,
+) -> List[float]:
+    """Mean response time of each of ``params.repetitions`` sessions.
+
+    The paper repeats every experiment 50 times and averages the mean
+    response times; this returns the per-repetition means so callers
+    can also report dispersion.
+    """
+    master = random.Random(seed)
+    means: List[float] = []
+    for _repetition in range(params.repetitions):
+        rng = random.Random(master.getrandbits(64))
+        result = simulate_session(params, rng, caching=caching, lod=lod)
+        means.append(result.mean_response_time)
+    return means

@@ -1,0 +1,178 @@
+"""Synthetic research-paper corpus generator.
+
+The §5 workload abstracts documents to IC vectors; testing the *full*
+pipeline (XML parsing → lemmatization → keyword extraction → search)
+at corpus scale needs actual text.  This generator produces
+research-paper XML with the statistical properties real text has:
+
+* a Zipf-distributed background vocabulary (rank-frequency ∝ 1/rank);
+* per-document *topic* words drawn from a topic pool and boosted, so
+  documents are distinguishable and queries have right answers;
+* the 5 × 2 × 2 organizational geometry of the paper's simulation.
+
+Everything is driven by a seeded RNG, so corpora are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.util.validation import check_positive_int
+
+# A compact consonant-vowel syllable inventory yields pronounceable,
+# stemming-stable pseudo-words.
+_ONSETS = "b c d f g l m n p r s t v".split()
+_VOWELS = "a e i o u".split()
+_CODAS = ["", "n", "r", "s", "l", "t"]
+
+
+def _make_word(rng: random.Random, syllables: int) -> str:
+    parts = []
+    for _ in range(syllables):
+        parts.append(
+            rng.choice(_ONSETS) + rng.choice(_VOWELS) + rng.choice(_CODAS)
+        )
+    return "".join(parts)
+
+
+def make_vocabulary(size: int, seed: int = 0, syllables: Tuple[int, int] = (2, 4)) -> List[str]:
+    """*size* distinct pseudo-words, deterministic in *seed*."""
+    check_positive_int(size, "size")
+    rng = random.Random(seed)
+    words: List[str] = []
+    seen = set()
+    while len(words) < size:
+        word = _make_word(rng, rng.randint(*syllables))
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words
+
+
+class ZipfSampler:
+    """Samples vocabulary indices with P(rank) ∝ 1/(rank+1)^s."""
+
+    def __init__(self, size: int, exponent: float = 1.1) -> None:
+        check_positive_int(size, "size")
+        if exponent <= 0:
+            raise ValueError("exponent must be positive")
+        weights = [1.0 / (rank + 1) ** exponent for rank in range(size)]
+        total = sum(weights)
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cumulative.append(acc)
+
+    def sample(self, rng: random.Random) -> int:
+        from bisect import bisect_left
+
+        return bisect_left(self._cumulative, rng.random())
+
+
+class CorpusGenerator:
+    """Generates research-paper XML documents over a shared vocabulary.
+
+    Parameters
+    ----------
+    vocabulary_size / topic_count / topic_words:
+        Background vocabulary size; number of topics; topic-specific
+        words per topic (disjoint from each other).
+    words_per_paragraph:
+        Mean paragraph length in words.
+    """
+
+    def __init__(
+        self,
+        vocabulary_size: int = 800,
+        topic_count: int = 8,
+        topic_words: int = 12,
+        words_per_paragraph: int = 40,
+        seed: int = 0,
+    ) -> None:
+        check_positive_int(vocabulary_size, "vocabulary_size")
+        check_positive_int(topic_count, "topic_count")
+        check_positive_int(topic_words, "topic_words")
+        check_positive_int(words_per_paragraph, "words_per_paragraph")
+        needed = topic_count * topic_words
+        if needed >= vocabulary_size:
+            raise ValueError("vocabulary too small for the requested topics")
+        self.vocabulary = make_vocabulary(vocabulary_size, seed=seed)
+        self.topics: List[List[str]] = [
+            self.vocabulary[i * topic_words : (i + 1) * topic_words]
+            for i in range(topic_count)
+        ]
+        self._background = self.vocabulary[needed:]
+        self._sampler = ZipfSampler(len(self._background))
+        self.words_per_paragraph = words_per_paragraph
+        self._seed = seed
+
+    def topic_query(self, topic: int, words: int = 3) -> str:
+        """A query string targeting *topic* (its most prominent words)."""
+        return " ".join(self.topics[topic][:words])
+
+    def _paragraph(self, rng: random.Random, topic: int, topic_bias: float) -> str:
+        words: List[str] = []
+        count = max(5, int(rng.gauss(self.words_per_paragraph, 6)))
+        for _ in range(count):
+            if rng.random() < topic_bias:
+                words.append(rng.choice(self.topics[topic]))
+            else:
+                words.append(self._background[self._sampler.sample(rng)])
+        sentence_break = max(6, count // 3)
+        pieces = []
+        for index, word in enumerate(words):
+            if index % sentence_break == 0:
+                word = word.capitalize()
+            pieces.append(word)
+            if index % sentence_break == sentence_break - 1:
+                pieces[-1] += "."
+        text = " ".join(pieces)
+        if not text.endswith("."):
+            text += "."
+        return text
+
+    def document(
+        self,
+        doc_id: int,
+        topic: Optional[int] = None,
+        sections: int = 5,
+        subsections: int = 2,
+        paragraphs: int = 2,
+        topic_bias: float = 0.25,
+    ) -> Tuple[str, int]:
+        """One research-paper XML document; returns ``(xml, topic)``."""
+        rng = random.Random((self._seed << 20) ^ doc_id)
+        chosen = topic if topic is not None else rng.randrange(len(self.topics))
+        title_words = [self.topics[chosen][0], self.topics[chosen][1]]
+        parts = [f"<paper>\n  <title>Study of {' '.join(title_words)}</title>"]
+        parts.append(
+            "  <abstract><paragraph>"
+            + self._paragraph(rng, chosen, topic_bias * 2.0)
+            + "</paragraph></abstract>"
+        )
+        for s in range(sections):
+            parts.append(f"  <section>\n    <title>Part {s + 1}</title>")
+            for _ss in range(subsections):
+                parts.append("    <subsection>\n      <title>Detail</title>")
+                for _p in range(paragraphs):
+                    parts.append(
+                        "      <paragraph>"
+                        + self._paragraph(rng, chosen, topic_bias)
+                        + "</paragraph>"
+                    )
+                parts.append("    </subsection>")
+            parts.append("  </section>")
+        parts.append("</paper>")
+        return "\n".join(parts), chosen
+
+    def corpus(self, count: int, **document_kwargs) -> Dict[str, Tuple[str, int]]:
+        """*count* documents keyed ``doc-000``, with balanced topics."""
+        check_positive_int(count, "count")
+        result: Dict[str, Tuple[str, int]] = {}
+        for index in range(count):
+            topic = index % len(self.topics)
+            xml, chosen = self.document(index, topic=topic, **document_kwargs)
+            result[f"doc-{index:03d}"] = (xml, chosen)
+        return result

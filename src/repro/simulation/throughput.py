@@ -1,0 +1,91 @@
+"""Effective-throughput experiment (paper §6).
+
+The paper's future work: "we are also conducting experiments to
+measure the throughput of our system in browsing web documents when
+compared with traditional web browsing paradigm."  We define the
+metric a browsing user cares about:
+
+    effective throughput = useful document bytes delivered
+                           ------------------------------------
+                           total air time consumed
+
+where *useful* bytes are content-equivalent bytes: a relevant
+document delivers its full s_D bytes of content; an irrelevant one
+delivers the F·s_D content-equivalent the user needed to reach the
+discard decision, *however many air bytes it took to get there*.
+Conventional sequential transmission hauls low-content bytes before
+the decision is possible; multi-resolution reaches the same decision
+with less air time, raising the effective rate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, NamedTuple, Sequence
+
+from repro.core.lod import LOD
+from repro.simulation.parameters import Parameters
+from repro.simulation.runner import simulate_session
+
+
+class ThroughputResult(NamedTuple):
+    """Effective throughput of one session configuration."""
+
+    lod: LOD
+    useful_bytes: float
+    air_seconds: float
+
+    @property
+    def effective_kbps(self) -> float:
+        if self.air_seconds == 0:
+            return 0.0
+        return self.useful_bytes * 8.0 / (self.air_seconds * 1000.0)
+
+
+def session_throughput(
+    params: Parameters,
+    lod: LOD,
+    seed: int,
+    caching: bool = True,
+) -> ThroughputResult:
+    """Measure one session's effective throughput at *lod*."""
+    rng = random.Random(seed)
+    result = simulate_session(
+        params, rng, caching=caching, lod=lod, collect_outcomes=True
+    )
+    useful = 0.0
+    air = 0.0
+    for outcome in result.outcomes:
+        air += outcome.response_time
+        if not outcome.success:
+            continue
+        if outcome.terminated_early:
+            # Content-equivalent bytes of the discard decision: the
+            # user needed content F, worth F·s_D document bytes.
+            useful += params.threshold * params.sd
+        else:
+            useful += params.sd
+    return ThroughputResult(lod=lod, useful_bytes=useful, air_seconds=air)
+
+
+def throughput_comparison(
+    params: Parameters,
+    lods: Sequence[LOD] = (LOD.DOCUMENT, LOD.SECTION, LOD.SUBSECTION, LOD.PARAGRAPH),
+    repetitions: int = 3,
+    seed: int = 20000406,
+    caching: bool = True,
+) -> Dict[LOD, float]:
+    """Mean effective throughput (kbps) per LOD over *repetitions*.
+
+    Uses common repetition seeds across LODs for variance reduction.
+    """
+    master = random.Random(seed)
+    seeds = [master.getrandbits(64) for _ in range(repetitions)]
+    comparison: Dict[LOD, float] = {}
+    for lod in lods:
+        values = [
+            session_throughput(params, lod, seed=s, caching=caching).effective_kbps
+            for s in seeds
+        ]
+        comparison[lod] = sum(values) / len(values)
+    return comparison

@@ -1,0 +1,129 @@
+"""Synthetic document workload (paper §5).
+
+Each simulated document has 5 sections × 2 subsections × 2 paragraphs;
+paragraph information contents are drawn from a uniform distribution
+whose spread is controlled by the skew factor δ — "the ratio between
+the highest information content of a paragraph and the lowest" — and
+normalized to sum to one (the additive rule at the document level).
+
+The workload object answers the one question the transfer simulator
+asks: *in what order do the document's bytes go on the air at a given
+LOD, and how much content does each clear-text packet then carry?*
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.core.lod import LOD
+from repro.simulation.parameters import Parameters
+
+
+class SyntheticDocument:
+    """One generated document: a paragraph IC vector plus geometry."""
+
+    def __init__(self, params: Parameters, rng: random.Random) -> None:
+        self.params = params
+        count = params.paragraphs
+        # Uniform draws on [1, δ] make the expected max/min ratio ≈ δ;
+        # δ = 1 degenerates to equal contents.
+        raw = [rng.uniform(1.0, params.delta) for _ in range(count)]
+        total = sum(raw)
+        self.paragraph_ic: List[float] = [value / total for value in raw]
+
+    # -- structure helpers ---------------------------------------------------
+
+    def _group_size(self, lod: LOD) -> int:
+        """Paragraphs per organizational unit at *lod*."""
+        params = self.params
+        if lod is LOD.DOCUMENT:
+            return params.paragraphs
+        if lod is LOD.SECTION:
+            return params.subsections_per_section * params.paragraphs_per_subsection
+        if lod is LOD.SUBSECTION:
+            return params.paragraphs_per_subsection
+        # The simulated documents "do not have subsubsection defined"
+        # (§5.3): both finer LODs rank individual paragraphs.
+        return 1
+
+    def unit_ic(self, lod: LOD) -> List[float]:
+        """Information content of each unit at *lod*, document order."""
+        size = self._group_size(lod)
+        return [
+            sum(self.paragraph_ic[start : start + size])
+            for start in range(0, self.params.paragraphs, size)
+        ]
+
+    def paragraph_order(self, lod: LOD) -> List[int]:
+        """Paragraph transmission order for LOD-ranked transfer.
+
+        Units at *lod* are sorted by descending information content
+        (stable: ties keep document order, matching the deterministic
+        multi-resolution scheduler); paragraphs within a unit stay in
+        document order.  The document LOD is the conventional
+        sequential order.
+        """
+        if lod is LOD.DOCUMENT:
+            return list(range(self.params.paragraphs))
+        size = self._group_size(lod)
+        units = self.unit_ic(lod)
+        ranked = sorted(range(len(units)), key=lambda index: (-units[index], index))
+        order: List[int] = []
+        for unit_index in ranked:
+            start = unit_index * size
+            order.extend(range(start, start + size))
+        return order
+
+    def content_profile(self, lod: LOD) -> List[float]:
+        """Content carried by each clear-text packet at *lod*.
+
+        The scheduled paragraph stream is cut into M packets of ``sp``
+        bytes; a packet carries content proportional to the paragraph
+        bytes it covers (content accrues linearly within a paragraph).
+        """
+        params = self.params
+        order = self.paragraph_order(lod)
+        paragraph_bytes = params.sd / params.paragraphs
+
+        profile: List[float] = []
+        m = params.m
+        for packet_index in range(m):
+            start_byte = packet_index * params.sp
+            end_byte = min(start_byte + params.sp, params.sd)
+            content = 0.0
+            position = start_byte
+            while position < end_byte:
+                paragraph_slot = int(position // paragraph_bytes)
+                if paragraph_slot >= len(order):
+                    break
+                paragraph = order[paragraph_slot]
+                slot_end = min((paragraph_slot + 1) * paragraph_bytes, end_byte)
+                fraction = (slot_end - position) / paragraph_bytes
+                content += self.paragraph_ic[paragraph] * fraction
+                position = slot_end
+            profile.append(content)
+        return profile
+
+
+def generate_session(
+    params: Parameters, rng: random.Random
+) -> List[SyntheticDocument]:
+    """The documents one browsing session visits."""
+    return [
+        SyntheticDocument(params, rng) for _ in range(params.documents_per_session)
+    ]
+
+
+def relevance_flags(params: Parameters, rng: random.Random) -> List[bool]:
+    """Irrelevance indicator per session document.
+
+    Exactly ⌊I·count⌋ documents are irrelevant, placed at random
+    positions — matching "a certain percentage of documents, I,
+    defined to be irrelevant" without binomial noise between runs.
+    """
+    count = params.documents_per_session
+    irrelevant_count = int(round(params.irrelevant * count))
+    flags = [index < irrelevant_count for index in range(count)]
+    rng.shuffle(flags)
+    return flags

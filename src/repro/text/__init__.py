@@ -1,0 +1,32 @@
+"""Information-retrieval substrate: tokenization, stemming, keyword
+extraction, and occurrence vectors.
+
+These are the text-processing primitives behind the paper's SC
+generation pipeline (§3.3) and its information-content definitions
+(§3.1–3.2).
+"""
+
+from repro.text.tokens import iter_tokens, lead_in_sentence, split_sentences, tokenize
+from repro.text.stopwords import DEFAULT_STOPWORDS, is_stopword, remove_stopwords
+from repro.text.stemmer import PorterStemmer, stem
+from repro.text.lemmatizer import Lemmatizer
+from repro.text.vector import OccurrenceVector
+from repro.text.keywords import KeywordExtractor
+from repro.text.phrases import JOINER, CollocationExtractor
+
+__all__ = [
+    "tokenize",
+    "iter_tokens",
+    "split_sentences",
+    "lead_in_sentence",
+    "DEFAULT_STOPWORDS",
+    "is_stopword",
+    "remove_stopwords",
+    "PorterStemmer",
+    "stem",
+    "Lemmatizer",
+    "OccurrenceVector",
+    "KeywordExtractor",
+    "CollocationExtractor",
+    "JOINER",
+]

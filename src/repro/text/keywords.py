@@ -1,0 +1,86 @@
+"""Keyword extraction (paper §3.3, "keyword extractor" stage).
+
+The extractor performs a frequency analysis on the candidate words that
+survive the word filter, and additionally admits specially formatted
+words (boldface, italics, titles) as keywords regardless of frequency —
+the paper treats formatting as an authorial signal of importance.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.util.validation import check_positive
+from repro.text.lemmatizer import Lemmatizer
+from repro.text.stopwords import remove_stopwords
+from repro.text.tokens import tokenize
+
+
+class KeywordExtractor:
+    """Frequency-based keyword extractor with formatting boosts.
+
+    Parameters
+    ----------
+    min_count:
+        Minimum occurrences for a plain word to qualify as a keyword.
+    min_length:
+        Words shorter than this never qualify (single letters are noise).
+    lemmatizer:
+        Shared lemmatizer; a private one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        min_count: int = 1,
+        min_length: int = 2,
+        lemmatizer: Optional[Lemmatizer] = None,
+    ) -> None:
+        check_positive(min_count, "min_count")
+        check_positive(min_length, "min_length")
+        self._min_count = int(min_count)
+        self._min_length = int(min_length)
+        self._lemmatizer = lemmatizer if lemmatizer is not None else Lemmatizer()
+
+    @property
+    def lemmatizer(self) -> Lemmatizer:
+        return self._lemmatizer
+
+    def candidate_lemmas(self, text: str, extra_stopwords: Iterable[str] = ()) -> List[str]:
+        """Tokenize, drop stop words, and lemmatize — the pipeline prefix."""
+        words = tokenize(text)
+        words = [w for w in words if len(w) >= self._min_length]
+        words = remove_stopwords(words, extra=extra_stopwords)
+        return self._lemmatizer.lemmatize(words)
+
+    def extract(
+        self,
+        text: str,
+        emphasized: Iterable[str] = (),
+        extra_stopwords: Iterable[str] = (),
+    ) -> Dict[str, int]:
+        """Return keyword → occurrence count for *text*.
+
+        *emphasized* carries the specially formatted words (bold,
+        italic, headings); their lemmas qualify as keywords even when
+        their plain frequency is below ``min_count``.
+        """
+        lemmas = self.candidate_lemmas(text, extra_stopwords=extra_stopwords)
+        counts = Counter(lemmas)
+        special: Set[str] = set()
+        for phrase in emphasized:
+            special.update(self.candidate_lemmas(phrase, extra_stopwords=extra_stopwords))
+        return {
+            lemma: count
+            for lemma, count in counts.items()
+            if count >= self._min_count or lemma in special
+        }
+
+    def top_keywords(self, text: str, limit: int = 10) -> List[str]:
+        """The *limit* most frequent keywords, most frequent first.
+
+        Ties are broken alphabetically so the result is deterministic.
+        """
+        counts = self.extract(text)
+        ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        return [keyword for keyword, _count in ordered[:limit]]

@@ -1,0 +1,95 @@
+"""Lemmatizer pipeline stage (paper §3.3).
+
+The paper's lemmatizer "converts document words into their lemmatized
+form".  We combine a table of common English irregular forms with the
+Porter stemmer: irregulars map straight to their lemma, everything else
+is conflated by its Porter stem.  The goal is the IR one — pooling the
+occurrence counts of morphological variants — not linguistic accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.text.stemmer import PorterStemmer
+
+# Irregular verb and noun forms that suffix stripping cannot conflate.
+_IRREGULAR_FORMS: Dict[str, str] = {
+    "went": "go", "gone": "go", "goes": "go", "going": "go",
+    "was": "be", "were": "be", "been": "be", "is": "be", "are": "be",
+    "am": "be", "being": "be",
+    "had": "have", "has": "have", "having": "have",
+    "did": "do", "does": "do", "done": "do", "doing": "do",
+    "said": "say", "says": "say",
+    "made": "make", "making": "make",
+    "took": "take", "taken": "take", "taking": "take",
+    "got": "get", "gotten": "get", "getting": "get",
+    "gave": "give", "given": "give", "giving": "give",
+    "found": "find", "finding": "find",
+    "thought": "think", "thinking": "think",
+    "knew": "know", "known": "know", "knowing": "know",
+    "came": "come", "coming": "come",
+    "saw": "see", "seen": "see", "seeing": "see",
+    "sent": "send", "sending": "send",
+    "built": "build", "building": "build",
+    "held": "hold", "holding": "hold",
+    "kept": "keep", "keeping": "keep",
+    "left": "leave", "leaving": "leave",
+    "lost": "lose", "losing": "lose",
+    "met": "meet", "meeting": "meet",
+    "ran": "run", "running": "run",
+    "wrote": "write", "written": "write", "writing": "write",
+    "children": "child",
+    "men": "man",
+    "women": "woman",
+    "people": "person",
+    "feet": "foot",
+    "teeth": "tooth",
+    "mice": "mouse",
+    "data": "datum",
+    "indices": "index",
+    "matrices": "matrix",
+    "vertices": "vertex",
+    "criteria": "criterion",
+    "phenomena": "phenomenon",
+    "media": "medium",
+    "analyses": "analysis",
+    "hypotheses": "hypothesis",
+    "theses": "thesis",
+    "better": "good", "best": "good",
+    "worse": "bad", "worst": "bad",
+}
+
+
+class Lemmatizer:
+    """Irregular-form lookup backed by Porter stemming.
+
+    ``lemma(word)`` returns a canonical form such that all
+    morphological variants of a word map to the same string.  The
+    canonical form of a regular word is its Porter stem, so it may not
+    be a dictionary word — which is fine for occurrence counting.
+    """
+
+    def __init__(self, extra_irregulars: Optional[Mapping[str, str]] = None) -> None:
+        self._irregulars = dict(_IRREGULAR_FORMS)
+        if extra_irregulars:
+            self._irregulars.update(
+                {k.lower(): v.lower() for k, v in extra_irregulars.items()}
+            )
+        self._stemmer = PorterStemmer()
+        self._cache: Dict[str, str] = {}
+
+    def lemma(self, word: str) -> str:
+        """Canonical form of a single word."""
+        lowered = word.lower()
+        cached = self._cache.get(lowered)
+        if cached is not None:
+            return cached
+        irregular = self._irregulars.get(lowered)
+        result = self._stemmer.stem(irregular if irregular is not None else lowered)
+        self._cache[lowered] = result
+        return result
+
+    def lemmatize(self, words: Iterable[str]) -> List[str]:
+        """Canonical forms of a token stream, preserving order."""
+        return [self.lemma(word) for word in words]

@@ -1,0 +1,128 @@
+"""Collocation (multi-word keyword) extraction.
+
+Single-word keywords miss the phrases technical documents revolve
+around — "information content", "mobile web", "response time".  The
+classic cure is pointwise mutual information (PMI) over adjacent word
+pairs: a bigram whose words co-occur far more often than independence
+predicts is a collocation and deserves keyword status of its own.
+
+The extractor plugs into the SC pipeline's keyword stage: detected
+collocations are counted as additional (joined) keywords, giving the
+content measures phrase-level signal alongside the unigram counts.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.text.lemmatizer import Lemmatizer
+from repro.text.stopwords import DEFAULT_STOPWORDS
+from repro.text.tokens import tokenize
+from repro.util.validation import check_positive, check_positive_int
+
+#: The string used to join collocation members into one keyword.
+JOINER = "_"
+
+
+class CollocationExtractor:
+    """PMI-based bigram collocation detection.
+
+    Parameters
+    ----------
+    min_count:
+        A bigram must occur at least this often to be considered
+        (PMI is noisy on rare events).
+    min_pmi:
+        Minimum pointwise mutual information (in bits) for a bigram to
+        qualify as a collocation.
+    lemmatizer:
+        Shared lemmatizer so collocations conflate with the pipeline's
+        unigram lemmas.
+    """
+
+    def __init__(
+        self,
+        min_count: int = 2,
+        min_pmi: float = 1.0,
+        lemmatizer: Optional[Lemmatizer] = None,
+    ) -> None:
+        check_positive_int(min_count, "min_count")
+        check_positive(min_pmi + 100.0, "min_pmi")  # any finite value is fine
+        self.min_count = min_count
+        self.min_pmi = min_pmi
+        self._lemmatizer = lemmatizer if lemmatizer is not None else Lemmatizer()
+
+    # -- token preparation ----------------------------------------------------
+
+    def _lemmas(self, text: str) -> List[str]:
+        lemmas = []
+        for word in tokenize(text):
+            if len(word) < 2 or word in DEFAULT_STOPWORDS:
+                lemmas.append("")  # break adjacency across stop words
+                continue
+            lemmas.append(self._lemmatizer.lemma(word))
+        return lemmas
+
+    def _bigrams(self, lemmas: Sequence[str]) -> Counter:
+        counts: Counter = Counter()
+        for left, right in zip(lemmas, lemmas[1:]):
+            if left and right:
+                counts[(left, right)] += 1
+        return counts
+
+    # -- extraction --------------------------------------------------------------
+
+    def score_bigrams(self, text: str) -> Dict[Tuple[str, str], float]:
+        """PMI score of every bigram meeting ``min_count``."""
+        lemmas = self._lemmas(text)
+        unigram_counts = Counter(lemma for lemma in lemmas if lemma)
+        bigram_counts = self._bigrams(lemmas)
+        total_unigrams = sum(unigram_counts.values())
+        total_bigrams = sum(bigram_counts.values())
+        if total_unigrams == 0 or total_bigrams == 0:
+            return {}
+
+        scores: Dict[Tuple[str, str], float] = {}
+        for (left, right), count in bigram_counts.items():
+            if count < self.min_count:
+                continue
+            p_pair = count / total_bigrams
+            p_left = unigram_counts[left] / total_unigrams
+            p_right = unigram_counts[right] / total_unigrams
+            scores[(left, right)] = math.log2(p_pair / (p_left * p_right))
+        return scores
+
+    def collocations(self, text: str) -> List[Tuple[str, str]]:
+        """Bigrams qualifying as collocations, strongest first."""
+        scores = self.score_bigrams(text)
+        qualified = [
+            (pair, score) for pair, score in scores.items() if score >= self.min_pmi
+        ]
+        qualified.sort(key=lambda item: (-item[1], item[0]))
+        return [pair for pair, _score in qualified]
+
+    def phrase_counts(self, text: str) -> Dict[str, int]:
+        """Collocation occurrences as joined keywords.
+
+        ``{"information_content": 4, ...}`` — suitable for merging
+        into a unit's keyword counts.
+        """
+        qualified = set(self.collocations(text))
+        if not qualified:
+            return {}
+        lemmas = self._lemmas(text)
+        counts: Dict[str, int] = {}
+        for left, right in zip(lemmas, lemmas[1:]):
+            if (left, right) in qualified:
+                key = f"{left}{JOINER}{right}"
+                counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def augment_counts(self, text: str, counts: Dict[str, int]) -> Dict[str, int]:
+        """Merge phrase counts into an existing keyword-count mapping."""
+        merged = dict(counts)
+        for phrase, count in self.phrase_counts(text).items():
+            merged[phrase] = merged.get(phrase, 0) + count
+        return merged

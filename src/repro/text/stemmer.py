@@ -1,0 +1,211 @@
+"""Porter stemmer, implemented from the original 1980 description.
+
+The lemmatizer pipeline stage (paper §3.3) "converts document words
+into their lemmatized form" so that morphological variants of a keyword
+("browse", "browsing", "browsers") pool their occurrence counts.  The
+Porter algorithm is the canonical choice for English in IR systems of
+the paper's era, and we implement all five steps faithfully.
+
+Reference: M.F. Porter, "An algorithm for suffix stripping",
+*Program* 14(3):130–137, 1980.
+"""
+
+from __future__ import annotations
+
+_VOWELS = frozenset("aeiou")
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; one instance can be shared freely."""
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of *word* (case-folded).
+
+        Words of length <= 2 are returned unchanged, per the original
+        algorithm.
+        """
+        word = word.lower()
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+    # -- consonant/vowel machinery -------------------------------------
+
+    def _is_consonant(self, word: str, index: int) -> bool:
+        char = word[index]
+        if char in _VOWELS:
+            return False
+        if char == "y":
+            return index == 0 or not self._is_consonant(word, index - 1)
+        return True
+
+    def _measure(self, stem: str) -> int:
+        """Porter's *m*: the number of VC sequences in the stem."""
+        forms = []
+        for index in range(len(stem)):
+            forms.append("c" if self._is_consonant(stem, index) else "v")
+        pattern = "".join(forms)
+        count = 0
+        index = 0
+        # Skip the optional leading consonant run.
+        while index < len(pattern) and pattern[index] == "c":
+            index += 1
+        while index < len(pattern):
+            # A vowel run...
+            while index < len(pattern) and pattern[index] == "v":
+                index += 1
+            if index >= len(pattern):
+                break
+            # ...followed by a consonant run counts one VC.
+            while index < len(pattern) and pattern[index] == "c":
+                index += 1
+            count += 1
+        return count
+
+    def _contains_vowel(self, stem: str) -> bool:
+        return any(not self._is_consonant(stem, i) for i in range(len(stem)))
+
+    def _ends_double_consonant(self, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and self._is_consonant(word, len(word) - 1)
+        )
+
+    def _ends_cvc(self, word: str) -> bool:
+        """True for a *cvc ending where the final c is not w, x, or y."""
+        if len(word) < 3:
+            return False
+        return (
+            self._is_consonant(word, len(word) - 3)
+            and not self._is_consonant(word, len(word) - 2)
+            and self._is_consonant(word, len(word) - 1)
+            and word[-1] not in "wxy"
+        )
+
+    # -- steps ----------------------------------------------------------
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            stem = word[:-3]
+            if self._measure(stem) > 0:
+                return word[:-1]
+            return word
+        flag = False
+        if word.endswith("ed") and self._contains_vowel(word[:-2]):
+            word = word[:-2]
+            flag = True
+        elif word.endswith("ing") and self._contains_vowel(word[:-3]):
+            word = word[:-3]
+            flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_SUFFIXES = (
+        ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+        ("anci", "ance"), ("izer", "ize"), ("abli", "able"),
+        ("alli", "al"), ("entli", "ent"), ("eli", "e"),
+        ("ousli", "ous"), ("ization", "ize"), ("ation", "ate"),
+        ("ator", "ate"), ("alism", "al"), ("iveness", "ive"),
+        ("fulness", "ful"), ("ousness", "ous"), ("aliti", "al"),
+        ("iviti", "ive"), ("biliti", "ble"),
+    )
+
+    def _step2(self, word: str) -> str:
+        for suffix, replacement in self._STEP2_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > 0:
+                    return stem + replacement
+                return word
+        return word
+
+    _STEP3_SUFFIXES = (
+        ("icate", "ic"), ("ative", ""), ("alize", "al"),
+        ("iciti", "ic"), ("ical", "ic"), ("ful", ""), ("ness", ""),
+    )
+
+    def _step3(self, word: str) -> str:
+        for suffix, replacement in self._STEP3_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > 0:
+                    return stem + replacement
+                return word
+        return word
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant",
+        "ement", "ment", "ent", "ou", "ism", "ate", "iti", "ous",
+        "ive", "ize",
+    )
+
+    def _step4(self, word: str) -> str:
+        for suffix in self._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if self._measure(stem) > 1:
+                    return stem
+                return word
+        if word.endswith("ion"):
+            stem = word[:-3]
+            if self._measure(stem) > 1 and stem and stem[-1] in "st":
+                return stem
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            m = self._measure(stem)
+            if m > 1:
+                return stem
+            if m == 1 and not self._ends_cvc(stem):
+                return stem
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if (
+            self._measure(word) > 1
+            and self._ends_double_consonant(word)
+            and word.endswith("l")
+        ):
+            return word[:-1]
+        return word
+
+
+_SHARED = PorterStemmer()
+
+
+def stem(word: str) -> str:
+    """Module-level convenience wrapper over a shared stemmer instance."""
+    return _SHARED.stem(word)

@@ -1,0 +1,60 @@
+"""Stop-word list for the word-filter pipeline stage (paper §3.3).
+
+The paper's word filter "eliminates non-meaning-bearing words, usually
+referred to as 'stop' words".  The list below is the classic SMART/van
+Rijsbergen style English function-word list trimmed to the words that
+actually occur in technical prose; it is exposed as a frozenset so
+membership tests are O(1) and callers cannot mutate the shared list.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+DEFAULT_STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    a about above across after afterwards again against all almost alone
+    along already also although always am among amongst an and another any
+    anyhow anyone anything anyway anywhere are around as at back be became
+    because become becomes becoming been before beforehand behind being
+    below beside besides between beyond both but by can cannot could did do
+    does doing done down during each either else elsewhere enough etc even
+    ever every everyone everything everywhere except few for former formerly
+    from further had has have having he hence her here hereafter hereby
+    herein hereupon hers herself him himself his how however i if in indeed
+    instead into is it its itself just last latter latterly least less many
+    may me meanwhile might mine more moreover most mostly much must my
+    myself namely neither never nevertheless next no nobody none nor not
+    nothing now nowhere of off often on once one only onto or other others
+    otherwise our ours ourselves out over own per perhaps rather re same
+    seem seemed seeming seems several she should since so some somehow
+    someone something sometime sometimes somewhere still such than that the
+    their theirs them themselves then thence there thereafter thereby
+    therefore therein thereupon these they this those though through
+    throughout thru thus to together too toward towards under until up upon
+    us very via was we well were what whatever when whence whenever where
+    whereafter whereas whereby wherein whereupon wherever whether which
+    while whither who whoever whole whom whose why will with within without
+    would yet you your yours yourself yourselves
+    """.split()
+)
+
+
+def is_stopword(word: str, extra: Iterable[str] = ()) -> bool:
+    """True when *word* (case-insensitive) is a stop word.
+
+    *extra* supplies domain-specific additions without rebuilding the
+    default set.
+    """
+    lowered = word.lower()
+    return lowered in DEFAULT_STOPWORDS or lowered in set(extra)
+
+
+def remove_stopwords(words: Iterable[str], extra: Iterable[str] = ()) -> list:
+    """Filter stop words out of a token stream, preserving order."""
+    extra_set = frozenset(w.lower() for w in extra)
+    return [
+        word
+        for word in words
+        if word.lower() not in DEFAULT_STOPWORDS and word.lower() not in extra_set
+    ]

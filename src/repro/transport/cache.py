@@ -1,0 +1,94 @@
+"""The intact-packet cache (paper §4.2, "Caching" strategy).
+
+On a stalled transmission the client would conventionally reload the
+document from scratch.  The paper's alternative "caches" the intact
+cooked packets received so far in the client's local storage, so a
+retransmission only needs to contribute the *missing* packets toward
+the M required for reconstruction.
+
+The cache is keyed by document id and bounded in bytes; eviction is
+LRU, reflecting the limited local storage of a mobile client.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.util.validation import check_positive
+
+
+class PacketCache:
+    """Bounded LRU store of intact cooked packets per document."""
+
+    def __init__(self, capacity_bytes: int = 1 << 20) -> None:
+        check_positive(capacity_bytes, "capacity_bytes")
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: "OrderedDict[str, Dict[int, bytes]]" = OrderedDict()
+        self._sizes: Dict[str, int] = {}
+        self._used = 0
+
+    # -- store/load -------------------------------------------------------
+
+    def store(self, document_id: str, sequence: int, payload: bytes) -> None:
+        """Remember one intact cooked packet; evicts LRU documents."""
+        entry = self._entries.get(document_id)
+        if entry is None:
+            entry = {}
+            self._entries[document_id] = entry
+            self._sizes[document_id] = 0
+        if sequence in entry:
+            return
+        entry[sequence] = payload
+        self._sizes[document_id] += len(payload)
+        self._used += len(payload)
+        self._entries.move_to_end(document_id)
+        self._evict()
+
+    def load(self, document_id: str) -> Dict[int, bytes]:
+        """The cached packets of a document (empty dict when absent)."""
+        entry = self._entries.get(document_id)
+        if entry is None:
+            return {}
+        self._entries.move_to_end(document_id)
+        return dict(entry)
+
+    def discard(self, document_id: str) -> None:
+        """Forget a document (after successful reconstruction)."""
+        entry = self._entries.pop(document_id, None)
+        if entry is not None:
+            self._used -= self._sizes.pop(document_id)
+
+    def _evict(self) -> None:
+        while self._used > self.capacity_bytes and len(self._entries) > 1:
+            victim, _ = self._entries.popitem(last=False)
+            self._used -= self._sizes.pop(victim)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def packet_count(self, document_id: str) -> int:
+        entry = self._entries.get(document_id)
+        return len(entry) if entry else 0
+
+    def __contains__(self, document_id: str) -> bool:
+        return document_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class NullCache(PacketCache):
+    """The NoCaching strategy: accepts stores but never retains them."""
+
+    def __init__(self) -> None:
+        super().__init__(capacity_bytes=1)
+
+    def store(self, document_id: str, sequence: int, payload: bytes) -> None:
+        return
+
+    def load(self, document_id: str) -> Dict[int, bytes]:
+        return {}

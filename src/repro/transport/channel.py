@@ -1,0 +1,126 @@
+"""The weakly-connected wireless channel model (paper §4–5).
+
+The channel is FIFO but unreliable: every frame takes a deterministic
+transmission time of ``bytes·8 / bandwidth`` seconds, and is corrupted
+independently with probability α.  Corruption garbles payload bytes —
+it never drops the frame silently — so the receiver sees every frame
+and relies on the CRC to detect damage, exactly the paper's model of
+"received either intact (without error) or corrupted (with detectable
+error)".
+
+Frame *loss* (for the ARQ baselines) is modelled separately via
+``loss_probability``; a lost frame consumes air time but never
+arrives, and the receiver detects the gap through sequence numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, List, NamedTuple, Optional
+
+from repro.util.validation import check_positive, check_probability
+
+
+class Delivery(NamedTuple):
+    """One frame delivery: arrival time, wire bytes, and ground truth.
+
+    ``corrupted`` is the channel's ground truth; receivers must not
+    read it (they use the CRC) — it exists for instrumentation and
+    oracle-mode simulations.  ``wire`` is ``None`` for lost frames.
+    """
+
+    time: float
+    wire: Optional[bytes]
+    corrupted: bool
+    lost: bool
+
+
+class WirelessChannel:
+    """A lossy, corrupting, FIFO wireless link.
+
+    Parameters
+    ----------
+    bandwidth_kbps:
+        Link bandwidth in kilobits per second (19.2 in Table 2).
+    alpha:
+        Per-frame corruption probability.
+    loss_probability:
+        Per-frame loss probability (0 in the paper's experiments; used
+        by the ARQ baselines).
+    rng:
+        Source of randomness; pass a seeded ``random.Random`` for
+        reproducible runs.
+    """
+
+    def __init__(
+        self,
+        bandwidth_kbps: float = 19.2,
+        alpha: float = 0.1,
+        loss_probability: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        check_positive(bandwidth_kbps, "bandwidth_kbps")
+        self.bandwidth_kbps = bandwidth_kbps
+        self.alpha = check_probability(alpha, "alpha")
+        self.loss_probability = check_probability(loss_probability, "loss_probability")
+        self.rng = rng if rng is not None else random.Random()
+        self.clock = 0.0
+        #: instrumentation counters
+        self.frames_sent = 0
+        self.frames_corrupted = 0
+        self.frames_lost = 0
+
+    def transmission_time(self, size_bytes: int) -> float:
+        """Air time of *size_bytes* at the configured bandwidth."""
+        return size_bytes * 8.0 / (self.bandwidth_kbps * 1000.0)
+
+    def send(self, wire: bytes) -> Delivery:
+        """Transmit one frame; advances the channel clock."""
+        self.clock += self.transmission_time(len(wire))
+        self.frames_sent += 1
+
+        if self.loss_probability and self.rng.random() < self.loss_probability:
+            self.frames_lost += 1
+            return Delivery(time=self.clock, wire=None, corrupted=False, lost=True)
+
+        if self.rng.random() < self.alpha:
+            self.frames_corrupted += 1
+            return Delivery(
+                time=self.clock,
+                wire=self._garble(wire),
+                corrupted=True,
+                lost=False,
+            )
+        return Delivery(time=self.clock, wire=wire, corrupted=False, lost=False)
+
+    def send_all(self, frames: Iterable[bytes]) -> Iterator[Delivery]:
+        """Transmit a frame sequence in FIFO order, yielding deliveries."""
+        for wire in frames:
+            yield self.send(wire)
+
+    def _garble(self, wire: bytes) -> bytes:
+        """Flip 1..4 bytes of the frame, never returning it unchanged."""
+        data = bytearray(wire)
+        flips = self.rng.randint(1, min(4, len(data)))
+        positions = self.rng.sample(range(len(data)), flips)
+        for position in positions:
+            # XOR with a nonzero mask guarantees the byte changes.
+            data[position] ^= self.rng.randint(1, 255)
+        return bytes(data)
+
+    def observed_corruption_rate(self) -> float:
+        """Fraction of sent frames damaged or lost (feeds the EWMA)."""
+        if self.frames_sent == 0:
+            return 0.0
+        return (self.frames_corrupted + self.frames_lost) / self.frames_sent
+
+    def reset_counters(self) -> None:
+        self.frames_sent = 0
+        self.frames_corrupted = 0
+        self.frames_lost = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"WirelessChannel({self.bandwidth_kbps}kbps, alpha={self.alpha}, "
+            f"loss={self.loss_probability})"
+        )

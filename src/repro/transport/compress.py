@@ -1,0 +1,179 @@
+"""Huffman-coding compression interceptor.
+
+Floyd & Housel's eNetwork Web Express (the paper's reference [8])
+reduces wireless bandwidth with client/server interceptors performing,
+among other mechanisms, compression.  This module implements a
+canonical Huffman coder from scratch so the interceptor pair
+(:class:`CompressionInterceptor`) can wrap any transfer path without
+external dependencies.
+
+Wire format of a compressed blob:
+
+    magic 'HUF1' | original length (4 bytes BE) | 256 code lengths
+    (1 byte each) | bit stream (padded to a byte boundary)
+
+A blob whose compressed form would not be smaller is stored verbatim
+with magic 'RAW1'.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+_MAGIC_HUFFMAN = b"HUF1"
+_MAGIC_RAW = b"RAW1"
+_MAX_CODE_LENGTH = 255
+
+
+class CompressionError(Exception):
+    """Raised on malformed compressed input."""
+
+
+def _code_lengths(data: bytes) -> List[int]:
+    """Huffman code length per byte value, via the heap algorithm."""
+    frequencies: Dict[int, int] = {}
+    for byte in data:
+        frequencies[byte] = frequencies.get(byte, 0) + 1
+    if len(frequencies) == 1:
+        # A single distinct symbol still needs one bit.
+        lengths = [0] * 256
+        lengths[next(iter(frequencies))] = 1
+        return lengths
+
+    heap: List[Tuple[int, int, object]] = []
+    counter = 0
+    for symbol, frequency in frequencies.items():
+        heap.append((frequency, counter, symbol))
+        counter += 1
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        f1, _, left = heapq.heappop(heap)
+        f2, _, right = heapq.heappop(heap)
+        heapq.heappush(heap, (f1 + f2, counter, (left, right)))
+        counter += 1
+
+    lengths = [0] * 256
+    stack = [(heap[0][2], 0)]
+    while stack:
+        node, depth = stack.pop()
+        if isinstance(node, tuple):
+            stack.append((node[0], depth + 1))
+            stack.append((node[1], depth + 1))
+        else:
+            lengths[node] = max(depth, 1)
+    return lengths
+
+
+def _canonical_codes(lengths: List[int]) -> Dict[int, Tuple[int, int]]:
+    """symbol → (code, length) canonical assignment from code lengths."""
+    ordered = sorted(
+        (length, symbol) for symbol, length in enumerate(lengths) if length > 0
+    )
+    codes: Dict[int, Tuple[int, int]] = {}
+    code = 0
+    previous_length = 0
+    for length, symbol in ordered:
+        code <<= length - previous_length
+        codes[symbol] = (code, length)
+        code += 1
+        previous_length = length
+    return codes
+
+
+def compress(data: bytes) -> bytes:
+    """Compress *data*; falls back to verbatim storage when not smaller."""
+    if not data:
+        return _MAGIC_RAW + (0).to_bytes(4, "big")
+    lengths = _code_lengths(data)
+    if max(lengths) > _MAX_CODE_LENGTH:  # pragma: no cover - needs 2^255 input
+        return _MAGIC_RAW + len(data).to_bytes(4, "big") + data
+    codes = _canonical_codes(lengths)
+
+    bit_buffer = 0
+    bit_count = 0
+    out = bytearray()
+    for byte in data:
+        code, length = codes[byte]
+        bit_buffer = (bit_buffer << length) | code
+        bit_count += length
+        while bit_count >= 8:
+            bit_count -= 8
+            out.append((bit_buffer >> bit_count) & 0xFF)
+    if bit_count:
+        out.append((bit_buffer << (8 - bit_count)) & 0xFF)
+
+    header = _MAGIC_HUFFMAN + len(data).to_bytes(4, "big") + bytes(lengths)
+    compressed = header + bytes(out)
+    if len(compressed) >= len(data) + 8:
+        return _MAGIC_RAW + len(data).to_bytes(4, "big") + data
+    return compressed
+
+
+def decompress(blob: bytes) -> bytes:
+    """Invert :func:`compress`."""
+    if len(blob) < 8:
+        raise CompressionError("blob too short")
+    magic, size = blob[:4], int.from_bytes(blob[4:8], "big")
+    if magic == _MAGIC_RAW:
+        data = blob[8 : 8 + size]
+        if len(data) != size:
+            raise CompressionError("truncated raw blob")
+        return data
+    if magic != _MAGIC_HUFFMAN:
+        raise CompressionError(f"bad magic {magic!r}")
+    if size == 0:
+        return b""
+    lengths = list(blob[8 : 8 + 256])
+    if len(lengths) != 256:
+        raise CompressionError("truncated code-length table")
+    codes = _canonical_codes(lengths)
+    # Invert to (length, code) -> symbol for decoding.
+    decode_table: Dict[Tuple[int, int], int] = {
+        (length, code): symbol for symbol, (code, length) in codes.items()
+    }
+
+    out = bytearray()
+    code = 0
+    length = 0
+    for byte in blob[8 + 256 :]:
+        for bit_index in range(7, -1, -1):
+            code = (code << 1) | ((byte >> bit_index) & 1)
+            length += 1
+            symbol = decode_table.get((length, code))
+            if symbol is not None:
+                out.append(symbol)
+                if len(out) == size:
+                    return bytes(out)
+                code = 0
+                length = 0
+    raise CompressionError("bit stream exhausted before reaching original size")
+
+
+class CompressionInterceptor:
+    """Server/client interceptor pair applying Huffman compression.
+
+    ``outbound`` runs on the server before packetization; ``inbound``
+    runs on the client after reconstruction.  Tracks the byte savings
+    so experiments can report achieved compression ratios.
+    """
+
+    def __init__(self) -> None:
+        self.bytes_in = 0
+        self.bytes_out = 0
+
+    def outbound(self, payload: bytes) -> bytes:
+        compressed = compress(payload)
+        self.bytes_in += len(payload)
+        self.bytes_out += len(compressed)
+        return compressed
+
+    def inbound(self, blob: bytes) -> bytes:
+        return decompress(blob)
+
+    @property
+    def ratio(self) -> float:
+        """Compressed size as a fraction of the original (1.0 = no gain)."""
+        if self.bytes_in == 0:
+            return 1.0
+        return self.bytes_out / self.bytes_in

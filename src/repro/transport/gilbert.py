@@ -1,0 +1,149 @@
+"""Bursty channel model (Gilbert–Elliott).
+
+The paper's channel corrupts packets i.i.d. with probability α, but
+its motivation is broader: "the Internet is quite unstable in terms of
+connectivity; occasional disconnection during transmission ... is
+common" (§4).  Disconnections produce *bursts* of consecutive losses
+that an i.i.d. model cannot express.  The classic two-state
+Gilbert–Elliott chain does:
+
+* GOOD state: packets corrupted with probability ``good_alpha``
+  (usually small);
+* BAD state (fade/disconnection): corrupted with ``bad_alpha``
+  (usually ≈ 1);
+* after every packet the state flips with probability
+  ``good_to_bad`` / ``bad_to_good``.
+
+The stationary corruption rate is
+
+    α* = π_bad·bad_alpha + (1 − π_bad)·good_alpha,
+    π_bad = good_to_bad / (good_to_bad + bad_to_good)
+
+so a burst channel can be matched to any i.i.d. α for apples-to-apples
+comparison (:func:`matched_to_alpha`), isolating the effect of
+*burstiness* on the paper's mechanisms — which the ablation bench
+exercises.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.transport.channel import Delivery, WirelessChannel
+from repro.util.validation import check_probability
+
+
+class GilbertElliottChannel(WirelessChannel):
+    """Two-state bursty wireless channel.
+
+    Inherits the timing/framing behaviour of
+    :class:`~repro.transport.channel.WirelessChannel`; only the
+    corruption process differs.  ``alpha`` is reported as the
+    stationary corruption rate so existing instrumentation reads
+    sensibly.
+    """
+
+    def __init__(
+        self,
+        bandwidth_kbps: float = 19.2,
+        good_alpha: float = 0.02,
+        bad_alpha: float = 0.95,
+        good_to_bad: float = 0.05,
+        bad_to_good: float = 0.3,
+        rng: Optional[random.Random] = None,
+        start_in_bad: bool = False,
+    ) -> None:
+        check_probability(good_alpha, "good_alpha")
+        check_probability(bad_alpha, "bad_alpha")
+        check_probability(good_to_bad, "good_to_bad")
+        check_probability(bad_to_good, "bad_to_good")
+        if good_to_bad + bad_to_good == 0:
+            raise ValueError("the chain must be able to change state")
+        stationary_bad = good_to_bad / (good_to_bad + bad_to_good)
+        stationary_alpha = stationary_bad * bad_alpha + (1 - stationary_bad) * good_alpha
+        super().__init__(
+            bandwidth_kbps=bandwidth_kbps, alpha=stationary_alpha, rng=rng
+        )
+        self.good_alpha = good_alpha
+        self.bad_alpha = bad_alpha
+        self.good_to_bad = good_to_bad
+        self.bad_to_good = bad_to_good
+        self.in_bad_state = start_in_bad
+        #: instrumentation: packets sent while in the BAD state.
+        self.bad_state_frames = 0
+
+    @property
+    def stationary_bad_probability(self) -> float:
+        """Long-run fraction of time spent in the BAD state."""
+        return self.good_to_bad / (self.good_to_bad + self.bad_to_good)
+
+    def expected_burst_length(self) -> float:
+        """Mean number of consecutive packets spent in one BAD visit."""
+        if self.bad_to_good == 0:
+            return float("inf")
+        return 1.0 / self.bad_to_good
+
+    def send(self, wire: bytes) -> Delivery:
+        self.clock += self.transmission_time(len(wire))
+        self.frames_sent += 1
+        if self.in_bad_state:
+            self.bad_state_frames += 1
+
+        corrupt_probability = self.bad_alpha if self.in_bad_state else self.good_alpha
+        corrupted = self.rng.random() < corrupt_probability
+
+        # State transition applies after the packet (per-packet steps).
+        if self.in_bad_state:
+            if self.rng.random() < self.bad_to_good:
+                self.in_bad_state = False
+        else:
+            if self.rng.random() < self.good_to_bad:
+                self.in_bad_state = True
+
+        if corrupted:
+            self.frames_corrupted += 1
+            return Delivery(
+                time=self.clock, wire=self._garble(wire), corrupted=True, lost=False
+            )
+        return Delivery(time=self.clock, wire=wire, corrupted=False, lost=False)
+
+
+def matched_to_alpha(
+    alpha: float,
+    burst_length: float = 5.0,
+    bad_alpha: float = 0.95,
+    good_alpha: float = 0.02,
+    bandwidth_kbps: float = 19.2,
+    rng: Optional[random.Random] = None,
+) -> GilbertElliottChannel:
+    """A bursty channel whose stationary corruption rate equals *alpha*.
+
+    Solves for the transition probabilities given the desired mean
+    burst length (``1 / bad_to_good``) and the per-state corruption
+    rates.  Requires ``good_alpha < alpha < bad_alpha``.
+    """
+    check_probability(alpha, "alpha")
+    if not good_alpha < alpha < bad_alpha:
+        raise ValueError(
+            f"alpha must lie strictly between good_alpha ({good_alpha}) "
+            f"and bad_alpha ({bad_alpha})"
+        )
+    if burst_length < 1.0:
+        raise ValueError("burst_length must be >= 1 packet")
+    bad_to_good = 1.0 / burst_length
+    # π_bad from the stationary-rate equation.
+    pi_bad = (alpha - good_alpha) / (bad_alpha - good_alpha)
+    good_to_bad = bad_to_good * pi_bad / (1.0 - pi_bad)
+    if good_to_bad > 1.0:
+        raise ValueError(
+            "burst_length too short for the requested alpha; increase it"
+        )
+    return GilbertElliottChannel(
+        bandwidth_kbps=bandwidth_kbps,
+        good_alpha=good_alpha,
+        bad_alpha=bad_alpha,
+        good_to_bad=good_to_bad,
+        bad_to_good=bad_to_good,
+        rng=rng,
+    )

@@ -1,0 +1,111 @@
+"""Client-side receiver state for one document transfer.
+
+Tracks intact cooked packets (CRC-verified), accumulates the received
+information content from clear-text packets, detects when
+reconstruction becomes possible, and renders the incrementally usable
+clear-text prefix — the receiving half of the paper's §4.2 protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.coding.packets import decode_frame
+from repro.transport.channel import Delivery
+from repro.transport.sender import PreparedDocument
+
+
+class TransferReceiver:
+    """Receiver for one document's cooked-packet stream.
+
+    The receiver never inspects channel ground truth: corruption is
+    detected via the CRC in each frame, and missing packets via gaps
+    in the FIFO sequence numbers.
+    """
+
+    def __init__(self, prepared: PreparedDocument, incremental: bool = False) -> None:
+        self._prepared = prepared
+        self.intact: Dict[int, bytes] = {}
+        self.corrupted_seen = 0
+        self.lost_detected = 0
+        self._content = 0.0
+        self._highest_sequence = -1
+        # Optional online Gaussian elimination: spreads the decode cost
+        # across arrivals so reconstruction at the M-th packet is a
+        # back-substitution instead of a full matrix inversion.
+        self._decoder = None
+        if incremental:
+            from repro.coding.stream import IncrementalDecoder
+
+            self._decoder = IncrementalDecoder(prepared.cooked.codec)
+
+    # -- feeding ----------------------------------------------------------
+
+    def preload(self, packets: Dict[int, bytes]) -> None:
+        """Seed the receiver with cached packets from earlier rounds."""
+        for sequence, payload in packets.items():
+            self._accept(sequence, payload)
+
+    def offer(self, delivery: Delivery) -> None:
+        """Process one channel delivery."""
+        if delivery.lost or delivery.wire is None:
+            return  # loss is detected later via the sequence gap
+        frame = decode_frame(delivery.wire)
+        if not frame.intact:
+            self.corrupted_seen += 1
+            return
+        if frame.sequence > self._highest_sequence + 1:
+            # FIFO channel: a jump in sequence numbers reveals losses.
+            self.lost_detected += frame.sequence - self._highest_sequence - 1
+        self._highest_sequence = max(self._highest_sequence, frame.sequence)
+        self._accept(frame.sequence, frame.payload)
+
+    def _accept(self, sequence: int, payload: bytes) -> None:
+        if sequence in self.intact:
+            return
+        self.intact[sequence] = payload
+        if self._decoder is not None:
+            self._decoder.add(sequence, payload)
+        if sequence < self._prepared.m:
+            self._content += self._prepared.content_profile[sequence]
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def intact_count(self) -> int:
+        return len(self.intact)
+
+    @property
+    def content_received(self) -> float:
+        """Information content usable *now*.
+
+        Clear-text packets contribute their profile share as they
+        arrive; once reconstruction is possible the whole document's
+        content (the sum of the profile) is available.
+        """
+        if self.can_reconstruct():
+            return sum(self._prepared.content_profile)
+        return self._content
+
+    def can_reconstruct(self) -> bool:
+        return len(self.intact) >= self._prepared.m
+
+    def missing_clear_packets(self) -> Set[int]:
+        """Clear-text sequences not yet held (selective-repeat support)."""
+        return {
+            sequence
+            for sequence in range(self._prepared.m)
+            if sequence not in self.intact
+        }
+
+    # -- output -----------------------------------------------------------------
+
+    def reconstruct(self) -> bytes:
+        """The full document; raises when fewer than M packets are held."""
+        if self._decoder is not None and self._decoder.complete:
+            return self._decoder.solve_document(self._prepared.cooked.original_size)
+        return self._prepared.cooked.reassemble(self.intact)
+
+    def clear_prefix(self) -> bytes:
+        """The immediately renderable clear-text prefix (may be empty)."""
+        return self._prepared.cooked.clear_prefix(self.intact)

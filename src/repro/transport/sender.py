@@ -1,0 +1,92 @@
+"""Server-side document transmitter.
+
+Combines the multi-resolution schedule (§3/§4.2) with the packetizer
+(§4.1): the scheduled byte stream is split into M raw packets, cooked
+into N ≥ M packets, and framed for the wire.  The transmitter also
+derives the *content profile* — how much information content each
+clear-text packet carries — which drives the client's early
+termination decision.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.coding.packets import CookedDocument, Packetizer
+from repro.core.multires import TransmissionSchedule
+
+
+class PreparedDocument:
+    """A document ready for fault-tolerant multi-resolution transfer."""
+
+    def __init__(
+        self,
+        document_id: str,
+        cooked: CookedDocument,
+        content_profile: List[float],
+    ) -> None:
+        self.document_id = document_id
+        self.cooked = cooked
+        #: content carried by clear-text packet i (length M, sums to
+        #: the document's total content, 1.0 for a complete measure).
+        self.content_profile = content_profile
+
+    @property
+    def m(self) -> int:
+        return self.cooked.m
+
+    @property
+    def n(self) -> int:
+        return self.cooked.n
+
+    def frames(self) -> List[bytes]:
+        return self.cooked.frames()
+
+
+class DocumentSender:
+    """Prepares documents for transmission over the wireless channel.
+
+    Parameters
+    ----------
+    packetizer:
+        Controls packet size, redundancy ratio γ, and codec choice.
+    """
+
+    def __init__(self, packetizer: Optional[Packetizer] = None) -> None:
+        self.packetizer = packetizer if packetizer is not None else Packetizer()
+
+    def prepare(
+        self, document_id: str, schedule: TransmissionSchedule
+    ) -> PreparedDocument:
+        """Cook a scheduled document and compute its content profile."""
+        payload = schedule.payload()
+        if not payload:
+            raise ValueError(f"document {document_id!r} has an empty payload")
+        cooked = self.packetizer.cook(payload)
+        profile = self._content_profile(schedule, cooked.m)
+        return PreparedDocument(document_id, cooked, profile)
+
+    def prepare_raw(self, document_id: str, payload: bytes) -> PreparedDocument:
+        """Cook an unscheduled byte blob (conventional transmission).
+
+        The content profile is uniform: every clear packet carries an
+        equal share, which is the information-free assumption for a
+        document without an SC.
+        """
+        if not payload:
+            raise ValueError(f"document {document_id!r} has an empty payload")
+        cooked = self.packetizer.cook(payload)
+        profile = [1.0 / cooked.m] * cooked.m
+        return PreparedDocument(document_id, cooked, profile)
+
+    def _content_profile(
+        self, schedule: TransmissionSchedule, m: int
+    ) -> List[float]:
+        size = self.packetizer.packet_size
+        profile: List[float] = []
+        previous = 0.0
+        for index in range(m):
+            cumulative = schedule.content_prefix((index + 1) * size)
+            profile.append(cumulative - previous)
+            previous = cumulative
+        return profile

@@ -1,0 +1,162 @@
+"""The fault-tolerant multi-resolution transfer protocol (paper §4.2).
+
+One call to :func:`transfer_document` plays out a complete download of
+one prepared document over the wireless channel, round by round:
+
+1. The server streams all N cooked frames in sequence order.
+2. The client discards corrupted frames (CRC) and stops the stream as
+   soon as one of the paper's three termination conditions holds:
+   it can reconstruct the whole document (M intact packets); all
+   cooked packets have been received; or it has decided the document
+   is irrelevant (received content ≥ its relevance threshold F —
+   the "stop button").
+3. If a round ends with fewer than M intact packets, the transfer is
+   *stalled*: a retransmission round begins.  With a
+   :class:`~repro.transport.cache.PacketCache` the intact packets
+   survive into the next round (Caching); with
+   :class:`~repro.transport.cache.NullCache` the client starts over
+   (NoCaching — the default HTTP reload behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from repro.transport.cache import NullCache, PacketCache
+from repro.transport.channel import WirelessChannel
+from repro.transport.receiver import TransferReceiver
+from repro.transport.sender import PreparedDocument
+from repro.util.validation import check_positive_int
+
+
+class TransferResult(NamedTuple):
+    """Outcome of one document transfer."""
+
+    document_id: str
+    success: bool              # document reconstructable (or relevance decided)
+    terminated_early: bool     # stopped by the relevance threshold
+    response_time: float       # seconds of channel time consumed
+    rounds: int                # transmission rounds used (1 = no stall)
+    frames_sent: int           # total frames put on the air
+    content_received: float    # information content available at the end
+    payload: Optional[bytes]   # reconstructed document (None if early-stop)
+
+
+def transfer_document(
+    prepared: PreparedDocument,
+    channel: WirelessChannel,
+    cache: Optional[PacketCache] = None,
+    relevance_threshold: Optional[float] = None,
+    max_rounds: int = 100,
+) -> TransferResult:
+    """Download *prepared* over *channel*; see the module docstring.
+
+    Parameters
+    ----------
+    cache:
+        ``None`` selects NoCaching.  Pass a shared
+        :class:`PacketCache` for the Caching strategy.
+    relevance_threshold:
+        The paper's F: when set, the client stops (document judged
+        irrelevant) once the received content reaches it.  ``None``
+        downloads to completion.
+    max_rounds:
+        Safety bound on retransmission rounds; exceeding it reports a
+        failed transfer with the time spent so far (matching how an
+        interactive user would eventually give up).
+    """
+    check_positive_int(max_rounds, "max_rounds")
+    if cache is None:
+        cache = NullCache()
+
+    start_time = channel.clock
+    frames = prepared.frames()
+    frames_sent = 0
+    receiver = TransferReceiver(prepared)
+    receiver.preload(cache.load(prepared.document_id))
+
+    if relevance_threshold is not None and relevance_threshold <= 0.0:
+        # F = 0: the document is discarded before any packet is sent
+        # (the paper calls this point "artificial").
+        return TransferResult(
+            document_id=prepared.document_id,
+            success=True,
+            terminated_early=True,
+            response_time=0.0,
+            rounds=0,
+            frames_sent=0,
+            content_received=0.0,
+            payload=None,
+        )
+
+    # A fully cached (e.g. prefetched) document costs no air time.
+    if receiver.can_reconstruct():
+        cache.discard(prepared.document_id)
+        return TransferResult(
+            document_id=prepared.document_id,
+            success=True,
+            terminated_early=False,
+            response_time=0.0,
+            rounds=0,
+            frames_sent=0,
+            content_received=receiver.content_received,
+            payload=receiver.reconstruct(),
+        )
+
+    for round_index in range(1, max_rounds + 1):
+        for wire in frames:
+            delivery = channel.send(wire)
+            frames_sent += 1
+            receiver.offer(delivery)
+
+            if (
+                relevance_threshold is not None
+                and receiver.content_received >= relevance_threshold
+            ):
+                _store_cache(cache, prepared, receiver)
+                return TransferResult(
+                    document_id=prepared.document_id,
+                    success=True,
+                    terminated_early=True,
+                    response_time=channel.clock - start_time,
+                    rounds=round_index,
+                    frames_sent=frames_sent,
+                    content_received=receiver.content_received,
+                    payload=None,
+                )
+            if receiver.can_reconstruct():
+                cache.discard(prepared.document_id)
+                return TransferResult(
+                    document_id=prepared.document_id,
+                    success=True,
+                    terminated_early=False,
+                    response_time=channel.clock - start_time,
+                    rounds=round_index,
+                    frames_sent=frames_sent,
+                    content_received=receiver.content_received,
+                    payload=receiver.reconstruct(),
+                )
+
+        # Stalled: fewer than M intact after the full round.
+        _store_cache(cache, prepared, receiver)
+        if isinstance(cache, NullCache) or not cache.load(prepared.document_id):
+            # NoCaching restarts from zero intact packets.
+            receiver = TransferReceiver(prepared)
+
+    return TransferResult(
+        document_id=prepared.document_id,
+        success=False,
+        terminated_early=False,
+        response_time=channel.clock - start_time,
+        rounds=max_rounds,
+        frames_sent=frames_sent,
+        content_received=receiver.content_received,
+        payload=None,
+    )
+
+
+def _store_cache(
+    cache: PacketCache, prepared: PreparedDocument, receiver: TransferReceiver
+) -> None:
+    for sequence, payload in receiver.intact.items():
+        cache.store(prepared.document_id, sequence, payload)

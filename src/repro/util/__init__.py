@@ -1,0 +1,42 @@
+"""Shared low-level helpers used across the :mod:`repro` packages.
+
+This package deliberately contains only dependency-free utilities:
+argument validation, random-number-generator plumbing, byte/bit
+manipulation, and small statistics helpers used by the simulation
+harness.  Nothing in here knows about documents, packets, or channels.
+"""
+
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_range,
+)
+from repro.util.rngtools import derive_rng, spawn_rngs
+from repro.util.bitops import chunk_bytes, pad_to_multiple, xor_bytes
+from repro.util.stats import (
+    RunningStats,
+    confidence_interval,
+    mean,
+    population_variance,
+    sample_stdev,
+)
+
+__all__ = [
+    "check_fraction",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_range",
+    "derive_rng",
+    "spawn_rngs",
+    "chunk_bytes",
+    "pad_to_multiple",
+    "xor_bytes",
+    "RunningStats",
+    "confidence_interval",
+    "mean",
+    "population_variance",
+    "sample_stdev",
+]

@@ -1,0 +1,38 @@
+"""Byte-string manipulation helpers used by the coding layer."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.util.validation import check_positive_int
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def pad_to_multiple(data: bytes, block: int, fill: int = 0) -> bytes:
+    """Pad *data* with *fill* bytes so its length is a multiple of *block*.
+
+    Data already aligned to *block* is returned unchanged (no extra
+    block is appended; the caller is expected to carry the true length
+    out of band, as our packet header does).
+    """
+    check_positive_int(block, "block")
+    remainder = len(data) % block
+    if remainder == 0:
+        return data
+    return data + bytes([fill]) * (block - remainder)
+
+
+def chunk_bytes(data: bytes, size: int) -> List[bytes]:
+    """Split *data* into consecutive chunks of *size* bytes.
+
+    The final chunk may be shorter when the data is not aligned.  An
+    empty input yields an empty list.
+    """
+    check_positive_int(size, "size")
+    return [data[offset : offset + size] for offset in range(0, len(data), size)]

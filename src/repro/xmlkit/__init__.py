@@ -1,0 +1,55 @@
+"""From-scratch XML toolkit: tokenizer, parser, DOM, DTD, serializer.
+
+This is the document substrate the paper builds on: XML documents with
+an explicit ``research-paper`` structure from which organizational
+units at each level of detail are derived.
+"""
+
+from repro.xmlkit.errors import XmlError, XmlSyntaxError, XmlValidationError
+from repro.xmlkit.dom import Comment, Document, Element, Text
+from repro.xmlkit.tokenizer import Token, XmlTokenizer, resolve_entities, tokenize_xml
+from repro.xmlkit.parser import parse_fragment, parse_xml
+from repro.xmlkit.writer import escape_attribute, escape_text, serialize
+from repro.xmlkit.select import SelectorError, select, select_one
+from repro.xmlkit.sax import (
+    ContentHandler,
+    TreeBuilderHandler,
+    iter_events,
+    parse_streaming,
+)
+from repro.xmlkit.dtd import (
+    RESEARCH_PAPER,
+    DocumentType,
+    ElementDecl,
+    research_paper_dtd,
+)
+
+__all__ = [
+    "XmlError",
+    "XmlSyntaxError",
+    "XmlValidationError",
+    "Comment",
+    "Document",
+    "Element",
+    "Text",
+    "Token",
+    "XmlTokenizer",
+    "resolve_entities",
+    "tokenize_xml",
+    "parse_xml",
+    "parse_fragment",
+    "serialize",
+    "escape_text",
+    "escape_attribute",
+    "select",
+    "select_one",
+    "SelectorError",
+    "ContentHandler",
+    "parse_streaming",
+    "iter_events",
+    "TreeBuilderHandler",
+    "DocumentType",
+    "ElementDecl",
+    "research_paper_dtd",
+    "RESEARCH_PAPER",
+]

@@ -1,0 +1,139 @@
+"""Lightweight DTD facility and the ``research-paper`` document type.
+
+The paper grounds its LOD abstraction in XML: "a section LOD might be
+implemented using a pair of <section> and </section> tags, where
+section is defined as an element in an XML DTD for document type
+research-paper" (§3).  We provide a small content-model validator and
+the concrete DTD the rest of the library assumes.
+
+Content models are expressed per element as a set of allowed child
+tags plus a flag for character data; this covers the document class the
+paper works with without implementing full SGML content-model regular
+expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.xmlkit.dom import Comment, Document, Element, Text
+from repro.xmlkit.errors import XmlValidationError
+
+
+class ElementDecl:
+    """Declaration of one element type: allowed children and text policy."""
+
+    __slots__ = ("tag", "children", "allows_text", "required_attributes")
+
+    def __init__(
+        self,
+        tag: str,
+        children: Tuple[str, ...] = (),
+        allows_text: bool = False,
+        required_attributes: Tuple[str, ...] = (),
+    ) -> None:
+        self.tag = tag
+        self.children: FrozenSet[str] = frozenset(children)
+        self.allows_text = allows_text
+        self.required_attributes: Tuple[str, ...] = tuple(required_attributes)
+
+    def __repr__(self) -> str:
+        return f"ElementDecl({self.tag!r})"
+
+
+class DocumentType:
+    """A named collection of element declarations with a fixed root."""
+
+    def __init__(self, name: str, root: str, declarations: Mapping[str, ElementDecl]) -> None:
+        if root not in declarations:
+            raise ValueError(f"root element {root!r} has no declaration")
+        self.name = name
+        self.root = root
+        self._declarations: Dict[str, ElementDecl] = dict(declarations)
+
+    def declaration(self, tag: str) -> Optional[ElementDecl]:
+        return self._declarations.get(tag)
+
+    def validate(self, document: Document) -> None:
+        """Raise :class:`XmlValidationError` on the first violation."""
+        if document.root.tag != self.root:
+            raise XmlValidationError(
+                f"document type {self.name!r} requires root <{self.root}>, "
+                f"found <{document.root.tag}>"
+            )
+        self._validate_element(document.root, path=document.root.tag)
+
+    def is_valid(self, document: Document) -> bool:
+        """Boolean variant of :meth:`validate`."""
+        try:
+            self.validate(document)
+        except XmlValidationError:
+            return False
+        return True
+
+    def _validate_element(self, element: Element, path: str) -> None:
+        decl = self._declarations.get(element.tag)
+        if decl is None:
+            raise XmlValidationError(f"undeclared element <{element.tag}> at {path}")
+        for attribute in decl.required_attributes:
+            if attribute not in element.attributes:
+                raise XmlValidationError(
+                    f"<{element.tag}> at {path} is missing required "
+                    f"attribute {attribute!r}"
+                )
+        for child in element.children:
+            if isinstance(child, Text):
+                if child.data.strip() and not decl.allows_text:
+                    raise XmlValidationError(
+                        f"<{element.tag}> at {path} may not contain character data"
+                    )
+            elif isinstance(child, Element):
+                if child.tag not in decl.children:
+                    raise XmlValidationError(
+                        f"<{child.tag}> is not allowed inside <{element.tag}> at {path}"
+                    )
+                self._validate_element(child, path=f"{path}/{child.tag}")
+            elif isinstance(child, Comment):
+                continue
+
+
+def research_paper_dtd() -> DocumentType:
+    """The ``research-paper`` document type from the paper (§3).
+
+    Hierarchy:  paper → title/abstract/section → subsection →
+    subsubsection → paragraph, with ``keyword`` and ``emph`` allowed as
+    inline markup inside paragraphs (specially formatted words qualify
+    as keywords per §3.3).
+    """
+    paragraph_inline = ("keyword", "emph")
+    declarations = {
+        "paper": ElementDecl(
+            "paper",
+            children=("title", "author", "abstract", "section"),
+        ),
+        "title": ElementDecl("title", allows_text=True),
+        "author": ElementDecl("author", allows_text=True),
+        "abstract": ElementDecl("abstract", children=("paragraph",)),
+        "section": ElementDecl(
+            "section",
+            children=("title", "paragraph", "subsection"),
+        ),
+        "subsection": ElementDecl(
+            "subsection",
+            children=("title", "paragraph", "subsubsection"),
+        ),
+        "subsubsection": ElementDecl(
+            "subsubsection",
+            children=("title", "paragraph"),
+        ),
+        "paragraph": ElementDecl(
+            "paragraph", children=paragraph_inline, allows_text=True
+        ),
+        "keyword": ElementDecl("keyword", allows_text=True),
+        "emph": ElementDecl("emph", allows_text=True),
+    }
+    return DocumentType("research-paper", root="paper", declarations=declarations)
+
+
+#: Shared instance of the research-paper document type.
+RESEARCH_PAPER: DocumentType = research_paper_dtd()

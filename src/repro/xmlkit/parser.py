@@ -1,0 +1,104 @@
+"""Tree builder: assembles tokenizer output into a DOM.
+
+Enforces the well-formedness rules the structural-characteristic
+generator depends on: a single root element, properly nested tags, and
+no character data outside the root (other than whitespace).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.xmlkit.dom import Comment, Document, Element, Text
+from repro.xmlkit.errors import XmlSyntaxError
+from repro.xmlkit.tokenizer import Token, XmlTokenizer
+
+
+def parse_xml(source: str) -> Document:
+    """Parse well-formed XML *source* into a :class:`Document`.
+
+    Raises :class:`XmlSyntaxError` on any well-formedness violation.
+    """
+    prolog: List[Comment] = []
+    doctype: Optional[str] = None
+    root: Optional[Element] = None
+    stack: List[Element] = []
+
+    for token in XmlTokenizer(source).tokens():
+        if token.kind == "pi":
+            continue  # processing instructions carry no document content
+        if token.kind == "doctype":
+            if root is not None or stack:
+                raise XmlSyntaxError(
+                    "doctype declaration must precede the root element",
+                    token.line,
+                    token.column,
+                )
+            doctype = token.value
+            continue
+        if token.kind == "comment":
+            comment = Comment(token.value)
+            if stack:
+                stack[-1].append(comment)
+            else:
+                prolog.append(comment)
+            continue
+        if token.kind == "text":
+            if stack:
+                if token.value:
+                    stack[-1].append(Text(token.value))
+            elif token.value.strip():
+                raise XmlSyntaxError(
+                    "character data outside the root element",
+                    token.line,
+                    token.column,
+                )
+            continue
+        if token.kind == "start":
+            element = Element(token.value, token.attrs)
+            if stack:
+                stack[-1].append(element)
+            elif root is None:
+                root = element
+            else:
+                raise XmlSyntaxError(
+                    f"second root element <{token.value}>", token.line, token.column
+                )
+            if not token.self_closing:
+                stack.append(element)
+            continue
+        if token.kind == "end":
+            if not stack:
+                raise XmlSyntaxError(
+                    f"unexpected end tag </{token.value}>", token.line, token.column
+                )
+            open_element = stack.pop()
+            if open_element.tag != token.value:
+                raise XmlSyntaxError(
+                    f"end tag </{token.value}> does not match open <{open_element.tag}>",
+                    token.line,
+                    token.column,
+                )
+            continue
+        raise XmlSyntaxError(  # pragma: no cover - tokenizer emits no other kinds
+            f"unexpected token kind {token.kind!r}", token.line, token.column
+        )
+
+    if stack:
+        raise XmlSyntaxError(f"unclosed element <{stack[-1].tag}>", 0, 0)
+    if root is None:
+        raise XmlSyntaxError("document has no root element", 0, 0)
+    return Document(root, prolog=prolog, doctype=doctype)
+
+
+def parse_fragment(source: str) -> List[object]:
+    """Parse an XML fragment (no single-root requirement).
+
+    Returns the list of top-level nodes.  Used by tests and by the
+    HTML structure extractor when grafting converted content.
+    """
+    wrapped = parse_xml(f"<fragment>{source}</fragment>")
+    nodes = list(wrapped.root.children)
+    for node in nodes:
+        node.parent = None
+    return nodes

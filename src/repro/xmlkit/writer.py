@@ -1,0 +1,75 @@
+"""Serialization of DOM trees back to XML text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xmlkit.dom import Comment, Document, Element, Node, Text
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def escape_text(data: str) -> str:
+    """Escape character data for element content."""
+    for char, entity in _TEXT_ESCAPES.items():
+        data = data.replace(char, entity)
+    return data
+
+
+def escape_attribute(data: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    for char, entity in _ATTR_ESCAPES.items():
+        data = data.replace(char, entity)
+    return data
+
+
+def serialize(node: "Node | Document", indent: int = 0) -> str:
+    """Serialize a node or document to XML text.
+
+    With ``indent > 0`` the output is pretty-printed; elements whose
+    children are exclusively elements/comments get each child on its
+    own line.  Mixed content (any text child) is emitted inline so
+    whitespace-sensitive content round-trips.
+    """
+    if isinstance(node, Document):
+        parts: List[str] = []
+        if node.doctype:
+            parts.append(f"<!{node.doctype}>")
+        for comment in node.prolog:
+            parts.append(f"<!--{comment.data}-->")
+        parts.append(serialize(node.root, indent=indent))
+        joiner = "\n" if indent else ""
+        return joiner.join(parts)
+    return _serialize_node(node, indent, 0)
+
+
+def _serialize_node(node: Node, indent: int, depth: int) -> str:
+    pad = " " * (indent * depth) if indent else ""
+    if isinstance(node, Text):
+        return pad + escape_text(node.data)
+    if isinstance(node, Comment):
+        return f"{pad}<!--{node.data}-->"
+    if isinstance(node, Element):
+        return _serialize_element(node, indent, depth)
+    raise TypeError(f"cannot serialize {type(node).__name__}")
+
+
+def _serialize_element(element: Element, indent: int, depth: int) -> str:
+    pad = " " * (indent * depth) if indent else ""
+    attrs = "".join(
+        f' {name}="{escape_attribute(value)}"'
+        for name, value in element.attributes.items()
+    )
+    if not element.children:
+        return f"{pad}<{element.tag}{attrs}/>"
+    has_text = any(isinstance(child, Text) for child in element.children)
+    if has_text or not indent:
+        inner = "".join(
+            _serialize_node(child, 0, 0) for child in element.children
+        )
+        return f"{pad}<{element.tag}{attrs}>{inner}</{element.tag}>"
+    inner_lines = "\n".join(
+        _serialize_node(child, indent, depth + 1) for child in element.children
+    )
+    return f"{pad}<{element.tag}{attrs}>\n{inner_lines}\n{pad}</{element.tag}>"

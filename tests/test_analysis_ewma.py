@@ -1,0 +1,80 @@
+"""Tests for the EWMA estimator and the adaptive redundancy controller."""
+
+import pytest
+
+from repro.analysis.ewma import AdaptiveRedundancyController, EwmaEstimator
+from repro.analysis.planner import redundancy_ratio
+
+
+class TestEwmaEstimator:
+    def test_first_observation_initializes(self):
+        estimator = EwmaEstimator(weight=0.2)
+        assert estimator.estimate is None
+        assert estimator.observe(0.4) == 0.4
+
+    def test_recurrence(self):
+        estimator = EwmaEstimator(weight=0.5, initial=0.0)
+        assert estimator.observe(1.0) == pytest.approx(0.5)
+        assert estimator.observe(1.0) == pytest.approx(0.75)
+
+    def test_converges_to_constant_signal(self):
+        estimator = EwmaEstimator(weight=0.3, initial=0.9)
+        for _ in range(100):
+            estimator.observe(0.2)
+        assert estimator.estimate == pytest.approx(0.2, abs=1e-6)
+
+    def test_weight_bounds(self):
+        with pytest.raises(ValueError):
+            EwmaEstimator(weight=1.5)
+        with pytest.raises(ValueError):
+            EwmaEstimator(weight=-0.1)
+
+    def test_observation_validated(self):
+        estimator = EwmaEstimator()
+        with pytest.raises(ValueError):
+            estimator.observe(1.2)
+
+    def test_reset(self):
+        estimator = EwmaEstimator(initial=0.5)
+        estimator.reset()
+        assert estimator.estimate is None
+
+
+class TestController:
+    def test_gamma_tracks_channel(self):
+        controller = AdaptiveRedundancyController(initial_alpha=0.1, weight=0.5)
+        quiet = controller.gamma()
+        for _ in range(10):
+            controller.record_transfer(corrupted=40, total=100)
+        noisy = controller.gamma()
+        assert noisy > quiet
+
+    def test_gamma_matches_planner_at_converged_alpha(self):
+        controller = AdaptiveRedundancyController(
+            success=0.95, m_hint=50, weight=1.0, initial_alpha=0.1
+        )
+        controller.record_transfer(corrupted=30, total=100)
+        assert controller.alpha_estimate == pytest.approx(0.3)
+        assert controller.gamma() == pytest.approx(redundancy_ratio(50, 0.3, 0.95))
+
+    def test_clamping(self):
+        controller = AdaptiveRedundancyController(
+            initial_alpha=0.0, floor=1.3, ceiling=1.6
+        )
+        assert controller.gamma() == 1.3  # planner would say 1.0
+        for _ in range(20):
+            controller.record_transfer(corrupted=90, total=100)
+        assert controller.gamma() == 1.6
+
+    def test_feedback_validation(self):
+        controller = AdaptiveRedundancyController()
+        with pytest.raises(ValueError):
+            controller.record_transfer(corrupted=5, total=4)
+        with pytest.raises(ValueError):
+            controller.record_transfer(corrupted=-1, total=4)
+
+    def test_configuration_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveRedundancyController(floor=0.9)
+        with pytest.raises(ValueError):
+            AdaptiveRedundancyController(floor=2.0, ceiling=1.5)

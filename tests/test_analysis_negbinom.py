@@ -1,0 +1,88 @@
+"""Tests for the negative binomial model, cross-checked against scipy."""
+
+import math
+
+import pytest
+import scipy.stats as st_scipy
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.negbinom import (
+    cdf,
+    expectation,
+    pmf,
+    pmf_series,
+    survival,
+    variance,
+)
+
+# scipy's nbinom counts failures before the m-th success with success
+# probability p = 1 - alpha; our P = m + failures.
+
+
+class TestAgainstScipy:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=80),
+        st.floats(min_value=0.01, max_value=0.9),
+        st.integers(min_value=0, max_value=120),
+    )
+    def test_pmf(self, m, alpha, extra):
+        x = m + extra
+        expected = st_scipy.nbinom.pmf(extra, m, 1.0 - alpha)
+        assert pmf(x, m, alpha) == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=80),
+        st.floats(min_value=0.01, max_value=0.9),
+        st.integers(min_value=0, max_value=120),
+    )
+    def test_cdf(self, m, alpha, extra):
+        x = m + extra
+        expected = st_scipy.nbinom.cdf(extra, m, 1.0 - alpha)
+        assert cdf(x, m, alpha) == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    def test_paper_defaults(self):
+        """M=40, alpha=0.1: E[P] = 40/0.9 ≈ 44.4."""
+        assert expectation(40, 0.1) == pytest.approx(40 / 0.9)
+        assert variance(40, 0.1) == pytest.approx(40 * 0.1 / 0.81)
+
+
+class TestEdgeCases:
+    def test_x_below_m_is_zero(self):
+        assert pmf(5, 10, 0.2) == 0.0
+        assert cdf(9, 10, 0.2) == 0.0
+
+    def test_alpha_zero_degenerate(self):
+        assert pmf(10, 10, 0.0) == 1.0
+        assert pmf(11, 10, 0.0) == 0.0
+        assert cdf(10, 10, 0.0) == 1.0
+
+    def test_alpha_one_never_succeeds(self):
+        assert pmf(100, 10, 1.0) == 0.0
+        assert cdf(10**6, 10, 1.0) == 0.0
+        assert expectation(10, 1.0) == math.inf
+
+    def test_survival_complements_cdf(self):
+        for x in (40, 50, 60):
+            assert survival(x, 40, 0.2) == pytest.approx(1.0 - cdf(x, 40, 0.2))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pmf(10, 0, 0.1)
+        with pytest.raises(ValueError):
+            pmf(10, 5, 1.5)
+
+
+class TestSeries:
+    def test_series_matches_pointwise(self):
+        series = pmf_series(8, 0.25, 30)
+        for offset, value in enumerate(series):
+            assert value == pytest.approx(pmf(8 + offset, 8, 0.25), rel=1e-9)
+
+    def test_series_sums_toward_one(self):
+        series = pmf_series(5, 0.2, 200)
+        assert sum(series) == pytest.approx(1.0, abs=1e-9)
+
+    def test_empty_when_upto_below_m(self):
+        assert pmf_series(10, 0.3, 9) == []

@@ -1,0 +1,111 @@
+"""Tests for the minimal-N planner (Figures 2–3)."""
+
+import pytest
+
+from repro.analysis.negbinom import cdf
+from repro.analysis.planner import (
+    gamma_band,
+    gamma_versus_alpha,
+    minimal_cooked_packets,
+    redundancy_ratio,
+    stall_probability,
+    sweep,
+)
+
+
+class TestMinimalN:
+    def test_is_minimal(self):
+        """N satisfies the target and N−1 does not."""
+        for m, alpha, s in [(40, 0.1, 0.95), (50, 0.3, 0.99), (10, 0.5, 0.95)]:
+            n = minimal_cooked_packets(m, alpha, s)
+            assert cdf(n, m, alpha) >= s
+            assert cdf(n - 1, m, alpha) < s
+
+    def test_alpha_zero_needs_no_redundancy(self):
+        assert minimal_cooked_packets(40, 0.0, 0.99) == 40
+
+    def test_alpha_one_rejected(self):
+        with pytest.raises(ValueError):
+            minimal_cooked_packets(40, 1.0, 0.95)
+
+    def test_monotone_in_alpha(self):
+        values = [minimal_cooked_packets(40, a, 0.95) for a in (0.1, 0.2, 0.3, 0.4, 0.5)]
+        assert values == sorted(values)
+        assert values[0] < values[-1]
+
+    def test_monotone_in_success(self):
+        assert minimal_cooked_packets(40, 0.3, 0.99) >= minimal_cooked_packets(
+            40, 0.3, 0.95
+        )
+
+    def test_monotone_in_m(self):
+        values = [minimal_cooked_packets(m, 0.3, 0.95) for m in (10, 20, 50, 100)]
+        assert values == sorted(values)
+
+
+class TestFigure2Shape:
+    def test_near_linear_in_m(self):
+        """The paper observes N ≈ linear in M (Figure 2)."""
+        ms = list(range(10, 101, 10))
+        for alpha in (0.1, 0.3, 0.5):
+            ns = [minimal_cooked_packets(m, alpha, 0.95) for m in ms]
+            # Compare each N to the straight line through the endpoints.
+            slope = (ns[-1] - ns[0]) / (ms[-1] - ms[0])
+            for m, n in zip(ms, ns):
+                predicted = ns[0] + slope * (m - ms[0])
+                assert abs(n - predicted) / n < 0.10
+
+    def test_sweep_covers_grid(self):
+        points = sweep([10, 50], [0.1, 0.5], 0.95)
+        assert len(points) == 4
+        assert {(p.m, p.alpha) for p in points} == {
+            (10, 0.1),
+            (50, 0.1),
+            (10, 0.5),
+            (50, 0.5),
+        }
+        for point in points:
+            assert point.n >= point.m
+            assert point.gamma == point.n / point.m
+
+
+class TestFigure3Shape:
+    def test_gamma_grows_with_alpha(self):
+        gammas = gamma_versus_alpha([0.1, 0.2, 0.3, 0.4, 0.5], 0.95, m=50)
+        ordered = [gammas[a] for a in (0.1, 0.2, 0.3, 0.4, 0.5)]
+        assert ordered == sorted(ordered)
+
+    def test_99_above_95(self):
+        g95 = gamma_versus_alpha([0.1, 0.3, 0.5], 0.95, m=50)
+        g99 = gamma_versus_alpha([0.1, 0.3, 0.5], 0.99, m=50)
+        for alpha in (0.1, 0.3, 0.5):
+            assert g99[alpha] >= g95[alpha]
+
+    def test_paper_magnitude(self):
+        """γ ≈ 1.2 at α=0.1 and ≈ 2.3–2.6 at α=0.5 (Figure 3's range)."""
+        gammas = gamma_versus_alpha([0.1, 0.5], 0.95, m=50)
+        assert 1.1 <= gammas[0.1] <= 1.35
+        assert 2.0 <= gammas[0.5] <= 2.8
+
+    def test_band_weak_m_dependence(self):
+        """The paper: "the range of γ for different values of M does not
+        change too much"."""
+        band = gamma_band([0.1, 0.3, 0.5], 0.95, ms=(10, 50, 100))
+        for alpha, (low, high) in band.items():
+            assert high - low < 0.75
+            assert low <= gamma_versus_alpha([alpha], 0.95, m=50)[alpha] <= high
+
+
+class TestStallProbability:
+    def test_bounds(self):
+        assert stall_probability(40, 39, 0.1) == 1.0
+        assert 0.0 <= stall_probability(40, 60, 0.1) <= 1.0
+
+    def test_decreases_with_n(self):
+        values = [stall_probability(40, n, 0.3) for n in (40, 50, 60, 70, 80)]
+        assert values == sorted(values, reverse=True)
+
+    def test_matches_planner(self):
+        n = minimal_cooked_packets(40, 0.3, 0.95)
+        assert stall_probability(40, n, 0.3) <= 0.05
+        assert stall_probability(40, n - 1, 0.3) > 0.05

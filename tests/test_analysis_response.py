@@ -1,0 +1,115 @@
+"""Tests for the analytic response-time models, validated against the
+simulator."""
+
+import random
+
+import pytest
+
+from repro.analysis.response import (
+    caching_expected_time,
+    expected_response_time,
+    nocaching_expected_time,
+)
+from repro.simulation.runner import simulate_transfer
+
+PACKET_TIME = 260 * 8 / 19200
+
+
+def simulated_mean(m, n, alpha, caching, runs=600, max_rounds=50, seed=0):
+    rng = random.Random(seed)
+    total = 0.0
+    for _ in range(runs):
+        outcome = simulate_transfer(
+            m=m, n=n, alpha=alpha, packet_time=PACKET_TIME,
+            rng=rng, caching=caching, max_rounds=max_rounds,
+        )
+        total += outcome.response_time
+    return total / runs
+
+
+class TestDegenerateCases:
+    def test_alpha_zero(self):
+        assert nocaching_expected_time(40, 60, 0.0, 1.0) == 40.0
+        assert caching_expected_time(40, 60, 0.0, 1.0) == 40.0
+
+    def test_n_equals_m_alpha_zero(self):
+        assert nocaching_expected_time(10, 10, 0.0, 2.0) == 20.0
+
+    def test_impossible_configuration_infinite(self):
+        # alpha=0.9 with n=m: q is astronomically small.
+        value = nocaching_expected_time(20, 20, 0.9, 1.0, max_rounds=5)
+        assert value == pytest.approx(5 * 20 * 1.0, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nocaching_expected_time(10, 5, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            caching_expected_time(10, 5, 0.1, 1.0)
+
+
+class TestAgainstSimulator:
+    @pytest.mark.parametrize(
+        "m,n,alpha",
+        [
+            (40, 60, 0.1),
+            (40, 60, 0.2),
+            (40, 60, 0.3),
+            (20, 40, 0.4),
+        ],
+    )
+    def test_nocaching_matches(self, m, n, alpha):
+        analytic = nocaching_expected_time(
+            m, n, alpha, PACKET_TIME, max_rounds=50
+        )
+        simulated = simulated_mean(m, n, alpha, caching=False, seed=hash((m, n, alpha)) % 10_000)
+        assert analytic == pytest.approx(simulated, rel=0.06)
+
+    @pytest.mark.parametrize(
+        "m,n,alpha",
+        [
+            (40, 60, 0.1),
+            (40, 60, 0.3),
+            (40, 60, 0.5),
+            (20, 24, 0.4),
+        ],
+    )
+    def test_caching_matches(self, m, n, alpha):
+        analytic = caching_expected_time(m, n, alpha, PACKET_TIME)
+        simulated = simulated_mean(m, n, alpha, caching=True, seed=hash((m, n, alpha, 1)) % 10_000)
+        assert analytic == pytest.approx(simulated, rel=0.08)
+
+
+class TestShapes:
+    def test_caching_never_worse_than_nocaching(self):
+        for alpha in (0.1, 0.3, 0.5):
+            caching = caching_expected_time(40, 60, alpha, 1.0)
+            nocaching = nocaching_expected_time(40, 60, alpha, 1.0, max_rounds=200)
+            assert caching <= nocaching + 1e-9
+
+    def test_monotone_in_alpha(self):
+        values = [caching_expected_time(40, 60, a, 1.0) for a in (0.1, 0.2, 0.3, 0.4, 0.5)]
+        assert values == sorted(values)
+
+    def test_more_redundancy_helps_nocaching(self):
+        tight = nocaching_expected_time(40, 48, 0.3, 1.0, max_rounds=100)
+        loose = nocaching_expected_time(40, 80, 0.3, 1.0, max_rounds=100)
+        assert loose < tight
+
+    def test_dispatch(self):
+        assert expected_response_time(40, 60, 0.1, 1.0, caching=True) == (
+            caching_expected_time(40, 60, 0.1, 1.0)
+        )
+        assert expected_response_time(
+            40, 60, 0.1, 1.0, caching=False, max_rounds=10
+        ) == nocaching_expected_time(40, 60, 0.1, 1.0, max_rounds=10)
+
+    def test_figure4_knee_reproduced_analytically(self):
+        """The γ sweep's knee at α = 0.3 appears in the closed form."""
+        times = {
+            gamma: nocaching_expected_time(
+                40, int(40 * gamma), 0.3, PACKET_TIME, max_rounds=50
+            )
+            for gamma in (1.1, 1.5, 2.0)
+        }
+        assert times[1.5] < times[1.1]
+        assert abs(times[2.0] - times[1.5]) < times[1.1] - times[1.5]

@@ -1,0 +1,91 @@
+"""Tests for sequential repetition control."""
+
+import random
+
+import pytest
+
+from repro.analysis.sequential import run_until_tight
+
+
+class TestConvergence:
+    def test_zero_variance_converges_immediately(self):
+        result = run_until_tight(lambda i: 5.0, min_repetitions=3)
+        assert result.converged
+        assert result.repetitions == 3
+        assert result.mean == 5.0
+        assert result.half_width == 0.0
+
+    def test_noisy_stream_needs_more_repetitions(self):
+        rng = random.Random(0)
+        noisy = run_until_tight(
+            lambda i: rng.gauss(10.0, 2.0),
+            relative_precision=0.05,
+            max_repetitions=500,
+        )
+        assert noisy.converged
+        assert noisy.repetitions > 3
+        assert noisy.relative_half_width <= 0.05
+
+    def test_tighter_precision_needs_more_samples(self):
+        def make_stream(seed):
+            rng = random.Random(seed)
+            return lambda i: rng.gauss(10.0, 2.0)
+
+        loose = run_until_tight(
+            make_stream(1), relative_precision=0.2, max_repetitions=500
+        )
+        tight = run_until_tight(
+            make_stream(1), relative_precision=0.02, max_repetitions=2000
+        )
+        assert tight.repetitions > loose.repetitions
+
+    def test_gives_up_at_max(self):
+        rng = random.Random(2)
+        result = run_until_tight(
+            lambda i: rng.gauss(0.0, 100.0),  # mean ~0: never tight
+            relative_precision=0.01,
+            max_repetitions=10,
+        )
+        assert not result.converged
+        assert result.repetitions == 10
+
+    def test_zero_mean_zero_variance(self):
+        result = run_until_tight(lambda i: 0.0)
+        assert result.converged
+        assert result.mean == 0.0
+
+    def test_sample_receives_index(self):
+        seen = []
+        run_until_tight(lambda i: seen.append(i) or 1.0, min_repetitions=3)
+        assert seen[:3] == [0, 1, 2]
+
+
+class TestValidation:
+    def test_bad_precision(self):
+        with pytest.raises(ValueError):
+            run_until_tight(lambda i: 1.0, relative_precision=0.0)
+
+    def test_max_below_min(self):
+        with pytest.raises(ValueError):
+            run_until_tight(lambda i: 1.0, min_repetitions=5, max_repetitions=2)
+
+
+class TestSimulationIntegration:
+    def test_session_means_tighten(self):
+        """The paper's 1–5% dispersion claim: session means converge
+        within a handful of repetitions at the default configuration."""
+        import random as _random
+
+        from repro.simulation.parameters import Parameters
+        from repro.simulation.runner import simulate_session
+
+        params = Parameters(documents_per_session=40, max_rounds=10)
+        master = _random.Random(7)
+
+        def sample(_index):
+            rng = _random.Random(master.getrandbits(64))
+            return simulate_session(params, rng, caching=True).mean_response_time
+
+        result = run_until_tight(sample, relative_precision=0.05, max_repetitions=60)
+        assert result.converged
+        assert result.repetitions <= 60

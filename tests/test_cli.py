@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data import draft_paper_path
+
+DRAFT = str(draft_paper_path())
+
+
+class TestSc:
+    def test_prints_tree(self, capsys):
+        assert main(["sc", DRAFT]) == 0
+        out = capsys.readouterr().out
+        assert "# measure: ic" in out
+        assert "document" in out
+        assert "0.0.1" in out
+
+    def test_query_switches_measure(self, capsys):
+        assert main(["sc", DRAFT, "--query", "browsing mobile web"]) == 0
+        assert "# measure: mqic" in capsys.readouterr().out
+
+    def test_html_input(self, tmp_path, capsys):
+        page = tmp_path / "page.html"
+        page.write_text("<h1>Wireless</h1><p>Mobile web browsing content.</p>")
+        assert main(["sc", str(page), "--html"]) == 0
+        assert "section" in capsys.readouterr().out
+
+
+class TestSchedule:
+    def test_cumulative_reaches_one(self, capsys):
+        assert main(["schedule", DRAFT, "--lod", "paragraph"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        last = out[-1]
+        assert "cumulative= 1.0000" in last or "cumulative=  1.0000" in last.replace("1.00000", "1.0000")
+
+    def test_lod_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["schedule", DRAFT, "--lod", "chapter"])
+
+
+class TestPlan:
+    def test_output(self, capsys):
+        assert main(["plan", "--m", "40", "--alpha", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "N=48" in out
+        assert "gamma=1.200" in out
+
+
+class TestTransfer:
+    def test_successful_transfer(self, capsys):
+        code = main(
+            ["transfer", DRAFT, "--alpha", "0.2", "--cache", "--seed", "1"]
+        )
+        assert code == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_early_stop(self, capsys):
+        code = main(
+            ["transfer", DRAFT, "--alpha", "0.0", "--stop-at", "0.3"]
+        )
+        assert code == 0
+        assert "early-stop" in capsys.readouterr().out
+
+    def test_failure_exit_code(self, capsys):
+        # gamma=1.0 on a terrible channel cannot finish; CLI signals it.
+        code = main(
+            [
+                "transfer", DRAFT,
+                "--alpha", "0.8", "--gamma", "1.0", "--seed", "2",
+            ]
+        )
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
+class TestFigure:
+    def test_table2(self, capsys):
+        assert main(["figure", "table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_unknown(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown artifact" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["figure", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig2", "fig7"):
+            assert name in out

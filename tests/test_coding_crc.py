@@ -1,0 +1,65 @@
+"""Tests for the CRC implementations against reference values."""
+
+import binascii
+import zlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.crc import crc16, crc32, verify_crc16, verify_crc32
+
+
+class TestCrc32Reference:
+    @given(st.binary(max_size=256))
+    def test_matches_zlib(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    def test_known_vector(self):
+        # The classic check value for "123456789".
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_incremental(self):
+        data = b"hello world"
+        partial = crc32(data[:5])
+        assert crc32(data[5:], initial=partial) == crc32(data)
+
+    def test_empty(self):
+        assert crc32(b"") == 0
+
+
+class TestCrc16Reference:
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE check value for "123456789".
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_empty_is_init(self):
+        assert crc16(b"") == 0xFFFF
+
+    @given(st.binary(max_size=128))
+    def test_sixteen_bits(self, data):
+        assert 0 <= crc16(data) <= 0xFFFF
+
+
+class TestErrorDetection:
+    @given(st.binary(min_size=1, max_size=128), st.integers(min_value=0, max_value=127))
+    def test_single_byte_flip_detected(self, data, position):
+        position %= len(data)
+        corrupted = bytearray(data)
+        corrupted[position] ^= 0x01
+        assert crc16(bytes(corrupted)) != crc16(data)
+        assert crc32(bytes(corrupted)) != crc32(data)
+
+    def test_verify_helpers(self):
+        data = b"packet payload"
+        assert verify_crc16(data, crc16(data))
+        assert not verify_crc16(data, crc16(data) ^ 1)
+        assert verify_crc32(data, crc32(data))
+        assert not verify_crc32(data, crc32(data) ^ 1)
+
+    def test_burst_errors_detected(self):
+        data = b"\x00" * 64
+        for burst_length in (2, 8, 16):
+            corrupted = bytearray(data)
+            for i in range(burst_length):
+                corrupted[20 + i] ^= 0xFF
+            assert crc32(bytes(corrupted)) != crc32(data)

@@ -1,0 +1,125 @@
+"""Field-axiom tests for GF(2^8) arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.gf256 import (
+    FIELD_SIZE,
+    gf_add,
+    gf_div,
+    gf_dot,
+    gf_inv,
+    gf_mul,
+    gf_mul_bytes,
+    gf_pow,
+    gf_sub,
+)
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestAdditiveGroup:
+    @given(elements, elements)
+    def test_commutative(self, a, b):
+        assert gf_add(a, b) == gf_add(b, a)
+
+    @given(elements)
+    def test_self_inverse(self, a):
+        assert gf_add(a, a) == 0
+        assert gf_sub(a, a) == 0
+
+    @given(elements)
+    def test_zero_identity(self, a):
+        assert gf_add(a, 0) == a
+
+
+class TestMultiplicativeGroup:
+    @given(elements, elements)
+    def test_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements)
+    def test_one_identity(self, a):
+        assert gf_mul(a, 1) == a
+
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert gf_mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(elements, nonzero)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert gf_div(a, b) == gf_mul(a, gf_inv(b))
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+        with pytest.raises(ZeroDivisionError):
+            gf_div(1, 0)
+
+
+class TestDistributivity:
+    @given(elements, elements, elements)
+    def test_left_distributive(self, a, b, c):
+        assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+
+class TestPow:
+    @given(nonzero, st.integers(min_value=0, max_value=510))
+    def test_pow_matches_repeated_mul(self, a, k):
+        expected = 1
+        for _ in range(k % 255):
+            expected = gf_mul(expected, a)
+        # a^k == a^(k mod 255) for nonzero a (multiplicative order 255).
+        assert gf_pow(a, k % 255) == expected
+
+    def test_zero_cases(self):
+        assert gf_pow(0, 0) == 1
+        assert gf_pow(0, 5) == 0
+        with pytest.raises(ZeroDivisionError):
+            gf_pow(0, -1)
+
+    @given(nonzero)
+    def test_negative_exponent(self, a):
+        assert gf_pow(a, -1) == gf_inv(a)
+
+
+class TestFieldIsComplete:
+    def test_multiplicative_group_is_cyclic_of_order_255(self):
+        """The generator 2 must enumerate all 255 nonzero elements."""
+        seen = set()
+        value = 1
+        for _ in range(255):
+            seen.add(value)
+            value = gf_mul(value, 2)
+        assert len(seen) == 255
+        assert value == 1  # full cycle
+
+
+class TestVectorHelpers:
+    @given(st.lists(elements, min_size=1, max_size=16))
+    def test_dot_against_manual(self, row):
+        column = [gf_add(v, 1) for v in row]
+        manual = 0
+        for a, b in zip(row, column):
+            manual ^= gf_mul(a, b)
+        assert gf_dot(row, column) == manual
+
+    def test_dot_length_mismatch(self):
+        with pytest.raises(ValueError):
+            gf_dot([1, 2], [1])
+
+    @given(elements, st.binary(min_size=0, max_size=64))
+    def test_mul_bytes_matches_scalar_mul(self, scalar, data):
+        result = gf_mul_bytes(scalar, data)
+        assert len(result) == len(data)
+        for original, scaled in zip(data, result):
+            assert scaled == gf_mul(scalar, original)

@@ -1,0 +1,145 @@
+"""Tests for the erasure codecs: the any-M-of-N reconstruction property."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.rs import (
+    MAX_COOKED,
+    CodecError,
+    RabinDispersal,
+    SystematicRSCodec,
+)
+
+
+def random_packets(rng: random.Random, m: int, size: int):
+    return [bytes(rng.randrange(256) for _ in range(size)) for _ in range(m)]
+
+
+class TestConfiguration:
+    def test_n_less_than_m_rejected(self):
+        with pytest.raises(CodecError):
+            SystematicRSCodec(5, 4)
+
+    def test_n_above_field_limit_rejected(self):
+        with pytest.raises(CodecError):
+            SystematicRSCodec(10, 256)
+
+    def test_max_cooked_boundary_allowed(self):
+        SystematicRSCodec(10, MAX_COOKED)
+
+    def test_n_equals_m_degenerates_to_identity(self):
+        codec = SystematicRSCodec(3, 3)
+        raw = [b"aa", b"bb", b"cc"]
+        assert codec.encode(raw) == raw
+
+
+class TestSystematicProperty:
+    def test_clear_text_prefix(self):
+        rng = random.Random(0)
+        codec = SystematicRSCodec(6, 11)
+        raw = random_packets(rng, 6, 32)
+        cooked = codec.encode(raw)
+        assert cooked[:6] == raw
+
+    def test_indices_helpers(self):
+        codec = SystematicRSCodec(4, 7)
+        assert list(codec.clear_text_indices()) == [0, 1, 2, 3]
+        assert list(codec.redundancy_indices()) == [4, 5, 6]
+
+    def test_rabin_is_not_systematic(self):
+        rng = random.Random(1)
+        codec = RabinDispersal(4, 8)
+        raw = random_packets(rng, 4, 16)
+        cooked = codec.encode(raw)
+        # With high probability no cooked packet equals a raw one
+        # (row 0 of the Vandermonde is all-ones, a checksum of rows).
+        assert cooked[:4] != raw
+
+
+class TestAnyMofN:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=8),
+        st.booleans(),
+    )
+    def test_random_subsets_reconstruct(self, seed, m, extra, systematic):
+        rng = random.Random(seed)
+        n = m + extra
+        codec_cls = SystematicRSCodec if systematic else RabinDispersal
+        codec = codec_cls(m, n)
+        raw = random_packets(rng, m, 24)
+        cooked = codec.encode(raw)
+        keep = rng.sample(range(n), m)
+        assert codec.decode({i: cooked[i] for i in keep}) == raw
+
+    def test_every_possible_subset_small_code(self):
+        """Exhaustive check for (M=3, N=6): all C(6,3)=20 subsets work."""
+        import itertools
+
+        rng = random.Random(7)
+        codec = SystematicRSCodec(3, 6)
+        raw = random_packets(rng, 3, 8)
+        cooked = codec.encode(raw)
+        for subset in itertools.combinations(range(6), 3):
+            assert codec.decode({i: cooked[i] for i in subset}) == raw
+
+    def test_extra_packets_ignored(self):
+        rng = random.Random(3)
+        codec = SystematicRSCodec(3, 6)
+        raw = random_packets(rng, 3, 8)
+        cooked = codec.encode(raw)
+        assert codec.decode({i: cooked[i] for i in range(6)}) == raw
+
+
+class TestDecodeErrors:
+    def test_too_few_packets(self):
+        codec = SystematicRSCodec(4, 6)
+        raw = random_packets(random.Random(0), 4, 8)
+        cooked = codec.encode(raw)
+        with pytest.raises(CodecError, match="at least 4"):
+            codec.decode({0: cooked[0], 1: cooked[1], 5: cooked[5]})
+
+    def test_index_out_of_range(self):
+        codec = SystematicRSCodec(2, 4)
+        with pytest.raises(CodecError, match="out of range"):
+            codec.decode({0: b"aa", 1: b"bb", 9: b"cc"})
+
+    def test_mismatched_sizes(self):
+        codec = SystematicRSCodec(2, 4)
+        with pytest.raises(CodecError, match="same length"):
+            codec.decode({0: b"aa", 1: b"b"})
+
+    def test_encode_wrong_count(self):
+        codec = SystematicRSCodec(3, 5)
+        with pytest.raises(CodecError, match="expected 3"):
+            codec.encode([b"a", b"b"])
+
+    def test_encode_mismatched_lengths(self):
+        codec = SystematicRSCodec(2, 4)
+        with pytest.raises(CodecError, match="same length"):
+            codec.encode([b"aa", b"a"])
+
+
+class TestCorruptionSemantics:
+    def test_m_minus_one_insufficient(self):
+        """Any M−1 packets must not be accepted (the threshold is exact)."""
+        codec = RabinDispersal(5, 9)
+        raw = random_packets(random.Random(5), 5, 16)
+        cooked = codec.encode(raw)
+        with pytest.raises(CodecError):
+            codec.decode({i: cooked[i] for i in range(4)})
+
+    def test_decode_cache_consistency(self):
+        """Repeated decodes with the same subset reuse the cached inverse."""
+        rng = random.Random(11)
+        codec = SystematicRSCodec(4, 8)
+        raw = random_packets(rng, 4, 8)
+        cooked = codec.encode(raw)
+        subset = {1: cooked[1], 4: cooked[4], 6: cooked[6], 7: cooked[7]}
+        first = codec.decode(subset)
+        second = codec.decode(subset)
+        assert first == second == raw

@@ -1,0 +1,112 @@
+"""Tests for the incremental decoder against the batch decoder."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.rs import CodecError, RabinDispersal, SystematicRSCodec
+from repro.coding.stream import IncrementalDecoder
+
+
+def random_packets(rng, m, size=24):
+    return [bytes(rng.randrange(256) for _ in range(size)) for _ in range(m)]
+
+
+class TestIncrementalDecoding:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=8),
+        st.booleans(),
+    )
+    def test_matches_batch_decoder(self, seed, m, extra, systematic):
+        rng = random.Random(seed)
+        codec_cls = SystematicRSCodec if systematic else RabinDispersal
+        codec = codec_cls(m, m + extra)
+        raw = random_packets(rng, m)
+        cooked = codec.encode(raw)
+
+        arrivals = list(range(codec.n))
+        rng.shuffle(arrivals)
+        decoder = IncrementalDecoder(codec)
+        for sequence in arrivals:
+            decoder.add(sequence, cooked[sequence])
+            if decoder.complete:
+                break
+        assert decoder.solve() == raw
+
+    def test_every_fresh_packet_is_useful(self):
+        """Vandermonde codes are MDS: any subset of ≤ M rows is
+        independent, so rank rises with every new packet."""
+        rng = random.Random(1)
+        codec = SystematicRSCodec(6, 12)
+        cooked = codec.encode(random_packets(rng, 6))
+        decoder = IncrementalDecoder(codec)
+        order = rng.sample(range(12), 6)
+        for expected_rank, sequence in enumerate(order, start=1):
+            assert decoder.add(sequence, cooked[sequence]) is True
+            assert decoder.rank == expected_rank
+        assert decoder.complete
+
+    def test_duplicates_rejected(self):
+        rng = random.Random(2)
+        codec = SystematicRSCodec(3, 6)
+        cooked = codec.encode(random_packets(rng, 3))
+        decoder = IncrementalDecoder(codec)
+        assert decoder.add(0, cooked[0])
+        assert not decoder.add(0, cooked[0])
+        assert decoder.rank == 1
+
+    def test_extra_packets_after_complete_ignored(self):
+        rng = random.Random(3)
+        codec = SystematicRSCodec(2, 5)
+        cooked = codec.encode(random_packets(rng, 2))
+        decoder = IncrementalDecoder(codec)
+        decoder.add(3, cooked[3])
+        decoder.add(4, cooked[4])
+        assert decoder.complete
+        assert not decoder.add(0, cooked[0])
+
+    def test_needed_counts_down(self):
+        rng = random.Random(4)
+        codec = SystematicRSCodec(4, 8)
+        cooked = codec.encode(random_packets(rng, 4))
+        decoder = IncrementalDecoder(codec)
+        assert decoder.needed == 4
+        decoder.add(5, cooked[5])
+        assert decoder.needed == 3
+
+    def test_solve_document_trims(self):
+        document = b"short document!"
+        from repro.coding.packets import Packetizer
+
+        packetizer = Packetizer(packet_size=4, redundancy_ratio=2.0)
+        cooked_doc = packetizer.cook(document)
+        decoder = IncrementalDecoder(cooked_doc.codec)
+        for sequence in range(cooked_doc.m, 2 * cooked_doc.m):
+            decoder.add(sequence, cooked_doc.cooked[sequence])
+        assert decoder.solve_document(len(document)) == document
+
+
+class TestErrors:
+    def test_solve_before_complete(self):
+        codec = SystematicRSCodec(3, 6)
+        decoder = IncrementalDecoder(codec)
+        with pytest.raises(CodecError, match="rank"):
+            decoder.solve()
+
+    def test_sequence_out_of_range(self):
+        decoder = IncrementalDecoder(SystematicRSCodec(2, 4))
+        with pytest.raises(CodecError, match="out of range"):
+            decoder.add(9, b"xx")
+
+    def test_inconsistent_payload_size(self):
+        rng = random.Random(5)
+        codec = SystematicRSCodec(2, 4)
+        cooked = codec.encode(random_packets(rng, 2))
+        decoder = IncrementalDecoder(codec)
+        decoder.add(0, cooked[0])
+        with pytest.raises(CodecError, match="size"):
+            decoder.add(1, cooked[1][:-1])

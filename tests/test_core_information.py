@@ -1,0 +1,244 @@
+"""Tests for IC / QIC / MQIC — formulas and the additive-rule invariant."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.information import (
+    ModifiedQueryIC,
+    ProportionalIC,
+    QueryIC,
+    StaticIC,
+    TfIdfIC,
+    annotate_sc,
+)
+from repro.core.lod import LOD
+from repro.core.pipeline import build_sc
+from repro.core.query import Query
+from repro.core.structure import OrganizationalUnit, StructuralCharacteristic
+from repro.text.vector import OccurrenceVector
+from repro.xmlkit.parser import parse_xml
+
+PAPER_XML = """<paper>
+  <title>Mobile Web Browsing</title>
+  <abstract><paragraph>Browsing the mobile web needs bandwidth care.</paragraph></abstract>
+  <section>
+    <title>Transmission</title>
+    <paragraph>Packets carry document units over wireless channels.</paragraph>
+    <paragraph>Redundancy recovers corrupted packets without retransmission.</paragraph>
+  </section>
+  <section>
+    <title>Caching</title>
+    <subsection>
+      <title>Client Storage</title>
+      <paragraph>Caching intact packets in client storage helps recovery.</paragraph>
+    </subsection>
+  </section>
+</paper>"""
+
+
+def paper_sc():
+    return build_sc(parse_xml(PAPER_XML))
+
+
+def synthetic_sc(rng: random.Random, sections: int = 3, paragraphs: int = 3):
+    """A random SC with keyword counts only in paragraphs (no titles)."""
+    vocabulary = [f"kw{i}" for i in range(8)]
+    root = OrganizationalUnit(LOD.DOCUMENT, "D")
+    for s in range(sections):
+        section = root.add_child(OrganizationalUnit(LOD.SECTION, str(s + 1)))
+        for p in range(paragraphs):
+            counts = {
+                word: rng.randint(1, 5)
+                for word in rng.sample(vocabulary, rng.randint(1, 4))
+            }
+            section.add_child(
+                OrganizationalUnit(
+                    LOD.PARAGRAPH, f"{s + 1}.{p + 1}", own_counts=counts
+                )
+            )
+    return StructuralCharacteristic(root, OccurrenceVector(root.counts()))
+
+
+class TestStaticIC:
+    def test_document_value_is_one(self):
+        sc = paper_sc()
+        measure = StaticIC(sc)
+        assert measure.value(sc.root) == pytest.approx(1.0)
+
+    def test_additive_rule(self):
+        """p_j = Σ_k p_{j,k} plus the unit's intrinsic (title) share."""
+        sc = paper_sc()
+        measure = StaticIC(sc)
+        for unit in sc.root.walk():
+            if unit.children:
+                total = measure.value_own(unit) + sum(
+                    measure.value(child) for child in unit.children
+                )
+                assert measure.value(unit) == pytest.approx(total)
+
+    def test_values_in_unit_interval(self):
+        sc = paper_sc()
+        measure = StaticIC(sc)
+        for unit in sc.root.walk():
+            assert 0.0 <= measure.value(unit) <= 1.0 + 1e-12
+
+    def test_additivity_random_trees(self):
+        for seed in range(10):
+            sc = synthetic_sc(random.Random(seed))
+            measure = StaticIC(sc)
+            assert measure.value(sc.root) == pytest.approx(1.0)
+            for unit in sc.root.walk():
+                if unit.children:
+                    assert measure.value(unit) == pytest.approx(
+                        sum(measure.value(c) for c in unit.children)
+                    )
+
+    def test_weight_formula_flows_through(self):
+        # Single-paragraph document: paragraph IC = 1 regardless of weights.
+        root = OrganizationalUnit(LOD.DOCUMENT, "D")
+        section = root.add_child(OrganizationalUnit(LOD.SECTION, "1"))
+        section.add_child(
+            OrganizationalUnit(LOD.PARAGRAPH, "1.1", own_counts={"a": 2, "b": 1})
+        )
+        sc = StructuralCharacteristic(root, OccurrenceVector(root.counts()))
+        assert StaticIC(sc).value(section) == pytest.approx(1.0)
+
+
+class TestQueryIC:
+    def test_zero_without_query_words(self):
+        sc = paper_sc()
+        query = Query("caching storage")
+        qic = QueryIC(sc, query)
+        transmission = sc.unit("1")
+        assert qic.value(transmission) == 0.0
+
+    def test_document_value_is_one_when_query_matches(self):
+        sc = paper_sc()
+        qic = QueryIC(sc, Query("caching"))
+        assert qic.value(sc.root) == pytest.approx(1.0)
+
+    def test_query_reranks_units(self):
+        sc = paper_sc()
+        static = StaticIC(sc)
+        qic = QueryIC(sc, Query("caching storage"))
+        caching_section = sc.unit("2")
+        transmission_section = sc.unit("1")
+        # Static IC favours the longer transmission section...
+        assert static.value(transmission_section) > static.value(caching_section)
+        # ...but the query flips the ranking.
+        assert qic.value(caching_section) > qic.value(transmission_section)
+
+    def test_no_overlap_yields_all_zero(self):
+        sc = paper_sc()
+        qic = QueryIC(sc, Query("zebra quantum"))
+        for unit in sc.root.walk():
+            assert qic.value(unit) == 0.0
+
+    def test_additive_rule(self):
+        sc = paper_sc()
+        qic = QueryIC(sc, Query("browsing mobile web"))
+        for unit in sc.root.walk():
+            if unit.children:
+                total = qic.value_own(unit) + sum(
+                    qic.value(child) for child in unit.children
+                )
+                assert qic.value(unit) == pytest.approx(total)
+
+    def test_repeated_query_word_changes_weights(self):
+        """Repeating a word emphasizes it via the occurrence counts."""
+        sc = paper_sc()
+        plain = QueryIC(sc, Query("caching packets"))
+        emphasized = QueryIC(sc, Query("caching caching packets"))
+        caching_unit = sc.unit("2.1.1")
+        transmission_unit = sc.unit("1.0.2")
+        ratio_plain = plain.value(caching_unit) / max(plain.value(transmission_unit), 1e-12)
+        ratio_emph = emphasized.value(caching_unit) / max(
+            emphasized.value(transmission_unit), 1e-12
+        )
+        # With "caching" repeated, its weight drops relative to the
+        # norm but the *other* word's weight rises; the relative
+        # balance must change.
+        assert ratio_plain != pytest.approx(ratio_emph)
+
+
+class TestModifiedQueryIC:
+    def test_scale_factor(self):
+        sc = paper_sc()
+        query = Query("browsing mobile web")
+        mqic = ModifiedQueryIC(sc, query)
+        assert mqic.scale == pytest.approx(
+            sc.vector.total / query.total_occurrences()
+        )
+
+    def test_no_zero_for_units_without_query_words(self):
+        sc = paper_sc()
+        mqic = ModifiedQueryIC(sc, Query("caching storage"))
+        transmission = sc.unit("1")
+        assert mqic.value(transmission) > 0.0
+
+    def test_document_value_is_one(self):
+        sc = paper_sc()
+        mqic = ModifiedQueryIC(sc, Query("caching"))
+        assert mqic.value(sc.root) == pytest.approx(1.0)
+
+    def test_additive_rule(self):
+        sc = paper_sc()
+        mqic = ModifiedQueryIC(sc, Query("browsing mobile web"))
+        for unit in sc.root.walk():
+            if unit.children:
+                total = mqic.value_own(unit) + sum(
+                    mqic.value(child) for child in unit.children
+                )
+                assert mqic.value(unit) == pytest.approx(total)
+
+
+class TestAlternatives:
+    def test_proportional_document_is_one(self):
+        sc = paper_sc()
+        assert ProportionalIC(sc).value(sc.root) == pytest.approx(1.0)
+
+    def test_tfidf_requires_positive_corpus(self):
+        sc = paper_sc()
+        with pytest.raises(ValueError):
+            TfIdfIC(sc, {}, corpus_size=0)
+
+    def test_tfidf_rare_terms_weigh_more(self):
+        sc = paper_sc()
+        # "caching" rare in corpus, everything else common.
+        df = {kw: 100 for kw in sc.vector}
+        caching_lemma = [k for k in sc.vector if k.startswith("cach")][0]
+        df[caching_lemma] = 1
+        tfidf = TfIdfIC(sc, df, corpus_size=100)
+        flat = TfIdfIC(sc, {kw: 100 for kw in sc.vector}, corpus_size=100)
+        caching_section = sc.unit("2")
+        assert tfidf.value(caching_section) > flat.value(caching_section)
+
+
+class TestAnnotateSC:
+    def test_all_measures_attached(self):
+        sc = paper_sc()
+        measures = annotate_sc(
+            sc,
+            query=Query("mobile web"),
+            document_frequency={},
+            corpus_size=10,
+        )
+        assert set(measures) == {"ic", "proportional", "qic", "mqic", "tfidf"}
+        for unit in sc.root.walk():
+            for name in measures:
+                assert name in unit.content
+                assert name in unit.own_content
+
+    def test_without_query(self):
+        sc = paper_sc()
+        measures = annotate_sc(sc)
+        assert "qic" not in measures
+        assert "ic" in measures
+
+    def test_empty_query_skipped(self):
+        sc = paper_sc()
+        measures = annotate_sc(sc, query=Query("the of and"))  # all stop words
+        assert "qic" not in measures

@@ -1,0 +1,122 @@
+"""Tests for the intuition-level transmission ordering (§6)."""
+
+import pytest
+
+from repro.core.information import annotate_sc
+from repro.core.intuition import IntuitionModel, annotate_intuition
+from repro.core.lod import LOD
+from repro.core.multires import TransmissionSchedule
+from repro.core.pipeline import build_sc
+from repro.xmlkit.parser import parse_xml
+
+XML = """<paper>
+  <title>T</title>
+  <abstract><paragraph>High level summary of the whole system design.</paragraph></abstract>
+  <section>
+    <title>Introduction</title>
+    <paragraph>Opening paragraph stating the problem and approach.</paragraph>
+    <paragraph>Second paragraph with additional motivating detail.</paragraph>
+  </section>
+  <section>
+    <title>Methodology Details</title>
+    <paragraph>Dense methodological material with derivations galore.</paragraph>
+    <paragraph>More methodological material continuing the derivations.</paragraph>
+  </section>
+  <section>
+    <title>References</title>
+    <paragraph>Citation citation citation citation citation citation.</paragraph>
+  </section>
+</paper>"""
+
+
+def annotated():
+    sc = build_sc(parse_xml(XML))
+    annotate_sc(sc)
+    return sc
+
+
+class TestIntuitionModel:
+    def test_title_priors(self):
+        model = IntuitionModel()
+        assert model.title_prior("Introduction") > 1.0
+        assert model.title_prior("Abstract") > model.title_prior("Introduction") - 0.5
+        assert model.title_prior("References") < 1.0
+        assert model.title_prior("Methodology Details") == 1.0
+
+    def test_title_prior_case_insensitive(self):
+        model = IntuitionModel()
+        assert model.title_prior("INTRODUCTION") == model.title_prior("introduction")
+
+    def test_custom_weights(self):
+        model = IntuitionModel(title_weights={"methodology details": 3.0})
+        assert model.title_prior("Methodology Details") == 3.0
+
+    def test_lead_paragraph_boost(self):
+        sc = annotated()
+        model = IntuitionModel()
+        intro = sc.unit("1")
+        paragraphs = [u for u in intro.walk() if u.lod is LOD.PARAGRAPH]
+        first, second = paragraphs[0], paragraphs[1]
+        assert model.unit_prior(first) > model.unit_prior(second)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntuitionModel(lead_paragraph_boost=0.0)
+        with pytest.raises(ValueError):
+            IntuitionModel(depth_decay=1.5)
+
+
+class TestAnnotateIntuition:
+    def test_requires_base_measure(self):
+        sc = build_sc(parse_xml(XML))
+        with pytest.raises(ValueError, match="annotate_sc"):
+            annotate_intuition(sc)
+
+    def test_document_total_preserved(self):
+        sc = annotated()
+        annotate_intuition(sc)
+        assert sc.root.content["intuition"] == pytest.approx(sc.root.content["ic"])
+
+    def test_additive_rule_holds(self):
+        sc = annotated()
+        annotate_intuition(sc)
+        for unit in sc.root.walk():
+            if unit.children:
+                total = unit.own_content["intuition"] + sum(
+                    child.content["intuition"] for child in unit.children
+                )
+                assert unit.content["intuition"] == pytest.approx(total)
+
+    def test_references_demoted(self):
+        sc = annotated()
+        annotate_intuition(sc)
+        references = sc.unit("3")
+        methodology = sc.unit("2")
+        ratio_intuition = references.content["intuition"] / methodology.content["intuition"]
+        ratio_ic = references.content["ic"] / methodology.content["ic"]
+        assert ratio_intuition < ratio_ic
+
+    def test_introduction_promoted(self):
+        sc = annotated()
+        annotate_intuition(sc)
+        intro = sc.unit("1")
+        assert intro.content["intuition"] / intro.content["ic"] > 1.0
+
+    def test_schedulable(self):
+        sc = annotated()
+        name = annotate_intuition(sc)
+        schedule = TransmissionSchedule(sc, lod=LOD.PARAGRAPH, measure=name)
+        values = [unit.content[name] for unit in schedule.units]
+        assert values == sorted(values, reverse=True)
+        assert sum(s.content for s in schedule.segments()) == pytest.approx(1.0)
+
+    def test_changes_order_versus_plain_ic(self):
+        sc = annotated()
+        annotate_intuition(sc)
+        by_ic = TransmissionSchedule(sc, lod=LOD.SECTION, measure="ic")
+        by_intuition = TransmissionSchedule(sc, lod=LOD.SECTION, measure="intuition")
+        labels_ic = [u.label for u in by_ic.units]
+        labels_intuition = [u.label for u in by_intuition.units]
+        assert labels_ic != labels_intuition
+        # References drop toward the end under intuition ordering.
+        assert labels_intuition.index("3") >= labels_ic.index("3")

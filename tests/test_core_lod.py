@@ -1,0 +1,45 @@
+"""Tests for the LOD enum."""
+
+from repro.core.lod import ALL_LODS, LOD
+
+
+class TestOrdering:
+    def test_coarse_to_fine(self):
+        assert LOD.DOCUMENT < LOD.SECTION < LOD.SUBSECTION
+        assert LOD.SUBSUBSECTION < LOD.PARAGRAPH
+
+    def test_all_lods_sorted(self):
+        assert list(ALL_LODS) == sorted(ALL_LODS)
+        assert len(ALL_LODS) == 5
+
+
+class TestNavigation:
+    def test_finer(self):
+        assert LOD.DOCUMENT.finer() is LOD.SECTION
+        assert LOD.PARAGRAPH.finer() is None
+
+    def test_coarser(self):
+        assert LOD.PARAGRAPH.coarser() is LOD.SUBSUBSECTION
+        assert LOD.DOCUMENT.coarser() is None
+
+    def test_roundtrip(self):
+        for lod in ALL_LODS[:-1]:
+            assert lod.finer().coarser() is lod
+
+
+class TestTagMapping:
+    def test_from_tag(self):
+        assert LOD.from_tag("paper") is LOD.DOCUMENT
+        assert LOD.from_tag("section") is LOD.SECTION
+        assert LOD.from_tag("paragraph") is LOD.PARAGRAPH
+
+    def test_abstract_is_section_zero(self):
+        """The paper's Table 1 treats the abstract as Section 0."""
+        assert LOD.from_tag("abstract") is LOD.SECTION
+
+    def test_unknown_tag(self):
+        assert LOD.from_tag("figure") is None
+
+    def test_tag_property_roundtrip(self):
+        for lod in ALL_LODS:
+            assert LOD.from_tag(lod.tag) is lod

@@ -1,0 +1,57 @@
+"""Tests for query parsing and querying-word weights (§3.2)."""
+
+import math
+
+import pytest
+
+from repro.core.query import Query
+
+
+class TestParsing:
+    def test_keywords_lemmatized(self):
+        query = Query("browsing browsers")
+        assert len(query.keywords()) == 2  # brows + browser
+
+    def test_stopwords_dropped(self):
+        query = Query("the web of things")
+        lemmas = query.keywords()
+        assert all(lemma not in ("the", "of") for lemma in lemmas)
+
+    def test_empty_query(self):
+        query = Query("the of and")
+        assert query.is_empty
+        assert query.keywords() == frozenset()
+        assert query.weight("anything") == 0.0
+
+    def test_from_keywords(self):
+        query = Query.from_keywords(["mobile", "web"])
+        assert not query.is_empty
+        assert query.total_occurrences() == 2
+
+
+class TestWeights:
+    def test_uniform_query_weights_are_one(self):
+        """All |a_Q| = 1 = ‖V_Q‖∞ → ω^Q = 1 − log2(1) = 1."""
+        query = Query("browsing mobile web")
+        for lemma in query.keywords():
+            assert query.weight(lemma) == pytest.approx(1.0)
+
+    def test_absent_word_weight_zero(self):
+        query = Query("mobile")
+        assert query.weight("zebra") == 0.0
+
+    def test_repetition_emphasis(self):
+        """Repeating a word raises its count; with the infinity norm the
+        repeated word pins ω = 1 while the others gain weight."""
+        query = Query("mobile mobile web")
+        mobile = [k for k in query.keywords() if k.startswith("mobil")][0]
+        web = [k for k in query.keywords() if k == "web"][0]
+        assert query.count(mobile) == 2
+        assert query.weight(mobile) == pytest.approx(1.0)
+        assert query.weight(web) == pytest.approx(1.0 + math.log2(2))
+
+    def test_total_occurrences(self):
+        assert Query("a mobile mobile web").total_occurrences() == 3
+
+    def test_repr(self):
+        assert "mobile" in repr(Query("mobile"))

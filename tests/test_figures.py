@@ -1,0 +1,112 @@
+"""Tests for the per-table/figure reproduction entry points."""
+
+import pytest
+
+from repro.core.lod import LOD
+from repro.figures import (
+    TABLE1_QUERY,
+    figure2,
+    figure3,
+    figure6,
+    format_table,
+    table1,
+    table2,
+)
+from repro.simulation.parameters import Parameters
+
+
+class TestFormatTable:
+    def test_renders_headers_and_rows(self):
+        text = format_table([("a", 1.5)], headers=("name", "value"))
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "1.50000" in lines[2]
+
+    def test_empty_rows(self):
+        text = format_table([], headers=("x",))
+        assert "x" in text
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table1()
+
+    def test_paper_like_structure(self, rows):
+        labels = [label for label, *_ in rows]
+        assert "0" in labels          # abstract as Section 0
+        assert "1.0.1" in labels      # virtual-subsection paragraphs
+        assert any(label.startswith("3.") for label in labels)
+
+    def test_values_are_shares(self, rows):
+        for _label, ic, qic, mqic in rows:
+            assert 0.0 <= ic <= 1.0
+            assert 0.0 <= qic <= 1.0
+            assert 0.0 <= mqic <= 1.0
+
+    def test_sections_sum_to_one(self, rows):
+        top_level = [
+            ic for label, ic, _q, _m in rows if "." not in label and "(" not in label
+        ]
+        # Sections plus the document title share account for all content.
+        assert sum(top_level) == pytest.approx(1.0, abs=0.15)
+
+    def test_query_zeroes_nonmatching_units(self, rows):
+        """Like the paper's Table 1, some units have QIC = 0 but
+        nonzero MQIC."""
+        zero_qic = [
+            (qic, mqic) for _label, _ic, qic, mqic in rows if qic == 0.0 and mqic > 0.0
+        ]
+        assert zero_qic
+
+    def test_default_query_is_papers(self):
+        assert TABLE1_QUERY == "browsing mobile web"
+
+    def test_custom_document(self):
+        rows = table1(
+            "<paper><title>T</title><section><title>Only</title>"
+            "<paragraph>mobile web words</paragraph></section></paper>"
+        )
+        assert rows
+
+
+class TestFigure2:
+    def test_structure(self):
+        data = figure2(ms=(10, 50), alphas=(0.1, 0.5), successes=(0.95,))
+        assert set(data) == {0.95}
+        assert set(data[0.95]) == {0.1, 0.5}
+        for series in data[0.95].values():
+            assert [m for m, _n in series] == [10, 50]
+
+    def test_n_grows_with_m_and_alpha(self):
+        data = figure2(ms=(10, 100), alphas=(0.1, 0.5), successes=(0.95,))[0.95]
+        assert data[0.1][0][1] < data[0.1][1][1]
+        assert data[0.1][1][1] < data[0.5][1][1]
+
+
+class TestFigure3:
+    def test_band_contains_gamma(self):
+        data = figure3(alphas=(0.1, 0.5), successes=(0.95,))
+        panel = data[0.95]
+        for alpha in (0.1, 0.5):
+            low, high = panel["band"][alpha]
+            assert low - 1e-9 <= panel["gamma"][alpha] <= high + 1e-9
+
+
+class TestFigure6Quick:
+    def test_shape(self):
+        params = Parameters(documents_per_session=20, repetitions=2, max_rounds=10)
+        results = figure6(
+            params, thresholds=(0.2,), alphas=(0.1,), lods=(LOD.DOCUMENT, LOD.PARAGRAPH)
+        )
+        per_lod = results[0.1]
+        assert per_lod[LOD.PARAGRAPH][0].mean >= per_lod[LOD.DOCUMENT][0].mean
+
+
+class TestTable2:
+    def test_matches_parameters(self):
+        rows = dict(table2())
+        assert rows["M (raw packets)"] == 40
+        assert rows["N (cooked packets)"] == 60
+        assert rows["B (bandwidth kbps)"] == 19.2

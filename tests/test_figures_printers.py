@@ -1,0 +1,66 @@
+"""Smoke tests for the print_* reproduction entry points.
+
+These guard the presentation layer: every printer must produce the
+figure's panels and series without touching the full-scale defaults.
+"""
+
+import pytest
+
+import repro.figures as figures
+from repro.simulation.parameters import Parameters
+
+TINY = Parameters(documents_per_session=10, repetitions=2, max_rounds=8)
+
+
+class TestAnalyticPrinters:
+    def test_print_table1(self, capsys):
+        figures.print_table1()
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "MQIC" in out
+        assert "1.0.1" in out
+
+    def test_print_table2(self, capsys):
+        figures.print_table2()
+        out = capsys.readouterr().out
+        assert "M (raw packets)" in out
+
+    def test_print_figure2(self, capsys):
+        figures.print_figure2(ms=(10, 20), alphas=(0.1,), successes=(0.95,))
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "alpha=0.1" in out
+
+    def test_print_figure3(self, capsys):
+        figures.print_figure3(alphas=(0.1, 0.5), successes=(0.95,))
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "S=95%" in out
+
+
+class TestSimulationPrinters:
+    def test_print_figure4(self, capsys):
+        figures.print_figure4(
+            TINY, gammas=(1.2, 1.5), alphas=(0.1,), irrelevant_fractions=(0.0,)
+        )
+        out = capsys.readouterr().out
+        assert "Figure 4 — caching (I = 0)" in out
+        assert "Figure 4 — nocaching (I = 0)" in out
+
+    def test_print_figure5(self, capsys):
+        figures.print_figure5(TINY, fractions=(0.0, 0.5), alphas=(0.1,))
+        out = capsys.readouterr().out
+        assert "response time vs I" in out
+        assert "response time vs F" in out
+
+    def test_print_figure6(self, capsys):
+        figures.print_figure6(TINY, thresholds=(0.2,), alphas=(0.1,))
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "paragraph" in out
+
+    def test_print_figure7(self, capsys):
+        figures.print_figure7(TINY, thresholds=(0.2,), deltas=(2.0,))
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "delta = 2" in out

@@ -1,0 +1,98 @@
+"""Tests for HTML → research-paper structure extraction."""
+
+from repro.htmlkit.extract import html_to_research_paper
+from repro.xmlkit.dtd import RESEARCH_PAPER
+
+
+class TestOutline:
+    def test_headings_become_sections(self):
+        doc = html_to_research_paper(
+            "<title>T</title><h1>One</h1><p>a</p><h1>Two</h1><p>b</p>"
+        )
+        sections = doc.root.find_all("section")
+        assert len(sections) == 2
+        titles = [s.find("title").text_content() for s in sections]
+        assert titles == ["One", "Two"]
+
+    def test_h2_becomes_subsection(self):
+        doc = html_to_research_paper(
+            "<h1>S</h1><p>a</p><h2>Sub</h2><p>b</p>"
+        )
+        section = doc.root.find("section")
+        sub = section.find("subsection")
+        assert sub is not None
+        assert sub.find("title").text_content() == "Sub"
+        assert sub.find("paragraph").text_content().strip() == "b"
+
+    def test_heading_levels_normalized(self):
+        # Page starts at h2: h2 should still map to section.
+        doc = html_to_research_paper("<h2>Only</h2><p>x</p>")
+        assert doc.root.find("section") is not None
+        assert doc.root.find("subsection") is None
+
+    def test_deep_heading_clamped(self):
+        # h3 with no h1/h2 context opens a section, not an orphan.
+        doc = html_to_research_paper("<h3>Deep</h3><p>x</p>")
+        assert doc.root.find("section") is not None
+
+    def test_leading_text_becomes_abstract(self):
+        doc = html_to_research_paper("<p>intro words</p><h1>S</h1><p>body</p>")
+        abstract = doc.root.find("abstract")
+        assert abstract is not None
+        assert "intro" in abstract.text_content()
+
+
+class TestTitle:
+    def test_title_tag_preferred(self):
+        doc = html_to_research_paper("<title>Doc Title</title><h1>H</h1><p>x</p>")
+        assert doc.root.find("title").text_content() == "Doc Title"
+
+    def test_h1_fallback(self):
+        doc = html_to_research_paper("<h1>Only Heading</h1><p>x</p>")
+        assert doc.root.find("title").text_content() == "Only Heading"
+
+    def test_untitled_fallback(self):
+        doc = html_to_research_paper("<p>just text</p>")
+        assert doc.root.find("title").text_content() == "Untitled document"
+
+
+class TestInlineContent:
+    def test_emphasis_preserved(self):
+        doc = html_to_research_paper("<h1>S</h1><p>very <b>bold</b> claim</p>")
+        paragraph = doc.root.find("section").find("paragraph")
+        emph = paragraph.find("emph")
+        assert emph is not None
+        assert emph.text_content() == "bold"
+
+    def test_list_items_become_paragraphs(self):
+        doc = html_to_research_paper("<h1>S</h1><ul><li>first</li><li>second</li></ul>")
+        paragraphs = doc.root.find("section").find_all("paragraph")
+        assert len(paragraphs) == 2
+
+    def test_script_and_style_skipped(self):
+        doc = html_to_research_paper(
+            "<h1>S</h1><script>var x;</script><style>p{}</style><p>real</p>"
+        )
+        text = doc.root.text_content()
+        assert "var x" not in text
+        assert "real" in text
+
+
+class TestValidity:
+    def test_output_always_validates(self):
+        pages = [
+            "<h1>A</h1><p>x</p>",
+            "<p>only text</p>",
+            "<h1>A</h1><h2>B</h2><h3>C</h3><p>deep</p>",
+            "<title>T</title><body><p>a<p>b<h1>C</h1><li>d</body>",
+        ]
+        for page in pages:
+            doc = html_to_research_paper(page)
+            RESEARCH_PAPER.validate(doc)
+
+    def test_pipeline_compatible(self):
+        from repro.core.pipeline import build_sc
+
+        doc = html_to_research_paper("<h1>Wireless</h1><p>Mobile web browsing.</p>")
+        sc = build_sc(doc)
+        assert sc.size_bytes() > 0

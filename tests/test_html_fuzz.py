@@ -1,0 +1,73 @@
+"""Fuzz tests: the HTML pipeline must never crash on arbitrary input.
+
+The tolerant parser and the structure extractor sit on the open web's
+worst markup; any input string must produce *some* DOM and *some*
+valid research-paper document.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.htmlkit.extract import html_to_research_paper
+from repro.htmlkit.links import extract_links
+from repro.htmlkit.parser import parse_html
+from repro.xmlkit.dtd import RESEARCH_PAPER
+
+# Markup-ish soup: plenty of angle brackets, quotes, slashes, entities.
+soup = st.text(
+    alphabet=st.sampled_from(list("<>/=\"'& abcdefghp123!-[]")),
+    max_size=200,
+)
+
+# Structured-ish soup: random nesting of plausible tags.
+tags = st.sampled_from(
+    ["p", "div", "h1", "h2", "b", "i", "li", "ul", "br", "a", "script", "title"]
+)
+
+
+@st.composite
+def tag_soup(draw, depth=0):
+    parts = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        choice = draw(st.integers(min_value=0, max_value=3))
+        if choice == 0:
+            parts.append(draw(st.text(alphabet="xyz <&", max_size=10)))
+        elif choice == 1:
+            tag = draw(tags)
+            parts.append(f"<{tag}>")  # unclosed on purpose
+        elif choice == 2 and depth < 3:
+            tag = draw(tags)
+            inner = draw(tag_soup(depth=depth + 1))
+            parts.append(f"<{tag}>{inner}</{tag}>")
+        else:
+            parts.append(f"</{draw(tags)}>")  # stray close
+    return "".join(parts)
+
+
+class TestParserNeverCrashes:
+    @settings(max_examples=150, deadline=None)
+    @given(soup)
+    def test_random_soup(self, source):
+        document = parse_html(source)
+        assert document.root.tag == "html"
+        document.root.text_content()  # traversal must work too
+
+    @settings(max_examples=100, deadline=None)
+    @given(tag_soup())
+    def test_structured_soup(self, source):
+        document = parse_html(source)
+        for element in document.root.iter():
+            assert element.tag
+
+
+class TestExtractorAlwaysValid:
+    @settings(max_examples=100, deadline=None)
+    @given(tag_soup())
+    def test_extraction_validates(self, source):
+        paper = html_to_research_paper(source)
+        RESEARCH_PAPER.validate(paper)
+
+    @settings(max_examples=100, deadline=None)
+    @given(soup)
+    def test_links_never_crash(self, source):
+        links = extract_links(source, base_url="http://fuzz/")
+        assert isinstance(links, list)

@@ -1,0 +1,87 @@
+"""Tests for link extraction and HTML cluster construction."""
+
+import pytest
+
+from repro.htmlkit.links import cluster_from_pages, extract_links, normalize_url
+
+
+class TestNormalizeUrl:
+    def test_fragment_stripped(self):
+        assert normalize_url("http://a/b#sec") == "http://a/b"
+
+    def test_relative_resolved(self):
+        assert normalize_url("c.html", base="http://a/b/index.html") == "http://a/b/c.html"
+
+    def test_parent_navigation(self):
+        assert normalize_url("../x.html", base="http://a/b/c/d.html") == "http://a/b/x.html"
+
+    def test_non_locations_dropped(self):
+        assert normalize_url("javascript:void(0)") == ""
+        assert normalize_url("mailto:a@b") == ""
+        assert normalize_url("#top") == ""
+        assert normalize_url("   ") == ""
+
+    def test_query_kept(self):
+        assert normalize_url("http://a/b?x=1#frag") == "http://a/b?x=1"
+
+
+class TestExtractLinks:
+    def test_basic(self):
+        html = '<a href="one.html">1</a> <a href="two.html">2</a>'
+        assert extract_links(html, base_url="http://s/") == [
+            "http://s/one.html",
+            "http://s/two.html",
+        ]
+
+    def test_duplicates_collapsed(self):
+        html = '<a href="x">a</a><a href="x">b</a>'
+        assert extract_links(html) == ["x"]
+
+    def test_anchor_without_href_ignored(self):
+        assert extract_links('<a name="top">x</a>') == []
+
+    def test_tag_soup(self):
+        html = '<p>text <a href=page.html>link</a> more <a href="#frag">skip'
+        assert extract_links(html, base_url="http://s/") == ["http://s/page.html"]
+
+
+SITE = {
+    "http://s/index": (
+        "<title>Index</title><h1>Home</h1><p>Start page.</p>"
+        '<a href="/a">A</a> <a href="/b">B</a> <a href="http://other/x">ext</a>'
+    ),
+    "http://s/a": (
+        "<title>A</title><h1>Alpha</h1><p>Alpha page content about caching "
+        'strategies and more caching words here.</p><a href="/b">B</a>'
+    ),
+    "http://s/b": "<title>B</title><h1>Beta</h1><p>Short beta page.</p>",
+}
+
+
+class TestClusterFromPages:
+    def test_structure(self):
+        cluster = cluster_from_pages(SITE, entry_page="http://s/index")
+        assert len(cluster) == 3
+        assert cluster.links("http://s/index") == ["http://s/a", "http://s/b"]
+        # External link dropped.
+        assert all("other" not in t for t in cluster.links("http://s/index"))
+
+    def test_distances(self):
+        cluster = cluster_from_pages(SITE, entry_page="http://s/index")
+        distances = cluster.distances()
+        assert distances["http://s/index"] == 0
+        assert distances["http://s/a"] == 1
+
+    def test_scores_favor_heavier_pages(self):
+        cluster = cluster_from_pages(SITE, entry_page="http://s/index")
+        scores = cluster.content_scores()
+        assert scores["http://s/a"] > scores["http://s/b"]
+
+    def test_unknown_entry_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_from_pages(SITE, entry_page="http://s/missing")
+
+    def test_self_links_dropped(self):
+        pages = {"u": '<h1>Self</h1><p>x</p><a href="u">me</a>'}
+        cluster = cluster_from_pages(pages, entry_page="u")
+        assert cluster.links("u") == []

@@ -1,0 +1,89 @@
+"""Tests for the tolerant HTML parser."""
+
+from repro.htmlkit.parser import parse_html
+from repro.xmlkit.dom import Text
+
+
+class TestWellFormedHtml:
+    def test_basic(self):
+        doc = parse_html("<html><body><p>hi</p></body></html>")
+        assert doc.root.tag == "html"
+        assert doc.root.find("p").text_content() == "hi"
+
+    def test_attributes_quoted_and_unquoted(self):
+        doc = parse_html('<a href="x" target=_blank rel=\'nofollow\'>go</a>')
+        a = doc.root.find("a")
+        assert a.attributes == {"href": "x", "target": "_blank", "rel": "nofollow"}
+
+    def test_boolean_attribute(self):
+        doc = parse_html("<input disabled>")
+        assert doc.root.find("input").get("disabled") == "disabled"
+
+
+class TestTagSoup:
+    def test_unclosed_p_auto_closes(self):
+        doc = parse_html("<body><p>one<p>two</body>")
+        paragraphs = doc.root.find_all("p")
+        assert [p.text_content() for p in paragraphs] == ["one", "two"]
+        # They are siblings, not nested.
+        assert paragraphs[0].find("p") is None
+
+    def test_unclosed_li(self):
+        doc = parse_html("<ul><li>a<li>b<li>c</ul>")
+        assert len(doc.root.find_all("li")) == 3
+
+    def test_heading_closes_open_p(self):
+        doc = parse_html("<p>text<h1>Head</h1>")
+        p = doc.root.find("p")
+        assert p.find("h1") is None
+
+    def test_stray_end_tag_ignored(self):
+        doc = parse_html("<p>ok</div></p>")
+        assert doc.root.find("p").text_content() == "ok"
+
+    def test_void_elements_take_no_children(self):
+        doc = parse_html("<p>a<br>b</p>")
+        p = doc.root.find("p")
+        br = p.find("br")
+        assert br is not None and not br.children
+        assert p.text_content() == "ab"
+
+    def test_outer_end_tag_closes_inner(self):
+        doc = parse_html("<div><span>x</div>after")
+        div = doc.root.find("div")
+        assert div.text_content() == "x"
+
+    def test_never_raises_on_garbage(self):
+        for garbage in ("<<<>>>", "<a", "a < b > c", "</>", "<!bad", ""):
+            parse_html(garbage)  # must not raise
+
+    def test_bare_less_than_is_text(self):
+        doc = parse_html("<p>1 < 2</p>")
+        assert "<" in doc.root.find("p").text_content()
+
+
+class TestSpecialContent:
+    def test_comment_preserved(self):
+        doc = parse_html("<p><!-- hidden -->shown</p>")
+        assert doc.root.find("p").text_content() == "shown"
+
+    def test_script_content_is_raw_text(self):
+        doc = parse_html("<script>if (a < b) { x(); }</script><p>hi</p>")
+        script = doc.root.find("script")
+        assert "a < b" in script.text_content()
+        assert doc.root.find("p").text_content() == "hi"
+
+    def test_entities_lenient(self):
+        doc = parse_html("<p>a&amp;b &bogus; &#65;</p>")
+        text = doc.root.find("p").text_content()
+        assert "a&b" in text
+        assert "&bogus;" in text
+        assert "A" in text
+
+    def test_doctype_skipped(self):
+        doc = parse_html("<!DOCTYPE html><p>x</p>")
+        assert doc.root.find("p") is not None
+
+    def test_html_root_detected(self):
+        doc = parse_html("<html lang='en'><body/></html>")
+        assert doc.root.get("lang") == "en"

@@ -1,0 +1,119 @@
+"""Equivalence of the byte-level protocol and the oracle simulator.
+
+The evaluation (§5) runs on :func:`repro.simulation.runner.simulate_transfer`,
+which replays the transfer protocol on packet indices only.  These
+tests drive both implementations with the *same* corruption pattern
+and assert they terminate after the same number of frames — the
+property that makes the fast simulator a valid stand-in for the real
+protocol.
+"""
+
+import random
+from typing import List
+
+import pytest
+
+from repro.coding.packets import Packetizer
+from repro.simulation.runner import simulate_transfer
+from repro.transport.cache import PacketCache
+from repro.transport.channel import WirelessChannel
+from repro.transport.sender import DocumentSender
+from repro.transport.session import transfer_document
+
+
+class ScriptedChannel(WirelessChannel):
+    """A channel whose corruption decisions follow a fixed script."""
+
+    def __init__(self, script: List[bool], bandwidth_kbps: float = 19.2) -> None:
+        super().__init__(bandwidth_kbps=bandwidth_kbps, alpha=0.5)
+        self._script = list(script)
+        self._cursor = 0
+
+    def send(self, wire: bytes):
+        corrupt = self._script[self._cursor % len(self._script)]
+        self._cursor += 1
+        self.clock += self.transmission_time(len(wire))
+        self.frames_sent += 1
+        if corrupt:
+            self.frames_corrupted += 1
+            from repro.transport.channel import Delivery
+
+            return Delivery(self.clock, self._garble(wire), True, False)
+        from repro.transport.channel import Delivery
+
+        return Delivery(self.clock, wire, False, False)
+
+
+class ScriptedRandom(random.Random):
+    """random.Random whose .random() follows the same script.
+
+    Returns 0.99 (≥ α ⇒ intact) or 0.0 (< α ⇒ corrupt), matching the
+    simulator's `rand() < alpha` test with alpha = 0.5.
+    """
+
+    def __init__(self, script: List[bool]) -> None:
+        super().__init__(0)
+        self._script = list(script)
+        self._cursor = 0
+
+    def random(self) -> float:
+        value = 0.0 if self._script[self._cursor % len(self._script)] else 0.99
+        self._cursor += 1
+        return value
+
+
+def run_both(script, document_size=2048, gamma=1.5, caching=True,
+             threshold=None, max_rounds=10):
+    packet_size = 256
+    sender = DocumentSender(Packetizer(packet_size=packet_size, redundancy_ratio=gamma))
+    prepared = sender.prepare_raw("doc", b"D" * document_size)
+
+    channel = ScriptedChannel(script)
+    cache = PacketCache() if caching else None
+    byte_level = transfer_document(
+        prepared, channel, cache=cache,
+        relevance_threshold=threshold, max_rounds=max_rounds,
+    )
+
+    oracle = simulate_transfer(
+        m=prepared.m, n=prepared.n, alpha=0.5,
+        packet_time=channel.transmission_time(packet_size + 4),
+        rng=ScriptedRandom(script), caching=caching,
+        relevance_threshold=threshold,
+        content_profile=prepared.content_profile,
+        max_rounds=max_rounds,
+    )
+    return byte_level, oracle
+
+
+SCRIPTS = {
+    "clean": [False] * 64,
+    "alternating": [False, True] * 32,
+    "bursty": ([True] * 5 + [False] * 11) * 4,
+    "mostly_bad": ([True] * 3 + [False]) * 16,
+}
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name", list(SCRIPTS))
+    @pytest.mark.parametrize("caching", [True, False])
+    def test_full_download_same_frames(self, name, caching):
+        byte_level, oracle = run_both(SCRIPTS[name], caching=caching)
+        assert byte_level.success == oracle.success
+        assert byte_level.frames_sent == oracle.packets_sent
+        assert byte_level.rounds == oracle.rounds
+        assert byte_level.response_time == pytest.approx(oracle.response_time)
+
+    @pytest.mark.parametrize("name", list(SCRIPTS))
+    def test_early_termination_same_frames(self, name):
+        byte_level, oracle = run_both(SCRIPTS[name], threshold=0.4)
+        assert byte_level.success == oracle.success
+        assert byte_level.terminated_early == oracle.terminated_early
+        assert byte_level.frames_sent == oracle.packets_sent
+
+    def test_stall_and_giveup_agree(self):
+        script = [True] * 64  # everything corrupted
+        byte_level, oracle = run_both(script, max_rounds=3)
+        assert not byte_level.success and not oracle.success
+        assert byte_level.frames_sent == oracle.packets_sent
+        assert byte_level.rounds == oracle.rounds == 3

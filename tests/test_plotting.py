@@ -1,0 +1,72 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.plotting import GLYPHS, ascii_chart, chart_series_points
+from repro.simulation.metrics import SeriesPoint
+
+
+class TestAsciiChart:
+    def test_basic_structure(self):
+        chart = ascii_chart({"line": [(0, 0), (1, 1), (2, 2)]}, width=20, height=5)
+        lines = chart.splitlines()
+        assert len(lines) == 5 + 3  # grid + axis + x labels + legend
+        assert "*=line" in lines[-1]
+
+    def test_points_plotted_at_extremes(self):
+        chart = ascii_chart({"s": [(0, 0), (10, 100)]}, width=21, height=7)
+        lines = chart.splitlines()
+        # max y at top row, min y at bottom row.
+        assert "*" in lines[0]
+        assert "*" in lines[6]
+
+    def test_monotone_series_descends_visually(self):
+        points = [(x, x) for x in range(10)]
+        chart = ascii_chart({"up": points}, width=30, height=10)
+        rows = chart.splitlines()[:10]
+        first_glyph_row = [r for r, line in enumerate(rows) if "*" in line]
+        # Increasing series: glyphs appear from bottom rows to top rows.
+        assert first_glyph_row[0] == 0
+        assert first_glyph_row[-1] == 9
+
+    def test_multiple_series_glyphs(self):
+        chart = ascii_chart(
+            {"a": [(0, 1)], "b": [(1, 2)], "c": [(2, 3)]}, width=20, height=5
+        )
+        legend = chart.splitlines()[-1]
+        for index, name in enumerate(("a", "b", "c")):
+            assert f"{GLYPHS[index]}={name}" in legend
+
+    def test_axis_labels(self):
+        chart = ascii_chart({"s": [(2, 5), (8, 9)]}, width=20, height=5)
+        assert "2" in chart and "8" in chart
+        assert "5" in chart and "9" in chart
+
+    def test_constant_series(self):
+        chart = ascii_chart({"flat": [(0, 3), (1, 3)]}, width=10, height=4)
+        assert "*" in chart  # no division-by-zero blank chart
+
+    def test_explicit_y_range_clamps(self):
+        chart = ascii_chart(
+            {"s": [(0, 0), (1, 100)]}, width=10, height=4, y_min=0, y_max=10
+        )
+        assert "100" not in chart.splitlines()[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"empty": []})
+        with pytest.raises(ValueError):
+            ascii_chart({"s": [(0, 0)]}, width=0)
+
+
+class TestSeriesPointAdapter:
+    def test_experiment_curves(self):
+        curves = {
+            0.1: [SeriesPoint(1.1, [4.0]), SeriesPoint(1.5, [3.5])],
+            0.5: [SeriesPoint(1.1, [15.0]), SeriesPoint(1.5, [10.0])],
+        }
+        chart = chart_series_points(curves, x_label="gamma")
+        assert "0.1" in chart
+        assert "gamma" in chart

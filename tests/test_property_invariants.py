@@ -1,0 +1,192 @@
+"""Cross-cutting property-based tests for the system's core invariants.
+
+Each class pins one invariant the design depends on, over randomized
+inputs: the multi-resolution dominance property, profile normalization,
+coding round-trips through the frame layer, simulator accounting, and
+the analytic model's monotonicities.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.negbinom import cdf
+from repro.coding.packets import Packetizer, decode_frame, encode_frame
+from repro.core.lod import LOD
+from repro.simulation.parameters import Parameters
+from repro.simulation.runner import simulate_transfer
+from repro.simulation.workload import SyntheticDocument
+
+
+def make_document(seed: int, delta: float) -> SyntheticDocument:
+    params = Parameters(delta=delta)
+    return SyntheticDocument(params, random.Random(seed))
+
+
+class TestMultiResolutionDominance:
+    """The dominance properties the design actually guarantees.
+
+    (a) Paragraph-LOD ordering dominates *every* other ordering at
+        every packet prefix: with equal-size units, descending sort
+        maximizes all prefix sums.
+    (b) Each coarser LOD dominates sequential (document) order at its
+        own unit boundaries: the greedy top-k units maximize any
+        k-unit total.
+
+    Note the stronger claim — pointwise dominance between *adjacent*
+    LODs — is false in general (a coarse unit can front-load content
+    mid-unit), which is why only (a) and (b) are asserted.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=1.0, max_value=10.0),
+    )
+    def test_paragraph_order_dominates_everything(self, seed, delta):
+        document = make_document(seed, delta)
+        profiles = {lod: document.content_profile(lod) for lod in LOD}
+        paragraph = profiles[LOD.PARAGRAPH]
+        m = len(paragraph)
+        for other in (LOD.DOCUMENT, LOD.SECTION, LOD.SUBSECTION):
+            cumulative_fine = 0.0
+            cumulative_other = 0.0
+            for packet in range(m):
+                cumulative_fine += paragraph[packet]
+                cumulative_other += profiles[other][packet]
+                assert cumulative_fine >= cumulative_other - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=1.0, max_value=10.0),
+    )
+    def test_unit_boundary_dominance_over_sequential(self, seed, delta):
+        document = make_document(seed, delta)
+        sequential = document.content_profile(LOD.DOCUMENT)
+        params = document.params
+        boundaries = {
+            LOD.SECTION: params.m // params.sections,
+            LOD.SUBSECTION: params.m // (params.sections * params.subsections_per_section),
+        }
+        for lod, stride in boundaries.items():
+            ranked = document.content_profile(lod)
+            for cut in range(stride, params.m + 1, stride):
+                assert (
+                    sum(ranked[:cut]) >= sum(sequential[:cut]) - 1e-9
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=1.0, max_value=10.0),
+    )
+    def test_profiles_normalized(self, seed, delta):
+        document = make_document(seed, delta)
+        for lod in LOD:
+            profile = document.content_profile(lod)
+            assert sum(profile) == pytest.approx(1.0)
+            assert all(value >= -1e-12 for value in profile)
+
+
+class TestCodingThroughFrames:
+    """Document → cooked packets → frames → (subset) → document."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=600),
+        st.floats(min_value=1.0, max_value=2.5),
+    )
+    def test_roundtrip_any_m_subset(self, seed, size, gamma):
+        rng = random.Random(seed)
+        document = bytes(rng.randrange(256) for _ in range(size))
+        packetizer = Packetizer(packet_size=64, redundancy_ratio=gamma)
+        cooked = packetizer.cook(document)
+        frames = cooked.frames()
+        keep = rng.sample(range(cooked.n), cooked.m)
+        received = {}
+        for index in keep:
+            frame = decode_frame(frames[index])
+            assert frame.intact
+            received[frame.sequence] = frame.payload
+        assert cooked.reassemble(received) == document
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_corrupted_frames_never_validate(self, seed):
+        rng = random.Random(seed)
+        payload = bytes(rng.randrange(256) for _ in range(32))
+        wire = bytearray(encode_frame(rng.randrange(100), payload))
+        position = rng.randrange(len(wire))
+        flip = rng.randrange(1, 256)
+        wire[position] ^= flip
+        frame = decode_frame(bytes(wire))
+        # Either the CRC catches it, or (flip in the seq field moved
+        # the damage outside the payload) the payload is untouched.
+        assert not frame.intact or frame.payload == payload
+
+
+class TestSimulatorAccounting:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=20),
+        st.floats(min_value=0.0, max_value=0.7),
+        st.booleans(),
+    )
+    def test_time_equals_packets_times_packet_time(
+        self, seed, m, extra, alpha, caching
+    ):
+        packet_time = 0.1
+        outcome = simulate_transfer(
+            m=m,
+            n=m + extra,
+            alpha=alpha,
+            packet_time=packet_time,
+            rng=random.Random(seed),
+            caching=caching,
+            max_rounds=10,
+        )
+        assert outcome.response_time == pytest.approx(
+            outcome.packets_sent * packet_time
+        )
+        assert outcome.packets_sent <= 10 * (m + extra)
+        if outcome.success:
+            assert outcome.packets_sent >= m
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_caching_never_slower_same_draws(self, seed):
+        """With identical corruption draws, Caching terminates no later
+        than NoCaching."""
+        kwargs = dict(m=20, n=24, alpha=0.4, packet_time=1.0, max_rounds=12)
+        caching = simulate_transfer(rng=random.Random(seed), caching=True, **kwargs)
+        nocaching = simulate_transfer(rng=random.Random(seed), caching=False, **kwargs)
+        if nocaching.success:
+            assert caching.response_time <= nocaching.response_time + 1e-9
+
+
+class TestAnalyticMonotonicity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.floats(min_value=0.05, max_value=0.9),
+        st.integers(min_value=0, max_value=40),
+    )
+    def test_cdf_monotone_in_x(self, m, alpha, extra):
+        x = m + extra
+        assert cdf(x + 1, m, alpha) >= cdf(x, m, alpha) - 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.floats(min_value=0.05, max_value=0.8),
+        st.integers(min_value=0, max_value=40),
+    )
+    def test_cdf_antitone_in_alpha(self, m, alpha, extra):
+        x = m + extra
+        worse = min(0.95, alpha + 0.1)
+        assert cdf(x, m, worse) <= cdf(x, m, alpha) + 1e-12

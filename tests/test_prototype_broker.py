@@ -1,0 +1,101 @@
+"""Tests for the ORB-lite broker and interceptors."""
+
+import pytest
+
+from repro.prototype.broker import (
+    BrokerError,
+    ObjectRequestBroker,
+    PassthroughInterceptor,
+)
+
+
+class Echo:
+    def shout(self, text):
+        return text.upper()
+
+    def fail(self):
+        raise RuntimeError("servant error")
+
+
+class TestRegistryAndInvoke:
+    def test_basic_invocation(self):
+        broker = ObjectRequestBroker()
+        broker.register("echo", Echo())
+        assert broker.invoke("echo", "shout", "hi") == "HI"
+        assert broker.invocations == 1
+
+    def test_unknown_servant(self):
+        broker = ObjectRequestBroker()
+        with pytest.raises(BrokerError, match="no servant"):
+            broker.invoke("ghost", "shout", "hi")
+
+    def test_unknown_method(self):
+        broker = ObjectRequestBroker()
+        broker.register("echo", Echo())
+        with pytest.raises(BrokerError, match="no method"):
+            broker.invoke("echo", "whisper", "hi")
+
+    def test_servant_exceptions_propagate(self):
+        broker = ObjectRequestBroker()
+        broker.register("echo", Echo())
+        with pytest.raises(RuntimeError, match="servant error"):
+            broker.invoke("echo", "fail")
+
+    def test_rebind_replaces(self):
+        broker = ObjectRequestBroker()
+        broker.register("x", Echo())
+
+        class Other:
+            def shout(self, text):
+                return text
+
+        broker.register("x", Other())
+        assert broker.invoke("x", "shout", "hi") == "hi"
+
+    def test_unregister_and_contains(self):
+        broker = ObjectRequestBroker()
+        broker.register("x", Echo())
+        assert "x" in broker
+        broker.unregister("x")
+        assert "x" not in broker
+
+
+class Tagger(PassthroughInterceptor):
+    def __init__(self, tag):
+        self.tag = tag
+
+    def outbound(self, payload):
+        return f"{payload}>{self.tag}"
+
+    def inbound(self, payload):
+        return f"{payload}<{self.tag}"
+
+
+class TestInterceptors:
+    def test_outbound_order_and_inbound_reverse(self):
+        broker = ObjectRequestBroker()
+
+        class Identity:
+            def run(self, value):
+                return value
+
+        broker.register("id", Identity())
+        broker.add_interceptor(Tagger("A"))
+        broker.add_interceptor(Tagger("B"))
+        result = broker.invoke("id", "run", "x")
+        # outbound: x >A >B ; inbound through B then A.
+        assert result == "x>A>B<B<A"
+
+    def test_compression_interceptor_transparent(self):
+        from repro.transport.compress import CompressionInterceptor
+
+        broker = ObjectRequestBroker()
+
+        class ByteEcho:
+            def run(self, blob):
+                return blob  # server sees (and returns) compressed bytes
+
+        broker.register("echo", ByteEcho())
+        broker.add_interceptor(CompressionInterceptor())
+        payload = b"multi-resolution " * 50
+        assert broker.invoke("echo", "run", payload) == payload

@@ -1,0 +1,85 @@
+"""Unit tests for the rendering manager and manifest ordering."""
+
+import pytest
+
+from repro.prototype.client import RenderingManager, _label_sort_key
+from repro.prototype.messages import FetchManifest, UnitDescriptor
+
+
+def make_manifest(units):
+    descriptors = []
+    offset = 0
+    for label, size, content in units:
+        descriptors.append(
+            UnitDescriptor(label=label, offset=offset, size=size, content=content)
+        )
+        offset += size
+    return FetchManifest(
+        document_id="doc",
+        measure="ic",
+        total_bytes=offset,
+        m=4,
+        n=6,
+        units=descriptors,
+    )
+
+
+class TestLabelSortKey:
+    def test_numeric_hierarchy(self):
+        labels = ["3.2.1", "1", "2.10", "2.2", "0", "10"]
+        ordered = sorted(labels, key=_label_sort_key)
+        assert ordered == ["0", "1", "2.2", "2.10", "3.2.1", "10"]
+
+    def test_title_suffix_ignored(self):
+        assert _label_sort_key("2(title)") == _label_sort_key("2")
+
+    def test_non_numeric_sorts_first(self):
+        assert _label_sort_key("D") < _label_sort_key("0")
+
+
+class TestRenderingManager:
+    def test_unit_renders_when_fully_covered(self):
+        manifest = make_manifest([("2", 10, 0.6), ("1", 10, 0.4)])
+        renderer = RenderingManager(manifest)
+        # 9 bytes: unit "2" (first in stream) not fully covered yet.
+        assert renderer.on_bytes(b"x" * 9, time=1.0) == []
+        events = renderer.on_bytes(b"x" * 10, time=2.0)
+        assert [event.label for event in events] == ["2"]
+
+    def test_rendered_once_only(self):
+        manifest = make_manifest([("1", 5, 1.0)])
+        renderer = RenderingManager(manifest)
+        renderer.on_bytes(b"y" * 5, time=1.0)
+        assert renderer.on_bytes(b"y" * 5, time=2.0) == []
+        assert renderer.rendered_count == 1
+
+    def test_positions_follow_document_order(self):
+        # Stream order is by content (2 before 1); positions are by label.
+        manifest = make_manifest([("2", 4, 0.6), ("1", 4, 0.4)])
+        renderer = RenderingManager(manifest)
+        events = renderer.on_bytes(b"z" * 8, time=1.0)
+        positions = {event.label: event.position for event in events}
+        assert positions["1"] == 0
+        assert positions["2"] == 1
+
+    def test_text_slices_correct_bytes(self):
+        manifest = make_manifest([("1", 5, 0.5), ("2", 5, 0.5)])
+        renderer = RenderingManager(manifest)
+        events = renderer.on_bytes(b"aaaaabbbbb", time=1.0)
+        by_label = {event.label: event.text for event in events}
+        assert by_label["1"] == "aaaaa"
+        assert by_label["2"] == "bbbbb"
+
+    def test_rendered_content_accumulates(self):
+        manifest = make_manifest([("1", 5, 0.7), ("2", 5, 0.3)])
+        renderer = RenderingManager(manifest)
+        renderer.on_bytes(b"c" * 5, time=1.0)
+        assert renderer.rendered_content() == pytest.approx(0.7)
+        renderer.on_bytes(b"c" * 10, time=2.0)
+        assert renderer.rendered_content() == pytest.approx(1.0)
+
+    def test_empty_stream(self):
+        manifest = make_manifest([("1", 5, 1.0)])
+        renderer = RenderingManager(manifest)
+        assert renderer.on_bytes(b"", time=0.0) == []
+        assert renderer.rendered_count == 0

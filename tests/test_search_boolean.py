@@ -1,0 +1,149 @@
+"""Tests for the boolean query language."""
+
+import pytest
+
+from repro.search.boolean import (
+    BooleanQueryParser,
+    QuerySyntaxError,
+    evaluate_boolean,
+)
+from repro.search.index import InvertedIndex
+from repro.text.lemmatizer import Lemmatizer
+
+
+def build_index():
+    index = InvertedIndex()
+    lem = Lemmatizer()
+    corpus = {
+        "d1": "mobile web browsing wireless",
+        "d2": "mobile database caching",
+        "d3": "web caching proxy",
+        "d4": "energy disk spindown",
+    }
+    for doc_id, words in corpus.items():
+        counts = {}
+        for word in words.split():
+            lemma = lem.lemma(word)
+            counts[lemma] = counts.get(lemma, 0) + 1
+        index.add_document(doc_id, counts)
+    return index
+
+
+INDEX = build_index()
+UNIVERSE = {"d1", "d2", "d3", "d4"}
+
+
+def query(text):
+    return evaluate_boolean(text, INDEX, UNIVERSE)
+
+
+class TestBasicOperators:
+    def test_single_term(self):
+        assert query("mobile") == {"d1", "d2"}
+
+    def test_lemmatized_term(self):
+        assert query("browsing") == {"d1"}
+        assert query("browsers") == set()  # different lemma, absent
+
+    def test_and(self):
+        assert query("mobile AND caching") == {"d2"}
+
+    def test_implicit_and(self):
+        assert query("mobile caching") == {"d2"}
+
+    def test_or(self):
+        assert query("browsing OR proxy") == {"d1", "d3"}
+
+    def test_not(self):
+        assert query("NOT mobile") == {"d3", "d4"}
+
+    def test_and_not(self):
+        assert query("caching AND NOT mobile") == {"d3"}
+
+    def test_case_insensitive_operators(self):
+        assert query("mobile and caching") == {"d2"}
+        assert query("browsing or proxy") == {"d1", "d3"}
+
+
+class TestPrecedenceAndGrouping:
+    def test_not_binds_tightest(self):
+        # NOT mobile AND caching == (NOT mobile) AND caching
+        assert query("NOT mobile AND caching") == {"d3"}
+
+    def test_and_binds_tighter_than_or(self):
+        # web AND caching OR energy == (web AND caching) OR energy
+        assert query("web AND caching OR energy") == {"d3", "d4"}
+
+    def test_parentheses_override(self):
+        assert query("web AND (caching OR energy)") == {"d3"}
+
+    def test_nested_parentheses(self):
+        assert query("((mobile)) AND ((web) OR (database))") == {"d1", "d2"}
+
+    def test_double_negation(self):
+        assert query("NOT NOT mobile") == {"d1", "d2"}
+
+
+class TestPhrases:
+    def test_phrase_as_conjunction(self):
+        assert query('"mobile web"') == {"d1"}
+
+    def test_phrase_combined(self):
+        assert query('"mobile web" OR database') == {"d1", "d2"}
+
+    def test_empty_phrase(self):
+        assert query('""') == set()
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "(mobile",
+            "mobile)",
+            "AND mobile",
+            "mobile AND",
+            "NOT",
+            "mobile OR",
+            "()",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            BooleanQueryParser().parse(bad)
+
+    def test_unknown_term_matches_nothing(self):
+        assert query("zeppelin") == set()
+        assert query("NOT zeppelin") == UNIVERSE
+
+
+class TestEngineIntegration:
+    def test_search_boolean_filters_and_ranks(self):
+        from repro.search.engine import SearchEngine
+        from repro.xmlkit.parser import parse_xml
+
+        engine = SearchEngine()
+        for doc_id, words in [
+            ("a", "mobile web browsing over wireless links"),
+            ("b", "mobile database caching for disconnection"),
+            ("c", "web proxy caching architecture"),
+        ]:
+            engine.add_document(
+                doc_id,
+                parse_xml(
+                    f"<paper><title>{doc_id}</title><section><title>S</title>"
+                    f"<paragraph>{words}</paragraph></section></paper>"
+                ),
+            )
+        hits = engine.search_boolean("caching AND NOT database")
+        assert [h.document_id for h in hits] == ["c"]
+        # QIC annotated from the positive terms.
+        assert "qic" in hits[0].sc.root.content
+
+    def test_search_boolean_no_match(self):
+        from repro.search.engine import SearchEngine
+
+        engine = SearchEngine()
+        assert engine.search_boolean("anything") == []

@@ -1,0 +1,97 @@
+"""Tests for the search engine and query-time QIC annotation."""
+
+from repro.search.engine import SearchEngine
+from repro.xmlkit.parser import parse_xml
+
+
+def make_doc(title, body):
+    return parse_xml(
+        f"<paper><title>{title}</title><section><title>Main</title>"
+        f"<paragraph>{body}</paragraph></section></paper>"
+    )
+
+
+def build_engine():
+    engine = SearchEngine()
+    engine.add_document(
+        "browsing",
+        make_doc(
+            "Mobile Browsing",
+            "mobile web browsing over wireless channels with caching support",
+        ),
+    )
+    engine.add_document(
+        "databases",
+        make_doc(
+            "Database Caching",
+            "database caching strategies for disconnected operation and storage",
+        ),
+    )
+    engine.add_document(
+        "energy",
+        make_doc("Energy", "battery energy and disk spin-down policies"),
+    )
+    return engine
+
+
+class TestCorpus:
+    def test_size(self):
+        assert build_engine().size == 3
+
+    def test_remove(self):
+        engine = build_engine()
+        engine.remove_document("energy")
+        assert engine.size == 2
+        assert engine.search("battery") == []
+
+    def test_sc_accessible(self):
+        engine = build_engine()
+        assert engine.sc("browsing") is not None
+        assert engine.sc("ghost") is None
+
+
+class TestSearch:
+    def test_relevant_document_ranks_first(self):
+        hits = build_engine().search("mobile web browsing")
+        assert hits[0].document_id == "browsing"
+
+    def test_query_matching_two_documents(self):
+        hits = build_engine().search("caching")
+        ids = [h.document_id for h in hits]
+        assert set(ids) == {"browsing", "databases"}
+
+    def test_no_match(self):
+        assert build_engine().search("quantum chromodynamics") == []
+
+    def test_empty_query(self):
+        assert build_engine().search("the of and") == []
+
+    def test_limit(self):
+        hits = build_engine().search("caching", limit=1)
+        assert len(hits) == 1
+
+    def test_scores_descending(self):
+        hits = build_engine().search("caching storage database")
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestQicAnnotation:
+    def test_hits_carry_query_measures(self):
+        hits = build_engine().search("mobile caching")
+        for hit in hits:
+            for unit in hit.sc.root.walk():
+                assert "qic" in unit.content
+                assert "mqic" in unit.content
+                assert "tfidf" in unit.content
+
+    def test_qic_reflects_query(self):
+        engine = build_engine()
+        (hit,) = [h for h in engine.search("caching") if h.document_id == "databases"]
+        root_value = hit.sc.root.content["qic"]
+        assert root_value > 0.99  # whole document normalizes to 1
+
+    def test_parse_query_shares_lemmatizer(self):
+        engine = build_engine()
+        query = engine.parse_query("browsing browsers")
+        assert len(query.keywords()) == 2

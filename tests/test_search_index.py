@@ -1,0 +1,89 @@
+"""Tests for the inverted index."""
+
+import pytest
+
+from repro.search.index import InvertedIndex
+
+
+def build_index():
+    index = InvertedIndex()
+    index.add_document("d1", {"mobile": 3, "web": 2})
+    index.add_document("d2", {"web": 5, "cache": 1})
+    index.add_document("d3", {"disk": 4})
+    return index
+
+
+class TestAddRemove:
+    def test_document_count(self):
+        assert build_index().document_count == 3
+
+    def test_readd_replaces(self):
+        index = build_index()
+        index.add_document("d1", {"fresh": 1})
+        assert index.term_frequency("mobile", "d1") == 0
+        assert index.term_frequency("fresh", "d1") == 1
+        assert index.document_count == 3
+
+    def test_remove(self):
+        index = build_index()
+        index.remove_document("d2")
+        assert index.document_count == 2
+        assert index.document_frequency("cache") == 0
+        assert index.document_frequency("web") == 1
+
+    def test_remove_unknown_noop(self):
+        index = build_index()
+        index.remove_document("ghost")
+        assert index.document_count == 3
+
+    def test_rejects_nonpositive_counts(self):
+        index = InvertedIndex()
+        with pytest.raises(ValueError):
+            index.add_document("bad", {"term": 0})
+
+
+class TestStatistics:
+    def test_document_frequency(self):
+        index = build_index()
+        assert index.document_frequency("web") == 2
+        assert index.document_frequency("disk") == 1
+        assert index.document_frequency("absent") == 0
+
+    def test_term_frequency(self):
+        index = build_index()
+        assert index.term_frequency("mobile", "d1") == 3
+        assert index.term_frequency("mobile", "d3") == 0
+
+    def test_document_length(self):
+        index = build_index()
+        assert index.document_length("d1") == 5
+        assert index.document_length("nope") is None
+
+    def test_vocabulary(self):
+        assert build_index().vocabulary() == {"mobile", "web", "cache", "disk"}
+
+    def test_document_frequencies_dict(self):
+        df = build_index().document_frequencies()
+        assert df["web"] == 2
+
+
+class TestRetrieval:
+    def test_postings_sorted(self):
+        postings = build_index().postings("web")
+        assert [p.document_id for p in postings] == ["d1", "d2"]
+        assert [p.frequency for p in postings] == [2, 5]
+
+    def test_candidates_or(self):
+        index = build_index()
+        assert index.candidates(["mobile", "disk"]) == {"d1", "d3"}
+
+    def test_candidates_and(self):
+        index = build_index()
+        assert index.candidates_all(["mobile", "web"]) == {"d1"}
+        assert index.candidates_all(["mobile", "disk"]) == set()
+        assert index.candidates_all([]) == set()
+
+    def test_contains(self):
+        index = build_index()
+        assert "d1" in index
+        assert "dx" not in index

@@ -1,0 +1,72 @@
+"""Tests for user profiles with relevance feedback."""
+
+import pytest
+
+from repro.search.profile import UserProfile
+
+
+class TestFeedback:
+    def test_accept_raises_interest(self):
+        profile = UserProfile()
+        profile.accept({"mobile": 3, "web": 1})
+        assert profile.weight("mobile") > 0
+        assert profile.weight("mobile") > profile.weight("web")
+
+    def test_reject_lowers_interest(self):
+        profile = UserProfile()
+        profile.accept({"spam": 5})
+        before = profile.weight("spam")
+        profile.reject({"spam": 5})
+        assert profile.weight("spam") < before
+
+    def test_decay_fades_stale_interests(self):
+        profile = UserProfile(decay=0.5)
+        profile.accept({"old": 10})
+        initial = profile.weight("old")
+        for _ in range(10):
+            profile.accept({"new": 10})
+        assert profile.weight("old") < initial
+
+    def test_empty_feedback_ignored(self):
+        profile = UserProfile()
+        profile.accept({})
+        assert len(profile) == 0
+
+    def test_negligible_weights_pruned(self):
+        profile = UserProfile(decay=0.01)
+        profile.accept({"term": 1})
+        for _ in range(20):
+            profile.accept({"other": 1})
+        assert profile.weight("term") == 0.0
+
+
+class TestUse:
+    def test_top_terms_ordering(self):
+        profile = UserProfile()
+        for _ in range(3):
+            profile.accept({"mobile": 5, "web": 1})
+        top = profile.top_terms(limit=2)
+        assert top[0][0] == "mobile"
+
+    def test_standing_query(self):
+        profile = UserProfile()
+        profile.accept({"mobile": 4, "caching": 2})
+        query = profile.standing_query()
+        assert "mobile" in query
+
+    def test_score_prefers_interesting_documents(self):
+        profile = UserProfile()
+        profile.accept({"mobile": 5, "web": 3})
+        profile.reject({"sports": 5})
+        interesting = profile.score({"mobile": 3, "web": 1})
+        boring = profile.score({"sports": 4})
+        assert interesting > 0 > boring
+
+    def test_score_empty_document(self):
+        assert UserProfile().score({}) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UserProfile(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            UserProfile(decay=1.5)

@@ -1,0 +1,87 @@
+"""Tests for query-biased snippet generation."""
+
+import pytest
+
+from repro.core.information import annotate_sc
+from repro.core.pipeline import build_sc
+from repro.core.query import Query
+from repro.search.snippets import best_paragraph, make_snippet
+from repro.xmlkit.parser import parse_xml
+
+LONG_TAIL = (
+    "Filler prose continues for quite a while to make this paragraph "
+    "considerably longer than any reasonable snippet window so that "
+    "trimming and ellipsis placement are properly exercised end to end."
+)
+
+XML = f"""<paper>
+  <title>T</title>
+  <section>
+    <title>Alpha</title>
+    <paragraph>Opening paragraph about architecture and design. {LONG_TAIL}</paragraph>
+  </section>
+  <section>
+    <title>Beta</title>
+    <paragraph>{LONG_TAIL} The caching subsystem stores intact packets
+    across stalled downloads for later reconstruction. {LONG_TAIL}</paragraph>
+  </section>
+</paper>"""
+
+
+def annotated(query=None):
+    sc = build_sc(parse_xml(XML))
+    annotate_sc(sc, query=query)
+    return sc
+
+
+class TestBestParagraph:
+    def test_without_query_uses_ic(self):
+        sc = annotated()
+        text = best_paragraph(sc, measure="ic")
+        assert text is not None
+
+    def test_query_selects_matching_paragraph(self):
+        query = Query("caching packets")
+        sc = annotated(query)
+        text = best_paragraph(sc, measure="qic")
+        assert "caching subsystem" in text
+
+    def test_empty_document(self):
+        sc = build_sc(parse_xml("<paper><title>T</title></paper>"))
+        assert best_paragraph(sc) is None
+
+
+class TestMakeSnippet:
+    def test_width_respected(self):
+        sc = annotated()
+        snippet = make_snippet(sc, width=80)
+        assert len(snippet) <= 80 + 6  # ellipses allowance
+
+    def test_short_text_unmodified(self):
+        sc = build_sc(parse_xml(
+            "<paper><title>T</title><section><title>S</title>"
+            "<paragraph>Tiny body.</paragraph></section></paper>"
+        ))
+        annotate_sc(sc)
+        assert make_snippet(sc, width=200) == "Tiny body."
+
+    def test_query_word_in_window(self):
+        query = Query("caching")
+        sc = annotated(query)
+        snippet = make_snippet(sc, query=query, width=100)
+        assert "caching" in snippet.lower()
+
+    def test_ellipses_mark_trims(self):
+        query = Query("caching")
+        sc = annotated(query)
+        snippet = make_snippet(sc, query=query, width=80)
+        assert snippet.startswith("...") or snippet.endswith("...")
+
+    def test_no_paragraphs(self):
+        sc = build_sc(parse_xml("<paper><title>T</title></paper>"))
+        assert make_snippet(sc) == ""
+
+    def test_width_validation(self):
+        sc = annotated()
+        with pytest.raises(ValueError):
+            make_snippet(sc, width=0)

@@ -1,0 +1,120 @@
+"""Tests for energy accounting and the effective-throughput experiment."""
+
+import random
+
+import pytest
+
+from repro.core.lod import LOD
+from repro.simulation.energy import (
+    EnergyModel,
+    energy_saving,
+    session_energy,
+    transfer_energy,
+)
+from repro.simulation.parameters import Parameters
+from repro.simulation.runner import TransferOutcome, simulate_session
+from repro.simulation.throughput import session_throughput, throughput_comparison
+
+QUICK = Parameters(documents_per_session=40, max_rounds=10)
+
+
+def outcome(response_time=2.0, early=False, success=True, packets=20):
+    return TransferOutcome(
+        response_time=response_time,
+        rounds=1,
+        packets_sent=packets,
+        success=success,
+        terminated_early=early,
+    )
+
+
+class TestTransferEnergy:
+    def test_receive_energy_linear_in_time(self):
+        model = EnergyModel(rx_power=2.0)
+        assert transfer_energy(outcome(response_time=3.0), model) == pytest.approx(6.0)
+
+    def test_decode_surcharge(self):
+        model = EnergyModel(rx_power=1.0, decode_energy=0.5)
+        plain = transfer_energy(outcome(), model, needed_matrix_decode=False)
+        decoded = transfer_energy(outcome(), model, needed_matrix_decode=True)
+        assert decoded == pytest.approx(plain + 0.5)
+
+    def test_early_termination_never_decodes(self):
+        model = EnergyModel(decode_energy=0.5)
+        early = transfer_energy(outcome(early=True), model, needed_matrix_decode=True)
+        assert early == pytest.approx(model.rx_power * 2.0)
+
+
+class TestSessionEnergy:
+    def test_breakdown(self):
+        model = EnergyModel(rx_power=1.0, idle_power=0.1, decode_energy=0.0)
+        outcomes = [outcome(response_time=2.0), outcome(response_time=4.0, early=True)]
+        energy = session_energy(outcomes, think_time_per_document=10.0, model=model)
+        assert energy.receive_joules == pytest.approx(6.0)
+        assert energy.idle_joules == pytest.approx(2.0)
+        assert energy.total_joules == pytest.approx(8.0)
+
+    def test_decode_counted_for_full_downloads_only(self):
+        model = EnergyModel(decode_energy=1.0)
+        outcomes = [outcome(), outcome(early=True), outcome(success=False)]
+        energy = session_energy(outcomes, model=model)
+        assert energy.decode_joules == pytest.approx(1.0)
+
+    def test_early_termination_saves_energy(self):
+        """The motivation claim: multi-resolution saves battery by
+        discarding irrelevant documents early."""
+        params = QUICK.replace(irrelevant=1.0, threshold=0.3)
+        sequential = simulate_session(
+            params, random.Random(0), caching=True, lod=LOD.DOCUMENT,
+            collect_outcomes=True,
+        )
+        ranked = simulate_session(
+            params, random.Random(0), caching=True, lod=LOD.PARAGRAPH,
+            collect_outcomes=True,
+        )
+        baseline = session_energy(sequential.outcomes)
+        candidate = session_energy(ranked.outcomes)
+        saving = energy_saving(baseline, candidate)
+        assert saving > 0.02  # measurable battery win
+
+    def test_energy_saving_validation(self):
+        zero = session_energy([], model=EnergyModel())
+        with pytest.raises(ValueError):
+            energy_saving(zero, zero)
+
+    def test_think_time_validation(self):
+        with pytest.raises(ValueError):
+            session_energy([outcome()], think_time_per_document=0.0)
+
+
+class TestThroughput:
+    def test_single_session(self):
+        result = session_throughput(QUICK, LOD.PARAGRAPH, seed=1)
+        assert result.useful_bytes > 0
+        assert result.air_seconds > 0
+        assert 0 < result.effective_kbps < QUICK.bandwidth_kbps
+
+    def test_zero_air_time_guard(self):
+        from repro.simulation.throughput import ThroughputResult
+
+        empty = ThroughputResult(lod=LOD.DOCUMENT, useful_bytes=0.0, air_seconds=0.0)
+        assert empty.effective_kbps == 0.0
+
+    def test_multiresolution_raises_effective_throughput(self):
+        """The §6 throughput claim: finer LOD ordering wastes less air
+        time on documents the user discards."""
+        params = QUICK.replace(irrelevant=0.5, threshold=0.3)
+        comparison = throughput_comparison(
+            params, lods=(LOD.DOCUMENT, LOD.PARAGRAPH), repetitions=3, seed=2
+        )
+        assert comparison[LOD.PARAGRAPH] > comparison[LOD.DOCUMENT]
+
+    def test_all_relevant_no_gain(self):
+        """With nothing to discard, ordering cannot help throughput."""
+        params = QUICK.replace(irrelevant=0.0)
+        comparison = throughput_comparison(
+            params, lods=(LOD.DOCUMENT, LOD.PARAGRAPH), repetitions=2, seed=3
+        )
+        assert comparison[LOD.PARAGRAPH] == pytest.approx(
+            comparison[LOD.DOCUMENT], rel=0.05
+        )

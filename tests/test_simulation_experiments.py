@@ -1,0 +1,144 @@
+"""Shape tests for Experiments #1–#4 (the paper's qualitative claims).
+
+These run scaled-down configurations (short sessions, few repetitions)
+and assert the *trends* the paper reports, not absolute values.
+"""
+
+import pytest
+
+from repro.core.lod import LOD
+from repro.simulation.experiments import (
+    experiment1,
+    experiment2,
+    experiment3,
+    experiment4,
+)
+from repro.simulation.parameters import Parameters
+
+QUICK = Parameters(documents_per_session=40, repetitions=3, max_rounds=15)
+
+
+@pytest.fixture(scope="module")
+def exp1_panels():
+    return experiment1(
+        QUICK,
+        gammas=(1.1, 1.5, 2.0),
+        alphas=(0.1, 0.5),
+        irrelevant_fractions=(0.0, 0.5),
+        seed=1,
+    )
+
+
+class TestExperiment1:
+    def test_panel_keys(self, exp1_panels):
+        assert set(exp1_panels) == {
+            ("nocaching", 0.0),
+            ("caching", 0.0),
+            ("nocaching", 0.5),
+            ("caching", 0.5),
+        }
+
+    def test_caching_dominates_at_high_alpha(self, exp1_panels):
+        """Figure 4's headline: the cache matters most when α is high."""
+        for irrelevant in (0.0, 0.5):
+            nocaching = exp1_panels[("nocaching", irrelevant)][0.5]
+            caching = exp1_panels[("caching", irrelevant)][0.5]
+            for nc_point, c_point in zip(nocaching, caching):
+                assert c_point.mean <= nc_point.mean
+
+    def test_higher_alpha_is_slower(self, exp1_panels):
+        curves = exp1_panels[("caching", 0.0)]
+        for low, high in zip(curves[0.1], curves[0.5]):
+            assert high.mean > low.mean
+
+    def test_nocaching_improves_with_gamma_at_high_alpha(self, exp1_panels):
+        points = exp1_panels[("nocaching", 0.0)][0.5]
+        assert points[-1].mean < points[0].mean
+
+    def test_gamma15_reasonable_for_low_alpha(self, exp1_panels):
+        """The paper adopts γ = 1.5 as the default: at α = 0.1 the γ
+        sweep is nearly flat beyond 1.5 (no stall pressure)."""
+        points = exp1_panels[("caching", 0.0)][0.1]
+        by_gamma = {p.x: p.mean for p in points}
+        assert by_gamma[2.0] == pytest.approx(by_gamma[1.5], rel=0.15)
+
+
+class TestExperiment2:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return experiment2(
+            QUICK, fractions=(0.0, 0.5, 1.0), alphas=(0.1,), seed=2
+        )
+
+    def test_response_decreases_with_irrelevance(self, panels):
+        points = panels[("vary_i", "caching")][0.1]
+        means = [p.mean for p in points]
+        assert means[0] > means[-1]
+
+    def test_roughly_linear_in_i(self, panels):
+        """The paper: response time is a weighted average of relevant
+        and irrelevant documents, hence linear in I."""
+        points = panels[("vary_i", "caching")][0.1]
+        by_x = {p.x: p.mean for p in points}
+        midpoint = (by_x[0.0] + by_x[1.0]) / 2
+        assert by_x[0.5] == pytest.approx(midpoint, rel=0.15)
+
+    def test_response_increases_with_f(self, panels):
+        points = panels[("vary_f", "caching")][0.1]
+        means = [p.mean for p in points]
+        assert means[0] < means[-1]
+
+    def test_f_zero_cheapest(self, panels):
+        points = panels[("vary_f", "caching")][0.1]
+        assert points[0].x == 0.0
+        assert points[0].mean == min(p.mean for p in points)
+
+
+class TestExperiment3:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return experiment3(
+            QUICK, thresholds=(0.1, 0.3, 0.5), alphas=(0.1,), seed=3
+        )
+
+    def test_document_lod_baseline_is_one(self, results):
+        for point in results[0.1][LOD.DOCUMENT]:
+            assert point.mean == pytest.approx(1.0)
+
+    def test_paragraph_lod_best(self, results):
+        """Figure 6: paragraph LOD gives the largest improvement."""
+        per_lod = results[0.1]
+        for index in range(3):
+            paragraph = per_lod[LOD.PARAGRAPH][index].mean
+            section = per_lod[LOD.SECTION][index].mean
+            assert paragraph >= section >= 0.95
+
+    def test_paper_magnitude_at_low_f(self, results):
+        """At F ∈ [0.1, 0.3] the paragraph improvement is ≈ 1.3–1.5."""
+        paragraph = results[0.1][LOD.PARAGRAPH]
+        by_f = {p.x: p.mean for p in paragraph}
+        assert 1.2 <= by_f[0.1] <= 1.7
+        assert 1.15 <= by_f[0.3] <= 1.6
+
+
+class TestExperiment4:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return experiment4(
+            QUICK, thresholds=(0.1, 0.2), deltas=(2.0, 5.0), seed=4
+        )
+
+    def test_keyed_by_delta(self, results):
+        assert set(results) == {2.0, 5.0}
+
+    def test_higher_skew_more_improvement(self, results):
+        """Figure 7: the higher the skew factor δ, the more the
+        multi-resolution approach gains."""
+        low = results[2.0][LOD.PARAGRAPH][0].mean
+        high = results[5.0][LOD.PARAGRAPH][0].mean
+        assert high > low
+
+    def test_document_baseline_unaffected(self, results):
+        for delta in (2.0, 5.0):
+            for point in results[delta][LOD.DOCUMENT]:
+                assert point.mean == pytest.approx(1.0)

@@ -1,0 +1,81 @@
+"""Tests for experiment-result persistence."""
+
+import pytest
+
+from repro.core.lod import LOD
+from repro.simulation.export import dumps, load, loads, save
+from repro.simulation.metrics import SeriesPoint
+
+
+def sample_result():
+    return {
+        ("caching", 0.5): {
+            0.1: [SeriesPoint(1.1, [4.0, 4.2, 4.1]), SeriesPoint(1.5, [3.9, 4.0])],
+        },
+        ("nocaching", 0.0): {
+            0.5: [SeriesPoint(1.1, [80.0, 85.0])],
+        },
+    }
+
+
+class TestRoundTrip:
+    def test_nested_experiment_result(self):
+        original = sample_result()
+        restored = loads(dumps(original))
+        assert set(restored) == set(original)
+        point = restored[("caching", 0.5)][0.1][0]
+        assert isinstance(point, SeriesPoint)
+        assert point.x == 1.1
+        assert point.samples == [4.0, 4.2, 4.1]
+        assert point.mean == pytest.approx(original[("caching", 0.5)][0.1][0].mean)
+
+    def test_lod_keys(self):
+        original = {0.1: {LOD.PARAGRAPH: [SeriesPoint(0.2, [1.3])]}}
+        restored = loads(dumps(original))
+        assert LOD.PARAGRAPH in restored[0.1]
+
+    def test_lod_values(self):
+        assert loads(dumps([LOD.SECTION])) == [LOD.SECTION]
+
+    def test_scalars_and_none(self):
+        original = {"a": [1, 2.5, "x", None, True]}
+        assert loads(dumps(original)) == original
+
+    def test_float_keys_exact(self):
+        original = {0.1 + 0.2: "value"}  # 0.30000000000000004
+        restored = loads(dumps(original))
+        assert list(restored) == [0.1 + 0.2]
+
+    def test_stable_output(self):
+        assert dumps(sample_result()) == dumps(sample_result())
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        path = save(sample_result(), tmp_path / "nested" / "result.json")
+        assert path.exists()
+        restored = load(path)
+        assert ("nocaching", 0.0) in restored
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(TypeError):
+            dumps({"bad": object()})
+
+    def test_boolean_key_rejected(self):
+        with pytest.raises(TypeError):
+            dumps({True: 1})
+
+
+class TestExperimentIntegration:
+    def test_experiment_output_round_trips(self):
+        from repro.simulation.experiments import experiment3
+        from repro.simulation.parameters import Parameters
+
+        params = Parameters(documents_per_session=10, repetitions=2, max_rounds=8)
+        result = experiment3(
+            params, thresholds=(0.2,), alphas=(0.1,), lods=(LOD.DOCUMENT, LOD.PARAGRAPH)
+        )
+        restored = loads(dumps(result))
+        assert restored[0.1][LOD.PARAGRAPH][0].mean == pytest.approx(
+            result[0.1][LOD.PARAGRAPH][0].mean
+        )

@@ -1,0 +1,66 @@
+"""Tests for the experiment metrics helpers."""
+
+import pytest
+
+from repro.simulation.metrics import SeriesPoint, improvement_ratio, series_table
+
+
+class TestSeriesPoint:
+    def test_statistics(self):
+        point = SeriesPoint(1.5, [4.0, 4.2, 4.4])
+        assert point.x == 1.5
+        assert point.mean == pytest.approx(4.2)
+        assert point.stdev == pytest.approx(0.2)
+        assert point.ci_low < point.mean < point.ci_high
+
+    def test_single_sample(self):
+        point = SeriesPoint(0.1, [7.0])
+        assert point.stdev == 0.0
+        assert (point.ci_low, point.ci_high) == (7.0, 7.0)
+
+    def test_relative_stdev(self):
+        point = SeriesPoint(0.1, [9.0, 10.0, 11.0])
+        assert point.relative_stdev() == pytest.approx(0.1)
+
+    def test_relative_stdev_zero_mean(self):
+        point = SeriesPoint(0.1, [0.0, 0.0])
+        assert point.relative_stdev() == 0.0
+
+    def test_samples_copied(self):
+        data = [1.0, 2.0]
+        point = SeriesPoint(0.0, data)
+        data.append(99.0)
+        assert point.samples == [1.0, 2.0]
+
+    def test_paper_dispersion_claim_shape(self):
+        """The paper reports 1–5% relative stdev; SeriesPoint exposes
+        exactly that quantity for assertion in the benches."""
+        point = SeriesPoint(1.5, [4.0, 4.05, 3.95, 4.02, 3.98])
+        assert point.relative_stdev() < 0.05
+
+
+class TestImprovementRatio:
+    def test_faster_candidate_above_one(self):
+        assert improvement_ratio(10.0, 8.0) == pytest.approx(1.25)
+
+    def test_equal_is_one(self):
+        assert improvement_ratio(5.0, 5.0) == 1.0
+
+    def test_zero_candidate_rejected(self):
+        with pytest.raises(ValueError):
+            improvement_ratio(5.0, 0.0)
+
+
+class TestSeriesTable:
+    def test_flattening(self):
+        series = {
+            "b": [SeriesPoint(1.0, [2.0])],
+            "a": [SeriesPoint(1.0, [3.0]), SeriesPoint(2.0, [4.0])],
+        }
+        rows = series_table(series)
+        assert rows[0][0] == "a"  # sorted by name
+        assert len(rows) == 3
+        assert rows[0][2] == 3.0  # mean column
+
+    def test_empty(self):
+        assert series_table({}) == []

@@ -1,0 +1,91 @@
+"""Tests for the Table 2 parameter record."""
+
+import pytest
+
+from repro.simulation.parameters import Parameters, from_environment, quick, table2_defaults
+
+
+class TestTable2Defaults:
+    def test_values(self):
+        p = table2_defaults()
+        assert p.sp == 256
+        assert p.sd == 10240
+        assert p.overhead == 4
+        assert p.bandwidth_kbps == 19.2
+        assert p.delta == 3.0
+        assert p.irrelevant == 0.5
+        assert p.threshold == 0.5
+        assert p.alpha == 0.1
+        assert p.gamma == 1.5
+        assert p.documents_per_session == 200
+        assert p.repetitions == 50
+
+    def test_derived_m_n(self):
+        p = table2_defaults()
+        assert p.m == 40
+        assert p.n == 60
+
+    def test_paragraph_geometry(self):
+        p = table2_defaults()
+        assert p.sections == 5
+        assert p.paragraphs == 20
+
+    def test_packet_time(self):
+        p = table2_defaults()
+        assert p.packet_time == pytest.approx((256 + 4) * 8 / 19200)
+
+
+class TestDerivations:
+    def test_m_rounds_up(self):
+        assert Parameters(sd=10241).m == 41
+
+    def test_n_clamped_to_field(self):
+        assert Parameters(sd=51200, gamma=1.5).n == 255
+
+    def test_n_at_least_m(self):
+        p = Parameters(gamma=1.0)
+        assert p.n == p.m
+
+    def test_replace(self):
+        p = table2_defaults().replace(alpha=0.3)
+        assert p.alpha == 0.3
+        assert p.gamma == 1.5  # untouched
+        assert table2_defaults().alpha == 0.1  # original frozen
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 1.5},
+            {"gamma": 0.5},
+            {"delta": 0.5},
+            {"sp": 0},
+            {"irrelevant": -0.1},
+            {"threshold": 1.5},
+            {"documents_per_session": 0},
+        ],
+    )
+    def test_rejected(self, kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            Parameters(**kwargs)
+
+    def test_frozen(self):
+        p = table2_defaults()
+        with pytest.raises(Exception):
+            p.alpha = 0.9
+
+
+class TestScaledConfigs:
+    def test_quick_is_smaller(self):
+        p = quick()
+        assert p.documents_per_session < 200
+        assert p.repetitions < 50
+        # Everything else stays at Table 2 values.
+        assert p.m == 40 and p.n == 60
+
+    def test_from_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert from_environment().documents_per_session < 200
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert from_environment().documents_per_session == 200

@@ -1,0 +1,170 @@
+"""Tests for the oracle-mode transfer simulator."""
+
+import random
+
+import pytest
+
+from repro.core.lod import LOD
+from repro.simulation.parameters import Parameters
+from repro.simulation.runner import (
+    repeated_sessions,
+    simulate_session,
+    simulate_transfer,
+)
+
+PACKET_TIME = 260 * 8 / 19200
+
+
+class TestSingleTransfer:
+    def test_clean_channel_exactly_m_packets(self):
+        outcome = simulate_transfer(
+            m=40, n=60, alpha=0.0, packet_time=PACKET_TIME,
+            rng=random.Random(0), caching=True,
+        )
+        assert outcome.success
+        assert outcome.packets_sent == 40
+        assert outcome.response_time == pytest.approx(40 * PACKET_TIME)
+        assert outcome.rounds == 1
+
+    def test_lossy_channel_needs_more_packets(self):
+        outcome = simulate_transfer(
+            m=40, n=60, alpha=0.2, packet_time=PACKET_TIME,
+            rng=random.Random(1), caching=True,
+        )
+        assert outcome.success
+        assert outcome.packets_sent > 40
+
+    def test_expected_packets_statistical(self):
+        """Mean packets ≈ M/(1−α), the negative binomial expectation."""
+        rng = random.Random(42)
+        totals = []
+        for _ in range(300):
+            outcome = simulate_transfer(
+                m=40, n=255, alpha=0.25, packet_time=1.0, rng=rng, caching=True,
+            )
+            totals.append(outcome.packets_sent)
+        mean = sum(totals) / len(totals)
+        assert mean == pytest.approx(40 / 0.75, rel=0.05)
+
+    def test_stall_and_caching_recovery(self):
+        # alpha=0.6 with n=m: guaranteed stalls; caching accumulates.
+        outcome = simulate_transfer(
+            m=20, n=20, alpha=0.6, packet_time=1.0,
+            rng=random.Random(2), caching=True, max_rounds=100,
+        )
+        assert outcome.success
+        assert outcome.rounds > 1
+
+    def test_nocaching_fails_where_caching_succeeds(self):
+        kwargs = dict(m=30, n=33, alpha=0.5, packet_time=1.0, max_rounds=30)
+        caching = simulate_transfer(rng=random.Random(3), caching=True, **kwargs)
+        nocaching = simulate_transfer(rng=random.Random(3), caching=False, **kwargs)
+        assert caching.success
+        assert caching.rounds < nocaching.rounds or not nocaching.success
+
+    def test_max_rounds_bound(self):
+        outcome = simulate_transfer(
+            m=10, n=10, alpha=1.0, packet_time=1.0,
+            rng=random.Random(4), caching=True, max_rounds=5,
+        )
+        assert not outcome.success
+        assert outcome.rounds == 5
+        assert outcome.packets_sent == 50
+
+
+class TestEarlyTermination:
+    def test_requires_profile(self):
+        with pytest.raises(ValueError):
+            simulate_transfer(
+                m=4, n=6, alpha=0.0, packet_time=1.0,
+                rng=random.Random(0), caching=True, relevance_threshold=0.5,
+            )
+
+    def test_threshold_zero_instant(self):
+        outcome = simulate_transfer(
+            m=4, n=6, alpha=0.0, packet_time=1.0,
+            rng=random.Random(0), caching=True,
+            relevance_threshold=0.0, content_profile=[0.25] * 4,
+        )
+        assert outcome.terminated_early
+        assert outcome.packets_sent == 0
+
+    def test_uniform_profile_proportional_stop(self):
+        outcome = simulate_transfer(
+            m=10, n=15, alpha=0.0, packet_time=1.0,
+            rng=random.Random(0), caching=True,
+            relevance_threshold=0.5, content_profile=[0.1] * 10,
+        )
+        assert outcome.terminated_early
+        assert outcome.packets_sent == 5
+
+    def test_frontloaded_profile_stops_sooner(self):
+        frontloaded = [0.5, 0.3] + [0.2 / 8] * 8
+        outcome = simulate_transfer(
+            m=10, n=15, alpha=0.0, packet_time=1.0,
+            rng=random.Random(0), caching=True,
+            relevance_threshold=0.5, content_profile=frontloaded,
+        )
+        assert outcome.packets_sent == 1
+
+    def test_reconstruction_satisfies_any_threshold(self):
+        """Corrupted clear packets can starve the content accrual, but
+        M intact packets of any kind reconstruct everything."""
+        outcome = simulate_transfer(
+            m=5, n=20, alpha=0.5, packet_time=1.0,
+            rng=random.Random(7), caching=True,
+            relevance_threshold=0.99, content_profile=[0.2] * 5,
+        )
+        assert outcome.success
+
+
+class TestSession:
+    def test_session_counts(self):
+        params = Parameters(documents_per_session=30, max_rounds=10)
+        result = simulate_session(params, random.Random(0), caching=True)
+        assert result.mean_response_time > 0
+        assert result.early_terminations <= 30
+
+    def test_irrelevant_fraction_drives_early_stops(self):
+        params = Parameters(documents_per_session=40, irrelevant=1.0, max_rounds=10)
+        result = simulate_session(params, random.Random(1), caching=True)
+        # All documents irrelevant with F=0.5: most stop early (a few
+        # may reach reconstruction first under corruption).
+        assert result.early_terminations > 30
+
+    def test_relevant_only_no_early_stops(self):
+        params = Parameters(documents_per_session=20, irrelevant=0.0, max_rounds=10)
+        result = simulate_session(params, random.Random(2), caching=True)
+        assert result.early_terminations == 0
+
+    def test_finer_lod_faster_for_irrelevant(self):
+        params = Parameters(
+            documents_per_session=60, irrelevant=1.0, threshold=0.3, max_rounds=10
+        )
+        sequential = simulate_session(
+            params, random.Random(3), caching=True, lod=LOD.DOCUMENT
+        )
+        ranked = simulate_session(
+            params, random.Random(3), caching=True, lod=LOD.PARAGRAPH
+        )
+        assert ranked.mean_response_time < sequential.mean_response_time
+
+    def test_collect_times(self):
+        params = Parameters(documents_per_session=10, max_rounds=5)
+        result = simulate_session(
+            params, random.Random(4), caching=True, collect_times=True
+        )
+        assert len(result.response_times) == 10
+
+
+class TestRepeatedSessions:
+    def test_reproducible(self):
+        params = Parameters(documents_per_session=10, repetitions=3, max_rounds=5)
+        a = repeated_sessions(params, seed=7, caching=True)
+        b = repeated_sessions(params, seed=7, caching=True)
+        assert a == b
+        assert len(a) == 3
+
+    def test_different_seeds_differ(self):
+        params = Parameters(documents_per_session=10, repetitions=3, max_rounds=5)
+        assert repeated_sessions(params, 1, True) != repeated_sessions(params, 2, True)

@@ -1,0 +1,108 @@
+"""Tests for the synthetic corpus generator, including end-to-end
+search quality on a generated corpus."""
+
+import random
+
+import pytest
+
+from repro.simulation.textgen import CorpusGenerator, ZipfSampler, make_vocabulary
+from repro.xmlkit.dtd import RESEARCH_PAPER
+from repro.xmlkit.parser import parse_xml
+
+
+class TestVocabulary:
+    def test_size_and_uniqueness(self):
+        words = make_vocabulary(300, seed=1)
+        assert len(words) == 300
+        assert len(set(words)) == 300
+
+    def test_deterministic(self):
+        assert make_vocabulary(50, seed=2) == make_vocabulary(50, seed=2)
+        assert make_vocabulary(50, seed=2) != make_vocabulary(50, seed=3)
+
+    def test_words_are_alphabetic(self):
+        for word in make_vocabulary(100, seed=4):
+            assert word.isalpha()
+            assert 2 <= len(word) <= 20
+
+
+class TestZipfSampler:
+    def test_rank_frequency_decreases(self):
+        sampler = ZipfSampler(200, exponent=1.2)
+        rng = random.Random(0)
+        counts = [0] * 200
+        for _ in range(20_000):
+            counts[sampler.sample(rng)] += 1
+        # Head ranks dominate tail ranks.
+        assert counts[0] > counts[50] > counts[150]
+
+    def test_all_indices_in_range(self):
+        sampler = ZipfSampler(10)
+        rng = random.Random(1)
+        assert all(0 <= sampler.sample(rng) < 10 for _ in range(1000))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(10, exponent=0.0)
+
+
+class TestDocuments:
+    def test_valid_research_paper(self):
+        generator = CorpusGenerator(seed=5)
+        xml, _topic = generator.document(0)
+        document = parse_xml(xml)
+        RESEARCH_PAPER.validate(document)
+
+    def test_geometry(self):
+        generator = CorpusGenerator(seed=5)
+        xml, _ = generator.document(0, sections=3, subsections=2, paragraphs=2)
+        document = parse_xml(xml)
+        assert len(document.root.find_all("section")) == 3
+        assert len(document.root.find_all("subsection")) == 6
+        # 12 body paragraphs + 1 abstract paragraph.
+        assert len(document.root.find_all("paragraph")) == 13
+
+    def test_reproducible(self):
+        a = CorpusGenerator(seed=6).document(3)
+        b = CorpusGenerator(seed=6).document(3)
+        assert a == b
+
+    def test_topic_words_present(self):
+        generator = CorpusGenerator(seed=7)
+        xml, topic = generator.document(0, topic=2, topic_bias=0.5)
+        text = xml.lower()
+        hits = sum(1 for word in generator.topics[2] if word in text)
+        assert hits >= len(generator.topics[2]) // 2
+
+    def test_corpus_balanced_topics(self):
+        generator = CorpusGenerator(topic_count=4, seed=8)
+        corpus = generator.corpus(8)
+        topics = [topic for _xml, topic in corpus.values()]
+        assert sorted(topics) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_vocabulary_too_small(self):
+        with pytest.raises(ValueError):
+            CorpusGenerator(vocabulary_size=10, topic_count=5, topic_words=4)
+
+
+class TestSearchQuality:
+    def test_topic_queries_retrieve_topic_documents(self):
+        """End to end: generate a corpus, index it, and check the
+        engine returns on-topic documents for topic queries."""
+        from repro.search.engine import SearchEngine
+
+        generator = CorpusGenerator(topic_count=4, seed=9)
+        corpus = generator.corpus(12, sections=2, subsections=1, paragraphs=2)
+        engine = SearchEngine()
+        truth = {}
+        for doc_id, (xml, topic) in corpus.items():
+            engine.add_document(doc_id, parse_xml(xml))
+            truth[doc_id] = topic
+
+        correct = 0
+        for topic in range(4):
+            hits = engine.search(generator.topic_query(topic), limit=3)
+            assert hits, f"no hits for topic {topic}"
+            correct += sum(1 for hit in hits if truth[hit.document_id] == topic)
+        # At least two-thirds of the top results are on topic.
+        assert correct >= 8

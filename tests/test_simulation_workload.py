@@ -1,0 +1,145 @@
+"""Tests for the synthetic workload generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lod import LOD
+from repro.simulation.parameters import Parameters
+from repro.simulation.workload import (
+    SyntheticDocument,
+    generate_session,
+    relevance_flags,
+)
+
+
+def make_doc(seed=0, **kwargs):
+    params = Parameters(**kwargs) if kwargs else Parameters()
+    return SyntheticDocument(params, random.Random(seed)), params
+
+
+class TestParagraphIC:
+    def test_normalized(self):
+        doc, params = make_doc()
+        assert sum(doc.paragraph_ic) == pytest.approx(1.0)
+        assert len(doc.paragraph_ic) == params.paragraphs == 20
+
+    def test_all_positive(self):
+        doc, _ = make_doc()
+        assert all(ic > 0 for ic in doc.paragraph_ic)
+
+    def test_skew_controls_spread(self):
+        """max/min ratio tracks δ (the paper's skew factor)."""
+        rng = random.Random(0)
+        params5 = Parameters(delta=5.0)
+        ratios = []
+        for _ in range(50):
+            doc = SyntheticDocument(params5, rng)
+            ratios.append(max(doc.paragraph_ic) / min(doc.paragraph_ic))
+        average_ratio = sum(ratios) / len(ratios)
+        assert 2.0 < average_ratio <= 5.0 + 1e-9
+
+    def test_delta_one_uniform(self):
+        doc, _ = make_doc(delta=1.0)
+        assert max(doc.paragraph_ic) == pytest.approx(min(doc.paragraph_ic))
+
+
+class TestUnitIC:
+    def test_section_grouping(self):
+        doc, _ = make_doc()
+        sections = doc.unit_ic(LOD.SECTION)
+        assert len(sections) == 5
+        assert sum(sections) == pytest.approx(1.0)
+        assert sections[0] == pytest.approx(sum(doc.paragraph_ic[0:4]))
+
+    def test_subsection_grouping(self):
+        doc, _ = make_doc()
+        subsections = doc.unit_ic(LOD.SUBSECTION)
+        assert len(subsections) == 10
+        assert subsections[3] == pytest.approx(sum(doc.paragraph_ic[6:8]))
+
+    def test_paragraph_identity(self):
+        doc, _ = make_doc()
+        assert doc.unit_ic(LOD.PARAGRAPH) == doc.paragraph_ic
+
+    def test_subsubsection_same_as_paragraph(self):
+        """§5.3: the simulated documents have no subsubsections."""
+        doc, _ = make_doc()
+        assert doc.unit_ic(LOD.SUBSUBSECTION) == doc.paragraph_ic
+
+
+class TestOrdering:
+    def test_document_lod_sequential(self):
+        doc, _ = make_doc()
+        assert doc.paragraph_order(LOD.DOCUMENT) == list(range(20))
+
+    def test_paragraph_lod_descending_ic(self):
+        doc, _ = make_doc()
+        order = doc.paragraph_order(LOD.PARAGRAPH)
+        values = [doc.paragraph_ic[i] for i in order]
+        assert values == sorted(values, reverse=True)
+
+    def test_order_is_permutation(self):
+        doc, _ = make_doc()
+        for lod in LOD:
+            assert sorted(doc.paragraph_order(lod)) == list(range(20))
+
+    def test_section_lod_keeps_intra_section_order(self):
+        doc, _ = make_doc()
+        order = doc.paragraph_order(LOD.SECTION)
+        # Paragraphs arrive in blocks of 4 consecutive indices.
+        for block_start in range(0, 20, 4):
+            block = order[block_start : block_start + 4]
+            assert block == sorted(block)
+            assert block[-1] - block[0] == 3
+
+
+class TestContentProfile:
+    def test_sums_to_one(self):
+        doc, params = make_doc()
+        for lod in LOD:
+            profile = doc.content_profile(lod)
+            assert len(profile) == params.m
+            assert sum(profile) == pytest.approx(1.0)
+
+    def test_finer_lod_frontloads_content(self):
+        """The whole point of multi-resolution: at any prefix, finer
+        LOD ordering has delivered at least as much content."""
+        doc, params = make_doc(delta=5.0)
+        sequential = doc.content_profile(LOD.DOCUMENT)
+        ranked = doc.content_profile(LOD.PARAGRAPH)
+        cumulative_seq = 0.0
+        cumulative_ranked = 0.0
+        for seq_value, ranked_value in zip(sequential, ranked):
+            cumulative_seq += seq_value
+            cumulative_ranked += ranked_value
+            assert cumulative_ranked >= cumulative_seq - 1e-9
+
+    def test_profile_matches_paragraph_bytes(self):
+        doc, params = make_doc()
+        # 512-byte paragraphs over 256-byte packets: each packet is
+        # half a paragraph, so consecutive packet pairs carry equal
+        # halves of one paragraph's content.
+        profile = doc.content_profile(LOD.DOCUMENT)
+        for index in range(0, params.m, 2):
+            assert profile[index] == pytest.approx(profile[index + 1])
+            paragraph = index // 2
+            assert profile[index] == pytest.approx(doc.paragraph_ic[paragraph] / 2)
+
+
+class TestSession:
+    def test_generate_session_count(self):
+        params = Parameters(documents_per_session=17)
+        docs = generate_session(params, random.Random(0))
+        assert len(docs) == 17
+
+    def test_relevance_flags_exact_fraction(self):
+        params = Parameters(documents_per_session=100, irrelevant=0.3)
+        flags = relevance_flags(params, random.Random(0))
+        assert sum(flags) == 30
+
+    def test_relevance_flags_shuffled(self):
+        params = Parameters(documents_per_session=100, irrelevant=0.5)
+        flags = relevance_flags(params, random.Random(1))
+        assert flags != sorted(flags, reverse=True)

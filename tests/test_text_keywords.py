@@ -1,0 +1,72 @@
+"""Tests for repro.text.keywords."""
+
+from repro.text.keywords import KeywordExtractor
+from repro.text.lemmatizer import Lemmatizer
+
+
+class TestCandidateLemmas:
+    def test_stopwords_removed(self):
+        extractor = KeywordExtractor()
+        lemmas = extractor.candidate_lemmas("the mobile web is weakly connected")
+        assert "the" not in lemmas
+        assert "is" not in lemmas
+
+    def test_variants_conflate(self):
+        extractor = KeywordExtractor()
+        lemmas = extractor.candidate_lemmas("browsing browsers browse")
+        assert lemmas[0] == lemmas[2]
+
+    def test_short_tokens_dropped(self):
+        extractor = KeywordExtractor(min_length=3)
+        lemmas = extractor.candidate_lemmas("go to xy web")
+        assert "xy" not in lemmas
+
+
+class TestExtract:
+    def test_counts(self):
+        extractor = KeywordExtractor()
+        counts = extractor.extract("web web web mobile")
+        assert counts[extractor.lemmatizer.lemma("web")] == 3
+        assert counts[extractor.lemmatizer.lemma("mobile")] == 1
+
+    def test_min_count_filters(self):
+        extractor = KeywordExtractor(min_count=2)
+        counts = extractor.extract("web web mobile")
+        lemma_mobile = extractor.lemmatizer.lemma("mobile")
+        assert lemma_mobile not in counts
+
+    def test_emphasized_overrides_min_count(self):
+        """Specially formatted words qualify as keywords regardless of
+        frequency (paper §3.3)."""
+        extractor = KeywordExtractor(min_count=2)
+        counts = extractor.extract("web web mobile", emphasized=["mobile"])
+        assert counts[extractor.lemmatizer.lemma("mobile")] == 1
+
+    def test_extra_stopwords(self):
+        extractor = KeywordExtractor()
+        counts = extractor.extract("section figure web", extra_stopwords=["section", "figure"])
+        assert len(counts) == 1
+
+
+class TestTopKeywords:
+    def test_ordering(self):
+        extractor = KeywordExtractor()
+        top = extractor.top_keywords("web web web packet packet mobile")
+        lemma = extractor.lemmatizer.lemma
+        assert top[0] == lemma("web")
+        assert top[1] == lemma("packet")
+
+    def test_tie_broken_alphabetically(self):
+        extractor = KeywordExtractor()
+        top = extractor.top_keywords("zebra apple")
+        assert top == sorted(top)
+
+    def test_limit(self):
+        extractor = KeywordExtractor()
+        text = " ".join(f"word{i}" for i in range(20))
+        assert len(extractor.top_keywords(text, limit=5)) == 5
+
+    def test_shared_lemmatizer(self):
+        shared = Lemmatizer()
+        extractor = KeywordExtractor(lemmatizer=shared)
+        assert extractor.lemmatizer is shared

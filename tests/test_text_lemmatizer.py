@@ -1,0 +1,51 @@
+"""Tests for repro.text.lemmatizer."""
+
+from repro.text.lemmatizer import Lemmatizer
+
+
+class TestIrregulars:
+    def test_verbs(self):
+        lemmatizer = Lemmatizer()
+        assert lemmatizer.lemma("went") == lemmatizer.lemma("go")
+        assert lemmatizer.lemma("was") == lemmatizer.lemma("be")
+        assert lemmatizer.lemma("taken") == lemmatizer.lemma("take")
+
+    def test_nouns(self):
+        lemmatizer = Lemmatizer()
+        assert lemmatizer.lemma("children") == lemmatizer.lemma("child")
+        assert lemmatizer.lemma("matrices") == lemmatizer.lemma("matrix")
+        assert lemmatizer.lemma("indices") == lemmatizer.lemma("index")
+
+    def test_case_insensitive(self):
+        lemmatizer = Lemmatizer()
+        assert lemmatizer.lemma("Went") == lemmatizer.lemma("went")
+
+
+class TestRegularConflation:
+    def test_morphological_variants_pool(self):
+        lemmatizer = Lemmatizer()
+        assert lemmatizer.lemma("browsing") == lemmatizer.lemma("browse")
+        assert lemmatizer.lemma("transmitted") == lemmatizer.lemma("transmitting")
+        assert lemmatizer.lemma("documents") == lemmatizer.lemma("document")
+
+    def test_distinct_words_stay_distinct(self):
+        lemmatizer = Lemmatizer()
+        assert lemmatizer.lemma("mobile") != lemmatizer.lemma("network")
+
+    def test_lemmatize_stream(self):
+        lemmatizer = Lemmatizer()
+        result = lemmatizer.lemmatize(["browsing", "browsers", "browse"])
+        assert len(result) == 3
+        assert result[0] == result[2]
+
+
+class TestExtension:
+    def test_extra_irregulars(self):
+        lemmatizer = Lemmatizer(extra_irregulars={"wwws": "web"})
+        assert lemmatizer.lemma("wwws") == lemmatizer.lemma("web")
+
+    def test_cache_consistency(self):
+        lemmatizer = Lemmatizer()
+        first = lemmatizer.lemma("browsing")
+        second = lemmatizer.lemma("browsing")
+        assert first == second

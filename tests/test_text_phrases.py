@@ -1,0 +1,79 @@
+"""Tests for PMI collocation extraction."""
+
+import pytest
+
+from repro.text.phrases import JOINER, CollocationExtractor
+
+# "information content" always adjacent; "packet"/"channel" scattered.
+TEXT = (
+    "The information content of each unit guides transmission. "
+    "Information content determines ordering, and information content "
+    "is additive. A packet crosses the channel; another channel carries "
+    "a different packet. Sometimes a packet waits while the channel "
+    "recovers. Units with high information content transmit first."
+)
+
+
+class TestScoring:
+    def test_adjacent_pair_scores_high(self):
+        extractor = CollocationExtractor(min_count=2)
+        scores = extractor.score_bigrams(TEXT)
+        info_content = next(
+            (pair for pair in scores if pair[0].startswith("inform")), None
+        )
+        assert info_content is not None
+        assert scores[info_content] > 0
+
+    def test_rare_bigrams_skipped(self):
+        extractor = CollocationExtractor(min_count=3)
+        scores = extractor.score_bigrams("one two. three four. five six.")
+        assert scores == {}
+
+    def test_stopwords_break_adjacency(self):
+        extractor = CollocationExtractor(min_count=1)
+        scores = extractor.score_bigrams("packet of channel packet of channel")
+        # "packet of" and "of channel" never form bigrams.
+        assert all("of" not in pair for pair in scores)
+
+    def test_empty_text(self):
+        assert CollocationExtractor().score_bigrams("") == {}
+        assert CollocationExtractor().collocations("the of and") == []
+
+
+class TestCollocations:
+    def test_information_content_detected(self):
+        extractor = CollocationExtractor(min_count=2, min_pmi=0.5)
+        pairs = extractor.collocations(TEXT)
+        assert any(
+            left.startswith("inform") and right.startswith("content")
+            for left, right in pairs
+        )
+
+    def test_ordering_strongest_first(self):
+        extractor = CollocationExtractor(min_count=2, min_pmi=-10.0)
+        pairs = extractor.collocations(TEXT)
+        scores = extractor.score_bigrams(TEXT)
+        values = [scores[pair] for pair in pairs]
+        assert values == sorted(values, reverse=True)
+
+
+class TestPhraseCounts:
+    def test_counts_match_occurrences(self):
+        extractor = CollocationExtractor(min_count=2, min_pmi=0.5)
+        counts = extractor.phrase_counts(TEXT)
+        phrase = next((k for k in counts if k.startswith("inform")), None)
+        assert phrase is not None
+        assert JOINER in phrase
+        assert counts[phrase] == 4  # "information content" appears 4×
+
+    def test_augment_preserves_unigrams(self):
+        extractor = CollocationExtractor(min_count=2, min_pmi=0.5)
+        base = {"packet": 3}
+        merged = extractor.augment_counts(TEXT, base)
+        assert merged["packet"] == 3
+        assert any(JOINER in key for key in merged)
+        assert base == {"packet": 3}  # input untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CollocationExtractor(min_count=0)

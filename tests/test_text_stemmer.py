@@ -1,0 +1,131 @@
+"""Tests for the Porter stemmer against published reference pairs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.stemmer import PorterStemmer, stem
+
+# Classic examples from Porter's 1980 paper and the reference vocabulary.
+REFERENCE_PAIRS = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+DOMAIN_PAIRS = [
+    ("browsing", "brows"),
+    ("browsers", "browser"),
+    ("transmission", "transmiss"),
+    ("transmitted", "transmit"),
+    ("caching", "cach"),
+    ("cached", "cach"),
+    ("documents", "document"),
+    ("mobile", "mobil"),
+    ("organizational", "organiz"),
+]
+
+
+class TestReferencePairs:
+    @pytest.mark.parametrize("word,expected", REFERENCE_PAIRS)
+    def test_porter_reference(self, word, expected):
+        assert stem(word) == expected
+
+    @pytest.mark.parametrize("word,expected", DOMAIN_PAIRS)
+    def test_domain_vocabulary(self, word, expected):
+        assert stem(word) == expected
+
+
+class TestProperties:
+    def test_short_words_unchanged(self):
+        for word in ("a", "an", "to", "it"):
+            assert stem(word) == word
+
+    def test_case_folded(self):
+        assert stem("Browsing") == stem("browsing")
+
+    def test_idempotent_on_common_stems(self):
+        # Stemming a stem should usually be stable for our vocabulary.
+        for word in ("document", "mobil", "network", "packet"):
+            assert stem(stem(word)) == stem(word)
+
+    @given(st.text(alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz"), max_size=20))
+    def test_never_crashes_and_never_grows(self, word):
+        result = PorterStemmer().stem(word)
+        assert isinstance(result, str)
+        assert len(result) <= len(word) + 1  # step1b can append 'e'
+
+    def test_variants_conflate(self):
+        assert stem("connect") == stem("connected") == stem("connecting")
+        assert stem("transmission") == stem("transmissions")

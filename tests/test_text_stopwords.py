@@ -1,0 +1,41 @@
+"""Tests for repro.text.stopwords."""
+
+from repro.text.stopwords import DEFAULT_STOPWORDS, is_stopword, remove_stopwords
+
+
+class TestStopwordList:
+    def test_common_function_words_present(self):
+        for word in ("the", "and", "of", "to", "is", "with", "that"):
+            assert word in DEFAULT_STOPWORDS
+
+    def test_content_words_absent(self):
+        for word in ("mobile", "web", "browsing", "packet", "document"):
+            assert word not in DEFAULT_STOPWORDS
+
+    def test_frozen(self):
+        assert isinstance(DEFAULT_STOPWORDS, frozenset)
+
+
+class TestIsStopword:
+    def test_case_insensitive(self):
+        assert is_stopword("The")
+        assert is_stopword("AND")
+
+    def test_extra_words(self):
+        assert not is_stopword("figure")
+        assert is_stopword("figure", extra=["figure"])
+
+
+class TestRemoveStopwords:
+    def test_preserves_order(self):
+        tokens = ["the", "mobile", "web", "is", "weakly", "connected"]
+        assert remove_stopwords(tokens) == ["mobile", "web", "weakly", "connected"]
+
+    def test_empty(self):
+        assert remove_stopwords([]) == []
+
+    def test_extra_is_case_insensitive(self):
+        assert remove_stopwords(["Table", "data"], extra=["table"]) == ["data"]
+
+    def test_all_stopwords(self):
+        assert remove_stopwords(["the", "of", "and"]) == []

@@ -1,0 +1,61 @@
+"""Tests for repro.text.tokens."""
+
+from repro.text.tokens import iter_tokens, lead_in_sentence, split_sentences, tokenize
+
+
+class TestTokenize:
+    def test_basic_words(self):
+        assert tokenize("Mobile web environment") == ["mobile", "web", "environment"]
+
+    def test_punctuation_stripped(self):
+        assert tokenize("browsing, mobile; web!") == ["browsing", "mobile", "web"]
+
+    def test_hyphen_and_apostrophe_kept(self):
+        assert tokenize("weakly-connected client's") == [
+            "weakly-connected",
+            "client's",
+        ]
+
+    def test_numbers_alone_dropped(self):
+        assert tokenize("19.2 kbps in 2000") == ["kbps", "in"]
+
+    def test_alphanumeric_kept(self):
+        assert tokenize("IEEE 802 and x25 protocols") == [
+            "ieee",
+            "and",
+            "x25",
+            "protocols",
+        ]
+
+    def test_case_preserved_when_requested(self):
+        assert tokenize("XML DTD", lowercase=False) == ["XML", "DTD"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("   \n\t ") == []
+
+    def test_iter_matches_list(self):
+        text = "The quick brown-fox jumps"
+        assert list(iter_tokens(text)) == tokenize(text)
+
+
+class TestSentences:
+    def test_split_simple(self):
+        text = "First sentence. Second one! Third?"
+        assert split_sentences(text) == ["First sentence.", "Second one!", "Third?"]
+
+    def test_no_split_mid_abbreviation_lowercase(self):
+        # Terminator followed by lowercase is not a boundary.
+        text = "Bandwidth is 19.2 kbps. next words"
+        assert len(split_sentences(text)) == 1
+
+    def test_empty(self):
+        assert split_sentences("") == []
+        assert split_sentences("   ") == []
+
+    def test_lead_in(self):
+        paragraph = "Lead sentences summarize. The rest elaborates."
+        assert lead_in_sentence(paragraph) == "Lead sentences summarize."
+
+    def test_lead_in_empty(self):
+        assert lead_in_sentence("") == ""

@@ -1,0 +1,100 @@
+"""Tests for occurrence vectors and the paper's keyword-weight formula."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.vector import OccurrenceVector
+
+count_dicts = st.dictionaries(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=5),
+    st.integers(min_value=1, max_value=50),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestConstruction:
+    def test_from_tokens(self):
+        vector = OccurrenceVector.from_tokens(["web", "web", "mobile"])
+        assert vector.count("web") == 2
+        assert vector.count("mobile") == 1
+        assert vector.count("absent") == 0
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ValueError):
+            OccurrenceVector({"a": 0})
+        with pytest.raises(ValueError):
+            OccurrenceVector({"a": -3})
+
+    def test_rejects_noninteger_counts(self):
+        with pytest.raises(TypeError):
+            OccurrenceVector({"a": 1.5})
+
+    def test_rejects_unknown_norm(self):
+        with pytest.raises(ValueError):
+            OccurrenceVector({"a": 1}, norm="l3")
+
+
+class TestNorms:
+    def test_infinity_norm_is_max(self):
+        vector = OccurrenceVector({"a": 3, "b": 7, "c": 1})
+        assert vector.norm == 7.0
+
+    def test_l1_norm(self):
+        vector = OccurrenceVector({"a": 3, "b": 7}, norm="l1")
+        assert vector.norm == 10.0
+
+    def test_l2_norm(self):
+        vector = OccurrenceVector({"a": 3, "b": 4}, norm="l2")
+        assert vector.norm == 5.0
+
+
+class TestWeights:
+    def test_most_frequent_keyword_has_weight_one(self):
+        """ω_a = 1 − log2(|a|/‖V‖∞) = 1 when |a| equals the max count."""
+        vector = OccurrenceVector({"common": 8, "rare": 1})
+        assert vector.weight("common") == pytest.approx(1.0)
+
+    def test_rare_keywords_weigh_more(self):
+        vector = OccurrenceVector({"common": 8, "rare": 1})
+        assert vector.weight("rare") == pytest.approx(1.0 + math.log2(8))
+
+    def test_absent_keyword_weight_zero(self):
+        vector = OccurrenceVector({"a": 2})
+        assert vector.weight("missing") == 0.0
+
+    def test_formula_exactly(self):
+        vector = OccurrenceVector({"a": 4, "b": 2, "c": 1})
+        for keyword, count in vector.items():
+            expected = 1.0 - math.log2(count / 4)
+            assert vector.weight(keyword) == pytest.approx(expected)
+
+    @given(count_dicts)
+    def test_weights_at_least_one_for_present_keywords(self, counts):
+        """With the infinity norm, |a|/‖V‖ ≤ 1 so every weight ≥ 1."""
+        vector = OccurrenceVector(counts)
+        for keyword in counts:
+            assert vector.weight(keyword) >= 1.0 - 1e-12
+
+    @given(count_dicts)
+    def test_weighted_total_consistency(self, counts):
+        vector = OccurrenceVector(counts)
+        manual = sum(c * vector.weight(k) for k, c in counts.items())
+        assert vector.weighted_total() == pytest.approx(manual)
+
+
+class TestMappingProtocol:
+    def test_len_iter_contains(self):
+        vector = OccurrenceVector({"a": 1, "b": 2})
+        assert len(vector) == 2
+        assert set(vector) == {"a", "b"}
+        assert "a" in vector
+        assert "z" not in vector
+
+    def test_total(self):
+        assert OccurrenceVector({"a": 1, "b": 2}).total == 3
+
+    def test_keywords_frozen(self):
+        assert OccurrenceVector({"a": 1}).keywords() == frozenset({"a"})

@@ -1,0 +1,85 @@
+"""Tests for the intact-packet cache."""
+
+from repro.transport.cache import NullCache, PacketCache
+
+
+class TestStoreLoad:
+    def test_roundtrip(self):
+        cache = PacketCache()
+        cache.store("doc", 3, b"payload3")
+        cache.store("doc", 7, b"payload7")
+        assert cache.load("doc") == {3: b"payload3", 7: b"payload7"}
+
+    def test_missing_document_empty(self):
+        assert PacketCache().load("nope") == {}
+
+    def test_duplicate_store_ignored(self):
+        cache = PacketCache()
+        cache.store("doc", 1, b"a" * 10)
+        cache.store("doc", 1, b"a" * 10)
+        assert cache.used_bytes == 10
+
+    def test_discard(self):
+        cache = PacketCache()
+        cache.store("doc", 0, b"xxxx")
+        cache.discard("doc")
+        assert cache.load("doc") == {}
+        assert cache.used_bytes == 0
+        cache.discard("doc")  # idempotent
+
+    def test_load_returns_copy(self):
+        cache = PacketCache()
+        cache.store("doc", 0, b"x")
+        loaded = cache.load("doc")
+        loaded[99] = b"intruder"
+        assert 99 not in cache.load("doc")
+
+
+class TestEviction:
+    def test_lru_eviction(self):
+        cache = PacketCache(capacity_bytes=100)
+        cache.store("old", 0, b"a" * 60)
+        cache.store("new", 0, b"b" * 60)
+        assert cache.load("old") == {}
+        assert cache.load("new") != {}
+
+    def test_access_refreshes_lru(self):
+        cache = PacketCache(capacity_bytes=100)
+        cache.store("first", 0, b"a" * 40)
+        cache.store("second", 0, b"b" * 40)
+        cache.load("first")  # touch
+        cache.store("third", 0, b"c" * 40)
+        assert cache.load("first") != {}
+        assert cache.load("second") == {}
+
+    def test_single_document_never_evicted(self):
+        """The active transfer's packets must survive even when larger
+        than the nominal capacity."""
+        cache = PacketCache(capacity_bytes=10)
+        for sequence in range(5):
+            cache.store("big", sequence, b"z" * 8)
+        assert cache.packet_count("big") == 5
+
+    def test_used_bytes_accounting(self):
+        cache = PacketCache()
+        cache.store("a", 0, b"12345")
+        cache.store("b", 0, b"123")
+        assert cache.used_bytes == 8
+        cache.discard("a")
+        assert cache.used_bytes == 3
+
+
+class TestDunder:
+    def test_contains_len(self):
+        cache = PacketCache()
+        cache.store("doc", 0, b"x")
+        assert "doc" in cache
+        assert len(cache) == 1
+
+
+class TestNullCache:
+    def test_never_retains(self):
+        cache = NullCache()
+        cache.store("doc", 0, b"payload")
+        assert cache.load("doc") == {}
+        assert cache.used_bytes == 0

@@ -1,0 +1,100 @@
+"""Tests for the wireless channel model."""
+
+import random
+
+import pytest
+
+from repro.coding.packets import decode_frame, encode_frame
+from repro.transport.channel import WirelessChannel
+
+
+class TestTiming:
+    def test_table2_packet_time(self):
+        """260 bytes at 19.2 kbps ≈ 0.1083 s (Table 2 geometry)."""
+        channel = WirelessChannel(bandwidth_kbps=19.2)
+        assert channel.transmission_time(260) == pytest.approx(260 * 8 / 19200)
+
+    def test_clock_advances_per_frame(self):
+        channel = WirelessChannel(bandwidth_kbps=19.2, alpha=0.0)
+        channel.send(b"x" * 260)
+        channel.send(b"x" * 260)
+        assert channel.clock == pytest.approx(2 * 260 * 8 / 19200)
+
+    def test_fifo_delivery_times_monotone(self):
+        channel = WirelessChannel(alpha=0.5, rng=random.Random(0))
+        times = [channel.send(b"y" * 100).time for _ in range(20)]
+        assert times == sorted(times)
+
+
+class TestCorruption:
+    def test_alpha_zero_never_corrupts(self):
+        channel = WirelessChannel(alpha=0.0, rng=random.Random(0))
+        for _ in range(100):
+            delivery = channel.send(b"data" * 10)
+            assert not delivery.corrupted
+            assert delivery.wire == b"data" * 10
+
+    def test_alpha_one_always_corrupts(self):
+        channel = WirelessChannel(alpha=1.0, rng=random.Random(0))
+        for _ in range(50):
+            delivery = channel.send(b"data" * 10)
+            assert delivery.corrupted
+            assert delivery.wire != b"data" * 10
+
+    def test_corruption_rate_statistical(self):
+        channel = WirelessChannel(alpha=0.3, rng=random.Random(42))
+        n = 5000
+        corrupted = sum(channel.send(b"z" * 50).corrupted for _ in range(n))
+        assert corrupted / n == pytest.approx(0.3, abs=0.03)
+
+    def test_corrupted_frame_fails_crc(self):
+        """Corruption must be *detectable* — the paper's channel model."""
+        channel = WirelessChannel(alpha=1.0, rng=random.Random(1))
+        wire = encode_frame(5, b"p" * 64)
+        for _ in range(50):
+            delivery = channel.send(wire)
+            assert not decode_frame(delivery.wire).intact
+
+    def test_garble_preserves_length(self):
+        channel = WirelessChannel(alpha=1.0, rng=random.Random(2))
+        delivery = channel.send(b"q" * 99)
+        assert len(delivery.wire) == 99
+
+
+class TestLoss:
+    def test_loss_probability(self):
+        channel = WirelessChannel(
+            alpha=0.0, loss_probability=1.0, rng=random.Random(0)
+        )
+        delivery = channel.send(b"gone")
+        assert delivery.lost
+        assert delivery.wire is None
+
+    def test_lost_frames_consume_air_time(self):
+        channel = WirelessChannel(loss_probability=1.0, rng=random.Random(0))
+        channel.send(b"x" * 100)
+        assert channel.clock > 0
+
+
+class TestInstrumentation:
+    def test_counters(self):
+        channel = WirelessChannel(alpha=0.5, rng=random.Random(3))
+        for _ in range(200):
+            channel.send(b"c" * 20)
+        assert channel.frames_sent == 200
+        assert 0 < channel.frames_corrupted < 200
+        rate = channel.observed_corruption_rate()
+        assert rate == pytest.approx(channel.frames_corrupted / 200)
+
+    def test_reset(self):
+        channel = WirelessChannel(alpha=0.5, rng=random.Random(3))
+        channel.send(b"x")
+        channel.reset_counters()
+        assert channel.frames_sent == 0
+        assert channel.observed_corruption_rate() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WirelessChannel(bandwidth_kbps=0)
+        with pytest.raises(ValueError):
+            WirelessChannel(alpha=1.1)

@@ -1,0 +1,127 @@
+"""Focused tests for TransferReceiver, including incremental decoding."""
+
+import random
+
+import pytest
+
+from repro.coding.packets import Packetizer, encode_frame
+from repro.transport.channel import Delivery, WirelessChannel
+from repro.transport.receiver import TransferReceiver
+from repro.transport.sender import DocumentSender
+
+DOCUMENT = bytes(range(256)) * 8  # 2048 bytes
+
+
+def prepare(gamma=1.5, packet_size=256):
+    sender = DocumentSender(Packetizer(packet_size=packet_size, redundancy_ratio=gamma))
+    return sender.prepare_raw("doc", DOCUMENT)
+
+
+def deliver(receiver, prepared, sequence, corrupt=False):
+    wire = encode_frame(sequence, prepared.cooked.cooked[sequence])
+    if corrupt:
+        wire = wire[:-1] + bytes([wire[-1] ^ 0xFF])
+    receiver.offer(Delivery(time=0.0, wire=wire, corrupted=corrupt, lost=False))
+
+
+class TestCrcDiscipline:
+    def test_corrupted_frames_counted_not_stored(self):
+        prepared = prepare()
+        receiver = TransferReceiver(prepared)
+        deliver(receiver, prepared, 0, corrupt=True)
+        assert receiver.corrupted_seen == 1
+        assert receiver.intact_count == 0
+
+    def test_lost_frames_detected_by_gap(self):
+        prepared = prepare()
+        receiver = TransferReceiver(prepared)
+        deliver(receiver, prepared, 0)
+        deliver(receiver, prepared, 3)  # 1 and 2 never arrived
+        assert receiver.lost_detected == 2
+
+    def test_duplicates_idempotent(self):
+        prepared = prepare()
+        receiver = TransferReceiver(prepared)
+        deliver(receiver, prepared, 0)
+        deliver(receiver, prepared, 0)
+        assert receiver.intact_count == 1
+        assert receiver.content_received == pytest.approx(
+            prepared.content_profile[0]
+        )
+
+
+class TestContentAccrual:
+    def test_clear_packets_accrue(self):
+        prepared = prepare()
+        receiver = TransferReceiver(prepared)
+        deliver(receiver, prepared, 0)
+        deliver(receiver, prepared, 1)
+        expected = prepared.content_profile[0] + prepared.content_profile[1]
+        assert receiver.content_received == pytest.approx(expected)
+
+    def test_redundancy_packets_do_not_accrue(self):
+        prepared = prepare()
+        receiver = TransferReceiver(prepared)
+        deliver(receiver, prepared, prepared.m)  # first redundancy packet
+        assert receiver.content_received == 0.0
+
+    def test_reconstruction_yields_full_content(self):
+        prepared = prepare()
+        receiver = TransferReceiver(prepared)
+        for sequence in range(prepared.m):
+            deliver(receiver, prepared, sequence)
+        assert receiver.can_reconstruct()
+        assert receiver.content_received == pytest.approx(1.0)
+
+    def test_missing_clear_packets(self):
+        prepared = prepare()
+        receiver = TransferReceiver(prepared)
+        deliver(receiver, prepared, 0)
+        missing = receiver.missing_clear_packets()
+        assert 0 not in missing
+        assert len(missing) == prepared.m - 1
+
+
+class TestIncrementalMode:
+    @pytest.mark.parametrize("incremental", [False, True])
+    def test_reconstruction_equivalent(self, incremental):
+        prepared = prepare()
+        receiver = TransferReceiver(prepared, incremental=incremental)
+        rng = random.Random(0)
+        order = rng.sample(range(prepared.n), prepared.m)
+        for sequence in order:
+            deliver(receiver, prepared, sequence)
+        assert receiver.can_reconstruct()
+        assert receiver.reconstruct() == DOCUMENT
+
+    def test_incremental_with_losses_and_duplicates(self):
+        prepared = prepare(gamma=2.0)
+        receiver = TransferReceiver(prepared, incremental=True)
+        rng = random.Random(1)
+        sequences = list(range(prepared.n)) + [0, 1, 2]
+        rng.shuffle(sequences)
+        for sequence in sequences:
+            deliver(receiver, prepared, sequence, corrupt=rng.random() < 0.3)
+            if receiver.can_reconstruct():
+                break
+        if receiver.can_reconstruct():
+            assert receiver.reconstruct() == DOCUMENT
+
+    def test_preload_feeds_decoder(self):
+        prepared = prepare()
+        receiver = TransferReceiver(prepared, incremental=True)
+        receiver.preload(
+            {i: prepared.cooked.cooked[i] for i in range(prepared.m)}
+        )
+        assert receiver.can_reconstruct()
+        assert receiver.reconstruct() == DOCUMENT
+
+
+class TestClearPrefix:
+    def test_prefix_grows_contiguously(self):
+        prepared = prepare(packet_size=128)
+        receiver = TransferReceiver(prepared)
+        deliver(receiver, prepared, 1)
+        assert receiver.clear_prefix() == b""  # gap at 0
+        deliver(receiver, prepared, 0)
+        assert receiver.clear_prefix() == DOCUMENT[:256]

@@ -1,0 +1,76 @@
+"""Tests for repro.util.bitops and repro.util.rngtools."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.bitops import chunk_bytes, pad_to_multiple, xor_bytes
+from repro.util.rngtools import derive_rng, spawn_rngs
+
+
+class TestXorBytes:
+    def test_basic(self):
+        assert xor_bytes(b"\x00\xff", b"\xff\xff") == b"\xff\x00"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"abc")
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_self_inverse(self, data):
+        key = bytes((b + 7) % 256 for b in data)
+        assert xor_bytes(xor_bytes(data, key), key) == data
+
+
+class TestPadToMultiple:
+    def test_aligned_unchanged(self):
+        assert pad_to_multiple(b"abcd", 4) == b"abcd"
+
+    def test_pads_short(self):
+        assert pad_to_multiple(b"abc", 4) == b"abc\x00"
+
+    def test_custom_fill(self):
+        assert pad_to_multiple(b"a", 3, fill=0x20) == b"a  "
+
+    def test_empty(self):
+        assert pad_to_multiple(b"", 8) == b""
+
+    @given(st.binary(max_size=100), st.integers(min_value=1, max_value=32))
+    def test_result_always_aligned(self, data, block):
+        assert len(pad_to_multiple(data, block)) % block == 0
+
+
+class TestChunkBytes:
+    def test_even_split(self):
+        assert chunk_bytes(b"abcdef", 2) == [b"ab", b"cd", b"ef"]
+
+    def test_ragged_tail(self):
+        assert chunk_bytes(b"abcde", 2) == [b"ab", b"cd", b"e"]
+
+    def test_empty(self):
+        assert chunk_bytes(b"", 4) == []
+
+    @given(st.binary(max_size=200), st.integers(min_value=1, max_value=17))
+    def test_concatenation_roundtrips(self, data, size):
+        assert b"".join(chunk_bytes(data, size)) == data
+
+
+class TestRngTools:
+    def test_derive_is_deterministic(self):
+        a = derive_rng(random.Random(1), "label")
+        b = derive_rng(random.Random(1), "label")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_labels_decorrelate(self):
+        parent = random.Random(1)
+        a = derive_rng(parent, "alpha")
+        parent = random.Random(1)
+        b = derive_rng(parent, "beta")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_spawn_counts(self):
+        rngs = spawn_rngs(42, ["a", "b", "c"])
+        assert len(rngs) == 3
+        streams = [tuple(r.random() for _ in range(3)) for r in rngs]
+        assert len(set(streams)) == 3

@@ -1,0 +1,97 @@
+"""Tests for repro.util.stats."""
+
+import math
+import random
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    RunningStats,
+    confidence_interval,
+    mean,
+    population_variance,
+    sample_stdev,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_population_variance(self):
+        assert population_variance([2.0, 4.0]) == 1.0
+
+    def test_sample_stdev_matches_statistics(self):
+        data = [1.5, 2.5, 2.5, 2.75, 3.25, 4.75]
+        assert sample_stdev(data) == pytest.approx(statistics.stdev(data))
+
+    def test_sample_stdev_single_point(self):
+        assert sample_stdev([42.0]) == 0.0
+
+
+class TestConfidenceInterval:
+    def test_single_observation_degenerates(self):
+        assert confidence_interval([5.0]) == (5.0, 5.0)
+
+    def test_contains_mean(self):
+        rng = random.Random(0)
+        data = [rng.gauss(10, 2) for _ in range(20)]
+        low, high = confidence_interval(data)
+        assert low < mean(data) < high
+
+    def test_small_sample_uses_t_table(self):
+        # n=2, dof=1 -> t = 12.706; half width = t * s / sqrt(2).
+        low, high = confidence_interval([0.0, 2.0])
+        expected_half = 12.706 * statistics.stdev([0.0, 2.0]) / math.sqrt(2)
+        assert high - 1.0 == pytest.approx(expected_half)
+
+    def test_large_sample_uses_normal(self):
+        data = list(range(100))
+        low, high = confidence_interval([float(x) for x in data])
+        s = statistics.stdev(data)
+        assert high - mean(data) == pytest.approx(1.96 * s / 10.0)
+
+
+class TestRunningStats:
+    @given(st.lists(finite_floats, min_size=2, max_size=100))
+    def test_matches_batch_computation(self, values):
+        rs = RunningStats()
+        rs.extend(values)
+        assert rs.count == len(values)
+        assert rs.mean == pytest.approx(mean(values), rel=1e-9, abs=1e-6)
+        assert rs.stdev == pytest.approx(sample_stdev(values), rel=1e-6, abs=1e-6)
+
+    def test_empty_raises(self):
+        rs = RunningStats()
+        with pytest.raises(ValueError):
+            _ = rs.mean
+
+    def test_single_value(self):
+        rs = RunningStats()
+        rs.add(3.0)
+        assert rs.mean == 3.0
+        assert rs.variance == 0.0
+
+    def test_summary_immutable(self):
+        rs = RunningStats()
+        rs.extend([1.0, 2.0, 3.0])
+        summary = rs.summary()
+        assert summary.count == 3
+        with pytest.raises(AttributeError):
+            summary.mean = 0.0
+
+    def test_relative_stdev(self):
+        rs = RunningStats()
+        rs.extend([9.0, 10.0, 11.0])
+        summary = rs.summary()
+        assert summary.relative_stdev() == pytest.approx(1.0 / 10.0)

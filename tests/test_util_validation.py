@@ -1,0 +1,90 @@
+"""Tests for repro.util.validation."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    check_range,
+)
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        assert check_probability(0.5) == 0.5
+
+    def test_accepts_int(self):
+        assert check_probability(1) == 1.0
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 5, -3])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad)
+
+    @pytest.mark.parametrize("bad", ["0.5", None, True, [0.5]])
+    def test_rejects_wrong_types(self, bad):
+        with pytest.raises(TypeError):
+            check_probability(bad)
+
+    def test_message_names_parameter(self):
+        with pytest.raises(ValueError, match="alpha"):
+            check_probability(2.0, "alpha")
+
+
+class TestCheckFraction:
+    def test_excludes_zero_includes_one(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0)
+        assert check_fraction(1.0) == 1.0
+        assert check_fraction(1e-9) == 1e-9
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.001) == 0.001
+        assert check_positive(1_000_000) == 1_000_000.0
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            check_positive(bad)
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(1) == 1
+        assert check_positive_int(10**9) == 10**9
+
+    def test_rejects_zero_and_negative(self):
+        for bad in (0, -1):
+            with pytest.raises(ValueError):
+                check_positive_int(bad)
+
+    def test_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True)
+        with pytest.raises(TypeError):
+            check_positive_int(1.0)
+
+
+class TestCheckRange:
+    def test_inclusive(self):
+        assert check_range(1.0, 1.0, 2.0) == 1.0
+        assert check_range(2.0, 1.0, 2.0) == 2.0
+
+    def test_outside(self):
+        with pytest.raises(ValueError):
+            check_range(0.99, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            check_range(2.01, 1.0, 2.0)

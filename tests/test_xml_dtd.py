@@ -1,0 +1,84 @@
+"""Tests for the DTD validator and the research-paper document type."""
+
+import pytest
+
+from repro.xmlkit.dtd import RESEARCH_PAPER, DocumentType, ElementDecl
+from repro.xmlkit.errors import XmlValidationError
+from repro.xmlkit.parser import parse_xml
+
+VALID_PAPER = """<paper>
+  <title>T</title>
+  <author>A</author>
+  <abstract><paragraph>Summary.</paragraph></abstract>
+  <section>
+    <title>S1</title>
+    <paragraph>Body with <emph>emphasis</emph> and <keyword>terms</keyword>.</paragraph>
+    <subsection>
+      <title>S1.1</title>
+      <paragraph>More.</paragraph>
+      <subsubsection><title>S1.1.1</title><paragraph>Deep.</paragraph></subsubsection>
+    </subsection>
+  </section>
+</paper>"""
+
+
+class TestResearchPaperDtd:
+    def test_valid_document_passes(self):
+        RESEARCH_PAPER.validate(parse_xml(VALID_PAPER))
+
+    def test_is_valid_boolean(self):
+        assert RESEARCH_PAPER.is_valid(parse_xml(VALID_PAPER))
+        assert not RESEARCH_PAPER.is_valid(parse_xml("<html/>"))
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(XmlValidationError, match="root"):
+            RESEARCH_PAPER.validate(parse_xml("<article/>"))
+
+    def test_undeclared_element_rejected(self):
+        doc = parse_xml("<paper><figure/></paper>")
+        with pytest.raises(XmlValidationError, match="figure"):
+            RESEARCH_PAPER.validate(doc)
+
+    def test_misplaced_element_rejected(self):
+        # subsection directly under paper is not allowed.
+        doc = parse_xml("<paper><subsection/></paper>")
+        with pytest.raises(XmlValidationError):
+            RESEARCH_PAPER.validate(doc)
+
+    def test_character_data_in_structural_element_rejected(self):
+        doc = parse_xml("<paper>loose text</paper>")
+        with pytest.raises(XmlValidationError, match="character data"):
+            RESEARCH_PAPER.validate(doc)
+
+    def test_whitespace_in_structural_element_ok(self):
+        doc = parse_xml("<paper>\n  <title>T</title>\n</paper>")
+        RESEARCH_PAPER.validate(doc)
+
+    def test_comments_allowed_everywhere(self):
+        doc = parse_xml("<paper><!-- note --><title>T</title></paper>")
+        RESEARCH_PAPER.validate(doc)
+
+
+class TestCustomDocumentType:
+    def test_required_attributes(self):
+        dtd = DocumentType(
+            "memo",
+            root="memo",
+            declarations={
+                "memo": ElementDecl(
+                    "memo", allows_text=True, required_attributes=("id",)
+                )
+            },
+        )
+        dtd.validate(parse_xml('<memo id="1">x</memo>'))
+        with pytest.raises(XmlValidationError, match="id"):
+            dtd.validate(parse_xml("<memo>x</memo>"))
+
+    def test_root_must_be_declared(self):
+        with pytest.raises(ValueError):
+            DocumentType("broken", root="missing", declarations={})
+
+    def test_error_path_reported(self):
+        doc = parse_xml("<paper><section><title>t</title><abstract/></section></paper>")
+        with pytest.raises(XmlValidationError, match="paper/section"):
+            RESEARCH_PAPER.validate(doc)

@@ -1,0 +1,121 @@
+"""Tests for streaming (SAX-style) XML parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xmlkit.dom import Element, Text
+from repro.xmlkit.errors import XmlSyntaxError
+from repro.xmlkit.parser import parse_xml
+from repro.xmlkit.sax import (
+    ContentHandler,
+    TreeBuilderHandler,
+    iter_events,
+    parse_streaming,
+)
+from repro.xmlkit.writer import serialize
+
+SAMPLE = '<paper id="1"><title>T</title><!-- note -->body <b>bold</b></paper>'
+
+
+class Recorder(ContentHandler):
+    def __init__(self):
+        self.calls = []
+
+    def start_document(self):
+        self.calls.append(("start_document",))
+
+    def end_document(self):
+        self.calls.append(("end_document",))
+
+    def start_element(self, tag, attributes):
+        self.calls.append(("start", tag, attributes))
+
+    def end_element(self, tag):
+        self.calls.append(("end", tag))
+
+    def characters(self, data):
+        self.calls.append(("text", data))
+
+    def comment(self, data):
+        self.calls.append(("comment", data))
+
+
+class TestEvents:
+    def test_event_sequence(self):
+        recorder = Recorder()
+        parse_streaming(SAMPLE, recorder)
+        kinds = [call[0] for call in recorder.calls]
+        assert kinds[0] == "start_document"
+        assert kinds[-1] == "end_document"
+        assert ("start", "paper", {"id": "1"}) in recorder.calls
+        assert ("comment", " note ") in recorder.calls
+        assert ("end", "paper") in recorder.calls
+
+    def test_self_closing_fires_both(self):
+        recorder = Recorder()
+        parse_streaming("<a><br/></a>", recorder)
+        assert ("start", "br", {}) in recorder.calls
+        assert ("end", "br") in recorder.calls
+
+    def test_iter_events(self):
+        events = list(iter_events("<a>x<b/></a>"))
+        assert events == [
+            ("start", ("a", {})),
+            ("text", "x"),
+            ("start", ("b", {})),
+            ("end", "b"),
+            ("end", "a"),
+        ]
+
+    def test_entities_resolved(self):
+        events = list(iter_events("<a>1 &lt; 2</a>"))
+        assert ("text", "1 < 2") in events
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize(
+        "source",
+        ["<a><b></a></b>", "<a>", "<a/><b/>", "text<a/>", "</a>", ""],
+    )
+    def test_violations_raise(self, source):
+        with pytest.raises(XmlSyntaxError):
+            parse_streaming(source, ContentHandler())
+
+
+class TestTreeEquivalence:
+    CASES = [
+        "<a/>",
+        SAMPLE,
+        "<a><b>x</b><b>y</b><!-- c --></a>",
+        "<root>mixed <em>content</em> tail</root>",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_rebuilt_tree_matches_batch_parser(self, source):
+        handler = TreeBuilderHandler()
+        parse_streaming(source, handler)
+        streamed = serialize(handler.document)
+        batch = serialize(parse_xml(source))
+        assert streamed == batch
+
+    @given(st.data())
+    def test_random_trees_equivalent(self, data):
+        tags = st.sampled_from(["a", "b", "c"])
+        texts = st.text(alphabet=st.sampled_from("xy <&"), min_size=1, max_size=5)
+
+        @st.composite
+        def trees(draw, depth=0):
+            element = Element(draw(tags))
+            if depth < 2:
+                for _ in range(draw(st.integers(min_value=0, max_value=2))):
+                    if draw(st.booleans()):
+                        element.append(Text(draw(texts)))
+                    else:
+                        element.append(draw(trees(depth=depth + 1)))
+            return element
+
+        root = data.draw(trees())
+        source = serialize(root)
+        handler = TreeBuilderHandler()
+        parse_streaming(source, handler)
+        assert serialize(handler.document.root) == source

@@ -1,0 +1,100 @@
+"""Tests for the DOM path selector."""
+
+import pytest
+
+from repro.xmlkit.parser import parse_xml
+from repro.xmlkit.select import SelectorError, select, select_one
+
+DOC = parse_xml(
+    """<paper>
+  <title>Root Title</title>
+  <section label="1">
+    <title>Alpha</title>
+    <paragraph>one</paragraph>
+    <subsection label="1.1">
+      <title>Alpha Sub</title>
+      <paragraph>two</paragraph>
+    </subsection>
+  </section>
+  <section label="2" starred="yes">
+    <title>Beta</title>
+    <paragraph>three</paragraph>
+  </section>
+</paper>"""
+)
+
+
+class TestSimpleSteps:
+    def test_single_tag(self):
+        assert len(select(DOC, "section")) == 2
+
+    def test_root_can_match(self):
+        assert select_one(DOC, "paper").tag == "paper"
+
+    def test_wildcard(self):
+        everything = select(DOC, "*")
+        assert len(everything) == sum(1 for _ in DOC.root.iter()) + 1
+
+    def test_no_match(self):
+        assert select(DOC, "figure") == []
+        assert select_one(DOC, "figure") is None
+
+
+class TestCombinators:
+    def test_descendant(self):
+        titles = select(DOC, "section title")
+        assert [t.text_content() for t in titles] == ["Alpha", "Alpha Sub", "Beta"]
+
+    def test_child(self):
+        titles = select(DOC, "section > title")
+        assert [t.text_content() for t in titles] == ["Alpha", "Beta"]
+
+    def test_chained(self):
+        paragraphs = select(DOC, "paper > section > subsection > paragraph")
+        assert [p.text_content() for p in paragraphs] == ["two"]
+
+    def test_document_order_no_duplicates(self):
+        paragraphs = select(DOC, "paper paragraph")
+        assert [p.text_content() for p in paragraphs] == ["one", "two", "three"]
+
+
+class TestPredicates:
+    def test_attribute_presence(self):
+        assert len(select(DOC, "section[starred]")) == 1
+
+    def test_attribute_value(self):
+        section = select_one(DOC, 'section[label="2"]')
+        assert section.get("starred") == "yes"
+
+    def test_attribute_value_mismatch(self):
+        assert select(DOC, 'section[label="9"]') == []
+
+    def test_combined_predicates(self):
+        assert len(select(DOC, 'section[label="2"][starred="yes"]')) == 1
+        assert select(DOC, 'section[label="1"][starred]') == []
+
+    def test_predicate_with_descendant(self):
+        paragraphs = select(DOC, 'section[label="1"] paragraph')
+        assert [p.text_content() for p in paragraphs] == ["one", "two"]
+
+    def test_wildcard_with_predicate(self):
+        labelled = select(DOC, '*[label]')
+        assert len(labelled) == 3
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "   ", ">", "> section", "section >", "section > > title",
+         "section[", "section[label=2]"],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(SelectorError):
+            select(DOC, bad)
+
+
+class TestElementRoot:
+    def test_select_from_element(self):
+        section = select_one(DOC, 'section[label="1"]')
+        titles = select(section, "title")
+        assert [t.text_content() for t in titles] == ["Alpha", "Alpha Sub"]

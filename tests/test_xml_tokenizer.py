@@ -1,0 +1,104 @@
+"""Tests for the XML lexer."""
+
+import pytest
+
+from repro.xmlkit.errors import XmlSyntaxError
+from repro.xmlkit.tokenizer import XmlTokenizer, resolve_entities, tokenize_xml
+
+
+class TestBasicTokens:
+    def test_start_end_text(self):
+        tokens = tokenize_xml("<a>hello</a>")
+        assert [t.kind for t in tokens] == ["start", "text", "end"]
+        assert tokens[0].value == "a"
+        assert tokens[1].value == "hello"
+        assert tokens[2].value == "a"
+
+    def test_self_closing(self):
+        (token,) = tokenize_xml("<br/>")
+        assert token.kind == "start"
+        assert token.self_closing
+
+    def test_attributes(self):
+        (token,) = tokenize_xml('<a href="x" id=\'y\'/>')
+        assert token.attrs == {"href": "x", "id": "y"}
+
+    def test_attribute_whitespace_tolerated(self):
+        (token,) = tokenize_xml('<a  href = "x" />')
+        assert token.attrs == {"href": "x"}
+
+    def test_comment(self):
+        tokens = tokenize_xml("<a><!-- note --></a>")
+        assert tokens[1].kind == "comment"
+        assert tokens[1].value == " note "
+
+    def test_cdata_becomes_text(self):
+        tokens = tokenize_xml("<a><![CDATA[<raw & unescaped>]]></a>")
+        assert tokens[1].kind == "text"
+        assert tokens[1].value == "<raw & unescaped>"
+
+    def test_processing_instruction(self):
+        tokens = tokenize_xml('<?xml version="1.0"?><a/>')
+        assert tokens[0].kind == "pi"
+
+    def test_doctype(self):
+        tokens = tokenize_xml("<!DOCTYPE paper><a/>")
+        assert tokens[0].kind == "doctype"
+        assert tokens[0].value == "DOCTYPE paper"
+
+
+class TestEntities:
+    def test_predefined(self):
+        assert resolve_entities("&lt;&gt;&amp;&apos;&quot;") == "<>&'\""
+
+    def test_numeric(self):
+        assert resolve_entities("&#65;&#x42;") == "AB"
+
+    def test_unknown_strict_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            resolve_entities("&nbsp;", strict=True)
+
+    def test_unknown_lenient_passthrough(self):
+        assert resolve_entities("&nbsp;", strict=False) == "&nbsp;"
+
+    def test_bare_ampersand_strict_raises(self):
+        with pytest.raises(XmlSyntaxError):
+            resolve_entities("AT&T", strict=True)
+
+    def test_in_text_nodes(self):
+        tokens = tokenize_xml("<a>1 &lt; 2</a>")
+        assert tokens[1].value == "1 < 2"
+
+    def test_in_attributes(self):
+        (token,) = tokenize_xml('<a title="a&amp;b"/>')
+        assert token.attrs == {"title": "a&b"}
+
+
+class TestErrors:
+    def test_unterminated_comment(self):
+        with pytest.raises(XmlSyntaxError, match="comment"):
+            tokenize_xml("<a><!-- oops</a>")
+
+    def test_duplicate_attribute(self):
+        with pytest.raises(XmlSyntaxError, match="duplicate"):
+            tokenize_xml('<a x="1" x="2"/>')
+
+    def test_unquoted_attribute(self):
+        with pytest.raises(XmlSyntaxError, match="quoted"):
+            tokenize_xml("<a x=1/>")
+
+    def test_missing_equals(self):
+        with pytest.raises(XmlSyntaxError):
+            tokenize_xml('<a x "1"/>')
+
+    def test_error_carries_position(self):
+        try:
+            tokenize_xml("<a>\n  <b x=bad/>\n</a>")
+        except XmlSyntaxError as err:
+            assert err.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected XmlSyntaxError")
+
+    def test_unterminated_tag(self):
+        with pytest.raises(XmlSyntaxError):
+            tokenize_xml("<a href=")

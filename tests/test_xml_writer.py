@@ -1,0 +1,81 @@
+"""Tests for XML serialization, including parse/serialize round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xmlkit.dom import Document, Element, Text
+from repro.xmlkit.parser import parse_xml
+from repro.xmlkit.writer import escape_attribute, escape_text, serialize
+
+
+class TestEscaping:
+    def test_text(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attribute_quotes(self):
+        assert escape_attribute('say "hi" & go') == "say &quot;hi&quot; &amp; go"
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(Element("br")) == "<br/>"
+
+    def test_attributes(self):
+        el = Element("a", {"href": "x", "title": 'q"t'})
+        assert serialize(el) == '<a href="x" title="q&quot;t"/>'
+
+    def test_mixed_content_inline(self):
+        doc = parse_xml("<p>one <em>two</em> three</p>")
+        assert serialize(doc.root) == "<p>one <em>two</em> three</p>"
+
+    def test_pretty_print_element_only_children(self):
+        doc = parse_xml("<a><b/><c/></a>")
+        expected = "<a>\n  <b/>\n  <c/>\n</a>"
+        assert serialize(doc.root, indent=2) == expected
+
+    def test_document_with_doctype(self):
+        doc = parse_xml("<!DOCTYPE paper><paper/>")
+        assert serialize(doc) == "<!DOCTYPE paper><paper/>"
+
+
+class TestRoundTrip:
+    CASES = [
+        "<a/>",
+        "<a>text</a>",
+        "<a><b>x</b><b>y</b></a>",
+        "<a>1 &lt; 2 &amp; 3</a>",
+        '<a href="u?x=1&amp;y=2">link</a>',
+        "<p>mixed <em>content</em> here</p>",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_fixed_cases(self, source):
+        once = serialize(parse_xml(source))
+        twice = serialize(parse_xml(once))
+        assert once == twice
+
+    @given(st.data())
+    def test_random_trees_roundtrip(self, data):
+        root = data.draw(_element_trees())
+        source = serialize(Document(root))
+        reparsed = parse_xml(source)
+        assert serialize(reparsed) == source
+        assert reparsed.root.text_content() == root.text_content()
+
+
+# Random tree generator: tags from a small alphabet, text that includes
+# markup characters so escaping is exercised too.
+_TAGS = st.sampled_from(["a", "b", "c", "item"])
+_TEXTS = st.text(alphabet=st.sampled_from("xyz <>&'\""), min_size=1, max_size=8)
+
+
+@st.composite
+def _element_trees(draw, depth: int = 0):
+    element = Element(draw(_TAGS))
+    if depth < 3:
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            if draw(st.booleans()):
+                element.append(Text(draw(_TEXTS)))
+            else:
+                element.append(draw(_element_trees(depth=depth + 1)))
+    return element
