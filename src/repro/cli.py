@@ -7,6 +7,8 @@ Exposes the library's main entry points without writing Python::
     python -m repro schedule document.xml --query "mobile web" --lod paragraph
     python -m repro plan --m 40 --alpha 0.3 --success 0.95
     python -m repro transfer document.xml --alpha 0.3 --gamma 1.5 --seed 7
+    python -m repro transfer document.xml --trace out.jsonl
+    python -m repro obs-summary out.jsonl
     python -m repro figure table1|table2|fig2|...|fig7
 """
 
@@ -18,6 +20,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.analysis.planner import minimal_cooked_packets
 from repro.coding.packets import Packetizer
 from repro.core.information import annotate_sc
@@ -98,30 +101,77 @@ def cmd_plan(args) -> int:
 
 def cmd_transfer(args) -> int:
     """Simulate one fault-tolerant transfer of a document file."""
-    sc, query = _build_annotated_sc(args)
-    measure = "mqic" if query is not None and not query.is_empty else "ic"
-    schedule = TransmissionSchedule(sc, lod=LOD[args.lod.upper()], measure=measure)
-    sender = DocumentSender(
-        Packetizer(packet_size=args.packet_size, redundancy_ratio=args.gamma)
-    )
-    prepared = sender.prepare(args.path, schedule)
-    channel = WirelessChannel(
-        bandwidth_kbps=args.bandwidth, alpha=args.alpha, rng=random.Random(args.seed)
-    )
-    cache = PacketCache() if args.cache else None
-    result = transfer_document(
-        prepared,
-        channel,
-        cache=cache,
-        relevance_threshold=args.stop_at,
-    )
+    tracing = bool(getattr(args, "trace", None))
+    if tracing:
+        obs.enable()
+        obs.OBS.trace.emit(
+            "run_config",
+            seed=args.seed,
+            alpha=args.alpha,
+            gamma=args.gamma,
+            bandwidth=args.bandwidth,
+            packet_size=args.packet_size,
+            lod=args.lod,
+            cache=bool(args.cache),
+            stop_at=args.stop_at,
+        )
+    try:
+        sc, query = _build_annotated_sc(args)
+        measure = "mqic" if query is not None and not query.is_empty else "ic"
+        schedule = TransmissionSchedule(sc, lod=LOD[args.lod.upper()], measure=measure)
+        sender = DocumentSender(
+            Packetizer(packet_size=args.packet_size, redundancy_ratio=args.gamma)
+        )
+        prepared = sender.prepare(args.path, schedule)
+        channel = WirelessChannel(
+            bandwidth_kbps=args.bandwidth, alpha=args.alpha, rng=random.Random(args.seed)
+        )
+        cache = PacketCache() if args.cache else None
+        result = transfer_document(
+            prepared,
+            channel,
+            cache=cache,
+            relevance_threshold=args.stop_at,
+        )
+        if tracing:
+            obs.OBS.trace.emit(
+                "metrics_snapshot", metrics=obs.OBS.metrics.snapshot()
+            )
+            try:
+                lines = obs.OBS.trace.export_jsonl(args.trace)
+            except OSError as exc:
+                print(f"error: cannot write trace: {exc}")
+                return 2
+    finally:
+        if tracing:
+            obs.disable(reset=True)
     status = "early-stop" if result.terminated_early else ("ok" if result.success else "FAILED")
     print(
         f"{status}: {result.response_time:.2f}s, {result.rounds} round(s), "
         f"{result.frames_sent} frames (M={prepared.m}, N={prepared.n}), "
-        f"content={result.content_received:.3f}"
+        f"content={result.content_received:.3f}, seed={args.seed}"
     )
+    if tracing:
+        print(f"trace: {lines} events -> {args.trace}")
     return 0 if result.success else 1
+
+
+def cmd_obs_summary(args) -> int:
+    """Summarize a telemetry JSONL trace (timeline + histogram table)."""
+    from repro.obs.summary import print_summary
+
+    try:
+        return print_summary(args.path)
+    except BrokenPipeError:
+        # Reader (e.g. ``| head``) closed stdout: not an error.  Point
+        # stdout at devnull so the interpreter's final flush is quiet.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 2
 
 
 def cmd_figure(args) -> int:
@@ -155,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Fault-tolerant multi-resolution web transmission (ICDCS 2000 reproduction)",
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -200,11 +255,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_xfer.add_argument("--cache", action="store_true", help="enable the packet cache")
     p_xfer.add_argument("--stop-at", type=float, default=None,
                         help="relevance threshold F for early termination")
+    p_xfer.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a telemetry trace to PATH (JSON Lines)")
     p_xfer.set_defaults(func=cmd_transfer)
 
     p_fig = sub.add_parser("figure", help="reproduce a paper table/figure")
     p_fig.add_argument("artifact")
     p_fig.set_defaults(func=cmd_figure)
+
+    p_obs = sub.add_parser(
+        "obs-summary",
+        help="print the per-transfer timeline and metrics of a JSONL trace",
+    )
+    p_obs.add_argument("path")
+    p_obs.set_defaults(func=cmd_obs_summary)
     return parser
 
 

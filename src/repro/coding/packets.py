@@ -22,6 +22,8 @@ from typing import Dict, List, NamedTuple, Optional, Sequence
 
 from repro.coding.crc import crc16
 from repro.coding.rs import RabinDispersal, SystematicRSCodec
+from repro.obs.runtime import OBS
+from repro.obs.timing import timed
 from repro.util.bitops import chunk_bytes, pad_to_multiple
 from repro.util.validation import check_positive_int
 
@@ -55,11 +57,17 @@ def decode_frame(wire: bytes) -> Frame:
     sequence −1 (the receiver cannot even trust the header).
     """
     if len(wire) < FRAME_OVERHEAD:
+        if OBS.enabled:
+            OBS.metrics.counter("frames.decoded").labels(intact="false").inc()
         return Frame(sequence=-1, payload=b"", intact=False)
     sequence = int.from_bytes(wire[:2], "big")
     payload = wire[2:-2]
     expected = int.from_bytes(wire[-2:], "big")
     intact = crc16(wire[:-2]) == expected
+    if OBS.enabled:
+        OBS.metrics.counter("frames.decoded", "frames parsed off the wire").labels(
+            intact="true" if intact else "false"
+        ).inc()
     return Frame(sequence=sequence, payload=payload, intact=intact)
 
 
@@ -109,12 +117,16 @@ class Packetizer:
 
     def cook(self, document: bytes) -> "CookedDocument":
         """Produce the full cooked-packet set for *document*."""
-        raw = self.split(document)
-        m = len(raw)
-        n = self.cooked_packet_count(m)
-        codec_cls = SystematicRSCodec if self.systematic else RabinDispersal
-        codec = codec_cls(m, n)
-        cooked = codec.encode(raw)
+        with timed("packetizer.cook"):
+            raw = self.split(document)
+            m = len(raw)
+            n = self.cooked_packet_count(m)
+            codec_cls = SystematicRSCodec if self.systematic else RabinDispersal
+            codec = codec_cls(m, n)
+            cooked = codec.encode(raw)
+        if OBS.enabled:
+            OBS.metrics.counter("packetizer.documents_cooked").inc()
+            OBS.metrics.counter("packetizer.bytes_cooked").inc(len(document))
         return CookedDocument(
             original_size=len(document),
             packet_size=self.packet_size,

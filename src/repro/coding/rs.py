@@ -32,6 +32,8 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.coding.gf256 import gf_mul_bytes
 from repro.coding.matrix import GFMatrix
+from repro.obs.runtime import OBS
+from repro.obs.timing import timed
 from repro.util.bitops import xor_bytes
 from repro.util.validation import check_positive_int
 
@@ -85,17 +87,20 @@ class _VandermondeCodec:
         if any(len(packet) != size for packet in raw_packets):
             raise CodecError("raw packets must all have the same length")
 
-        cooked: List[bytes] = []
-        for i in range(self.n):
-            row = self.generator.row(i)
-            if self.systematic and i < self.m:
-                cooked.append(bytes(raw_packets[i]))
-                continue
-            acc = bytes(size)
-            for coefficient, packet in zip(row, raw_packets):
-                if coefficient:
-                    acc = xor_bytes(acc, gf_mul_bytes(coefficient, packet))
-            cooked.append(acc)
+        with timed("rs.encode"):
+            cooked: List[bytes] = []
+            for i in range(self.n):
+                row = self.generator.row(i)
+                if self.systematic and i < self.m:
+                    cooked.append(bytes(raw_packets[i]))
+                    continue
+                acc = bytes(size)
+                for coefficient, packet in zip(row, raw_packets):
+                    if coefficient:
+                        acc = xor_bytes(acc, gf_mul_bytes(coefficient, packet))
+                cooked.append(acc)
+        if OBS.enabled:
+            OBS.metrics.counter("rs.encodes").inc()
         return cooked
 
     # -- decoding ------------------------------------------------------------
@@ -131,22 +136,31 @@ class _VandermondeCodec:
         size = sizes.pop()
 
         if self.systematic and chosen == list(range(self.m)):
+            if OBS.enabled:
+                OBS.metrics.counter("rs.decodes").labels(path="clear").inc()
             return [bytes(cooked[i]) for i in chosen]
 
-        key = tuple(chosen)
-        inverse = self._decode_cache.get(key)
-        if inverse is None:
-            inverse = self.generator.submatrix(chosen).inverse()
-            self._decode_cache[key] = inverse
+        with timed("rs.decode"):
+            key = tuple(chosen)
+            inverse = self._decode_cache.get(key)
+            cached = inverse is not None
+            if inverse is None:
+                inverse = self.generator.submatrix(chosen).inverse()
+                self._decode_cache[key] = inverse
 
-        raw: List[bytes] = []
-        for row_index in range(self.m):
-            row = inverse.row(row_index)
-            acc = bytes(size)
-            for coefficient, cooked_index in zip(row, chosen):
-                if coefficient:
-                    acc = xor_bytes(acc, gf_mul_bytes(coefficient, cooked[cooked_index]))
-            raw.append(acc)
+            raw: List[bytes] = []
+            for row_index in range(self.m):
+                row = inverse.row(row_index)
+                acc = bytes(size)
+                for coefficient, cooked_index in zip(row, chosen):
+                    if coefficient:
+                        acc = xor_bytes(acc, gf_mul_bytes(coefficient, cooked[cooked_index]))
+                raw.append(acc)
+        if OBS.enabled:
+            OBS.metrics.counter("rs.decodes").labels(path="matrix").inc()
+            OBS.metrics.counter("rs.decode_matrix_cache").labels(
+                result="hit" if cached else "miss"
+            ).inc()
         return raw
 
     def __repr__(self) -> str:

@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.lod import LOD
 from repro.core.structure import OrganizationalUnit, StructuralCharacteristic
+from repro.obs.runtime import OBS
+from repro.obs.timing import timed
 from repro.text.lemmatizer import Lemmatizer
 from repro.text.stopwords import DEFAULT_STOPWORDS
 from repro.text.tokens import tokenize
@@ -289,11 +291,20 @@ class SCPipeline:
 
     def run(self, document: Document) -> StructuralCharacteristic:
         """Execute all five stages on *document*."""
-        recognized = self.recognizer.recognize(document)
-        recognized = self.lemmatizer.process(recognized)
-        recognized = self.word_filter.process(recognized)
-        recognized = self.extractor.process(recognized)
-        return self.generator.process(recognized)
+        with timed("pipeline.run"):
+            with timed("pipeline.recognize"):
+                recognized = self.recognizer.recognize(document)
+            with timed("pipeline.lemmatize"):
+                recognized = self.lemmatizer.process(recognized)
+            with timed("pipeline.filter"):
+                recognized = self.word_filter.process(recognized)
+            with timed("pipeline.extract"):
+                recognized = self.extractor.process(recognized)
+            with timed("pipeline.generate"):
+                sc = self.generator.process(recognized)
+        if OBS.enabled:
+            OBS.metrics.counter("pipeline.documents", "documents run through the SC pipeline").inc()
+        return sc
 
     @property
     def shared_lemmatizer(self) -> Lemmatizer:

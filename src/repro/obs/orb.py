@@ -1,0 +1,114 @@
+"""Tracing interceptor for the prototype object request broker.
+
+The paper's prototype hosts its alternative mechanisms as CORBA-style
+interceptors (Figure 1); this module contributes the observability
+one.  :class:`TracingInterceptor` is payload-transparent (identity
+``outbound``/``inbound``) and implements the broker's optional
+``observe_invocation`` hook, so every ORB invocation records its
+
+* servant and method name,
+* request payload size in bytes (summed over sized arguments),
+* wall time, and
+* outcome (``ok`` or ``error``).
+
+Records always accumulate on the interceptor itself (``records``) so
+prototype tests can assert on them without global state; when the
+process-global telemetry switch is on they are additionally counted
+into the metrics registry and emitted as ``orb_invoke`` trace events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, NamedTuple, Optional
+
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS
+from repro.obs.runtime import OBS
+from repro.obs.trace import ORB_INVOKE
+
+
+def payload_size(value: Any) -> int:
+    """Byte-ish size of one invocation argument.
+
+    ``bytes``-like values count their length, strings their UTF-8
+    length, other sized containers their element count; everything
+    else contributes zero (we never serialize just to measure).
+    """
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    try:
+        return len(value)
+    except TypeError:
+        return 0
+
+
+class InvocationRecord(NamedTuple):
+    """One observed ORB invocation."""
+
+    servant: str
+    method: str
+    payload_bytes: int
+    seconds: float
+    error: Optional[str]
+
+
+class TracingInterceptor:
+    """Records method, payload size, and wall time per ORB invocation."""
+
+    def __init__(self) -> None:
+        self.records: List[InvocationRecord] = []
+
+    # -- payload passthrough (Interceptor protocol) -----------------------
+
+    def outbound(self, payload: Any) -> Any:
+        return payload
+
+    def inbound(self, payload: Any) -> Any:
+        return payload
+
+    # -- invocation observation (broker hook) -----------------------------
+
+    def observe_invocation(
+        self,
+        servant: str,
+        method: str,
+        payload_bytes: int,
+        seconds: float,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        record = InvocationRecord(
+            servant=servant,
+            method=method,
+            payload_bytes=payload_bytes,
+            seconds=seconds,
+            error=type(error).__name__ if error is not None else None,
+        )
+        self.records.append(record)
+        if OBS.enabled:
+            outcome = "error" if error is not None else "ok"
+            OBS.metrics.counter("orb.invocations").labels(
+                servant=servant, method=method, outcome=outcome
+            ).inc()
+            OBS.metrics.histogram(
+                "orb.invoke.seconds", buckets=DEFAULT_LATENCY_BUCKETS
+            ).observe(seconds)
+            OBS.trace.emit(
+                ORB_INVOKE,
+                servant=servant,
+                method=method,
+                payload_bytes=payload_bytes,
+                seconds=seconds,
+                outcome=outcome,
+            )
+
+    # -- convenience ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def total_seconds(self) -> float:
+        return sum(record.seconds for record in self.records)
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,313 @@
+"""Offline trace analysis: per-transfer timelines and aggregate tables.
+
+This is the reader side of :mod:`repro.obs.trace`: it consumes a JSONL
+trace file (``python -m repro transfer … --trace out.jsonl``) and
+renders
+
+* a **per-transfer timeline** — one block per transfer ID showing each
+  round's frame counts and how the transfer ended, with a summary line
+  whose ``rounds=``/``frames=`` figures match the corresponding
+  :class:`~repro.transport.session.TransferResult` exactly;
+* an **aggregate table** — totals across transfers, percentile rows
+  for every scoped timer, and the embedded metrics snapshot (when the
+  trace was exported with one).
+
+``python -m repro obs-summary out.jsonl`` is a thin CLI wrapper around
+:func:`print_summary`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs import trace as tr
+from repro.util.stats import percentile
+
+
+class RoundSummary:
+    """Frame accounting for one transmission round of one transfer."""
+
+    __slots__ = ("index", "start_ts", "frames", "corrupt", "lost", "outcome", "intact")
+
+    def __init__(self, index: int, start_ts: float) -> None:
+        self.index = index
+        self.start_ts = start_ts
+        self.frames = 0
+        self.corrupt = 0
+        self.lost = 0
+        self.outcome = "in-flight"
+        self.intact: Optional[int] = None
+
+
+class TransferTimeline:
+    """Everything the trace records about one transfer."""
+
+    def __init__(self, transfer: str) -> None:
+        self.transfer = transfer
+        self.document: str = ""
+        self.m: Optional[int] = None
+        self.n: Optional[int] = None
+        self.start_ts: float = 0.0
+        self.end_ts: Optional[float] = None
+        self.rounds_list: List[RoundSummary] = []
+        self.frames_sent = 0
+        self.frames_corrupt = 0
+        self.frames_lost = 0
+        self.crc_failures = 0
+        self.cache_hits = 0
+        self.cached_packets = 0
+        self.early_stop = False
+        self.decode_complete = False
+        self.success: Optional[bool] = None
+        self.content: Optional[float] = None
+        self.reported_rounds: Optional[int] = None
+        self.reported_frames: Optional[int] = None
+        self.reported_response_time: Optional[float] = None
+
+    @property
+    def rounds(self) -> int:
+        """Rounds used, preferring the protocol's own final report."""
+        if self.reported_rounds is not None:
+            return self.reported_rounds
+        return len(self.rounds_list)
+
+    @property
+    def frames(self) -> int:
+        if self.reported_frames is not None:
+            return self.reported_frames
+        return self.frames_sent
+
+    @property
+    def duration(self) -> float:
+        if self.end_ts is None:
+            return 0.0
+        return self.end_ts - self.start_ts
+
+    def _current_round(self) -> Optional[RoundSummary]:
+        return self.rounds_list[-1] if self.rounds_list else None
+
+    # -- event ingestion --------------------------------------------------
+
+    def ingest(self, record: Dict[str, Any]) -> None:
+        event = record.get("event")
+        ts = float(record.get("ts", 0.0))
+        if event == tr.TRANSFER_START:
+            self.document = str(record.get("document", ""))
+            self.m = record.get("m")
+            self.n = record.get("n")
+            self.start_ts = ts
+        elif event == tr.ROUND_START:
+            self.rounds_list.append(RoundSummary(int(record.get("round", 0)), ts))
+        elif event == tr.FRAME_SENT:
+            self.frames_sent += 1
+            outcome = record.get("outcome", "ok")
+            current = self._current_round()
+            if current is not None:
+                current.frames += 1
+                if outcome == "corrupt":
+                    current.corrupt += 1
+                elif outcome == "lost":
+                    current.lost += 1
+            if outcome == "corrupt":
+                self.frames_corrupt += 1
+            elif outcome == "lost":
+                self.frames_lost += 1
+        elif event == tr.FRAME_CORRUPT:
+            self.crc_failures += 1
+        elif event == tr.ROUND_STALLED:
+            current = self._current_round()
+            if current is not None:
+                current.outcome = "stalled"
+                current.intact = record.get("intact")
+        elif event == tr.DECODE_COMPLETE:
+            self.decode_complete = True
+            current = self._current_round()
+            if current is not None:
+                current.outcome = "decode_complete"
+                current.intact = record.get("intact")
+        elif event == tr.EARLY_STOP:
+            self.early_stop = True
+            current = self._current_round()
+            if current is not None:
+                current.outcome = "early_stop"
+        elif event == tr.CACHE_HIT:
+            self.cache_hits += 1
+            self.cached_packets += int(record.get("packets", 0))
+        elif event == tr.TRANSFER_COMPLETE:
+            self.end_ts = ts
+            self.success = record.get("success")
+            self.content = record.get("content")
+            self.reported_rounds = record.get("rounds")
+            self.reported_frames = record.get("frames")
+            self.reported_response_time = record.get("response_time")
+
+    # -- rendering --------------------------------------------------------
+
+    def format(self) -> str:
+        header = f"transfer {self.transfer}  document={self.document!r}"
+        if self.m is not None and self.n is not None:
+            header += f"  M={self.m} N={self.n}"
+        lines = [header]
+        if self.cache_hits:
+            lines.append(
+                f"  cache: {self.cache_hits} hit(s), "
+                f"{self.cached_packets} packet(s) restored"
+            )
+        for rnd in self.rounds_list:
+            loss = f", {rnd.lost} lost" if rnd.lost else ""
+            intact = f" (intact={rnd.intact})" if rnd.intact is not None else ""
+            lines.append(
+                f"  +{rnd.start_ts - self.start_ts:.6f}s  round {rnd.index}: "
+                f"{rnd.frames} frames ({rnd.corrupt} corrupt{loss}) "
+                f"-> {rnd.outcome}{intact}"
+            )
+        if self.success is None:
+            status = "unfinished"
+        elif self.early_stop:
+            status = "early-stop"
+        elif self.success:
+            status = "ok"
+        else:
+            status = "FAILED"
+        summary = (
+            f"  summary: {status}  rounds={self.rounds} frames={self.frames}"
+        )
+        if self.content is not None:
+            summary += f" content={self.content:.3f}"
+        if self.reported_response_time is not None:
+            summary += f" response_time={self.reported_response_time:.2f}s"
+        summary += f" wall={self.duration:.6f}s"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+# -- trace-wide analysis ----------------------------------------------------
+
+
+def build_timelines(events: List[Dict[str, Any]]) -> List[TransferTimeline]:
+    """Group events by transfer ID, in order of first appearance."""
+    timelines: Dict[str, TransferTimeline] = {}
+    for record in events:
+        transfer = record.get("transfer")
+        if transfer is None:
+            continue
+        timeline = timelines.get(transfer)
+        if timeline is None:
+            timeline = TransferTimeline(str(transfer))
+            timelines[str(transfer)] = timeline
+        timeline.ingest(record)
+    return list(timelines.values())
+
+
+def aggregate_timers(events: List[Dict[str, Any]]) -> Dict[str, List[float]]:
+    """timer name → elapsed samples, across the whole trace."""
+    samples: Dict[str, List[float]] = {}
+    for record in events:
+        if record.get("event") == tr.TIMER:
+            samples.setdefault(str(record.get("name", "?")), []).append(
+                float(record.get("seconds", 0.0))
+            )
+    return samples
+
+
+def find_metrics_snapshot(events: List[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """The last embedded ``metrics_snapshot`` record, if any."""
+    snapshot = None
+    for record in events:
+        if record.get("event") == tr.METRICS_SNAPSHOT:
+            snapshot = record.get("metrics")
+    return snapshot if isinstance(snapshot, dict) else None
+
+
+def _format_timer_table(timers: Dict[str, List[float]]) -> List[str]:
+    lines = ["== timers =="]
+    width = max(len(name) for name in timers) + 2
+    lines.append(
+        f"{'name':<{width}} {'count':>6} {'sum':>12} {'mean':>12} "
+        f"{'p50':>12} {'p95':>12}"
+    )
+    for name in sorted(timers):
+        values = timers[name]
+        lines.append(
+            f"{name:<{width}} {len(values):>6} {sum(values):>12.6f} "
+            f"{sum(values) / len(values):>12.6f} "
+            f"{percentile(values, 50):>12.6f} {percentile(values, 95):>12.6f}"
+        )
+    return lines
+
+
+def _format_snapshot(snapshot: Dict[str, Any]) -> List[str]:
+    lines = ["== metrics =="]
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    histograms = snapshot.get("histograms") or {}
+    for name in sorted(counters):
+        lines.append(f"counter   {name} = {counters[name]:g}")
+    for name in sorted(gauges):
+        lines.append(f"gauge     {name} = {gauges[name]:g}")
+    for name in sorted(histograms):
+        data = histograms[name]
+        lines.append(
+            f"histogram {name}  count={data.get('count', 0)} "
+            f"sum={data.get('sum', 0.0):.6g}"
+        )
+        for bound, count in data.get("buckets", []):
+            label = "+Inf" if bound is None else f"{bound:g}"
+            lines.append(f"    <= {label:>8}: {count}")
+    return lines
+
+
+def format_summary(events: List[Dict[str, Any]]) -> str:
+    """Render the full obs-summary report for a parsed trace."""
+    timelines = build_timelines(events)
+    lines: List[str] = ["== transfers =="]
+    if not timelines:
+        lines.append("(no transfer events in trace)")
+    for timeline in timelines:
+        lines.append(timeline.format())
+
+    finished = [t for t in timelines if t.success is not None]
+    lines.append("")
+    lines.append("== aggregates ==")
+    lines.append(
+        f"transfers: {len(timelines)}  "
+        f"(ok {sum(1 for t in finished if t.success and not t.early_stop)}, "
+        f"early-stop {sum(1 for t in finished if t.early_stop)}, "
+        f"failed {sum(1 for t in finished if not t.success)})"
+    )
+    total_frames = sum(t.frames for t in timelines)
+    lines.append(
+        f"frames: {total_frames}  "
+        f"(corrupt {sum(t.frames_corrupt for t in timelines)}, "
+        f"lost {sum(t.frames_lost for t in timelines)}, "
+        f"crc-failures {sum(t.crc_failures for t in timelines)})"
+    )
+    response_times = [
+        t.reported_response_time
+        for t in finished
+        if t.reported_response_time is not None
+    ]
+    if response_times:
+        lines.append(
+            f"response time: mean={sum(response_times) / len(response_times):.3f}s "
+            f"p50={percentile(response_times, 50):.3f}s "
+            f"p95={percentile(response_times, 95):.3f}s"
+        )
+
+    timers = aggregate_timers(events)
+    if timers:
+        lines.append("")
+        lines.extend(_format_timer_table(timers))
+
+    snapshot = find_metrics_snapshot(events)
+    if snapshot is not None:
+        lines.append("")
+        lines.extend(_format_snapshot(snapshot))
+    return "\n".join(lines)
+
+
+def print_summary(path: str) -> int:
+    """Load *path* and print its summary; the CLI entry point."""
+    events = tr.load_jsonl(path)
+    print(format_summary(events))
+    return 0

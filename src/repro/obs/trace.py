@@ -1,0 +1,203 @@
+"""Structured trace recorder: typed events with monotonic timestamps.
+
+A *trace* is an append-only sequence of :class:`TraceEvent` records.
+Each event carries
+
+* ``ts`` — seconds since the recorder's origin (``time.monotonic``
+  based, so ordering survives wall-clock adjustments);
+* ``event`` — one of the typed names in :data:`EVENT_SCHEMA` (free-form
+  names are allowed but the schema documents the core protocol);
+* ``transfer`` — the enclosing transfer ID (``t1``, ``t2``, …), set
+  automatically from the recorder's current-transfer context;
+* ``span`` — an optional span ID for nested scopes (timers);
+* ``fields`` — event-specific payload (plain JSON-serializable values).
+
+Events are held in memory and exported as JSON Lines — one JSON object
+per event with ``ts``/``event``/``transfer``/``span`` reserved keys and
+the payload flattened alongside them.  ``load_jsonl`` round-trips the
+file back into dicts for :mod:`repro.obs.summary`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional
+
+# -- typed event names ------------------------------------------------------
+
+TRANSFER_START = "transfer_start"
+TRANSFER_COMPLETE = "transfer_complete"
+ROUND_START = "round_start"
+ROUND_STALLED = "round_stalled"
+FRAME_SENT = "frame_sent"
+FRAME_CORRUPT = "frame_corrupt"
+DECODE_COMPLETE = "decode_complete"
+EARLY_STOP = "early_stop"
+CACHE_HIT = "cache_hit"
+ORB_INVOKE = "orb_invoke"
+TIMER = "timer"
+RUN_CONFIG = "run_config"
+METRICS_SNAPSHOT = "metrics_snapshot"
+
+#: event name → (required field, description) documentation; the
+#: schema is advisory (emitters may add fields) and is rendered into
+#: ``docs/observability.md``.
+EVENT_SCHEMA: Dict[str, Dict[str, str]] = {
+    TRANSFER_START: {
+        "document": "document id being transferred",
+        "m": "raw packet count M",
+        "n": "cooked packet count N",
+    },
+    TRANSFER_COMPLETE: {
+        "success": "whether the transfer succeeded",
+        "rounds": "transmission rounds used",
+        "frames": "total frames put on the air",
+        "content": "information content received",
+    },
+    ROUND_START: {"round": "1-based round index"},
+    ROUND_STALLED: {"round": "round that ended with < M intact", "intact": "intact packets held"},
+    FRAME_SENT: {"size": "wire bytes", "outcome": "ok | corrupt | lost"},
+    FRAME_CORRUPT: {"sequence": "frame sequence (-1 if header unreadable)"},
+    DECODE_COMPLETE: {"intact": "intact packets at reconstruction"},
+    EARLY_STOP: {"content": "content received at the stop decision"},
+    CACHE_HIT: {"document": "document id", "packets": "cached packets restored"},
+    ORB_INVOKE: {
+        "servant": "servant name",
+        "method": "method invoked",
+        "payload_bytes": "request payload size",
+        "seconds": "wall time of the invocation",
+        "outcome": "ok | error",
+    },
+    TIMER: {"name": "timer name", "seconds": "elapsed seconds"},
+    RUN_CONFIG: {"seed": "RNG seed actually used"},
+    METRICS_SNAPSHOT: {"metrics": "full registry snapshot (see metrics.py)"},
+}
+
+_RESERVED_KEYS = ("ts", "event", "transfer", "span")
+
+
+class TraceEvent(NamedTuple):
+    """One recorded event."""
+
+    ts: float
+    event: str
+    transfer: Optional[str]
+    span: Optional[str]
+    fields: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"ts": round(self.ts, 9), "event": self.event}
+        if self.transfer is not None:
+            record["transfer"] = self.transfer
+        if self.span is not None:
+            record["span"] = self.span
+        for key, value in self.fields.items():
+            if key in _RESERVED_KEYS:
+                key = f"field_{key}"
+            record[key] = value
+        return record
+
+
+class TraceRecorder:
+    """In-memory, append-only event recorder with transfer context.
+
+    The recorder is single-threaded by design (the simulators and the
+    prototype broker run in one thread); ``current_transfer`` is a
+    plain attribute, not a contextvar.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self.current_transfer: Optional[str] = None
+        self._origin = time.monotonic()
+        self._next_transfer = 0
+        self._next_span = 0
+
+    def reset(self) -> None:
+        self.events.clear()
+        self.current_transfer = None
+        self._origin = time.monotonic()
+        self._next_transfer = 0
+        self._next_span = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- ids --------------------------------------------------------------
+
+    def new_transfer_id(self) -> str:
+        self._next_transfer += 1
+        return f"t{self._next_transfer}"
+
+    def new_span_id(self) -> str:
+        self._next_span += 1
+        return f"s{self._next_span}"
+
+    # -- emission ---------------------------------------------------------
+
+    def emit(
+        self,
+        event: str,
+        span: Optional[str] = None,
+        **fields: Any,
+    ) -> TraceEvent:
+        """Record one event, stamped with the current transfer context."""
+        record = TraceEvent(
+            ts=time.monotonic() - self._origin,
+            event=event,
+            transfer=self.current_transfer,
+            span=span,
+            fields=fields,
+        )
+        self.events.append(record)
+        return record
+
+    def begin_transfer(self, document: str, **fields: Any) -> str:
+        """Open a transfer scope: new ID, emit ``transfer_start``."""
+        transfer_id = self.new_transfer_id()
+        self.current_transfer = transfer_id
+        self.emit(TRANSFER_START, document=document, **fields)
+        return transfer_id
+
+    def end_transfer(self, **fields: Any) -> None:
+        """Emit ``transfer_complete`` and close the scope."""
+        self.emit(TRANSFER_COMPLETE, **fields)
+        self.current_transfer = None
+
+    # -- export -----------------------------------------------------------
+
+    def export_jsonl(self, path: str, extra: Iterable[Dict[str, Any]] = ()) -> int:
+        """Write every event (plus *extra* records) as JSON Lines.
+
+        Returns the number of lines written.
+        """
+        lines = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event.to_dict(), sort_keys=True))
+                handle.write("\n")
+                lines += 1
+            for record in extra:
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+                lines += 1
+        return lines
+
+
+def load_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace back into event dicts (blank lines skipped)."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: invalid JSON ({exc})") from None
+            if not isinstance(record, dict):
+                raise ValueError(f"{path}:{line_number}: expected a JSON object")
+            events.append(record)
+    return events

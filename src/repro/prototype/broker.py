@@ -11,7 +11,10 @@ to invocation payloads.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, List, Protocol
+
+from repro.obs.orb import payload_size as _payload_size
 
 
 class BrokerError(Exception):
@@ -24,6 +27,13 @@ class Interceptor(Protocol):
     ``outbound`` runs on values flowing client → servant;
     ``inbound`` on values flowing servant → client.  Interceptors
     compose in registration order outbound and reverse order inbound.
+
+    An interceptor may additionally define an ``observe_invocation``
+    method (see :class:`repro.obs.orb.TracingInterceptor`); the broker
+    then reports each invocation's servant, method, request payload
+    size, wall time, and error — after the inbound pass on success, or
+    just before the exception propagates on failure.  Observation is
+    passive: it cannot alter payloads or suppress exceptions.
     """
 
     def outbound(self, payload: Any) -> Any: ...
@@ -47,6 +57,7 @@ class ObjectRequestBroker:
     def __init__(self) -> None:
         self._servants: Dict[str, object] = {}
         self._interceptors: List[Interceptor] = []
+        self._observers: List[Any] = []
         self.invocations = 0
 
     def register(self, name: str, servant: object) -> None:
@@ -58,6 +69,8 @@ class ObjectRequestBroker:
 
     def add_interceptor(self, interceptor: Interceptor) -> None:
         self._interceptors.append(interceptor)
+        if callable(getattr(interceptor, "observe_invocation", None)):
+            self._observers.append(interceptor)
 
     def resolve(self, name: str) -> object:
         servant = self._servants.get(name)
@@ -70,6 +83,9 @@ class ObjectRequestBroker:
 
         Positional arguments pass outbound through the interceptors;
         the return value passes inbound through them in reverse.
+        Observer interceptors are notified once per invocation with the
+        post-outbound payload size and the wall time spanning the
+        servant call plus the inbound pass.
         """
         servant = self.resolve(name)
         target: Callable = getattr(servant, method, None)  # type: ignore[assignment]
@@ -79,9 +95,27 @@ class ObjectRequestBroker:
         for interceptor in self._interceptors:
             processed_args = [interceptor.outbound(a) for a in processed_args]
         self.invocations += 1
-        result = target(*processed_args, **kwargs)
-        for interceptor in reversed(self._interceptors):
-            result = interceptor.inbound(result)
+
+        if not self._observers:
+            result = target(*processed_args, **kwargs)
+            for interceptor in reversed(self._interceptors):
+                result = interceptor.inbound(result)
+            return result
+
+        request_bytes = sum(_payload_size(arg) for arg in processed_args)
+        start = time.perf_counter()
+        try:
+            result = target(*processed_args, **kwargs)
+            for interceptor in reversed(self._interceptors):
+                result = interceptor.inbound(result)
+        except Exception as exc:
+            elapsed = time.perf_counter() - start
+            for observer in self._observers:
+                observer.observe_invocation(name, method, request_bytes, elapsed, exc)
+            raise
+        elapsed = time.perf_counter() - start
+        for observer in self._observers:
+            observer.observe_invocation(name, method, request_bytes, elapsed, None)
         return result
 
     def __contains__(self, name: str) -> bool:

@@ -22,6 +22,13 @@ from __future__ import annotations
 import random
 from typing import List, NamedTuple, Optional, Sequence
 
+from repro.obs.runtime import OBS
+from repro.obs.trace import (
+    DECODE_COMPLETE,
+    EARLY_STOP,
+    ROUND_STALLED,
+    ROUND_START,
+)
 from repro.simulation.parameters import Parameters
 from repro.simulation.workload import SyntheticDocument, generate_session, relevance_flags
 from repro.core.lod import LOD
@@ -58,6 +65,13 @@ def simulate_transfer(
     if relevance_threshold is not None and relevance_threshold <= 0.0:
         return TransferOutcome(0.0, 0, 0, True, True)
 
+    # One attribute read when telemetry is off; the per-packet loop
+    # below carries no instrumentation at all (events are emitted at
+    # round and transfer granularity only).
+    telemetry = OBS.enabled
+    if telemetry:
+        OBS.trace.begin_transfer(document="sim", m=m, n=n)
+
     rand = rng.random
     intact = bytearray(n)
     intact_count = 0
@@ -66,6 +80,8 @@ def simulate_transfer(
     packets_sent = 0
 
     for round_index in range(1, max_rounds + 1):
+        if telemetry:
+            OBS.trace.emit(ROUND_START, round=round_index)
         for seq in range(n):
             time += packet_time
             packets_sent += 1
@@ -84,17 +100,60 @@ def simulate_transfer(
                 # the usable content, matching TransferReceiver.
                 usable = 1.0 if intact_count >= m else content
                 if usable >= relevance_threshold:
-                    return TransferOutcome(time, round_index, packets_sent, True, True)
+                    outcome = TransferOutcome(time, round_index, packets_sent, True, True)
+                    return _record_outcome(outcome, intact_count) if telemetry else outcome
             if intact_count >= m:
                 # Reconstruction possible: the transfer is complete.
-                return TransferOutcome(time, round_index, packets_sent, True, False)
+                outcome = TransferOutcome(time, round_index, packets_sent, True, False)
+                return _record_outcome(outcome, intact_count) if telemetry else outcome
 
+        if telemetry:
+            OBS.trace.emit(ROUND_STALLED, round=round_index, intact=intact_count)
+            OBS.metrics.counter("sim.stalls", "simulated rounds ending < M intact").inc()
         if not caching:
             intact = bytearray(n)
             intact_count = 0
             content = 0.0
 
-    return TransferOutcome(time, max_rounds, packets_sent, False, False)
+    outcome = TransferOutcome(time, max_rounds, packets_sent, False, False)
+    return _record_outcome(outcome, intact_count) if telemetry else outcome
+
+
+#: Histogram buckets for simulated transfers (rounds and seconds).
+_SIM_ROUND_BUCKETS = (1, 2, 3, 5, 8, 13, 21, 34, 55, 100)
+_SIM_RESPONSE_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
+
+
+def _record_outcome(outcome: TransferOutcome, intact_count: int) -> TransferOutcome:
+    """Emit end-of-transfer telemetry for the oracle-mode runner."""
+    trace = OBS.trace
+    if outcome.terminated_early:
+        trace.emit(EARLY_STOP, round=outcome.rounds)
+    elif outcome.success:
+        trace.emit(DECODE_COMPLETE, round=outcome.rounds, intact=intact_count)
+    metrics = OBS.metrics
+    kind = (
+        "early_stop"
+        if outcome.terminated_early
+        else ("ok" if outcome.success else "failed")
+    )
+    metrics.counter("sim.transfers").labels(outcome=kind).inc()
+    metrics.counter("sim.packets_sent").inc(outcome.packets_sent)
+    metrics.histogram(
+        "sim.rounds", "rounds per simulated transfer", buckets=_SIM_ROUND_BUCKETS
+    ).observe(outcome.rounds)
+    metrics.histogram(
+        "sim.response_seconds",
+        "simulated response time",
+        buckets=_SIM_RESPONSE_BUCKETS,
+    ).observe(outcome.response_time)
+    trace.end_transfer(
+        success=outcome.success,
+        rounds=outcome.rounds,
+        frames=outcome.packets_sent,
+        response_time=outcome.response_time,
+    )
+    return outcome
 
 
 class SessionResult(NamedTuple):
@@ -155,6 +214,10 @@ def simulate_session(
             stalled += 1
         if outcome.terminated_early:
             early += 1
+
+    if OBS.enabled:
+        OBS.metrics.counter("sim.sessions", "simulated browsing sessions").inc()
+        OBS.metrics.counter("sim.stalled_documents").inc(stalled)
 
     mean_time = total_time / len(documents)
     return SessionResult(

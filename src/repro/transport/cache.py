@@ -15,6 +15,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional
 
+from repro.obs.runtime import OBS
+from repro.obs.trace import CACHE_HIT
 from repro.util.validation import check_positive
 
 
@@ -43,14 +45,24 @@ class PacketCache:
         self._sizes[document_id] += len(payload)
         self._used += len(payload)
         self._entries.move_to_end(document_id)
+        if OBS.enabled:
+            OBS.metrics.counter("cache.stores", "intact packets cached").inc()
+            OBS.metrics.gauge("cache.used_bytes", "bytes held by the cache").set(
+                self._used
+            )
         self._evict()
 
     def load(self, document_id: str) -> Dict[int, bytes]:
         """The cached packets of a document (empty dict when absent)."""
         entry = self._entries.get(document_id)
         if entry is None:
+            if OBS.enabled:
+                OBS.metrics.counter("cache.loads").labels(result="miss").inc()
             return {}
         self._entries.move_to_end(document_id)
+        if OBS.enabled:
+            OBS.metrics.counter("cache.loads").labels(result="hit").inc()
+            OBS.trace.emit(CACHE_HIT, document=document_id, packets=len(entry))
         return dict(entry)
 
     def discard(self, document_id: str) -> None:
@@ -63,6 +75,9 @@ class PacketCache:
         while self._used > self.capacity_bytes and len(self._entries) > 1:
             victim, _ = self._entries.popitem(last=False)
             self._used -= self._sizes.pop(victim)
+            if OBS.enabled:
+                OBS.metrics.counter("cache.evictions", "LRU documents evicted").inc()
+                OBS.metrics.gauge("cache.used_bytes").set(self._used)
 
     # -- introspection ---------------------------------------------------------
 

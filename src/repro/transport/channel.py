@@ -18,6 +18,8 @@ from __future__ import annotations
 import random
 from typing import Iterable, Iterator, List, NamedTuple, Optional
 
+from repro.obs.runtime import OBS
+from repro.obs.trace import FRAME_SENT
 from repro.util.validation import check_positive, check_probability
 
 
@@ -81,17 +83,30 @@ class WirelessChannel:
 
         if self.loss_probability and self.rng.random() < self.loss_probability:
             self.frames_lost += 1
-            return Delivery(time=self.clock, wire=None, corrupted=False, lost=True)
-
-        if self.rng.random() < self.alpha:
+            delivery = Delivery(time=self.clock, wire=None, corrupted=False, lost=True)
+        elif self.rng.random() < self.alpha:
             self.frames_corrupted += 1
-            return Delivery(
+            delivery = Delivery(
                 time=self.clock,
                 wire=self._garble(wire),
                 corrupted=True,
                 lost=False,
             )
-        return Delivery(time=self.clock, wire=wire, corrupted=False, lost=False)
+        else:
+            delivery = Delivery(time=self.clock, wire=wire, corrupted=False, lost=False)
+
+        if OBS.enabled:
+            self._record_delivery(delivery, len(wire))
+        return delivery
+
+    @staticmethod
+    def _record_delivery(delivery: Delivery, size: int) -> None:
+        outcome = "lost" if delivery.lost else ("corrupt" if delivery.corrupted else "ok")
+        OBS.metrics.counter(
+            "channel.frames_sent", "frames put on the air"
+        ).labels(outcome=outcome).inc()
+        OBS.metrics.counter("channel.bytes_sent", "wire bytes transmitted").inc(size)
+        OBS.trace.emit(FRAME_SENT, size=size, outcome=outcome, channel_time=delivery.time)
 
     def send_all(self, frames: Iterable[bytes]) -> Iterator[Delivery]:
         """Transmit a frame sequence in FIFO order, yielding deliveries."""

@@ -11,6 +11,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.coding.packets import decode_frame
+from repro.obs.runtime import OBS
+from repro.obs.trace import FRAME_CORRUPT
 from repro.transport.channel import Delivery
 from repro.transport.sender import PreparedDocument
 
@@ -53,6 +55,11 @@ class TransferReceiver:
         frame = decode_frame(delivery.wire)
         if not frame.intact:
             self.corrupted_seen += 1
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "receiver.crc_failures", "frames rejected by CRC"
+                ).inc()
+                OBS.trace.emit(FRAME_CORRUPT, sequence=frame.sequence)
             return
         if frame.sequence > self._highest_sequence + 1:
             # FIFO channel: a jump in sequence numbers reveals losses.

@@ -14,6 +14,8 @@ from typing import List, Optional
 
 from repro.coding.packets import CookedDocument, Packetizer
 from repro.core.multires import TransmissionSchedule
+from repro.obs.runtime import OBS
+from repro.obs.timing import timed
 
 
 class PreparedDocument:
@@ -62,8 +64,11 @@ class DocumentSender:
         payload = schedule.payload()
         if not payload:
             raise ValueError(f"document {document_id!r} has an empty payload")
-        cooked = self.packetizer.cook(payload)
-        profile = self._content_profile(schedule, cooked.m)
+        with timed("sender.prepare"):
+            cooked = self.packetizer.cook(payload)
+            profile = self._content_profile(schedule, cooked.m)
+        if OBS.enabled:
+            self._record_prepared(cooked)
         return PreparedDocument(document_id, cooked, profile)
 
     def prepare_raw(self, document_id: str, payload: bytes) -> PreparedDocument:
@@ -75,9 +80,18 @@ class DocumentSender:
         """
         if not payload:
             raise ValueError(f"document {document_id!r} has an empty payload")
-        cooked = self.packetizer.cook(payload)
+        with timed("sender.prepare"):
+            cooked = self.packetizer.cook(payload)
         profile = [1.0 / cooked.m] * cooked.m
+        if OBS.enabled:
+            self._record_prepared(cooked)
         return PreparedDocument(document_id, cooked, profile)
+
+    @staticmethod
+    def _record_prepared(cooked: CookedDocument) -> None:
+        OBS.metrics.counter("sender.documents_prepared").inc()
+        OBS.metrics.counter("sender.cooked_packets").inc(cooked.n)
+        OBS.metrics.counter("sender.raw_packets").inc(cooked.m)
 
     def _content_profile(
         self, schedule: TransmissionSchedule, m: int

@@ -22,6 +22,13 @@ from __future__ import annotations
 
 from typing import NamedTuple, Optional
 
+from repro.obs.runtime import OBS
+from repro.obs.trace import (
+    DECODE_COMPLETE,
+    EARLY_STOP,
+    ROUND_STALLED,
+    ROUND_START,
+)
 from repro.transport.cache import NullCache, PacketCache
 from repro.transport.channel import WirelessChannel
 from repro.transport.receiver import TransferReceiver
@@ -69,6 +76,13 @@ def transfer_document(
     if cache is None:
         cache = NullCache()
 
+    telemetry = OBS.enabled
+    if telemetry:
+        OBS.trace.begin_transfer(
+            document=prepared.document_id, m=prepared.m, n=prepared.n
+        )
+        OBS.metrics.counter("transfer.started").inc()
+
     start_time = channel.clock
     frames = prepared.frames()
     frames_sent = 0
@@ -78,32 +92,41 @@ def transfer_document(
     if relevance_threshold is not None and relevance_threshold <= 0.0:
         # F = 0: the document is discarded before any packet is sent
         # (the paper calls this point "artificial").
-        return TransferResult(
-            document_id=prepared.document_id,
-            success=True,
-            terminated_early=True,
-            response_time=0.0,
-            rounds=0,
-            frames_sent=0,
-            content_received=0.0,
-            payload=None,
+        return _finish(
+            TransferResult(
+                document_id=prepared.document_id,
+                success=True,
+                terminated_early=True,
+                response_time=0.0,
+                rounds=0,
+                frames_sent=0,
+                content_received=0.0,
+                payload=None,
+            ),
+            telemetry,
         )
 
     # A fully cached (e.g. prefetched) document costs no air time.
     if receiver.can_reconstruct():
         cache.discard(prepared.document_id)
-        return TransferResult(
-            document_id=prepared.document_id,
-            success=True,
-            terminated_early=False,
-            response_time=0.0,
-            rounds=0,
-            frames_sent=0,
-            content_received=receiver.content_received,
-            payload=receiver.reconstruct(),
+        return _finish(
+            TransferResult(
+                document_id=prepared.document_id,
+                success=True,
+                terminated_early=False,
+                response_time=0.0,
+                rounds=0,
+                frames_sent=0,
+                content_received=receiver.content_received,
+                payload=receiver.reconstruct(),
+            ),
+            telemetry,
+            intact=receiver.intact_count,
         )
 
     for round_index in range(1, max_rounds + 1):
+        if telemetry:
+            OBS.trace.emit(ROUND_START, round=round_index)
         for wire in frames:
             delivery = channel.send(wire)
             frames_sent += 1
@@ -114,44 +137,63 @@ def transfer_document(
                 and receiver.content_received >= relevance_threshold
             ):
                 _store_cache(cache, prepared, receiver)
-                return TransferResult(
-                    document_id=prepared.document_id,
-                    success=True,
-                    terminated_early=True,
-                    response_time=channel.clock - start_time,
-                    rounds=round_index,
-                    frames_sent=frames_sent,
-                    content_received=receiver.content_received,
-                    payload=None,
+                return _finish(
+                    TransferResult(
+                        document_id=prepared.document_id,
+                        success=True,
+                        terminated_early=True,
+                        response_time=channel.clock - start_time,
+                        rounds=round_index,
+                        frames_sent=frames_sent,
+                        content_received=receiver.content_received,
+                        payload=None,
+                    ),
+                    telemetry,
+                    intact=receiver.intact_count,
                 )
             if receiver.can_reconstruct():
                 cache.discard(prepared.document_id)
-                return TransferResult(
-                    document_id=prepared.document_id,
-                    success=True,
-                    terminated_early=False,
-                    response_time=channel.clock - start_time,
-                    rounds=round_index,
-                    frames_sent=frames_sent,
-                    content_received=receiver.content_received,
-                    payload=receiver.reconstruct(),
+                return _finish(
+                    TransferResult(
+                        document_id=prepared.document_id,
+                        success=True,
+                        terminated_early=False,
+                        response_time=channel.clock - start_time,
+                        rounds=round_index,
+                        frames_sent=frames_sent,
+                        content_received=receiver.content_received,
+                        payload=receiver.reconstruct(),
+                    ),
+                    telemetry,
+                    intact=receiver.intact_count,
                 )
 
         # Stalled: fewer than M intact after the full round.
+        if telemetry:
+            OBS.trace.emit(
+                ROUND_STALLED, round=round_index, intact=receiver.intact_count
+            )
+            OBS.metrics.counter(
+                "transfer.stalls", "rounds that ended with < M intact"
+            ).inc()
         _store_cache(cache, prepared, receiver)
         if isinstance(cache, NullCache) or not cache.load(prepared.document_id):
             # NoCaching restarts from zero intact packets.
             receiver = TransferReceiver(prepared)
 
-    return TransferResult(
-        document_id=prepared.document_id,
-        success=False,
-        terminated_early=False,
-        response_time=channel.clock - start_time,
-        rounds=max_rounds,
-        frames_sent=frames_sent,
-        content_received=receiver.content_received,
-        payload=None,
+    return _finish(
+        TransferResult(
+            document_id=prepared.document_id,
+            success=False,
+            terminated_early=False,
+            response_time=channel.clock - start_time,
+            rounds=max_rounds,
+            frames_sent=frames_sent,
+            content_received=receiver.content_received,
+            payload=None,
+        ),
+        telemetry,
+        intact=receiver.intact_count,
     )
 
 
@@ -160,3 +202,45 @@ def _store_cache(
 ) -> None:
     for sequence, payload in receiver.intact.items():
         cache.store(prepared.document_id, sequence, payload)
+
+
+#: Buckets for simulated end-to-end response times (seconds of channel
+#: time — a 19.2 kbps link legitimately takes minutes on large pages).
+_RESPONSE_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
+_ROUND_BUCKETS = (1, 2, 3, 5, 8, 13, 21, 34, 55, 100)
+
+
+def _finish(
+    result: TransferResult, telemetry: bool, intact: Optional[int] = None
+) -> TransferResult:
+    """Emit the end-of-transfer events and metrics (telemetry on only)."""
+    if not telemetry:
+        return result
+    trace = OBS.trace
+    if result.terminated_early:
+        trace.emit(EARLY_STOP, content=result.content_received, round=result.rounds)
+    elif result.success:
+        trace.emit(DECODE_COMPLETE, round=result.rounds, intact=intact)
+    metrics = OBS.metrics
+    outcome = (
+        "early_stop"
+        if result.terminated_early
+        else ("ok" if result.success else "failed")
+    )
+    metrics.counter("transfer.completed").labels(outcome=outcome).inc()
+    metrics.histogram(
+        "transfer.rounds", "rounds per transfer", buckets=_ROUND_BUCKETS
+    ).observe(result.rounds)
+    metrics.histogram(
+        "transfer.response_seconds",
+        "simulated channel time per transfer",
+        buckets=_RESPONSE_BUCKETS,
+    ).observe(result.response_time)
+    trace.end_transfer(
+        success=result.success,
+        rounds=result.rounds,
+        frames=result.frames_sent,
+        content=result.content_received,
+        response_time=result.response_time,
+    )
+    return result

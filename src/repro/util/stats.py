@@ -27,9 +27,17 @@ def population_variance(values: Sequence[float]) -> float:
 def sample_stdev(values: Sequence[float]) -> float:
     """Sample (Bessel-corrected) standard deviation.
 
-    A single observation has an undefined sample deviation; we return
-    ``0.0`` for it, which is the convention most convenient for summary
-    tables of short runs.
+    Contract for short inputs:
+
+    * an **empty** sequence raises ``ValueError`` — there is no
+      deviation to speak of;
+    * a **single** observation has a mathematically undefined sample
+      deviation (the ``n - 1`` denominator vanishes); this function
+      returns exactly ``0.0`` for it rather than raising, so summary
+      tables built from short runs (e.g. one repetition, one transfer)
+      render a zero-dispersion row instead of crashing.  Callers that
+      need to distinguish "no dispersion" from "undefined" must check
+      ``len(values)`` themselves.
     """
     n = len(values)
     if n == 0:
@@ -38,6 +46,32 @@ def sample_stdev(values: Sequence[float]) -> float:
         return 0.0
     mu = mean(values)
     return math.sqrt(sum((v - mu) ** 2 for v in values) / (n - 1))
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The *p*-th percentile (0–100) with linear interpolation.
+
+    Uses the inclusive ("linear") method: the p-th percentile of n
+    sorted values is taken at rank ``p/100 · (n − 1)``, interpolating
+    between the neighbouring order statistics.  ``percentile(v, 50)``
+    is therefore the median, and the 0th/100th percentiles are the
+    minimum and maximum.  Raises ``ValueError`` on an empty sequence
+    or a *p* outside [0, 100].
+    """
+    if not values:
+        raise ValueError("percentile() of an empty sequence")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
 
 # Two-sided critical values of the Student t distribution at 95%

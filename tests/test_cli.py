@@ -8,6 +8,20 @@ from repro.data import draft_paper_path
 DRAFT = str(draft_paper_path())
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_seed_echoed_in_transfer_output(self, capsys):
+        assert main(["transfer", DRAFT, "--alpha", "0.2", "--seed", "5"]) == 0
+        assert "seed=5" in capsys.readouterr().out
+
+
 class TestSc:
     def test_prints_tree(self, capsys):
         assert main(["sc", DRAFT]) == 0

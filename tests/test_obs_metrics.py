@@ -1,0 +1,138 @@
+"""Tests for the metrics registry (counters, gauges, histograms, labels)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("frames")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_idempotent_creation(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.histogram("x")
+
+    def test_labels_create_distinct_children(self):
+        counter = Counter("frames_sent")
+        counter.labels(outcome="ok").inc(3)
+        counter.labels(outcome="corrupt").inc()
+        assert counter.labels(outcome="ok").value == 3
+        assert counter.labels(outcome="corrupt").value == 1
+        assert counter.value == 0  # family row untouched
+        assert counter.total == 4
+
+    def test_labels_are_order_insensitive(self):
+        counter = Counter("c")
+        a = counter.labels(x="1", y="2")
+        b = counter.labels(y="2", x="1")
+        assert a is b
+
+    def test_empty_labels_returns_self(self):
+        counter = Counter("c")
+        assert counter.labels() is counter
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("bytes")
+        gauge.set(100)
+        gauge.inc(10)
+        gauge.dec(30)
+        assert gauge.value == 80
+
+
+class TestHistogram:
+    def test_observation_lands_in_correct_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 5.0, 10.0))
+        histogram.observe(0.5)
+        histogram.observe(1.0)  # inclusive upper bound
+        histogram.observe(7.0)
+        histogram.observe(99.0)  # overflow
+        counts = dict(
+            (bound, count) for bound, count in histogram.bucket_counts()
+        )
+        assert counts[1.0] == 2
+        assert counts[5.0] == 0
+        assert counts[10.0] == 1
+        assert counts[None] == 1
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(107.5)
+        assert histogram.mean == pytest.approx(107.5 / 4)
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_duplicate_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+    def test_registry_returns_same_histogram(self):
+        registry = MetricsRegistry()
+        a = registry.histogram("lat", buckets=DEFAULT_LATENCY_BUCKETS)
+        b = registry.histogram("lat")
+        assert a is b
+
+
+class TestRegistry:
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("b").observe(1)
+        assert len(registry) == 2
+        registry.reset()
+        assert len(registry) == 0
+        assert "a" not in registry
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("frames").labels(outcome="corrupt").inc(2)
+        registry.gauge("used").set(7)
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"frames{outcome=corrupt}": 2.0}
+        assert snapshot["gauges"] == {"used": 7.0}
+        hist = snapshot["histograms"]["lat"]
+        assert hist["count"] == 1
+        assert hist["sum"] == 0.5
+        assert hist["buckets"] == [[1.0, 1], [None, 0]]
+
+    def test_snapshot_skips_untouched_family_rows(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("frames")
+        counter.labels(outcome="ok").inc()
+        assert "frames" not in registry.snapshot()["counters"]
+        # ...but keeps a family row that was itself incremented.
+        counter.inc()
+        assert "frames" in registry.snapshot()["counters"]
+
+    def test_render_table_mentions_children(self):
+        registry = MetricsRegistry()
+        registry.counter("frames").labels(outcome="ok").inc(3)
+        table = registry.render_table()
+        assert "frames{outcome=ok}  3" in table

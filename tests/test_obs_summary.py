@@ -1,0 +1,113 @@
+"""Tests for the obs-summary trace analyzer."""
+
+from repro.obs import trace as tr
+from repro.obs.summary import (
+    aggregate_timers,
+    build_timelines,
+    find_metrics_snapshot,
+    format_summary,
+)
+
+
+def _synthetic_trace():
+    """A hand-written two-transfer trace (one retransmission, one early stop)."""
+    return [
+        {"ts": 0.0, "event": tr.TRANSFER_START, "transfer": "t1",
+         "document": "a.xml", "m": 2, "n": 3},
+        {"ts": 0.1, "event": tr.ROUND_START, "transfer": "t1", "round": 1},
+        {"ts": 0.2, "event": tr.FRAME_SENT, "transfer": "t1", "size": 260, "outcome": "ok"},
+        {"ts": 0.3, "event": tr.FRAME_SENT, "transfer": "t1", "size": 260, "outcome": "corrupt"},
+        {"ts": 0.3, "event": tr.FRAME_CORRUPT, "transfer": "t1", "sequence": 1},
+        {"ts": 0.4, "event": tr.FRAME_SENT, "transfer": "t1", "size": 260, "outcome": "lost"},
+        {"ts": 0.5, "event": tr.ROUND_STALLED, "transfer": "t1", "round": 1, "intact": 1},
+        {"ts": 0.6, "event": tr.ROUND_START, "transfer": "t1", "round": 2},
+        {"ts": 0.7, "event": tr.FRAME_SENT, "transfer": "t1", "size": 260, "outcome": "ok"},
+        {"ts": 0.8, "event": tr.DECODE_COMPLETE, "transfer": "t1", "round": 2, "intact": 2},
+        {"ts": 0.9, "event": tr.TRANSFER_COMPLETE, "transfer": "t1",
+         "success": True, "rounds": 2, "frames": 4, "content": 1.0,
+         "response_time": 1.5},
+        {"ts": 1.0, "event": tr.TRANSFER_START, "transfer": "t2",
+         "document": "b.xml", "m": 2, "n": 3},
+        {"ts": 1.1, "event": tr.ROUND_START, "transfer": "t2", "round": 1},
+        {"ts": 1.2, "event": tr.FRAME_SENT, "transfer": "t2", "size": 260, "outcome": "ok"},
+        {"ts": 1.3, "event": tr.EARLY_STOP, "transfer": "t2", "content": 0.4},
+        {"ts": 1.4, "event": tr.TRANSFER_COMPLETE, "transfer": "t2",
+         "success": True, "rounds": 1, "frames": 1, "content": 0.4,
+         "response_time": 0.3},
+        {"ts": 1.5, "event": tr.TIMER, "name": "rs.decode", "seconds": 0.004},
+        {"ts": 1.6, "event": tr.TIMER, "name": "rs.decode", "seconds": 0.006},
+        {"ts": 1.7, "event": tr.METRICS_SNAPSHOT,
+         "metrics": {"counters": {"transfer.started": 2.0}, "gauges": {},
+                     "histograms": {"transfer.rounds": {
+                         "count": 2, "sum": 3.0,
+                         "buckets": [[1, 1], [2, 1], [None, 0]]}}}},
+    ]
+
+
+class TestTimelines:
+    def test_grouping_and_counts(self):
+        timelines = build_timelines(_synthetic_trace())
+        assert [t.transfer for t in timelines] == ["t1", "t2"]
+        first, second = timelines
+
+        assert first.document == "a.xml"
+        assert first.m == 2 and first.n == 3
+        assert first.rounds == 2
+        assert first.frames == 4
+        assert first.frames_corrupt == 1
+        assert first.frames_lost == 1
+        assert first.crc_failures == 1
+        assert first.decode_complete
+        assert not first.early_stop
+        assert first.rounds_list[0].outcome == "stalled"
+        assert first.rounds_list[0].intact == 1
+        assert first.rounds_list[1].outcome == "decode_complete"
+
+        assert second.early_stop
+        assert second.rounds == 1
+        assert second.frames == 1
+
+    def test_event_counts_consistent_with_reported(self):
+        for timeline in build_timelines(_synthetic_trace()):
+            assert len(timeline.rounds_list) == timeline.reported_rounds
+            assert timeline.frames_sent == timeline.reported_frames
+
+    def test_unfinished_transfer_counts_from_events(self):
+        events = _synthetic_trace()[:6]  # no stall / complete records
+        (timeline,) = build_timelines(events)
+        assert timeline.success is None
+        assert timeline.rounds == 1  # from the round_start event
+        assert timeline.frames == 3  # from frame_sent events
+
+
+class TestAggregates:
+    def test_timer_aggregation(self):
+        timers = aggregate_timers(_synthetic_trace())
+        assert timers == {"rs.decode": [0.004, 0.006]}
+
+    def test_metrics_snapshot_found(self):
+        snapshot = find_metrics_snapshot(_synthetic_trace())
+        assert snapshot["counters"]["transfer.started"] == 2.0
+
+    def test_no_snapshot_returns_none(self):
+        assert find_metrics_snapshot([{"event": "x", "ts": 0}]) is None
+
+
+class TestFormatting:
+    def test_full_report_sections(self):
+        report = format_summary(_synthetic_trace())
+        assert "== transfers ==" in report
+        assert "transfer t1" in report
+        assert "rounds=2 frames=4" in report
+        assert "rounds=1 frames=1" in report
+        assert "early-stop" in report
+        assert "== aggregates ==" in report
+        assert "transfers: 2" in report
+        assert "== timers ==" in report
+        assert "rs.decode" in report
+        assert "== metrics ==" in report
+        assert "transfer.rounds" in report
+
+    def test_empty_trace(self):
+        report = format_summary([])
+        assert "no transfer events" in report

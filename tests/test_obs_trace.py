@@ -1,0 +1,142 @@
+"""Tests for the trace recorder, runtime switch, and scoped timers."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import trace as tr
+from repro.obs.timing import _NOOP, timed
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test leaves the process-global switch off and empty."""
+    obs.disable(reset=True)
+    yield
+    obs.disable(reset=True)
+
+
+class TestRecorder:
+    def test_emit_records_monotonic_timestamps(self):
+        recorder = tr.TraceRecorder()
+        first = recorder.emit("a")
+        second = recorder.emit("b")
+        assert second.ts >= first.ts >= 0.0
+        assert [e.event for e in recorder.events] == ["a", "b"]
+
+    def test_transfer_scope_stamps_events(self):
+        recorder = tr.TraceRecorder()
+        tid = recorder.begin_transfer("doc", m=4, n=6)
+        assert tid == "t1"
+        recorder.emit(tr.FRAME_SENT, size=10)
+        recorder.end_transfer(success=True, rounds=1, frames=5)
+        recorder.emit("outside")
+        transfers = [e.transfer for e in recorder.events]
+        assert transfers == ["t1", "t1", "t1", None]
+        assert recorder.new_transfer_id() == "t2"
+
+    def test_reset(self):
+        recorder = tr.TraceRecorder()
+        recorder.begin_transfer("doc")
+        recorder.reset()
+        assert len(recorder) == 0
+        assert recorder.current_transfer is None
+        assert recorder.new_transfer_id() == "t1"
+
+    def test_reserved_field_names_are_prefixed(self):
+        recorder = tr.TraceRecorder()
+        event = recorder.emit("weird", ts=123, transfer="zzz")
+        record = event.to_dict()
+        assert record["event"] == "weird"
+        assert record["field_ts"] == 123
+        assert record["field_transfer"] == "zzz"
+        assert "transfer" not in record  # no ambient transfer scope
+
+
+class TestJsonlRoundTrip:
+    def test_export_and_load(self, tmp_path):
+        recorder = tr.TraceRecorder()
+        recorder.begin_transfer("doc", m=2, n=3)
+        recorder.emit(tr.FRAME_SENT, size=260, outcome="ok")
+        recorder.end_transfer(success=True, rounds=1, frames=3)
+        path = tmp_path / "trace.jsonl"
+        lines = recorder.export_jsonl(str(path), extra=[{"event": "custom"}])
+        assert lines == 4
+        events = tr.load_jsonl(str(path))
+        assert [e["event"] for e in events] == [
+            tr.TRANSFER_START,
+            tr.FRAME_SENT,
+            tr.TRANSFER_COMPLETE,
+            "custom",
+        ]
+        assert events[1]["size"] == 260
+        assert events[1]["transfer"] == "t1"
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event": "ok"}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            tr.load_jsonl(str(path))
+
+    def test_load_rejects_non_objects(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="expected a JSON object"):
+            tr.load_jsonl(str(path))
+
+    def test_exported_lines_are_plain_json(self, tmp_path):
+        recorder = tr.TraceRecorder()
+        recorder.emit("x", value=1.5)
+        path = tmp_path / "t.jsonl"
+        recorder.export_jsonl(str(path))
+        record = json.loads(path.read_text().strip())
+        assert record["value"] == 1.5
+
+
+class TestRuntimeSwitch:
+    def test_disabled_by_default(self):
+        assert not obs.OBS.enabled
+        assert not obs.enabled()
+        assert not bool(obs.OBS)
+
+    def test_enable_disable_cycle(self):
+        obs.enable()
+        assert obs.enabled()
+        obs.OBS.metrics.counter("x").inc()
+        obs.OBS.trace.emit("e")
+        obs.disable(reset=True)
+        assert not obs.enabled()
+        assert len(obs.OBS.metrics) == 0
+        assert len(obs.OBS.trace) == 0
+
+    def test_enable_fresh_clears_previous_state(self):
+        obs.enable()
+        obs.OBS.metrics.counter("x").inc()
+        obs.enable(fresh=True)
+        assert len(obs.OBS.metrics) == 0
+
+
+class TestTimed:
+    def test_disabled_returns_shared_noop(self):
+        assert timed("anything") is _NOOP
+        assert timed("something.else") is _NOOP  # same object every call
+
+    def test_enabled_records_histogram_and_event(self):
+        obs.enable()
+        with timed("unit.work"):
+            pass
+        histogram = obs.OBS.metrics.get("unit.work.seconds")
+        assert histogram is not None
+        assert histogram.count == 1
+        timer_events = [e for e in obs.OBS.trace.events if e.event == tr.TIMER]
+        assert len(timer_events) == 1
+        assert timer_events[0].fields["name"] == "unit.work"
+        assert timer_events[0].fields["seconds"] >= 0.0
+
+    def test_exception_inside_scope_still_propagates(self):
+        obs.enable()
+        with pytest.raises(RuntimeError):
+            with timed("failing"):
+                raise RuntimeError("boom")
+        assert obs.OBS.metrics.get("failing.seconds").count == 1

@@ -99,3 +99,155 @@ class TestInterceptors:
         broker.add_interceptor(CompressionInterceptor())
         payload = b"multi-resolution " * 50
         assert broker.invoke("echo", "run", payload) == payload
+
+    def test_empty_chain_is_identity(self):
+        """The documented guarantee holds trivially for zero interceptors."""
+        broker = ObjectRequestBroker()
+        broker.register("echo", Echo())
+        assert broker.invoke("echo", "shout", "hi") == "HI"
+        assert broker.invocations == 1
+
+    def test_chain_order_with_three_interceptors(self):
+        broker = ObjectRequestBroker()
+
+        class Identity:
+            def run(self, value):
+                return value
+
+        broker.register("id", Identity())
+        for tag in ("A", "B", "C"):
+            broker.add_interceptor(Tagger(tag))
+        # Registration order outbound, exact reverse order inbound.
+        assert broker.invoke("id", "run", "x") == "x>A>B>C<C<B<A"
+
+    def test_outbound_interceptor_raising_propagates(self):
+        broker = ObjectRequestBroker()
+        broker.register("echo", Echo())
+
+        calls = []
+
+        class Recording(PassthroughInterceptor):
+            def outbound(self, payload):
+                calls.append("first-outbound")
+                return payload
+
+            def inbound(self, payload):
+                calls.append("first-inbound")
+                return payload
+
+        class Exploding(PassthroughInterceptor):
+            def outbound(self, payload):
+                raise ValueError("outbound failure")
+
+        broker.add_interceptor(Recording())
+        broker.add_interceptor(Exploding())
+        with pytest.raises(ValueError, match="outbound failure"):
+            broker.invoke("echo", "shout", "hi")
+        # The first interceptor ran outbound but never saw the inbound
+        # pass, and the servant was never invoked.
+        assert calls == ["first-outbound"]
+        assert broker.invocations == 0
+
+    def test_inbound_interceptor_raising_propagates(self):
+        broker = ObjectRequestBroker()
+        broker.register("echo", Echo())
+
+        class ExplodingInbound(PassthroughInterceptor):
+            def inbound(self, payload):
+                raise ValueError("inbound failure")
+
+        broker.add_interceptor(ExplodingInbound())
+        with pytest.raises(ValueError, match="inbound failure"):
+            broker.invoke("echo", "shout", "hi")
+        # The servant call itself happened before the inbound pass.
+        assert broker.invocations == 1
+
+    def test_kwargs_bypass_the_chain(self):
+        """Only positional arguments flow through interceptors."""
+        broker = ObjectRequestBroker()
+
+        class KeywordEcho:
+            def run(self, *, text="?"):
+                return text
+
+        broker.register("kw", KeywordEcho())
+        broker.add_interceptor(Tagger("A"))
+        assert broker.invoke("kw", "run", text="hi") == "hi<A"
+
+
+class TestTracingInterceptor:
+    def _broker_with_tracer(self):
+        from repro.obs import TracingInterceptor
+
+        broker = ObjectRequestBroker()
+        broker.register("echo", Echo())
+        tracer = TracingInterceptor()
+        broker.add_interceptor(tracer)
+        return broker, tracer
+
+    def test_records_method_payload_and_wall_time(self):
+        broker, tracer = self._broker_with_tracer()
+        broker.invoke("echo", "shout", "hello")
+        assert len(tracer) == 1
+        record = tracer.records[0]
+        assert record.servant == "echo"
+        assert record.method == "shout"
+        assert record.payload_bytes == len(b"hello")
+        assert record.seconds >= 0.0
+        assert record.error is None
+
+    def test_records_servant_errors(self):
+        broker, tracer = self._broker_with_tracer()
+        with pytest.raises(RuntimeError):
+            broker.invoke("echo", "fail")
+        assert tracer.records[0].error == "RuntimeError"
+        assert tracer.records[0].method == "fail"
+
+    def test_payload_size_sums_positional_args(self):
+        broker, tracer = self._broker_with_tracer()
+
+        class Sizer:
+            def run(self, a, b):
+                return len(a) + len(b)
+
+        broker.register("sizer", Sizer())
+        broker.invoke("sizer", "run", b"12345", "abc")
+        assert tracer.records[-1].payload_bytes == 5 + 3
+
+    def test_observation_runs_in_registration_order_after_inbound(self):
+        broker, tracer = self._broker_with_tracer()
+        broker.add_interceptor(Tagger("Z"))
+        result = broker.invoke("echo", "shout", "x")
+        assert result == "X>Z<Z"  # tracer is payload-transparent
+        assert len(tracer) == 1
+
+    def test_feeds_global_telemetry_when_enabled(self):
+        from repro import obs
+
+        broker, tracer = self._broker_with_tracer()
+        obs.enable()
+        try:
+            broker.invoke("echo", "shout", "hello")
+            counter = obs.OBS.metrics.counter("orb.invocations").labels(
+                servant="echo", method="shout", outcome="ok"
+            )
+            assert counter.value == 1
+            orb_events = [
+                e for e in obs.OBS.trace.events if e.event == "orb_invoke"
+            ]
+            assert len(orb_events) == 1
+            assert orb_events[0].fields["payload_bytes"] == 5
+        finally:
+            obs.disable(reset=True)
+
+    def test_local_records_accumulate_without_global_switch(self):
+        from repro import obs
+
+        broker, tracer = self._broker_with_tracer()
+        assert not obs.enabled()
+        broker.invoke("echo", "shout", "a")
+        broker.invoke("echo", "shout", "b")
+        assert len(tracer) == 2
+        assert len(obs.OBS.trace) == 0
+        tracer.clear()
+        assert len(tracer) == 0

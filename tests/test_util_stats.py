@@ -11,6 +11,7 @@ from repro.util.stats import (
     RunningStats,
     confidence_interval,
     mean,
+    percentile,
     population_variance,
     sample_stdev,
 )
@@ -36,7 +37,58 @@ class TestBasics:
         assert sample_stdev(data) == pytest.approx(statistics.stdev(data))
 
     def test_sample_stdev_single_point(self):
+        # Documented n=1 contract: mathematically undefined, returns
+        # exactly 0.0 (never NaN, never an exception).
         assert sample_stdev([42.0]) == 0.0
+        assert sample_stdev([-1e9]) == 0.0
+        assert isinstance(sample_stdev([0.0]), float)
+
+    def test_sample_stdev_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            sample_stdev([])
+
+
+class TestPercentile:
+    def test_median_of_odd_sample(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_interpolates_between_order_statistics(self):
+        # Rank 0.5·(2−1) = 0.5 between 10 and 20.
+        assert percentile([10.0, 20.0], 50) == 15.0
+
+    def test_extremes_are_min_and_max(self):
+        data = [5.0, -1.0, 3.0]
+        assert percentile(data, 0) == -1.0
+        assert percentile(data, 100) == 5.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_matches_statistics_quantiles(self):
+        rng = random.Random(1)
+        data = [rng.random() for _ in range(101)]
+        # statistics.quantiles with method="inclusive" uses the same
+        # linear interpolation over n−1 intervals.
+        quartiles = statistics.quantiles(data, n=4, method="inclusive")
+        assert percentile(data, 25) == pytest.approx(quartiles[0])
+        assert percentile(data, 50) == pytest.approx(quartiles[1])
+        assert percentile(data, 75) == pytest.approx(quartiles[2])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
+
+    def test_out_of_range_p_raises(self):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([1.0], -0.1)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_bounded_by_min_and_max(self, values):
+        for p in (0, 25, 50, 75, 100):
+            result = percentile(values, p)
+            assert min(values) <= result <= max(values)
 
 
 class TestConfidenceInterval:
