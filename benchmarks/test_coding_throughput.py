@@ -1,0 +1,188 @@
+"""Coding-kernel throughput: encode/decode MB/s per GF(2^8) backend.
+
+Measures every registered backend on the erasure-coding hot path and
+records the results to ``BENCH_coding.json`` at the repository root,
+seeding the performance trajectory:
+
+* **dense** shape — Rabin dispersal at (m=16, n=24, 4 KiB packets),
+  where every output byte crosses the GF(2^8) kernel; this is the
+  shape the ≥5× fused-vs-baseline acceptance bar is measured on;
+* **systematic** shape — the paper's clear-text-prefix codec at the
+  same geometry (encode work is the N−M redundancy rows, decode
+  recovers 8 erased clear packets);
+* **table2** shape — the simulation default (m=40, γ=1.5, 256-byte
+  packets).
+
+It also times a small Experiment #1 sweep serially and with two
+workers, recording wall-clock for the parallel-sweep trajectory (no
+speedup assertion: CI runners may be single-core).
+
+Quick mode (default) uses short measurement budgets; ``REPRO_FULL=1``
+raises the repetition counts for stabler numbers.
+"""
+
+import json
+import os
+import pathlib
+import platform
+import random
+import time
+
+from conftest import emit
+
+from repro.coding.backend import available_backends, get_backend
+from repro.coding.rs import RabinDispersal, SystematicRSCodec
+from repro.figures import format_table
+from repro.simulation.experiments import experiment1
+from repro.simulation.parameters import Parameters
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_coding.json"
+
+#: The acceptance bar: fused must beat baseline by this factor on the
+#: dense encode+decode shape.
+FUSED_SPEEDUP_FLOOR = 5.0
+
+_FULL = os.environ.get("REPRO_FULL") == "1"
+
+SHAPES = (
+    # (key, codec class, m, n, packet bytes, decode indices)
+    ("dense_m16_n24_4k", RabinDispersal, 16, 24, 4096, tuple(range(8, 24))),
+    ("systematic_m16_n24_4k", SystematicRSCodec, 16, 24, 4096, tuple(range(8, 24))),
+    ("table2_m40_n60_256", SystematicRSCodec, 40, 60, 256, tuple(range(20, 60))),
+)
+
+
+def _random_packets(m, size, seed=20260806):
+    rng = random.Random(seed)
+    return [bytes(rng.randrange(256) for _ in range(size)) for _ in range(m)]
+
+
+def _measure(fn, min_seconds, min_reps):
+    """Repeat *fn* until both budget floors are met; return s/call."""
+    fn()  # warm caches (generator matrices, translate tables)
+    reps = 0
+    elapsed = 0.0
+    while reps < min_reps or elapsed < min_seconds:
+        start = time.perf_counter()
+        fn()
+        elapsed += time.perf_counter() - start
+        reps += 1
+    return elapsed / reps
+
+
+def _bench_backend(backend_name, min_seconds, min_reps):
+    """Per-shape encode/decode seconds and MB/s for one backend."""
+    shapes = {}
+    for key, codec_cls, m, n, size, decode_indices in SHAPES:
+        codec = codec_cls(m, n, backend=backend_name)
+        raw = _random_packets(m, size)
+        cooked = codec.encode(raw)
+        received = {i: cooked[i] for i in decode_indices}
+        assert codec.decode(received) == raw  # sanity before timing
+
+        encode_s = _measure(lambda: codec.encode(raw), min_seconds, min_reps)
+
+        def decode_fresh():
+            # A fresh codec per call would rebuild the generator; the
+            # decode-matrix cache is the production fast path, so time
+            # the cached-inverse matmul (the per-packet hot loop).
+            codec.decode(received)
+
+        decode_s = _measure(decode_fresh, min_seconds, min_reps)
+        payload_mb = m * size / 1e6
+        shapes[key] = {
+            "m": m,
+            "n": n,
+            "packet_bytes": size,
+            "systematic": codec.systematic,
+            "encode_seconds": encode_s,
+            "decode_seconds": decode_s,
+            "encode_mb_per_s": payload_mb / encode_s,
+            "decode_mb_per_s": payload_mb / decode_s,
+        }
+    return shapes
+
+
+def _sweep_walltime():
+    """Wall-clock of a small Experiment #1 sweep, serial and 2-way."""
+    params = Parameters(
+        documents_per_session=20,
+        repetitions=6 if not _FULL else 20,
+        max_rounds=10,
+    )
+    kwargs = dict(
+        gammas=(1.2, 1.5, 2.0),
+        alphas=(0.1, 0.3),
+        irrelevant_fractions=(0.0,),
+        seed=41,
+    )
+    timings = {}
+    reference = None
+    for jobs in (1, 2):
+        start = time.perf_counter()
+        result = experiment1(params, jobs=jobs, **kwargs)
+        timings[f"jobs{jobs}_seconds"] = time.perf_counter() - start
+        flat = [
+            (key, alpha, point.x, tuple(point.samples))
+            for key, curves in sorted(result.items())
+            for alpha, points in sorted(curves.items())
+            for point in points
+        ]
+        if reference is None:
+            reference = flat
+        else:
+            assert flat == reference, "parallel sweep diverged from serial"
+    return timings
+
+
+def test_coding_throughput():
+    min_seconds = 0.6 if _FULL else 0.15
+    min_reps = 10 if _FULL else 3
+
+    backends = {}
+    for name in available_backends():
+        backends[name] = _bench_backend(name, min_seconds, min_reps)
+
+    # Headline ratio: combined dense encode+decode time, baseline/fused.
+    dense_base = backends["baseline"]["dense_m16_n24_4k"]
+    dense_fused = backends["fused"]["dense_m16_n24_4k"]
+    fused_speedup = (
+        dense_base["encode_seconds"] + dense_base["decode_seconds"]
+    ) / (dense_fused["encode_seconds"] + dense_fused["decode_seconds"])
+
+    record = {
+        "benchmark": "coding_throughput",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "full_mode": _FULL,
+        "default_backend": get_backend().name,
+        "backends": backends,
+        "fused_vs_baseline_dense": fused_speedup,
+        "fused_speedup_floor": FUSED_SPEEDUP_FLOOR,
+        "sweep": _sweep_walltime(),
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+
+    rows = []
+    for name, shapes in sorted(backends.items()):
+        for key, stats in shapes.items():
+            rows.append(
+                (name, key, stats["encode_mb_per_s"], stats["decode_mb_per_s"])
+            )
+    rows.append(("fused/baseline (dense)", f"{fused_speedup:.2f}x", "", ""))
+    sweep = record["sweep"]
+    rows.append(
+        ("sweep jobs=1 vs jobs=2",
+         f"{sweep['jobs1_seconds']:.2f}s vs {sweep['jobs2_seconds']:.2f}s", "", "")
+    )
+    emit(
+        "coding_throughput",
+        format_table(
+            rows, headers=("backend", "shape", "encode MB/s", "decode MB/s")
+        ),
+    )
+
+    assert fused_speedup >= FUSED_SPEEDUP_FLOOR, (
+        f"fused backend only {fused_speedup:.2f}x over baseline on the dense "
+        f"shape; the perf contract requires >= {FUSED_SPEEDUP_FLOOR}x"
+    )

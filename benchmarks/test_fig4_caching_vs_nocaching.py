@@ -14,6 +14,7 @@ from conftest import bench_parameters, emit
 
 from repro.figures import format_table
 from repro.simulation.experiments import experiment1
+from repro.simulation.parallel import jobs_from_environment
 from repro.simulation.runner import simulate_session
 
 ALPHAS = (0.1, 0.2, 0.3, 0.4, 0.5)
@@ -28,7 +29,8 @@ def test_fig4_reproduction(benchmark):
     panels = benchmark.pedantic(
         experiment1,
         kwargs=dict(
-            params=bench_parameters(), gammas=GAMMAS, alphas=ALPHAS, seed=41
+            params=bench_parameters(), gammas=GAMMAS, alphas=ALPHAS, seed=41,
+            jobs=jobs_from_environment(),
         ),
         rounds=1,
         iterations=1,

@@ -14,6 +14,7 @@ from conftest import bench_parameters, emit
 
 from repro.figures import format_table
 from repro.simulation.experiments import experiment2
+from repro.simulation.parallel import jobs_from_environment
 
 ALPHAS = (
     (0.1, 0.2, 0.3, 0.4, 0.5)
@@ -27,7 +28,8 @@ def test_fig5_reproduction(benchmark):
     panels = benchmark.pedantic(
         experiment2,
         kwargs=dict(
-            params=bench_parameters(), fractions=FRACTIONS, alphas=ALPHAS, seed=52
+            params=bench_parameters(), fractions=FRACTIONS, alphas=ALPHAS, seed=52,
+            jobs=jobs_from_environment(),
         ),
         rounds=1,
         iterations=1,

@@ -12,6 +12,7 @@ from conftest import bench_parameters, emit
 from repro.core.lod import LOD
 from repro.figures import format_table
 from repro.simulation.experiments import experiment3
+from repro.simulation.parallel import jobs_from_environment
 
 ALPHAS = (0.1, 0.3, 0.5)
 THRESHOLDS = tuple(round(0.1 * i, 1) for i in range(11))
@@ -21,7 +22,8 @@ def test_fig6_reproduction(benchmark):
     results = benchmark.pedantic(
         experiment3,
         kwargs=dict(
-            params=bench_parameters(), thresholds=THRESHOLDS, alphas=ALPHAS, seed=63
+            params=bench_parameters(), thresholds=THRESHOLDS, alphas=ALPHAS, seed=63,
+            jobs=jobs_from_environment(),
         ),
         rounds=1,
         iterations=1,

@@ -10,6 +10,7 @@ from conftest import bench_parameters, emit
 from repro.core.lod import LOD
 from repro.figures import format_table
 from repro.simulation.experiments import experiment4
+from repro.simulation.parallel import jobs_from_environment
 
 DELTAS = (2.0, 3.0, 4.0, 5.0)
 THRESHOLDS = tuple(round(0.1 * i, 1) for i in range(11))
@@ -24,6 +25,7 @@ def test_fig7_reproduction(benchmark):
             deltas=DELTAS,
             seed=74,
             alpha=0.1,
+            jobs=jobs_from_environment(),
         ),
         rounds=1,
         iterations=1,

@@ -101,6 +101,8 @@ def cmd_plan(args) -> int:
 
 def cmd_transfer(args) -> int:
     """Simulate one fault-tolerant transfer of a document file."""
+    from repro.coding.backend import get_backend
+
     tracing = bool(getattr(args, "trace", None))
     if tracing:
         obs.enable()
@@ -114,13 +116,18 @@ def cmd_transfer(args) -> int:
             lod=args.lod,
             cache=bool(args.cache),
             stop_at=args.stop_at,
+            coding_backend=get_backend(args.coding_backend).name,
         )
     try:
         sc, query = _build_annotated_sc(args)
         measure = "mqic" if query is not None and not query.is_empty else "ic"
         schedule = TransmissionSchedule(sc, lod=LOD[args.lod.upper()], measure=measure)
         sender = DocumentSender(
-            Packetizer(packet_size=args.packet_size, redundancy_ratio=args.gamma)
+            Packetizer(
+                packet_size=args.packet_size,
+                redundancy_ratio=args.gamma,
+                backend=args.coding_backend,
+            )
         )
         prepared = sender.prepare(args.path, schedule)
         channel = WirelessChannel(
@@ -177,17 +184,19 @@ def cmd_obs_summary(args) -> int:
 def cmd_figure(args) -> int:
     """Reproduce a paper artifact (see repro.figures)."""
     import repro.figures as figures
+    from repro.simulation.parallel import resolve_jobs
     from repro.simulation.parameters import from_environment
 
+    jobs = resolve_jobs(args.jobs)
     printers = {
         "table1": figures.print_table1,
         "table2": figures.print_table2,
         "fig2": figures.print_figure2,
         "fig3": figures.print_figure3,
-        "fig4": lambda: figures.print_figure4(from_environment()),
-        "fig5": lambda: figures.print_figure5(from_environment()),
-        "fig6": lambda: figures.print_figure6(from_environment()),
-        "fig7": lambda: figures.print_figure7(from_environment()),
+        "fig4": lambda: figures.print_figure4(from_environment(), jobs=jobs),
+        "fig5": lambda: figures.print_figure5(from_environment(), jobs=jobs),
+        "fig6": lambda: figures.print_figure6(from_environment(), jobs=jobs),
+        "fig7": lambda: figures.print_figure7(from_environment(), jobs=jobs),
     }
     if args.artifact == "list":
         for name in sorted(printers):
@@ -257,10 +266,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="relevance threshold F for early termination")
     p_xfer.add_argument("--trace", default=None, metavar="PATH",
                         help="record a telemetry trace to PATH (JSON Lines)")
+    p_xfer.add_argument(
+        "--coding-backend",
+        default=None,
+        metavar="NAME",
+        help="GF(2^8) kernel: baseline, fused, numpy, or auto "
+        "(default: $REPRO_CODING_BACKEND, else best available)",
+    )
     p_xfer.set_defaults(func=cmd_transfer)
 
     p_fig = sub.add_parser("figure", help="reproduce a paper table/figure")
     p_fig.add_argument("artifact")
+    p_fig.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for simulation sweeps "
+        "(0 = cpu count; default: $REPRO_JOBS, else 1)",
+    )
     p_fig.set_defaults(func=cmd_figure)
 
     p_obs = sub.add_parser(

@@ -4,6 +4,17 @@ GF(2^8) arithmetic, matrices, the Rabin-dispersal / systematic
 Reed–Solomon erasure codecs, CRC error detection, and packet framing.
 """
 
+from repro.coding.backend import (
+    BACKEND_ENV,
+    BaselineBackend,
+    CodingBackend,
+    CodingBackendError,
+    FusedBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+)
 from repro.coding.gf256 import (
     FIELD_SIZE,
     PRIMITIVE_POLY,
@@ -35,6 +46,15 @@ from repro.coding.packets import (
 )
 
 __all__ = [
+    "BACKEND_ENV",
+    "BaselineBackend",
+    "CodingBackend",
+    "CodingBackendError",
+    "FusedBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
     "FIELD_SIZE",
     "PRIMITIVE_POLY",
     "gf_add",

@@ -84,6 +84,10 @@ class Packetizer:
     systematic:
         True (default) for the paper's clear-text-prefix code; False
         for Rabin's original dispersal.
+    backend:
+        GF(2^8) kernel selection passed through to the codec — a
+        name, a backend instance, or None for the environment default
+        (see :mod:`repro.coding.backend`).
     """
 
     def __init__(
@@ -91,6 +95,7 @@ class Packetizer:
         packet_size: int = 256,
         redundancy_ratio: float = 1.5,
         systematic: bool = True,
+        backend: Optional[object] = None,
     ) -> None:
         check_positive_int(packet_size, "packet_size")
         if redundancy_ratio < 1.0:
@@ -98,6 +103,7 @@ class Packetizer:
         self.packet_size = packet_size
         self.redundancy_ratio = redundancy_ratio
         self.systematic = systematic
+        self.backend = backend
 
     def raw_packet_count(self, document_size: int) -> int:
         """M = ceil(s_D / s_p)."""
@@ -122,7 +128,7 @@ class Packetizer:
             m = len(raw)
             n = self.cooked_packet_count(m)
             codec_cls = SystematicRSCodec if self.systematic else RabinDispersal
-            codec = codec_cls(m, n)
+            codec = codec_cls(m, n, backend=self.backend)
             cooked = codec.encode(raw)
         if OBS.enabled:
             OBS.metrics.counter("packetizer.documents_cooked").inc()

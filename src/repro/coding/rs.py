@@ -27,17 +27,22 @@ right-multiplying by a fixed invertible matrix preserves that).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.coding.gf256 import gf_mul_bytes
+from repro.coding.backend import CodingBackend, get_backend
 from repro.coding.matrix import GFMatrix
 from repro.obs.runtime import OBS
 from repro.obs.timing import timed
-from repro.util.bitops import xor_bytes
 from repro.util.validation import check_positive_int
 
 MAX_COOKED = 255  # GF(2^8) admits at most 255 distinct nonzero points
+
+#: Upper bound on cached decode matrices per codec.  Long sweeps with
+#: churning loss patterns would otherwise grow the cache without
+#: limit (each M×M inverse at M=40 is ~1600 ints).
+DECODE_CACHE_MAX = 256
 
 
 class CodecError(Exception):
@@ -53,12 +58,44 @@ def _generator_matrix(m: int, n: int, systematic: bool) -> GFMatrix:
     return vandermonde.multiply(top.inverse())
 
 
+class _DecodeMatrixCache:
+    """LRU cache of decode-matrix inverses, keyed by chosen indices."""
+
+    def __init__(self, capacity: int = DECODE_CACHE_MAX) -> None:
+        check_positive_int(capacity, "capacity")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[int, ...], GFMatrix]" = OrderedDict()
+
+    def get(self, key: Tuple[int, ...]) -> Optional[GFMatrix]:
+        inverse = self._entries.get(key)
+        if inverse is not None:
+            self._entries.move_to_end(key)
+        return inverse
+
+    def put(self, key: Tuple[int, ...], inverse: GFMatrix) -> None:
+        self._entries[key] = inverse
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[int, ...]) -> bool:
+        return key in self._entries
+
+
 class _VandermondeCodec:
     """Shared encode/decode machinery for both variants."""
 
     systematic = False
 
-    def __init__(self, m: int, n: int) -> None:
+    def __init__(
+        self,
+        m: int,
+        n: int,
+        backend: Optional[Union[str, CodingBackend]] = None,
+    ) -> None:
         check_positive_int(m, "m")
         check_positive_int(n, "n")
         if n < m:
@@ -69,8 +106,9 @@ class _VandermondeCodec:
             )
         self.m = m
         self.n = n
+        self.backend = get_backend(backend)
         self.generator = _generator_matrix(m, n, self.systematic)
-        self._decode_cache: Dict[Tuple[int, ...], GFMatrix] = {}
+        self._decode_cache = _DecodeMatrixCache()
 
     # -- encoding ----------------------------------------------------------
 
@@ -88,24 +126,25 @@ class _VandermondeCodec:
             raise CodecError("raw packets must all have the same length")
 
         with timed("rs.encode"):
-            cooked: List[bytes] = []
-            for i in range(self.n):
-                row = self.generator.row(i)
-                if self.systematic and i < self.m:
-                    cooked.append(bytes(raw_packets[i]))
-                    continue
-                acc = bytes(size)
-                for coefficient, packet in zip(row, raw_packets):
-                    if coefficient:
-                        acc = xor_bytes(acc, gf_mul_bytes(coefficient, packet))
-                cooked.append(acc)
+            if self.systematic:
+                # Clear-text fast path: the first M cooked packets are
+                # the raw packets verbatim; only the redundancy rows
+                # go through the kernel (no dead generator.row(i)
+                # fetch for the identity prefix).
+                cooked = [bytes(packet) for packet in raw_packets]
+                if self.n > self.m:
+                    rows = [self.generator.row(i) for i in range(self.m, self.n)]
+                    cooked.extend(self.backend.matmul(rows, raw_packets, size))
+            else:
+                rows = [self.generator.row(i) for i in range(self.n)]
+                cooked = self.backend.matmul(rows, raw_packets, size)
         if OBS.enabled:
-            OBS.metrics.counter("rs.encodes").inc()
+            OBS.metrics.counter("rs.encodes").labels(backend=self.backend.name).inc()
         return cooked
 
     # -- decoding ------------------------------------------------------------
 
-    def decode(self, cooked: Dict[int, bytes]) -> List[bytes]:
+    def decode(self, cooked: Mapping[int, bytes]) -> List[bytes]:
         """Reconstruct the M raw packets from any M intact cooked packets.
 
         *cooked* maps cooked-packet index → payload.  Extra packets
@@ -146,21 +185,21 @@ class _VandermondeCodec:
             cached = inverse is not None
             if inverse is None:
                 inverse = self.generator.submatrix(chosen).inverse()
-                self._decode_cache[key] = inverse
+                self._decode_cache.put(key, inverse)
 
-            raw: List[bytes] = []
-            for row_index in range(self.m):
-                row = inverse.row(row_index)
-                acc = bytes(size)
-                for coefficient, cooked_index in zip(row, chosen):
-                    if coefficient:
-                        acc = xor_bytes(acc, gf_mul_bytes(coefficient, cooked[cooked_index]))
-                raw.append(acc)
+            rows = [inverse.row(i) for i in range(self.m)]
+            stack = [cooked[index] for index in chosen]
+            raw = self.backend.matmul(rows, stack, size)
         if OBS.enabled:
-            OBS.metrics.counter("rs.decodes").labels(path="matrix").inc()
+            OBS.metrics.counter("rs.decodes").labels(
+                path="matrix", backend=self.backend.name
+            ).inc()
             OBS.metrics.counter("rs.decode_matrix_cache").labels(
                 result="hit" if cached else "miss"
             ).inc()
+            OBS.metrics.gauge(
+                "rs.decode_cache_entries", "cached decode-matrix inverses"
+            ).set(len(self._decode_cache))
         return raw
 
     def __repr__(self) -> str:

@@ -18,9 +18,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.coding.gf256 import gf_inv, gf_mul, gf_mul_bytes
+from repro.coding.gf256 import gf_inv, gf_mul
 from repro.coding.rs import CodecError, _VandermondeCodec
-from repro.util.bitops import xor_bytes
 
 
 class IncrementalDecoder:
@@ -43,6 +42,7 @@ class IncrementalDecoder:
 
     def __init__(self, codec: _VandermondeCodec) -> None:
         self.codec = codec
+        self._backend = codec.backend
         self._m = codec.m
         # One slot per pivot column: (reduced_row, reduced_payload).
         self._pivot_rows: List[Optional[List[int]]] = [None] * self._m
@@ -99,7 +99,7 @@ class IncrementalDecoder:
                 # New pivot: normalize so row[column] == 1.
                 inverse = gf_inv(row[column])
                 row = [gf_mul(inverse, value) for value in row]
-                data = gf_mul_bytes(inverse, data)
+                data = self._backend.scale(inverse, data)
                 self._pivot_rows[column] = row
                 self._pivot_payloads[column] = data
                 self._rank += 1
@@ -109,7 +109,9 @@ class IncrementalDecoder:
                 value ^ gf_mul(factor, pivot_value)
                 for value, pivot_value in zip(row, pivot)
             ]
-            data = xor_bytes(data, gf_mul_bytes(factor, self._pivot_payloads[column]))
+            data = self._backend.mul_xor(
+                data, factor, self._pivot_payloads[column]
+            )
         # Row reduced to zero: linearly dependent.
         return False
 
@@ -136,8 +138,8 @@ class IncrementalDecoder:
                         value ^ gf_mul(factor, pivot_value)
                         for value, pivot_value in zip(rows[upper], rows[column])
                     ]
-                    payloads[upper] = xor_bytes(
-                        payloads[upper], gf_mul_bytes(factor, payloads[column])
+                    payloads[upper] = self._backend.mul_xor(
+                        payloads[upper], factor, payloads[column]
                     )
         return payloads
 

@@ -44,8 +44,20 @@ from repro.simulation.experiments import (
     experiment3,
     experiment4,
 )
+from repro.simulation.parallel import (
+    JOBS_ENV,
+    SessionTask,
+    jobs_from_environment,
+    map_session_means,
+    resolve_jobs,
+)
 
 __all__ = [
+    "JOBS_ENV",
+    "SessionTask",
+    "jobs_from_environment",
+    "map_session_means",
+    "resolve_jobs",
     "Parameters",
     "table2_defaults",
     "quick",

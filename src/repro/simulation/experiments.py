@@ -10,17 +10,23 @@ master seed *independently of the swept parameter*, so two
 configurations compared at the same repetition index see identical
 workloads — reducing comparison variance exactly where the paper's
 "same experiment repeated 50 times" averaging matters.
+
+Every driver accepts ``jobs``: the sweep's (configuration ×
+repetition-block) grid fans across a process pool via
+:mod:`repro.simulation.parallel`, and because each repetition is
+independently seeded the results are bit-for-bit identical to the
+serial run at any worker count.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.lod import LOD
 from repro.simulation.metrics import SeriesPoint, improvement_ratio
+from repro.simulation.parallel import SessionTask, map_session_means
 from repro.simulation.parameters import Parameters
-from repro.simulation.runner import simulate_session
 
 #: The α values the paper sweeps in Figures 2 and 4–5.
 DEFAULT_ALPHAS = (0.1, 0.2, 0.3, 0.4, 0.5)
@@ -48,12 +54,10 @@ def _session_means(
     caching: bool,
     lod: LOD = LOD.DOCUMENT,
 ) -> List[float]:
-    means = []
-    for seed in seeds:
-        result = simulate_session(
-            params, random.Random(seed), caching=caching, lod=lod
-        )
-        means.append(result.mean_response_time)
+    """Serial helper kept for ad-hoc use; drivers batch via tasks."""
+    [means] = map_session_means(
+        [SessionTask(params, tuple(seeds), caching, lod)], jobs=1
+    )
     return means
 
 
@@ -67,6 +71,7 @@ def experiment1(
     alphas: Sequence[float] = DEFAULT_ALPHAS,
     irrelevant_fractions: Sequence[float] = (0.0, 0.5),
     seed: int = 20000401,
+    jobs: Optional[int] = 1,
 ) -> Dict[Tuple[str, float], Dict[float, List[SeriesPoint]]]:
     """Response time vs γ for each α, panelled by (strategy, I).
 
@@ -75,21 +80,24 @@ def experiment1(
     documents are transmitted at the document LOD ("modeling [the]
     conventional transmission paradigm").
     """
-    seeds = _repetition_seeds(seed, params.repetitions)
-    panels: Dict[Tuple[str, float], Dict[float, List[SeriesPoint]]] = {}
+    seeds = tuple(_repetition_seeds(seed, params.repetitions))
+    keys: List[Tuple[str, float, float, float]] = []
+    tasks: List[SessionTask] = []
     for irrelevant in irrelevant_fractions:
         for strategy, caching in (("nocaching", False), ("caching", True)):
-            curves: Dict[float, List[SeriesPoint]] = {}
             for alpha in alphas:
-                points = []
                 for gamma in gammas:
                     config = params.replace(
                         gamma=gamma, alpha=alpha, irrelevant=irrelevant
                     )
-                    means = _session_means(config, seeds, caching=caching)
-                    points.append(SeriesPoint(gamma, means))
-                curves[alpha] = points
-            panels[(strategy, irrelevant)] = curves
+                    keys.append((strategy, irrelevant, alpha, gamma))
+                    tasks.append(SessionTask(config, seeds, caching))
+    all_means = map_session_means(tasks, jobs=jobs)
+
+    panels: Dict[Tuple[str, float], Dict[float, List[SeriesPoint]]] = {}
+    for (strategy, irrelevant, alpha, gamma), means in zip(keys, all_means):
+        curves = panels.setdefault((strategy, irrelevant), {})
+        curves.setdefault(alpha, []).append(SeriesPoint(gamma, means))
     return panels
 
 
@@ -102,38 +110,36 @@ def experiment2(
     fractions: Sequence[float] = DEFAULT_FRACTIONS,
     alphas: Sequence[float] = DEFAULT_ALPHAS,
     seed: int = 20000402,
+    jobs: Optional[int] = 1,
 ) -> Dict[Tuple[str, str], Dict[float, List[SeriesPoint]]]:
     """Response time vs I (F = 0.5) and vs F (I = 0.5).
 
     Reproduces Figure 5: panels keyed ("vary_i" | "vary_f",
     "nocaching" | "caching"), one curve per α, document LOD.
     """
-    seeds = _repetition_seeds(seed, params.repetitions)
-    panels: Dict[Tuple[str, str], Dict[float, List[SeriesPoint]]] = {}
-
+    seeds = tuple(_repetition_seeds(seed, params.repetitions))
+    keys: List[Tuple[str, str, float, float]] = []
+    tasks: List[SessionTask] = []
     for strategy, caching in (("nocaching", False), ("caching", True)):
-        by_alpha_i: Dict[float, List[SeriesPoint]] = {}
-        by_alpha_f: Dict[float, List[SeriesPoint]] = {}
         for alpha in alphas:
-            points_i = []
             for irrelevant in fractions:
                 config = params.replace(
                     alpha=alpha, irrelevant=irrelevant, threshold=0.5
                 )
-                means = _session_means(config, seeds, caching=caching)
-                points_i.append(SeriesPoint(irrelevant, means))
-            by_alpha_i[alpha] = points_i
-
-            points_f = []
+                keys.append(("vary_i", strategy, alpha, irrelevant))
+                tasks.append(SessionTask(config, seeds, caching))
             for threshold in fractions:
                 config = params.replace(
                     alpha=alpha, irrelevant=0.5, threshold=threshold
                 )
-                means = _session_means(config, seeds, caching=caching)
-                points_f.append(SeriesPoint(threshold, means))
-            by_alpha_f[alpha] = points_f
-        panels[("vary_i", strategy)] = by_alpha_i
-        panels[("vary_f", strategy)] = by_alpha_f
+                keys.append(("vary_f", strategy, alpha, threshold))
+                tasks.append(SessionTask(config, seeds, caching))
+    all_means = map_session_means(tasks, jobs=jobs)
+
+    panels: Dict[Tuple[str, str], Dict[float, List[SeriesPoint]]] = {}
+    for (panel_kind, strategy, alpha, x), means in zip(keys, all_means):
+        curves = panels.setdefault((panel_kind, strategy), {})
+        curves.setdefault(alpha, []).append(SeriesPoint(x, means))
     return panels
 
 
@@ -148,6 +154,7 @@ def experiment3(
     lods: Sequence[LOD] = EXPERIMENT_LODS,
     seed: int = 20000403,
     caching: bool = True,
+    jobs: Optional[int] = 1,
 ) -> Dict[float, Dict[LOD, List[SeriesPoint]]]:
     """Improvement over document-LOD transmission, per LOD and α.
 
@@ -157,18 +164,28 @@ def experiment3(
     :class:`SeriesPoint` objects whose samples are the per-repetition
     improvement ratios.
     """
-    seeds = _repetition_seeds(seed, params.repetitions)
+    seeds = tuple(_repetition_seeds(seed, params.repetitions))
+    # One task per (α, F, LOD); the document LOD doubles as the
+    # baseline every other LOD is compared against.
+    wanted_lods = list(dict.fromkeys([LOD.DOCUMENT, *lods]))
+    keys: List[Tuple[float, float, LOD]] = []
+    tasks: List[SessionTask] = []
+    for alpha in alphas:
+        for threshold in thresholds:
+            config = params.replace(alpha=alpha, irrelevant=1.0, threshold=threshold)
+            for lod in wanted_lods:
+                keys.append((alpha, threshold, lod))
+                tasks.append(SessionTask(config, seeds, caching, lod))
+    all_means = map_session_means(tasks, jobs=jobs)
+    by_key = dict(zip(keys, all_means))
+
     results: Dict[float, Dict[LOD, List[SeriesPoint]]] = {}
     for alpha in alphas:
         per_lod: Dict[LOD, List[SeriesPoint]] = {lod: [] for lod in lods}
         for threshold in thresholds:
-            config = params.replace(alpha=alpha, irrelevant=1.0, threshold=threshold)
-            baseline = _session_means(config, seeds, caching=caching, lod=LOD.DOCUMENT)
+            baseline = by_key[(alpha, threshold, LOD.DOCUMENT)]
             for lod in lods:
-                if lod is LOD.DOCUMENT:
-                    candidate = baseline
-                else:
-                    candidate = _session_means(config, seeds, caching=caching, lod=lod)
+                candidate = by_key[(alpha, threshold, lod)]
                 ratios = [
                     1.0 if base == 0.0 and cand == 0.0 else improvement_ratio(base, cand)
                     for base, cand in zip(baseline, candidate)
@@ -190,6 +207,7 @@ def experiment4(
     lods: Sequence[LOD] = EXPERIMENT_LODS,
     seed: int = 20000404,
     alpha: float = 0.1,
+    jobs: Optional[int] = 1,
 ) -> Dict[float, Dict[LOD, List[SeriesPoint]]]:
     """Experiment #3 repeated at α = 0.1 for several skew factors δ.
 
@@ -205,5 +223,6 @@ def experiment4(
             alphas=(alpha,),
             lods=lods,
             seed=seed,
+            jobs=jobs,
         )[alpha]
     return results

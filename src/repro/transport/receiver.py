@@ -34,7 +34,9 @@ class TransferReceiver:
         self._highest_sequence = -1
         # Optional online Gaussian elimination: spreads the decode cost
         # across arrivals so reconstruction at the M-th packet is a
-        # back-substitution instead of a full matrix inversion.
+        # back-substitution instead of a full matrix inversion.  Both
+        # this and the batch reassemble() path run on the codec's
+        # GF(2^8) kernel backend (repro.coding.backend).
         self._decoder = None
         if incremental:
             from repro.coding.stream import IncrementalDecoder

@@ -8,10 +8,17 @@ from repro.util.validation import check_positive_int
 
 
 def xor_bytes(a: bytes, b: bytes) -> bytes:
-    """XOR two equal-length byte strings."""
+    """XOR two equal-length byte strings.
+
+    Both operands are lifted to arbitrary-precision integers and
+    XORed in one machine-level pass — an order of magnitude faster
+    than a per-byte Python loop for packet-sized inputs.
+    """
     if len(a) != len(b):
         raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
-    return bytes(x ^ y for x, y in zip(a, b))
+    return (
+        int.from_bytes(a, "little") ^ int.from_bytes(b, "little")
+    ).to_bytes(len(a), "little")
 
 
 def pad_to_multiple(data: bytes, block: int, fill: int = 0) -> bytes:

@@ -1,0 +1,252 @@
+"""Backend parity and selection for the GF(2^8) coding kernels.
+
+Every registered backend must be byte-identical to the pure-Python
+reference on the full coding surface: raw matmul, scalar primitives,
+cooked packets from both codecs, and any-M-of-N reconstruction across
+randomized geometry.  The suite also covers backend selection (env
+var, explicit name, instance pass-through) and the bounded
+decode-matrix cache.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.coding.backend import (
+    BACKEND_ENV,
+    BaselineBackend,
+    CodingBackendError,
+    FusedBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+)
+from repro.coding.gf256 import gf_mul
+from repro.coding.rs import (
+    DECODE_CACHE_MAX,
+    RabinDispersal,
+    SystematicRSCodec,
+    _DecodeMatrixCache,
+)
+
+BASELINE = get_backend("baseline")
+OTHERS = [name for name in available_backends() if name != "baseline"]
+
+
+def _packets(rng, m, size):
+    return [bytes(rng.randrange(256) for _ in range(size)) for _ in range(m)]
+
+
+def _rows(rng, count, m):
+    return [[rng.randrange(256) for _ in range(m)] for _ in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Raw kernel parity
+# ---------------------------------------------------------------------------
+
+class TestKernelParity:
+    @pytest.mark.parametrize("name", OTHERS)
+    @pytest.mark.parametrize(
+        "rows,m,size",
+        [
+            (1, 1, 1),
+            (2, 3, 5),
+            (7, 3, 33),
+            (8, 16, 256),   # below the fused nibble-path row threshold
+            (24, 16, 256),  # above it
+            (24, 16, 4096),
+            (60, 40, 64),
+        ],
+    )
+    def test_matmul_matches_baseline(self, name, rows, m, size):
+        rng = random.Random(rows * 10007 + m * 101 + size)
+        matrix = _rows(rng, rows, m)
+        stack = _packets(rng, m, size)
+        backend = get_backend(name)
+        assert backend.matmul(matrix, stack, size) == BASELINE.matmul(
+            matrix, stack, size
+        )
+
+    @pytest.mark.parametrize("name", OTHERS)
+    def test_scalar_primitives_match_baseline(self, name):
+        backend = get_backend(name)
+        rng = random.Random(7)
+        for size in (1, 17, 300):
+            data = bytes(rng.randrange(256) for _ in range(size))
+            acc = bytes(rng.randrange(256) for _ in range(size))
+            for scalar in (0, 1, 2, 29, 128, 255):
+                assert backend.scale(scalar, data) == BASELINE.scale(scalar, data)
+                assert backend.mul_xor(acc, scalar, data) == BASELINE.mul_xor(
+                    acc, scalar, data
+                )
+
+    def test_baseline_scale_is_gf_mul(self):
+        data = bytes(range(256))
+        for scalar in (0, 1, 93, 255):
+            expected = bytes(gf_mul(scalar, value) for value in data)
+            assert BASELINE.scale(scalar, data) == expected
+
+    @given(
+        rows=st.integers(min_value=1, max_value=12),
+        m=st.integers(min_value=1, max_value=12),
+        size=st.integers(min_value=1, max_value=128),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matmul_parity_randomized(self, rows, m, size, seed):
+        rng = random.Random(seed)
+        matrix = _rows(rng, rows, m)
+        stack = _packets(rng, m, size)
+        reference = BASELINE.matmul(matrix, stack, size)
+        for name in OTHERS:
+            assert get_backend(name).matmul(matrix, stack, size) == reference
+
+
+# ---------------------------------------------------------------------------
+# Codec-level parity: cooked packets and reconstructions are identical
+# ---------------------------------------------------------------------------
+
+class TestCodecParity:
+    @pytest.mark.parametrize("codec_cls", [RabinDispersal, SystematicRSCodec])
+    @pytest.mark.parametrize(
+        "m,n,size", [(1, 1, 1), (3, 7, 33), (16, 24, 256), (40, 60, 64)]
+    )
+    def test_encode_identical_across_backends(self, codec_cls, m, n, size):
+        raw = _packets(random.Random(m * n + size), m, size)
+        cooked = {
+            name: codec_cls(m, n, backend=name).encode(raw)
+            for name in available_backends()
+        }
+        reference = cooked["baseline"]
+        for name, packets in cooked.items():
+            assert packets == reference, name
+
+    @pytest.mark.parametrize("codec_cls", [RabinDispersal, SystematicRSCodec])
+    def test_any_m_of_n_across_backends(self, codec_cls):
+        m, n, size = 4, 7, 29
+        raw = _packets(random.Random(42), m, size)
+        codecs = {
+            name: codec_cls(m, n, backend=name) for name in available_backends()
+        }
+        cooked = codecs["baseline"].encode(raw)
+        for subset in itertools.combinations(range(n), m):
+            received = {i: cooked[i] for i in subset}
+            for name, codec in codecs.items():
+                assert codec.decode(received) == raw, (name, subset)
+
+    def test_systematic_clear_prefix_on_every_backend(self):
+        raw = _packets(random.Random(5), 6, 48)
+        for name in available_backends():
+            codec = SystematicRSCodec(6, 10, backend=name)
+            cooked = codec.encode(raw)
+            assert cooked[: codec.m] == raw, name
+
+    @given(
+        m=st.integers(min_value=1, max_value=10),
+        extra=st.integers(min_value=0, max_value=8),
+        size=st.integers(min_value=1, max_value=96),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        systematic=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_randomized_roundtrip_parity(self, m, extra, size, seed, systematic):
+        n = m + extra
+        codec_cls = SystematicRSCodec if systematic else RabinDispersal
+        rng = random.Random(seed)
+        raw = _packets(rng, m, size)
+        losses = rng.sample(range(n), extra)
+        received_indices = [i for i in range(n) if i not in losses]
+        reference = None
+        for name in available_backends():
+            codec = codec_cls(m, n, backend=name)
+            cooked = codec.encode(raw)
+            if reference is None:
+                reference = cooked
+            else:
+                assert cooked == reference, name
+            assert codec.decode({i: cooked[i] for i in received_indices}) == raw
+
+
+# ---------------------------------------------------------------------------
+# Backend selection
+# ---------------------------------------------------------------------------
+
+class TestSelection:
+    def test_known_names_registered(self):
+        names = available_backends()
+        assert "baseline" in names
+        assert "fused" in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(CodingBackendError, match="unknown coding backend"):
+            get_backend("simd9000")
+
+    def test_instance_passes_through(self):
+        backend = FusedBackend()
+        assert get_backend(backend) is backend
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "baseline")
+        assert default_backend_name() == "baseline"
+        assert isinstance(get_backend(), BaselineBackend)
+        monkeypatch.setenv(BACKEND_ENV, "fused")
+        assert isinstance(get_backend(), FusedBackend)
+
+    def test_auto_and_unset_pick_fused_default(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert default_backend_name() == "fused"
+        monkeypatch.setenv(BACKEND_ENV, "auto")
+        assert default_backend_name() == "fused"
+
+    def test_codec_accepts_name_and_instance(self):
+        by_name = RabinDispersal(2, 4, backend="baseline")
+        assert isinstance(by_name.backend, BaselineBackend)
+        fused = FusedBackend()
+        assert RabinDispersal(2, 4, backend=fused).backend is fused
+
+
+# ---------------------------------------------------------------------------
+# Bounded decode-matrix cache
+# ---------------------------------------------------------------------------
+
+class TestDecodeCache:
+    def test_lru_capacity_and_eviction_order(self):
+        cache = _DecodeMatrixCache(capacity=3)
+        for key in ((1,), (2,), (3,)):
+            cache.put(key, object())
+        cache.get((1,))  # refresh: (2,) is now the oldest
+        cache.put((4,), object())
+        assert len(cache) == 3
+        assert (2,) not in cache
+        assert (1,) in cache and (3,) in cache and (4,) in cache
+
+    def test_codec_cache_stays_bounded_under_churn(self):
+        m, n = 2, 24  # C(24, 2) - 1 = 275 distinct loss patterns > cap
+        codec = SystematicRSCodec(m, n, backend="fused")
+        raw = _packets(random.Random(3), m, 8)
+        cooked = codec.encode(raw)
+        distinct = 0
+        for subset in itertools.combinations(range(n), m):
+            if list(subset) == list(range(m)):
+                continue  # clear-text path never touches the cache
+            distinct += 1
+            assert codec.decode({i: cooked[i] for i in subset}) == raw
+        assert distinct > DECODE_CACHE_MAX
+        assert len(codec._decode_cache) == DECODE_CACHE_MAX
+
+    def test_cache_size_gauge_reported(self):
+        obs.enable()
+        try:
+            codec = RabinDispersal(2, 5, backend="baseline")
+            raw = _packets(random.Random(9), 2, 16)
+            cooked = codec.encode(raw)
+            codec.decode({0: cooked[0], 3: cooked[3]})
+            codec.decode({1: cooked[1], 4: cooked[4]})
+            snapshot = obs.OBS.metrics.snapshot()
+            assert snapshot["gauges"]["rs.decode_cache_entries"] == 2.0
+        finally:
+            obs.disable(reset=True)

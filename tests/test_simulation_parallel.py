@@ -1,0 +1,138 @@
+"""Parallel sweep execution: determinism, block layout, jobs resolution.
+
+The acceptance bar for the parallel executor is that parallelism is
+*unobservable* in the results: ``jobs=4`` must reproduce the serial
+value stream bit-for-bit because every repetition runs from a
+pre-drawn seed with a fresh ``random.Random``.
+"""
+
+import random
+
+import pytest
+
+from repro.simulation.experiments import experiment1
+from repro.simulation.parallel import (
+    DEFAULT_BLOCK_SIZE,
+    JOBS_ENV,
+    SessionTask,
+    _split_blocks,
+    jobs_from_environment,
+    map_session_means,
+    resolve_jobs,
+)
+from repro.simulation.parameters import Parameters
+
+
+def _tiny_params(**overrides):
+    defaults = dict(documents_per_session=5, repetitions=4, max_rounds=6)
+    defaults.update(overrides)
+    return Parameters(**defaults)
+
+
+def _tasks(count=3, repetitions=5):
+    rng = random.Random(99)
+    params = _tiny_params(repetitions=repetitions)
+    return [
+        SessionTask(
+            params.replace(alpha=0.1 * (i + 1)),
+            tuple(rng.randrange(2**32) for _ in range(repetitions)),
+            caching=bool(i % 2),
+        )
+        for i in range(count)
+    ]
+
+
+class TestMapSessionMeans:
+    def test_parallel_matches_serial_bitwise(self):
+        tasks = _tasks()
+        serial = map_session_means(tasks, jobs=1)
+        parallel = map_session_means(tasks, jobs=4)
+        assert parallel == serial  # exact float equality, not approx
+
+    def test_block_size_is_unobservable(self):
+        tasks = _tasks(count=2, repetitions=7)
+        reference = map_session_means(tasks, jobs=1)
+        for block_size in (1, 2, 3, DEFAULT_BLOCK_SIZE, 100):
+            assert map_session_means(tasks, jobs=2, block_size=block_size) == reference
+
+    def test_empty_task_list(self):
+        assert map_session_means([], jobs=4) == []
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(ValueError, match="block_size"):
+            map_session_means(_tasks(count=1), jobs=1, block_size=0)
+
+    def test_result_shape_one_mean_per_seed(self):
+        tasks = _tasks(count=2, repetitions=3)
+        results = map_session_means(tasks, jobs=2, block_size=2)
+        assert [len(means) for means in results] == [3, 3]
+
+
+class TestExperimentDeterminism:
+    def test_experiment1_jobs4_equals_jobs1(self):
+        """ISSUE acceptance: --jobs N reproduces serial results exactly."""
+        params = _tiny_params()
+        kwargs = dict(
+            gammas=(1.2, 1.8),
+            alphas=(0.1, 0.4),
+            irrelevant_fractions=(0.0, 0.5),
+            seed=1234,
+        )
+        serial = experiment1(params, jobs=1, **kwargs)
+        parallel = experiment1(params, jobs=4, **kwargs)
+        assert serial.keys() == parallel.keys()
+        for panel, curves in serial.items():
+            for alpha, points in curves.items():
+                other = parallel[panel][alpha]
+                assert [p.x for p in points] == [p.x for p in other]
+                for ours, theirs in zip(points, other):
+                    # SeriesPoint values must match bit-for-bit, not
+                    # merely statistically.
+                    assert ours.samples == theirs.samples
+                    assert ours.mean == theirs.mean
+                    assert ours.stdev == theirs.stdev
+
+
+class TestBlockSplitting:
+    def test_blocks_cover_all_seeds_in_order(self):
+        tasks = _tasks(count=2, repetitions=7)
+        blocks = _split_blocks(tasks, block_size=3)
+        reassembled = {0: [], 1: []}
+        for index, block in blocks:
+            assert block.params is tasks[index].params
+            reassembled[index].extend(block.seeds)
+        for i, task in enumerate(tasks):
+            assert tuple(reassembled[i]) == task.seeds
+
+    def test_block_size_bounds(self):
+        tasks = _tasks(count=1, repetitions=10)
+        blocks = _split_blocks(tasks, block_size=4)
+        assert [len(block.seeds) for _, block in blocks] == [4, 4, 2]
+
+
+class TestJobsResolution:
+    def test_env_unset_defaults_to_one(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert jobs_from_environment() == 1
+        assert resolve_jobs(None) == 1
+
+    def test_env_value_used(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "6")
+        assert jobs_from_environment() == 6
+        assert resolve_jobs(None) == 6
+
+    def test_env_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        assert jobs_from_environment() == 1
+        monkeypatch.setenv(JOBS_ENV, "-3")
+        assert jobs_from_environment(default=2) == 2
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_explicit_value_passes_through(self):
+        assert resolve_jobs(5) == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(-1)
