@@ -22,6 +22,7 @@ import tracemalloc
 from conftest import emit
 
 from repro import obs
+from repro.protocol import EarlyStop, Failed, TransferEngine
 from repro.simulation.runner import TransferOutcome, simulate_transfer
 
 # The measurement workload: one mid-grid configuration repeated many
@@ -37,43 +38,48 @@ def _reference_transfer(
 ):
     """``simulate_transfer`` with every telemetry line stripped out.
 
-    Byte-for-byte the pre-instrumentation loop (including the
-    relevance-threshold checks, which predate telemetry), so the timing
-    difference isolates the ``OBS.enabled`` guards alone.
+    Line-for-line the same engine-driven loop, but with no
+    ``TelemetryBridge`` attached to the engine and no ``complete()``
+    call, so the timing difference isolates the bridge's
+    ``OBS.enabled`` guards alone (per-round and per-transfer; the
+    per-packet path carries no instrumentation at all).
     """
+    engine = TransferEngine(
+        m,
+        n,
+        content_profile=list(content_profile) if content_profile is not None else None,
+        caching=caching,
+        relevance_threshold=relevance_threshold,
+        max_rounds=max_rounds,
+        document_id="sim",
+        bridge=None,
+    )
+
     rand = rng.random
-    intact = bytearray(n)
-    intact_count = 0
-    content = 0.0
+    on_intact = engine.on_frame_intact
     time_ = 0.0
     packets_sent = 0
 
-    for round_index in range(1, max_rounds + 1):
+    terminal = engine.start()
+    while terminal is None:
         for seq in range(n):
             time_ += packet_time
             packets_sent += 1
             if rand() < alpha:
                 continue
-            if intact[seq]:
-                continue
-            intact[seq] = 1
-            intact_count += 1
-            if seq < m and content_profile is not None:
-                content += content_profile[seq]
+            terminal = on_intact(seq)
+            if terminal is not None:
+                break
+        else:
+            terminal = engine.on_round_ended()
 
-            if relevance_threshold is not None:
-                usable = 1.0 if intact_count >= m else content
-                if usable >= relevance_threshold:
-                    return TransferOutcome(time_, round_index, packets_sent, True, True)
-            if intact_count >= m:
-                return TransferOutcome(time_, round_index, packets_sent, True, False)
-
-        if not caching:
-            intact = bytearray(n)
-            intact_count = 0
-            content = 0.0
-
-    return TransferOutcome(time_, max_rounds, packets_sent, False, False)
+    return TransferOutcome(
+        time_,
+        terminal.round,
+        packets_sent,
+        success=not isinstance(terminal, Failed),
+        terminated_early=isinstance(terminal, EarlyStop),
+    )
 
 
 def _run_trial(transfer, seed_base):

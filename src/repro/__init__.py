@@ -12,6 +12,9 @@ including every substrate the paper depends on:
   its systematic Vandermonde form), CRC, and packet framing;
 * :mod:`repro.analysis` — the negative binomial packet model, the
   minimal-N planner, and EWMA-adaptive redundancy;
+* :mod:`repro.protocol` — the sans-IO §4.2 transfer engine: one pure
+  state machine (rounds, termination, stalls, cache policy) driven by
+  the transport, simulation, and prototype layers;
 * :mod:`repro.transport` — the lossy wireless channel, the
   round-based transfer protocol with Caching/NoCaching, ARQ and
   compression baselines, and content-driven prefetching;
@@ -52,6 +55,7 @@ from repro.core import (
     conventional_schedule,
 )
 from repro.coding import Packetizer, RabinDispersal, SystematicRSCodec
+from repro.protocol import DEFAULT_MAX_ROUNDS, TransferEngine
 from repro.analysis import (
     AdaptiveRedundancyController,
     minimal_cooked_packets,
@@ -93,6 +97,9 @@ __all__ = [
     "minimal_cooked_packets",
     "redundancy_ratio",
     "AdaptiveRedundancyController",
+    # protocol
+    "DEFAULT_MAX_ROUNDS",
+    "TransferEngine",
     # transport
     "WirelessChannel",
     "PacketCache",

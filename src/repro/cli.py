@@ -29,6 +29,7 @@ from repro.core.multires import TransmissionSchedule
 from repro.core.pipeline import SCPipeline
 from repro.core.query import Query
 from repro.htmlkit.extract import html_to_research_paper
+from repro.protocol import DEFAULT_MAX_ROUNDS
 from repro.text.keywords import KeywordExtractor
 from repro.transport.cache import PacketCache
 from repro.transport.channel import WirelessChannel
@@ -139,6 +140,7 @@ def cmd_transfer(args) -> int:
             channel,
             cache=cache,
             relevance_threshold=args.stop_at,
+            max_rounds=args.max_rounds,
         )
         if tracing:
             obs.OBS.trace.emit(
@@ -264,6 +266,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_xfer.add_argument("--cache", action="store_true", help="enable the packet cache")
     p_xfer.add_argument("--stop-at", type=float, default=None,
                         help="relevance threshold F for early termination")
+    p_xfer.add_argument("--max-rounds", type=int, default=DEFAULT_MAX_ROUNDS,
+                        metavar="N",
+                        help="retransmission-round bound before giving up "
+                             f"(default: {DEFAULT_MAX_ROUNDS})")
     p_xfer.add_argument("--trace", default=None, metavar="PATH",
                         help="record a telemetry trace to PATH (JSON Lines)")
     p_xfer.add_argument(

@@ -1,0 +1,165 @@
+"""The single engine-level telemetry bridge (events → trace/metrics).
+
+Every §4.2 protocol event — ``round_start``, ``round_stalled``,
+``decode_complete``, ``early_stop``, plus the enclosing
+``transfer_start``/``transfer_complete`` scope — is emitted from this
+module and nowhere else.  The engine calls the bridge as it makes
+decisions; drivers call :meth:`TelemetryBridge.complete` once at the
+end with the I/O facts only they know (frames on the air, channel
+time).
+
+Two metric namespaces exist for historical comparability of recorded
+traces: ``"transfer"`` (the byte-exact transport path and the
+prototype) and ``"sim"`` (the oracle-mode simulator).  Trace *event*
+names are identical in both; only metric names differ.
+
+Everything is guarded on :data:`repro.obs.runtime.OBS` — with
+telemetry disabled a bridge call is one attribute read.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from repro.obs.runtime import OBS
+from repro.obs.trace import (
+    DECODE_COMPLETE,
+    EARLY_STOP,
+    ROUND_STALLED,
+    ROUND_START,
+)
+
+#: Buckets for rounds-per-transfer histograms.
+ROUND_BUCKETS = (1, 2, 3, 5, 8, 13, 21, 34, 55, 100)
+#: Buckets for simulated end-to-end response times (seconds of channel
+#: time — a 19.2 kbps link legitimately takes minutes on large pages).
+RESPONSE_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
+
+
+class _Namespace(NamedTuple):
+    """Metric naming for one protocol path."""
+
+    started: Optional[str]          # counter at transfer_start (or None)
+    stalls: str                     # stalled-round counter
+    stalls_desc: str
+    completed: str                  # per-outcome completion counter
+    packets: Optional[str]          # total-frames counter (or None)
+    rounds_hist: str
+    rounds_desc: str
+    response_hist: str
+    response_desc: str
+    include_content: bool           # content field on transfer_complete
+
+
+_NAMESPACES = {
+    "transfer": _Namespace(
+        started="transfer.started",
+        stalls="transfer.stalls",
+        stalls_desc="rounds that ended with < M intact",
+        completed="transfer.completed",
+        packets=None,
+        rounds_hist="transfer.rounds",
+        rounds_desc="rounds per transfer",
+        response_hist="transfer.response_seconds",
+        response_desc="simulated channel time per transfer",
+        include_content=True,
+    ),
+    "sim": _Namespace(
+        started=None,
+        stalls="sim.stalls",
+        stalls_desc="simulated rounds ending < M intact",
+        completed="sim.transfers",
+        packets="sim.packets_sent",
+        rounds_hist="sim.rounds",
+        rounds_desc="rounds per simulated transfer",
+        response_hist="sim.response_seconds",
+        response_desc="simulated response time",
+        include_content=False,
+    ),
+}
+
+
+class TelemetryBridge:
+    """Emits the protocol's trace events and metrics for one namespace."""
+
+    __slots__ = ("_ns",)
+
+    def __init__(self, namespace: str = "transfer") -> None:
+        try:
+            self._ns = _NAMESPACES[namespace]
+        except KeyError:
+            raise ValueError(
+                f"unknown telemetry namespace {namespace!r}; "
+                f"choose from {sorted(_NAMESPACES)}"
+            ) from None
+
+    # -- engine-side hooks -------------------------------------------------
+
+    def begin(self, document: str, m: int, n: int) -> None:
+        """Open the transfer scope (``transfer_start``)."""
+        if not OBS.enabled:
+            return
+        OBS.trace.begin_transfer(document=document, m=m, n=n)
+        if self._ns.started is not None:
+            OBS.metrics.counter(self._ns.started).inc()
+
+    def round_start(self, round_index: int) -> None:
+        if OBS.enabled:
+            OBS.trace.emit(ROUND_START, round=round_index)
+
+    def stalled(self, round_index: int, intact: int) -> None:
+        if not OBS.enabled:
+            return
+        OBS.trace.emit(ROUND_STALLED, round=round_index, intact=intact)
+        OBS.metrics.counter(self._ns.stalls, self._ns.stalls_desc).inc()
+
+    def early_stop(self, round_index: int, content: float) -> None:
+        if OBS.enabled:
+            OBS.trace.emit(EARLY_STOP, content=content, round=round_index)
+
+    def decoded(self, round_index: int, intact: int) -> None:
+        if OBS.enabled:
+            OBS.trace.emit(DECODE_COMPLETE, round=round_index, intact=intact)
+
+    # -- driver-side completion --------------------------------------------
+
+    def complete(
+        self,
+        *,
+        success: bool,
+        terminated_early: bool,
+        rounds: int,
+        frames: int,
+        content: float,
+        response_time: float,
+    ) -> None:
+        """Record the end-of-transfer metrics and close the scope.
+
+        Called once by the driver: frames on the air and channel time
+        are I/O facts the sans-IO engine never sees.
+        """
+        if not OBS.enabled:
+            return
+        ns = self._ns
+        outcome = (
+            "early_stop" if terminated_early else ("ok" if success else "failed")
+        )
+        metrics = OBS.metrics
+        metrics.counter(ns.completed).labels(outcome=outcome).inc()
+        if ns.packets is not None:
+            metrics.counter(ns.packets).inc(frames)
+        metrics.histogram(
+            ns.rounds_hist, ns.rounds_desc, buckets=ROUND_BUCKETS
+        ).observe(rounds)
+        metrics.histogram(
+            ns.response_hist, ns.response_desc, buckets=RESPONSE_BUCKETS
+        ).observe(response_time)
+        fields = dict(
+            success=success,
+            rounds=rounds,
+            frames=frames,
+            response_time=response_time,
+        )
+        if ns.include_content:
+            fields["content"] = content
+        OBS.trace.end_transfer(**fields)

@@ -1,0 +1,439 @@
+"""The sans-IO §4.2 transfer engine: one state machine, many drivers.
+
+:class:`TransferEngine` owns the complete decision logic of the
+paper's fault-tolerant multi-resolution transfer protocol:
+
+* the round lifecycle — stream all N cooked frames per round, then
+  either terminate or enter a retransmission round;
+* per-frame accounting — the intact set, the received-content measure
+  over the clear-text prefix profile, the renderable prefix length;
+* the three termination conditions — M intact packets
+  (:class:`~repro.protocol.events.Decoded`), all content needed to
+  judge the document irrelevant
+  (:class:`~repro.protocol.events.EarlyStop`), and the retransmission
+  bound (:class:`~repro.protocol.events.Failed`);
+* stall detection and the cache policy — Caching keeps the intact set
+  across a stalled round, NoCaching starts over.
+
+The engine performs **no I/O**: it consumes the typed input events of
+:mod:`repro.protocol.events` and returns effects that drivers execute.
+Three drivers share it:
+
+* :func:`repro.transport.session.transfer_document` — byte-exact over
+  a :class:`~repro.transport.channel.WirelessChannel`;
+* :func:`repro.simulation.runner.simulate_transfer` — oracle mode on
+  packet indices only (the §5 evaluation);
+* :class:`repro.prototype.client.SequenceManager` — the broker-driven
+  Figure 1 prototype with incremental rendering.
+
+Two call styles exist.  ``handle(event)`` is the full typed-event API:
+it returns a tuple of effects (including
+:class:`~repro.protocol.events.RenderPrefix` and
+:class:`~repro.protocol.events.SendRound`).  The ``on_*`` methods are
+the allocation-free form of the same transitions for hot loops — they
+return the terminal effect or ``None`` — and are what ``handle``
+itself calls.  Telemetry goes through exactly one place, the optional
+:class:`~repro.protocol.bridge.TelemetryBridge`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.obs.runtime import OBS
+from repro.protocol.bridge import TelemetryBridge
+from repro.protocol.events import (
+    Decoded,
+    EarlyStop,
+    Effect,
+    Failed,
+    FrameCorrupt,
+    FrameDelivered,
+    FrameLost,
+    InputEvent,
+    RenderPrefix,
+    RoundEnded,
+    SendRound,
+    Stalled,
+)
+
+#: The one retransmission-round safety bound shared by every driver
+#: (transport session, ARQ baselines, prototype client).  Exceeding it
+#: reports a failed transfer — matching how an interactive user would
+#: eventually give up.
+DEFAULT_MAX_ROUNDS = 100
+
+
+class TransferEngine:
+    """Pure state machine for one §4.2 document transfer.
+
+    Parameters
+    ----------
+    m, n:
+        Raw and cooked packet counts (N ≥ M).
+    content_profile:
+        Content carried by clear-text packet i (length M).  Required
+        when *relevance_threshold* is set; optional otherwise (content
+        accounting is then disabled).
+    caching:
+        Default cache policy on a stall: ``True`` keeps the intact set
+        (Caching), ``False`` starts over (NoCaching).  A driver can
+        override per stall via ``RoundEnded(carried=...)``.
+    relevance_threshold:
+        The paper's F: terminate (document judged irrelevant) once the
+        usable content reaches it.  ``None`` downloads to completion.
+    max_rounds:
+        Retransmission bound; the engine fails the transfer when round
+        ``max_rounds`` ends still short of M intact packets.
+    document_id:
+        Identifier used for telemetry.
+    bridge:
+        Optional :class:`~repro.protocol.bridge.TelemetryBridge`; when
+        given, all protocol trace events are emitted through it.
+    track_prefix:
+        Maintain the contiguous clear-text prefix length and emit
+        ``RenderPrefix`` effects from ``handle`` (used by rendering
+        drivers; off by default to keep oracle loops lean).
+    preloaded:
+        Sequences already intact before the first round (packets
+        restored from a cache).  Mirrors the receiver-side preload:
+        content accrues but no termination check runs until
+        :meth:`start`.
+    """
+
+    __slots__ = (
+        "m",
+        "n",
+        "caching",
+        "relevance_threshold",
+        "max_rounds",
+        "document_id",
+        "round",
+        "corrupted_seen",
+        "lost_seen",
+        "_profile",
+        "_total_content",
+        "_bridge",
+        "_track_prefix",
+        "_intact",
+        "_content",
+        "_prefix",
+        "_terminal",
+        "_last_stall",
+        "_opened",
+        "_started",
+    )
+
+    def __init__(
+        self,
+        m: int,
+        n: int,
+        *,
+        content_profile: Optional[Sequence[float]] = None,
+        caching: bool = False,
+        relevance_threshold: Optional[float] = None,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        document_id: str = "doc",
+        bridge: Optional[TelemetryBridge] = None,
+        track_prefix: bool = False,
+        preloaded: Iterable[int] = (),
+    ) -> None:
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        if n < m:
+            raise ValueError(f"n ({n}) must be >= m ({m})")
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        if relevance_threshold is not None and content_profile is None:
+            raise ValueError("relevance termination requires a content_profile")
+        if content_profile is not None and len(content_profile) != m:
+            raise ValueError(
+                f"content_profile has {len(content_profile)} entries, expected M={m}"
+            )
+        self.m = m
+        self.n = n
+        self.caching = caching
+        self.relevance_threshold = relevance_threshold
+        self.max_rounds = max_rounds
+        self.document_id = document_id
+        self._profile = content_profile
+        # The full-document content once reconstruction is possible
+        # (the profile's mass; 1.0 for a complete measure).
+        self._total_content = (
+            sum(content_profile) if content_profile is not None else 1.0
+        )
+        self._bridge = bridge
+        self._track_prefix = track_prefix
+        self._intact: set = set()
+        self._content = 0.0
+        self._prefix = 0
+        self.round = 0
+        self.corrupted_seen = 0
+        self.lost_seen = 0
+        self._terminal: Optional[Effect] = None
+        self._last_stall: Optional[Stalled] = None
+        self._opened = False
+        self._started = False
+        self.preload(preloaded)
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def intact_count(self) -> int:
+        return len(self._intact)
+
+    @property
+    def prefix_packets(self) -> int:
+        """Contiguous clear-text packets held from sequence 0."""
+        return self._prefix
+
+    @property
+    def content_received(self) -> float:
+        """Information content usable now (full mass once M are held)."""
+        if len(self._intact) >= self.m:
+            return self._total_content
+        return self._content
+
+    @property
+    def finished(self) -> Optional[Effect]:
+        """The terminal effect, or ``None`` while the transfer runs."""
+        return self._terminal
+
+    def can_reconstruct(self) -> bool:
+        return len(self._intact) >= self.m
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def preload(self, sequences: Iterable[int]) -> None:
+        """Accept *sequences* as intact before the first round.
+
+        Mirrors the receiver-side cache restore: content accrues but
+        no termination check runs until :meth:`start`.
+        """
+        if self._started:
+            raise RuntimeError("preload() after start()")
+        for sequence in sequences:
+            if sequence not in self._intact:
+                self._accept(sequence)
+
+    def open(self) -> None:
+        """Open the telemetry scope (``transfer_start``).
+
+        Drivers that restore packets from a cache call this *before*
+        loading, so cache telemetry lands inside the transfer scope;
+        :meth:`start` opens the scope itself when no one has.
+        """
+        if self._opened:
+            return
+        self._opened = True
+        if self._bridge is not None and OBS.enabled:
+            self._bridge.begin(self.document_id, self.m, self.n)
+
+    def start(self) -> Optional[Effect]:
+        """Begin the transfer; returns a terminal effect or ``None``.
+
+        Handles the two zero-round outcomes: F ≤ 0 discards the
+        document before any packet is sent (the paper calls this point
+        "artificial"), and a fully preloaded document costs no air
+        time.  Otherwise round 1 begins.
+        """
+        if self._started:
+            raise RuntimeError("TransferEngine.start() called twice")
+        self._started = True
+        self.open()
+        bridge = self._bridge
+        threshold = self.relevance_threshold
+        if threshold is not None and threshold <= 0.0:
+            return self._finish(EarlyStop(0, 0.0))
+        if len(self._intact) >= self.m:
+            return self._finish(Decoded(0, len(self._intact)))
+        self.round = 1
+        if bridge is not None and OBS.enabled:
+            bridge.round_start(1)
+        return None
+
+    def begin(self) -> Tuple[Effect, ...]:
+        """Typed-effect form of :meth:`start`."""
+        terminal = self.start()
+        if terminal is not None:
+            return (terminal,)
+        if self._track_prefix and self._prefix > 0:
+            return (RenderPrefix(self._prefix), SendRound(1))
+        return (SendRound(1),)
+
+    # -- fast-path transitions ---------------------------------------------
+
+    def on_frame_intact(self, sequence: int) -> Optional[Effect]:
+        """An intact frame arrived; returns a terminal effect or None.
+
+        This is the one per-packet transition of every hot loop (the
+        oracle simulator calls it hundreds of thousands of times per
+        sweep), so :meth:`_accept` and :meth:`_check` are inlined here
+        into a single frame.  The engine test suite and the golden
+        parity suite lock this copy to the canonical helpers.
+        """
+        terminal = self._terminal
+        if terminal is not None:
+            return terminal
+        m = self.m
+        intact = self._intact
+        if sequence not in intact:
+            # _accept(sequence), inlined.
+            if sequence < 0 or sequence >= self.n:
+                raise ValueError(
+                    f"sequence {sequence} out of range for N={self.n} cooked packets"
+                )
+            intact.add(sequence)
+            if sequence < m:
+                profile = self._profile
+                if profile is not None:
+                    self._content += profile[sequence]
+                if self._track_prefix and sequence == self._prefix:
+                    prefix = self._prefix + 1
+                    while prefix < m and prefix in intact:
+                        prefix += 1
+                    self._prefix = prefix
+        # _check(), inlined: threshold first, then decodability.
+        count = len(intact)
+        threshold = self.relevance_threshold
+        if threshold is not None:
+            usable = self._total_content if count >= m else self._content
+            if usable >= threshold:
+                return self._finish(EarlyStop(self.round, usable))
+        if count >= m:
+            return self._finish(Decoded(self.round, count))
+        return None
+
+    def on_frame_corrupt(self, sequence: int = -1) -> Optional[Effect]:
+        """A frame failed its CRC; protocol state is unchanged."""
+        if self._terminal is not None:
+            return self._terminal
+        self.corrupted_seen += 1
+        return self._check()
+
+    def on_frame_lost(self, sequence: int = -1) -> Optional[Effect]:
+        """A frame never arrived; protocol state is unchanged."""
+        if self._terminal is not None:
+            return self._terminal
+        self.lost_seen += 1
+        return self._check()
+
+    def on_round_ended(self, carried: Optional[bool] = None) -> Optional[Effect]:
+        """The round's N frames were streamed without termination.
+
+        Applies stall handling: telemetry, the retransmission bound,
+        and the cache policy (*carried* overrides it; see
+        :class:`~repro.protocol.events.RoundEnded`).  Returns the
+        terminal :class:`~repro.protocol.events.Failed` effect or
+        ``None`` when a retransmission round begins.
+        """
+        if self._terminal is not None:
+            return self._terminal
+        stalled_round = self.round
+        intact = len(self._intact)
+        self._last_stall = Stalled(stalled_round, intact)
+        bridge = self._bridge
+        if bridge is not None and OBS.enabled:
+            bridge.stalled(stalled_round, intact)
+        if stalled_round >= self.max_rounds:
+            return self._finish(Failed(stalled_round, intact))
+        keep = self.caching if carried is None else carried
+        if not keep:
+            # NoCaching restarts from zero intact packets.
+            self._intact.clear()
+            self._content = 0.0
+            self._prefix = 0
+        self.round = stalled_round + 1
+        if bridge is not None and OBS.enabled:
+            bridge.round_start(self.round)
+        return None
+
+    # -- typed-event dispatch ----------------------------------------------
+
+    def handle(self, event: InputEvent) -> Tuple[Effect, ...]:
+        """Consume one typed input event, returning the effects."""
+        if self._terminal is not None:
+            return (self._terminal,)
+        if isinstance(event, FrameDelivered):
+            prefix_before = self._prefix
+            terminal = self.on_frame_intact(event.sequence)
+            if self._track_prefix and self._prefix > prefix_before:
+                if terminal is not None:
+                    return (RenderPrefix(self._prefix), terminal)
+                return (RenderPrefix(self._prefix),)
+            return (terminal,) if terminal is not None else ()
+        if isinstance(event, FrameCorrupt):
+            terminal = self.on_frame_corrupt(event.sequence)
+            return (terminal,) if terminal is not None else ()
+        if isinstance(event, FrameLost):
+            terminal = self.on_frame_lost(event.sequence)
+            return (terminal,) if terminal is not None else ()
+        if isinstance(event, RoundEnded):
+            terminal = self.on_round_ended(event.carried)
+            stalled = self._last_stall
+            assert stalled is not None
+            if terminal is not None:
+                return (stalled, terminal)
+            return (stalled, SendRound(self.round))
+        raise TypeError(f"unknown protocol event {event!r}")
+
+    # -- internals ---------------------------------------------------------
+
+    def _accept(self, sequence: int) -> None:
+        if sequence < 0 or sequence >= self.n:
+            raise ValueError(
+                f"sequence {sequence} out of range for N={self.n} cooked packets"
+            )
+        self._intact.add(sequence)
+        if sequence < self.m:
+            if self._profile is not None:
+                self._content += self._profile[sequence]
+            if self._track_prefix and sequence == self._prefix:
+                intact = self._intact
+                prefix = self._prefix + 1
+                while prefix < self.m and prefix in intact:
+                    prefix += 1
+                self._prefix = prefix
+
+    def _check(self) -> Optional[Effect]:
+        """The two in-round termination conditions, threshold first.
+
+        Once reconstruction is possible the whole document's content
+        is in hand; either way the relevance decision is against the
+        *usable* content — so at the M-th packet an F ≤ 1 document is
+        judged irrelevant before it is declared decoded, matching the
+        byte-exact receiver semantics.
+        """
+        intact = len(self._intact)
+        threshold = self.relevance_threshold
+        if threshold is not None:
+            usable = self._total_content if intact >= self.m else self._content
+            if usable >= threshold:
+                return self._finish(EarlyStop(self.round, usable))
+        if intact >= self.m:
+            return self._finish(Decoded(self.round, intact))
+        return None
+
+    def _finish(self, terminal: Effect) -> Effect:
+        self._terminal = terminal
+        bridge = self._bridge
+        if bridge is not None and OBS.enabled:
+            if isinstance(terminal, EarlyStop):
+                bridge.early_stop(terminal.round, terminal.content)
+            elif isinstance(terminal, Decoded):
+                bridge.decoded(terminal.round, terminal.intact)
+            # Failed has no dedicated trace event: the final
+            # round_stalled plus transfer_complete(success=False)
+            # already tell the story.
+        return terminal
+
+    def __repr__(self) -> str:
+        state = (
+            f"terminal={type(self._terminal).__name__}"
+            if self._terminal is not None
+            else f"round={self.round}"
+        )
+        return (
+            f"TransferEngine(m={self.m}, n={self.n}, intact={len(self._intact)}, "
+            f"{state})"
+        )

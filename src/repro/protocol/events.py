@@ -1,0 +1,120 @@
+"""Typed input events and output effects of the §4.2 transfer engine.
+
+The engine (:mod:`repro.protocol.engine`) is sans-IO: it never touches
+a channel, a socket, or a clock.  Drivers translate whatever their
+transport produces into the *input events* below and execute the
+*effects* the engine hands back.
+
+Input events
+    :class:`FrameDelivered` — one cooked frame passed its CRC and
+    carries sequence number ``sequence``;
+    :class:`FrameCorrupt` — a frame arrived but failed its CRC (the
+    sequence is advisory: a garbled header may make it unreadable);
+    :class:`FrameLost` — a frame never arrived (detected via sequence
+    gaps or, in oracle mode, known from ground truth);
+    :class:`RoundEnded` — the sender finished streaming all N frames
+    of the current round without the engine terminating.
+
+Output effects
+    :class:`SendRound` — stream all N cooked frames for round
+    ``round`` (drivers put them on the air and feed the outcomes back);
+    :class:`RenderPrefix` — the contiguous clear-text prefix grew to
+    ``prefix_packets`` packets (incremental-rendering drivers act on
+    it, byte-only drivers ignore it);
+    :class:`Stalled` — a round ended with fewer than M intact packets;
+    :class:`EarlyStop` — terminal: received content reached the
+    relevance threshold F (the paper's "stop button");
+    :class:`Decoded` — terminal: M intact packets are held and the
+    document is reconstructable;
+    :class:`Failed` — terminal: the retransmission bound was exhausted.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Union
+
+
+# -- input events -----------------------------------------------------------
+
+
+class FrameDelivered(NamedTuple):
+    """An intact (CRC-verified) cooked frame arrived."""
+
+    sequence: int
+
+
+class FrameCorrupt(NamedTuple):
+    """A frame arrived damaged; ``sequence`` is -1 when unreadable."""
+
+    sequence: int = -1
+
+
+class FrameLost(NamedTuple):
+    """A frame was sent but never arrived."""
+
+    sequence: int = -1
+
+
+class RoundEnded(NamedTuple):
+    """All N frames of the round were streamed without termination.
+
+    ``carried`` overrides the engine's cache policy for the upcoming
+    retransmission round: ``True`` keeps the intact set, ``False``
+    starts over, ``None`` (default) applies the engine's configured
+    Caching/NoCaching strategy.  Byte-level drivers use it to reflect
+    what their packet cache actually retained (e.g. after eviction).
+    """
+
+    carried: Optional[bool] = None
+
+
+InputEvent = Union[FrameDelivered, FrameCorrupt, FrameLost, RoundEnded]
+
+
+# -- output effects ---------------------------------------------------------
+
+
+class SendRound(NamedTuple):
+    """Stream all N cooked frames of 1-based round ``round``."""
+
+    round: int
+
+
+class RenderPrefix(NamedTuple):
+    """The renderable clear-text prefix now spans ``prefix_packets``."""
+
+    prefix_packets: int
+
+
+class Stalled(NamedTuple):
+    """Round ``round`` ended holding only ``intact`` < M packets."""
+
+    round: int
+    intact: int
+
+
+class EarlyStop(NamedTuple):
+    """Terminal: the document was judged irrelevant at content F."""
+
+    round: int
+    content: float
+
+
+class Decoded(NamedTuple):
+    """Terminal: reconstruction is possible from ``intact`` packets."""
+
+    round: int
+    intact: int
+
+
+class Failed(NamedTuple):
+    """Terminal: ``round`` == max_rounds ended still short of M."""
+
+    round: int
+    intact: int
+
+
+Effect = Union[SendRound, RenderPrefix, Stalled, EarlyStop, Decoded, Failed]
+
+#: The effects that end a transfer; exactly one is produced per run.
+TERMINAL_EFFECTS = (EarlyStop, Decoded, Failed)

@@ -1,0 +1,136 @@
+"""Seeded fault injection on the engine's event boundary.
+
+Because :class:`~repro.protocol.engine.TransferEngine` consumes typed
+events rather than bytes, adversarial channel conditions can be
+injected *between* any driver and the engine without touching either:
+:class:`FaultInjector` rewrites the input-event stream — dropping a
+delivered frame, corrupting it, or opening a multi-event disconnection
+window — under its own seeded RNG, so fault schedules are reproducible
+and independent of the driver's channel RNG (common-random-numbers
+discipline: the injector never draws from the driver's stream).
+
+Typical use in a test or chaos experiment::
+
+    engine = TransferEngine(m, n, ...)
+    faulty = FaultInjector(engine, rng=random.Random(7),
+                           drop=0.1, corrupt=0.05,
+                           disconnect=0.01, outage_events=20)
+    effects = faulty.begin()
+    ...
+    effects = faulty.handle(FrameDelivered(seq))
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.protocol.engine import TransferEngine
+from repro.protocol.events import (
+    Effect,
+    FrameCorrupt,
+    FrameDelivered,
+    FrameLost,
+    InputEvent,
+)
+
+
+class FaultInjector:
+    """Rewrites ``FrameDelivered`` events into losses/corruption.
+
+    Parameters
+    ----------
+    engine:
+        The wrapped transfer engine.
+    rng:
+        Dedicated seeded RNG; one draw per ``FrameDelivered`` (plus one
+        per disconnection decision), never shared with the driver.
+    drop:
+        Probability a delivered frame is silently converted to
+        :class:`~repro.protocol.events.FrameLost`.
+    corrupt:
+        Probability a delivered frame is converted to
+        :class:`~repro.protocol.events.FrameCorrupt` (CRC failure).
+    disconnect:
+        Probability, evaluated per delivered frame while connected,
+        that a disconnection window opens.
+    outage_events:
+        Length of a disconnection window: that many subsequent
+        ``FrameDelivered`` events become ``FrameLost`` unconditionally.
+
+    ``RoundEnded`` and already-degraded events pass through untouched —
+    the injector only ever makes the channel worse, so protocol
+    invariants (termination, bounds) are preserved by construction.
+    """
+
+    __slots__ = (
+        "engine",
+        "rng",
+        "drop",
+        "corrupt",
+        "disconnect",
+        "outage_events",
+        "dropped",
+        "corrupted",
+        "outages",
+        "_outage_left",
+    )
+
+    def __init__(
+        self,
+        engine: TransferEngine,
+        *,
+        rng: Optional[random.Random] = None,
+        drop: float = 0.0,
+        corrupt: float = 0.0,
+        disconnect: float = 0.0,
+        outage_events: int = 0,
+    ) -> None:
+        for name, p in (("drop", drop), ("corrupt", corrupt), ("disconnect", disconnect)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if outage_events < 0:
+            raise ValueError(f"outage_events must be >= 0, got {outage_events}")
+        self.engine = engine
+        self.rng = rng if rng is not None else random.Random(0)
+        self.drop = drop
+        self.corrupt = corrupt
+        self.disconnect = disconnect
+        self.outage_events = outage_events
+        self.dropped = 0
+        self.corrupted = 0
+        self.outages = 0
+        self._outage_left = 0
+
+    @property
+    def disconnected(self) -> bool:
+        """True while a disconnection window is swallowing frames."""
+        return self._outage_left > 0
+
+    def begin(self) -> Tuple[Effect, ...]:
+        return self.engine.begin()
+
+    def inject(self, event: InputEvent) -> InputEvent:
+        """Return the (possibly rewritten) event without applying it."""
+        if not isinstance(event, FrameDelivered):
+            return event
+        if self._outage_left > 0:
+            self._outage_left -= 1
+            self.dropped += 1
+            return FrameLost(event.sequence)
+        if self.disconnect > 0.0 and self.rng.random() < self.disconnect:
+            self.outages += 1
+            self._outage_left = max(0, self.outage_events - 1)
+            self.dropped += 1
+            return FrameLost(event.sequence)
+        if self.drop > 0.0 and self.rng.random() < self.drop:
+            self.dropped += 1
+            return FrameLost(event.sequence)
+        if self.corrupt > 0.0 and self.rng.random() < self.corrupt:
+            self.corrupted += 1
+            return FrameCorrupt(event.sequence)
+        return event
+
+    def handle(self, event: InputEvent) -> Tuple[Effect, ...]:
+        """Inject faults into *event*, then feed it to the engine."""
+        return self.engine.handle(self.inject(event))

@@ -1,17 +1,35 @@
 """Client-side prototype components (Figure 1, left half).
 
-``SequenceManager`` drives the packet stream for one fetch: it feeds
-deliveries to the transfer receiver, triggers rendering as clear-text
-bytes become available, and applies the stall/retransmission policy.
-``RenderingManager`` "renders each organizational unit incrementally
-at the proper position in the browsing window when the unit is
-received" (§3.3).  ``MobileBrowser`` wires both to the broker.
+``SequenceManager`` drives the packet stream for one fetch: it is the
+broker-side *driver* of the sans-IO
+:class:`repro.protocol.TransferEngine` — deliveries become typed
+input events, and the engine's effects are mapped onto the I/O the
+prototype owns (``RenderPrefix`` → ``RenderingManager``, round
+bookkeeping → the packet cache).  ``RenderingManager`` "renders each
+organizational unit incrementally at the proper position in the
+browsing window when the unit is received" (§3.3).  ``MobileBrowser``
+wires both to the broker.
 """
 
 from __future__ import annotations
 
+import re
 from typing import List, Optional, Tuple
 
+from repro.protocol import (
+    DEFAULT_MAX_ROUNDS,
+    Decoded,
+    EarlyStop,
+    FrameCorrupt,
+    FrameDelivered,
+    FrameLost,
+    RenderPrefix,
+    RoundEnded,
+    SendRound,
+    TERMINAL_EFFECTS,
+    TelemetryBridge,
+    TransferEngine,
+)
 from repro.prototype.broker import ObjectRequestBroker
 from repro.prototype.messages import (
     BrowseResult,
@@ -24,13 +42,26 @@ from repro.transport.channel import WirelessChannel
 from repro.transport.receiver import TransferReceiver
 from repro.transport.sender import PreparedDocument
 
+#: ``structure.py`` marks a section's heading unit by suffixing its
+#: label with ``(title)``; only that trailing marker is stripped.
+_TITLE_SUFFIX = re.compile(r"\s*\(title\)\s*$")
+
 
 def _label_sort_key(label: str) -> Tuple:
-    """Document-order key for hierarchical labels like ``3.2.1``."""
+    """Document-order key for hierarchical labels like ``3.2.1``.
+
+    The key is *total* over mixed alpha/numeric labels: each
+    dot-separated piece maps to ``(kind, number, text)`` where
+    non-numeric pieces (kind 0, compared as text) order before numeric
+    ones (kind 1, compared as integers — so ``2.10`` follows ``2.2``).
+    """
     parts = []
-    for piece in label.replace("(title)", "").split("."):
+    for piece in _TITLE_SUFFIX.sub("", label).split("."):
         piece = piece.strip()
-        parts.append(int(piece) if piece.isdigit() else -1)
+        if piece.isdigit():
+            parts.append((1, int(piece), ""))
+        else:
+            parts.append((0, 0, piece))
     return tuple(parts)
 
 
@@ -84,13 +115,13 @@ class RenderingManager:
 
 
 class SequenceManager:
-    """Round-driving receiver loop with incremental rendering."""
+    """Broker-side driver of the §4.2 engine with incremental rendering."""
 
     def __init__(
         self,
         channel: WirelessChannel,
         cache: Optional[PacketCache] = None,
-        max_rounds: int = 50,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
     ) -> None:
         self.channel = channel
         self.cache = cache if cache is not None else NullCache()
@@ -105,58 +136,102 @@ class SequenceManager:
     ) -> BrowseResult:
         start = self.channel.clock
         receiver = TransferReceiver(prepared)
-        receiver.preload(self.cache.load(prepared.document_id))
         frames = prepared.frames()
-        document_text: Optional[str] = None
+        frames_sent = 0
 
-        for round_index in range(1, self.max_rounds + 1):
+        bridge = TelemetryBridge("transfer")
+        engine = TransferEngine(
+            prepared.m,
+            prepared.n,
+            content_profile=prepared.content_profile,
+            relevance_threshold=relevance_threshold,
+            max_rounds=self.max_rounds,
+            document_id=prepared.document_id,
+            bridge=bridge,
+            track_prefix=True,
+        )
+        engine.open()  # cache telemetry below lands inside the scope
+        receiver.preload(self.cache.load(prepared.document_id))
+        engine.preload(receiver.intact)
+
+        terminal = None
+        streaming = False
+
+        def execute(effects) -> None:
+            # `receiver` is rebound on a NoCaching stall; the closure
+            # reads the shared cell, so it always sees the live one.
+            nonlocal terminal, streaming
+            for effect in effects:
+                if isinstance(effect, RenderPrefix):
+                    renderer.on_bytes(receiver.clear_prefix(), self.channel.clock)
+                elif isinstance(effect, SendRound):
+                    streaming = True
+                elif isinstance(effect, TERMINAL_EFFECTS):
+                    terminal = effect
+                # Stalled is informational; the cache bookkeeping that
+                # accompanies it happens at the round boundary below.
+
+        execute(engine.begin())
+        while terminal is None and streaming:
+            streaming = False
             for wire in frames:
                 delivery = self.channel.send(wire)
-                receiver.offer(delivery)
-                renderer.on_bytes(receiver.clear_prefix(), self.channel.clock)
+                frames_sent += 1
+                sequence = receiver.offer(delivery)
+                if sequence is not None:
+                    execute(engine.handle(FrameDelivered(sequence)))
+                elif delivery.lost:
+                    execute(engine.handle(FrameLost()))
+                else:
+                    execute(engine.handle(FrameCorrupt()))
+                if terminal is not None:
+                    break
+            else:
+                receiver.reconcile(len(frames))
+                self._store(prepared, receiver)
+                carried = not isinstance(self.cache, NullCache) and bool(
+                    self.cache.load(prepared.document_id)
+                )
+                if not carried:
+                    receiver = TransferReceiver(prepared)
+                execute(engine.handle(RoundEnded(carried=carried)))
 
-                if receiver.can_reconstruct():
-                    payload = receiver.reconstruct()
-                    renderer.on_bytes(payload, self.channel.clock)
-                    self.cache.discard(prepared.document_id)
-                    document_text = payload.decode("utf-8", errors="replace")
-                    return BrowseResult(
-                        document_id=manifest.document_id,
-                        success=True,
-                        terminated_early=False,
-                        response_time=self.channel.clock - start,
-                        rounds=round_index,
-                        rendered=list(renderer.events),
-                        document_text=document_text,
-                    )
-                if (
-                    relevance_threshold is not None
-                    and receiver.content_received >= relevance_threshold
-                ):
-                    # The user hits "stop": enough content to judge.
-                    self._store(prepared, receiver)
-                    return BrowseResult(
-                        document_id=manifest.document_id,
-                        success=True,
-                        terminated_early=True,
-                        response_time=self.channel.clock - start,
-                        rounds=round_index,
-                        rendered=list(renderer.events),
-                        document_text=None,
-                    )
-            self._store(prepared, receiver)
-            if isinstance(self.cache, NullCache):
-                receiver = TransferReceiver(prepared)
+        document_text: Optional[str] = None
+        if isinstance(terminal, Decoded):
+            payload = receiver.reconstruct()
+            renderer.on_bytes(payload, self.channel.clock)
+            self.cache.discard(prepared.document_id)
+            document_text = payload.decode("utf-8", errors="replace")
+            success, early = True, False
+            content = receiver.content_received
+        elif isinstance(terminal, EarlyStop):
+            # The user hits "stop": enough content to judge.
+            if terminal.round > 0:
+                self._store(prepared, receiver)
+            success, early = True, True
+            content = terminal.content
+        else:  # Failed
+            success, early = False, False
+            content = engine.content_received
 
-        return BrowseResult(
+        result = BrowseResult(
             document_id=manifest.document_id,
-            success=False,
-            terminated_early=False,
+            success=success,
+            terminated_early=early,
             response_time=self.channel.clock - start,
-            rounds=self.max_rounds,
+            rounds=terminal.round,
             rendered=list(renderer.events),
-            document_text=None,
+            document_text=document_text,
         )
+        bridge.complete(
+            success=success,
+            terminated_early=early,
+            rounds=terminal.round,
+            frames=frames_sent,
+            content=content,
+            response_time=result.response_time,
+        )
+        return result
 
     def _store(self, prepared: PreparedDocument, receiver: TransferReceiver) -> None:
         for sequence, payload in receiver.intact.items():

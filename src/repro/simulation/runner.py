@@ -1,20 +1,26 @@
-"""The transfer simulator: fast oracle-mode replay of the §4.2 protocol.
+"""The transfer simulator: fast oracle-mode driver of the §4.2 protocol.
 
-The byte-level protocol in :mod:`repro.transport` is exact but carries
+The byte-level driver in :mod:`repro.transport` is exact but carries
 real frames; the evaluation (§5) needs hundreds of thousands of
-packet events, so this runner replays the identical decision logic on
-packet *indices* only.  Equivalence between the two paths is asserted
-by an integration test (`tests/test_integration_transport_vs_runner.py`).
+packet events, so this runner drives the *same* decision logic — the
+sans-IO :class:`repro.protocol.TransferEngine` — on packet indices
+only.  Equivalence between the two paths is asserted by the three-way
+parity suite (`tests/test_integration_transport_vs_runner.py`).
 
 Per round, all N cooked packets are sent in sequence order; each is
-corrupted independently with probability α.  The transfer terminates
-when
+corrupted independently with probability α.  The engine terminates
+the transfer when
 
 * M intact packets are held (document reconstructable), or
 * received content ≥ the relevance threshold F (irrelevant document
   discarded — the "stop button"), or
 * the round ends with < M intact: a stall.  Caching keeps the intact
   set across the retransmission; NoCaching starts over.
+
+CRN discipline: the driver draws exactly one uniform variate per
+packet from the caller's RNG, and the engine draws none — common
+random numbers stay aligned across policies, and enabling telemetry
+cannot perturb outcomes.
 """
 
 from __future__ import annotations
@@ -23,12 +29,7 @@ import random
 from typing import List, NamedTuple, Optional, Sequence
 
 from repro.obs.runtime import OBS
-from repro.obs.trace import (
-    DECODE_COMPLETE,
-    EARLY_STOP,
-    ROUND_STALLED,
-    ROUND_START,
-)
+from repro.protocol import EarlyStop, Failed, TelemetryBridge, TransferEngine
 from repro.simulation.parameters import Parameters
 from repro.simulation.workload import SyntheticDocument, generate_session, relevance_flags
 from repro.core.lod import LOD
@@ -42,6 +43,11 @@ class TransferOutcome(NamedTuple):
     packets_sent: int
     success: bool
     terminated_early: bool
+
+
+#: The bridge is stateless (it only names a metric namespace), so the
+#: sweeps share one instead of constructing one per transfer.
+_SIM_BRIDGE = TelemetryBridge("sim")
 
 
 def simulate_transfer(
@@ -60,99 +66,58 @@ def simulate_transfer(
     *content_profile* gives the content of clear-text packet i (in
     transmission order); required when *relevance_threshold* is set.
     """
-    if relevance_threshold is not None and content_profile is None:
-        raise ValueError("relevance termination requires a content_profile")
-    if relevance_threshold is not None and relevance_threshold <= 0.0:
-        return TransferOutcome(0.0, 0, 0, True, True)
-
-    # One attribute read when telemetry is off; the per-packet loop
-    # below carries no instrumentation at all (events are emitted at
-    # round and transfer granularity only).
-    telemetry = OBS.enabled
-    if telemetry:
-        OBS.trace.begin_transfer(document="sim", m=m, n=n)
+    bridge = _SIM_BRIDGE
+    engine = TransferEngine(
+        m,
+        n,
+        content_profile=list(content_profile) if content_profile is not None else None,
+        caching=caching,
+        relevance_threshold=relevance_threshold,
+        max_rounds=max_rounds,
+        document_id="sim",
+        bridge=bridge,
+    )
 
     rand = rng.random
-    intact = bytearray(n)
-    intact_count = 0
-    content = 0.0
+    on_intact = engine.on_frame_intact
     time = 0.0
     packets_sent = 0
 
-    for round_index in range(1, max_rounds + 1):
-        if telemetry:
-            OBS.trace.emit(ROUND_START, round=round_index)
+    # The per-packet loop carries no instrumentation of its own: all
+    # protocol telemetry is emitted by the engine's bridge at round and
+    # transfer granularity, and is one attribute read when disabled.
+    terminal = engine.start()
+    while terminal is None:
         for seq in range(n):
             time += packet_time
             packets_sent += 1
             if rand() < alpha:
+                # Oracle mode knows ground truth: a corrupted packet is
+                # simply discarded, no engine event needed (there is no
+                # preloaded state a loss could newly reveal).
                 continue
-            if intact[seq]:
-                continue
-            intact[seq] = 1
-            intact_count += 1
-            if seq < m and content_profile is not None:
-                content += content_profile[seq]
+            terminal = on_intact(seq)
+            if terminal is not None:
+                break
+        else:
+            terminal = engine.on_round_ended()
 
-            if relevance_threshold is not None:
-                # Once reconstruction is possible the whole document's
-                # content is in hand; either way the check is against
-                # the usable content, matching TransferReceiver.
-                usable = 1.0 if intact_count >= m else content
-                if usable >= relevance_threshold:
-                    outcome = TransferOutcome(time, round_index, packets_sent, True, True)
-                    return _record_outcome(outcome, intact_count) if telemetry else outcome
-            if intact_count >= m:
-                # Reconstruction possible: the transfer is complete.
-                outcome = TransferOutcome(time, round_index, packets_sent, True, False)
-                return _record_outcome(outcome, intact_count) if telemetry else outcome
-
-        if telemetry:
-            OBS.trace.emit(ROUND_STALLED, round=round_index, intact=intact_count)
-            OBS.metrics.counter("sim.stalls", "simulated rounds ending < M intact").inc()
-        if not caching:
-            intact = bytearray(n)
-            intact_count = 0
-            content = 0.0
-
-    outcome = TransferOutcome(time, max_rounds, packets_sent, False, False)
-    return _record_outcome(outcome, intact_count) if telemetry else outcome
-
-
-#: Histogram buckets for simulated transfers (rounds and seconds).
-_SIM_ROUND_BUCKETS = (1, 2, 3, 5, 8, 13, 21, 34, 55, 100)
-_SIM_RESPONSE_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
-
-
-def _record_outcome(outcome: TransferOutcome, intact_count: int) -> TransferOutcome:
-    """Emit end-of-transfer telemetry for the oracle-mode runner."""
-    trace = OBS.trace
-    if outcome.terminated_early:
-        trace.emit(EARLY_STOP, round=outcome.rounds)
-    elif outcome.success:
-        trace.emit(DECODE_COMPLETE, round=outcome.rounds, intact=intact_count)
-    metrics = OBS.metrics
-    kind = (
-        "early_stop"
-        if outcome.terminated_early
-        else ("ok" if outcome.success else "failed")
+    outcome = TransferOutcome(
+        time,
+        terminal.round,
+        packets_sent,
+        success=not isinstance(terminal, Failed),
+        terminated_early=isinstance(terminal, EarlyStop),
     )
-    metrics.counter("sim.transfers").labels(outcome=kind).inc()
-    metrics.counter("sim.packets_sent").inc(outcome.packets_sent)
-    metrics.histogram(
-        "sim.rounds", "rounds per simulated transfer", buckets=_SIM_ROUND_BUCKETS
-    ).observe(outcome.rounds)
-    metrics.histogram(
-        "sim.response_seconds",
-        "simulated response time",
-        buckets=_SIM_RESPONSE_BUCKETS,
-    ).observe(outcome.response_time)
-    trace.end_transfer(
-        success=outcome.success,
-        rounds=outcome.rounds,
-        frames=outcome.packets_sent,
-        response_time=outcome.response_time,
-    )
+    if OBS.enabled:
+        bridge.complete(
+            success=outcome.success,
+            terminated_early=outcome.terminated_early,
+            rounds=outcome.rounds,
+            frames=outcome.packets_sent,
+            content=engine.content_received,
+            response_time=outcome.response_time,
+        )
     return outcome
 
 

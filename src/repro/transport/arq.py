@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import List, NamedTuple, Optional
 
 from repro.coding.packets import decode_frame, encode_frame
+from repro.protocol import DEFAULT_MAX_ROUNDS
 from repro.transport.channel import WirelessChannel
 from repro.util.bitops import chunk_bytes, pad_to_multiple
 from repro.util.validation import check_positive_int
@@ -37,7 +38,7 @@ def stop_and_wait(
     channel: WirelessChannel,
     packet_size: int = 256,
     ack_bytes: int = 8,
-    max_attempts_per_packet: int = 100,
+    max_attempts_per_packet: int = DEFAULT_MAX_ROUNDS,
 ) -> ArqResult:
     """Stop-and-wait ARQ: send, await ACK, retransmit on damage.
 
@@ -91,7 +92,7 @@ def selective_repeat(
     channel: WirelessChannel,
     packet_size: int = 256,
     ack_bytes: int = 8,
-    max_rounds: int = 100,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
 ) -> ArqResult:
     """Selective-repeat ARQ: stream a window, retransmit only the damaged.
 

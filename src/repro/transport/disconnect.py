@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import List, NamedTuple, Optional, Sequence, Tuple
 
+from repro.protocol import DEFAULT_MAX_ROUNDS
 from repro.transport.cache import PacketCache
 from repro.transport.channel import Delivery, WirelessChannel
 from repro.transport.sender import PreparedDocument
@@ -84,6 +85,7 @@ def resumable_transfer(
     max_attempts: int = 5,
     rounds_per_attempt: int = 2,
     relevance_threshold: Optional[float] = None,
+    max_total_rounds: int = DEFAULT_MAX_ROUNDS,
 ) -> ResumableResult:
     """Transfer *prepared* across connectivity gaps.
 
@@ -92,23 +94,34 @@ def resumable_transfer(
     round) the intact packets stay cached and the next attempt resumes
     from them.  With a shared cache the attempts make monotone
     progress; without one this degenerates to plain retries.
+
+    *max_total_rounds* caps the rounds spent across *all* attempts at
+    the protocol-wide :data:`repro.protocol.DEFAULT_MAX_ROUNDS`, so a
+    resumable transfer can never out-persist a plain one no matter how
+    the attempt schedule is configured.
     """
     if max_attempts < 1:
         raise ValueError("max_attempts must be >= 1")
+    if max_total_rounds < 1:
+        raise ValueError("max_total_rounds must be >= 1")
     if cache is None:
         cache = PacketCache()
 
     attempt_results: List[TransferResult] = []
     total_time = 0.0
     total_frames = 0
+    rounds_left = max_total_rounds
     for attempt in range(1, max_attempts + 1):
+        if rounds_left <= 0:
+            break
         result = transfer_document(
             prepared,
             channel,
             cache=cache,
             relevance_threshold=relevance_threshold,
-            max_rounds=rounds_per_attempt,
+            max_rounds=min(rounds_per_attempt, rounds_left),
         )
+        rounds_left -= max(result.rounds, 1)
         attempt_results.append(result)
         total_time += result.response_time
         total_frames += result.frames_sent
@@ -123,7 +136,7 @@ def resumable_transfer(
             )
     return ResumableResult(
         success=False,
-        attempts=max_attempts,
+        attempts=len(attempt_results),
         total_response_time=total_time,
         total_frames=total_frames,
         payload=None,

@@ -32,6 +32,10 @@ class TransferReceiver:
         self.lost_detected = 0
         self._content = 0.0
         self._highest_sequence = -1
+        # Corrupt frames received since the highest intact sequence: on
+        # a FIFO channel they occupy positions inside the next gap, so
+        # they must not be double-counted as losses.
+        self._corrupt_since_highest = 0
         # Optional online Gaussian elimination: spreads the decode cost
         # across arrivals so reconstruction at the M-th packet is a
         # back-substitution instead of a full matrix inversion.  Both
@@ -50,24 +54,53 @@ class TransferReceiver:
         for sequence, payload in packets.items():
             self._accept(sequence, payload)
 
-    def offer(self, delivery: Delivery) -> None:
-        """Process one channel delivery."""
+    def offer(self, delivery: Delivery) -> Optional[int]:
+        """Process one channel delivery.
+
+        Returns the frame's sequence number when it arrived intact
+        (even if already held), ``None`` for losses and CRC failures —
+        letting a protocol driver translate deliveries into typed
+        engine events without re-decoding the wire bytes.
+        """
         if delivery.lost or delivery.wire is None:
-            return  # loss is detected later via the sequence gap
+            return None  # loss is detected later via the sequence gap
         frame = decode_frame(delivery.wire)
         if not frame.intact:
             self.corrupted_seen += 1
+            self._corrupt_since_highest += 1
             if OBS.enabled:
                 OBS.metrics.counter(
                     "receiver.crc_failures", "frames rejected by CRC"
                 ).inc()
                 OBS.trace.emit(FRAME_CORRUPT, sequence=frame.sequence)
-            return
+            return None
         if frame.sequence > self._highest_sequence + 1:
-            # FIFO channel: a jump in sequence numbers reveals losses.
-            self.lost_detected += frame.sequence - self._highest_sequence - 1
-        self._highest_sequence = max(self._highest_sequence, frame.sequence)
+            # FIFO channel: a jump in sequence numbers reveals losses —
+            # minus the corrupt frames known to sit inside the gap.
+            gap = frame.sequence - self._highest_sequence - 1
+            self.lost_detected += max(0, gap - self._corrupt_since_highest)
+        if frame.sequence > self._highest_sequence:
+            self._highest_sequence = frame.sequence
+            self._corrupt_since_highest = 0
         self._accept(frame.sequence, frame.payload)
+        return frame.sequence
+
+    def reconcile(self, n_sent: int) -> int:
+        """Close the loss ledger at the end of a round of *n_sent* frames.
+
+        Frames lost *after* the highest intact sequence leave no gap
+        for :meth:`offer` to observe; once the round is over the
+        receiver knows all ``n_sent`` frames were streamed and can
+        attribute the trailing silence.  Returns the number of newly
+        detected losses and resets the per-round sequence tracking
+        (each round restarts numbering at 0).
+        """
+        trailing = (n_sent - 1) - self._highest_sequence - self._corrupt_since_highest
+        newly = max(0, trailing)
+        self.lost_detected += newly
+        self._highest_sequence = -1
+        self._corrupt_since_highest = 0
+        return newly
 
     def _accept(self, sequence: int, payload: bytes) -> None:
         if sequence in self.intact:

@@ -1,33 +1,42 @@
-"""The fault-tolerant multi-resolution transfer protocol (paper §4.2).
+"""Byte-exact driver for the §4.2 transfer protocol (paper §4.2).
 
 One call to :func:`transfer_document` plays out a complete download of
-one prepared document over the wireless channel, round by round:
+one prepared document over the wireless channel, round by round.  The
+*decision logic* — when to terminate, when a round has stalled, what
+the cache policy keeps — lives in the sans-IO
+:class:`repro.protocol.TransferEngine`; this module is the thin I/O
+driver that owns everything the engine must not touch:
 
-1. The server streams all N cooked frames in sequence order.
-2. The client discards corrupted frames (CRC) and stops the stream as
-   soon as one of the paper's three termination conditions holds:
-   it can reconstruct the whole document (M intact packets); all
-   cooked packets have been received; or it has decided the document
-   is irrelevant (received content ≥ its relevance threshold F —
-   the "stop button").
+1. The server streams all N cooked frames in sequence order over the
+   :class:`~repro.transport.channel.WirelessChannel`.
+2. The :class:`~repro.transport.receiver.TransferReceiver` CRC-checks
+   each delivery and holds the intact payload bytes; the driver
+   reports each outcome to the engine, which terminates the stream as
+   soon as one of the paper's three conditions holds: the document is
+   reconstructable (M intact packets); all cooked packets have been
+   received; or the document was judged irrelevant (received content ≥
+   the relevance threshold F — the "stop button").
 3. If a round ends with fewer than M intact packets, the transfer is
-   *stalled*: a retransmission round begins.  With a
-   :class:`~repro.transport.cache.PacketCache` the intact packets
-   survive into the next round (Caching); with
+   *stalled*.  With a :class:`~repro.transport.cache.PacketCache` the
+   intact packets survive into the next round (Caching); with
    :class:`~repro.transport.cache.NullCache` the client starts over
    (NoCaching — the default HTTP reload behaviour).
+
+Telemetry for the protocol events flows through the engine's
+:class:`~repro.protocol.bridge.TelemetryBridge`; the driver only
+reports the I/O facts (frames on the air, channel time) at the end.
 """
 
 from __future__ import annotations
 
 from typing import NamedTuple, Optional
 
-from repro.obs.runtime import OBS
-from repro.obs.trace import (
-    DECODE_COMPLETE,
-    EARLY_STOP,
-    ROUND_STALLED,
-    ROUND_START,
+from repro.protocol import (
+    DEFAULT_MAX_ROUNDS,
+    Decoded,
+    EarlyStop,
+    TelemetryBridge,
+    TransferEngine,
 )
 from repro.transport.cache import NullCache, PacketCache
 from repro.transport.channel import WirelessChannel
@@ -54,7 +63,7 @@ def transfer_document(
     channel: WirelessChannel,
     cache: Optional[PacketCache] = None,
     relevance_threshold: Optional[float] = None,
-    max_rounds: int = 100,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
 ) -> TransferResult:
     """Download *prepared* over *channel*; see the module docstring.
 
@@ -76,125 +85,97 @@ def transfer_document(
     if cache is None:
         cache = NullCache()
 
-    telemetry = OBS.enabled
-    if telemetry:
-        OBS.trace.begin_transfer(
-            document=prepared.document_id, m=prepared.m, n=prepared.n
-        )
-        OBS.metrics.counter("transfer.started").inc()
-
     start_time = channel.clock
     frames = prepared.frames()
     frames_sent = 0
     receiver = TransferReceiver(prepared)
+
+    bridge = TelemetryBridge("transfer")
+    engine = TransferEngine(
+        prepared.m,
+        prepared.n,
+        content_profile=prepared.content_profile,
+        relevance_threshold=relevance_threshold,
+        max_rounds=max_rounds,
+        document_id=prepared.document_id,
+        bridge=bridge,
+    )
+    engine.open()  # cache telemetry below lands inside the transfer scope
     receiver.preload(cache.load(prepared.document_id))
+    engine.preload(receiver.intact)
 
-    if relevance_threshold is not None and relevance_threshold <= 0.0:
-        # F = 0: the document is discarded before any packet is sent
-        # (the paper calls this point "artificial").
-        return _finish(
-            TransferResult(
-                document_id=prepared.document_id,
-                success=True,
-                terminated_early=True,
-                response_time=0.0,
-                rounds=0,
-                frames_sent=0,
-                content_received=0.0,
-                payload=None,
-            ),
-            telemetry,
-        )
-
-    # A fully cached (e.g. prefetched) document costs no air time.
-    if receiver.can_reconstruct():
-        cache.discard(prepared.document_id)
-        return _finish(
-            TransferResult(
-                document_id=prepared.document_id,
-                success=True,
-                terminated_early=False,
-                response_time=0.0,
-                rounds=0,
-                frames_sent=0,
-                content_received=receiver.content_received,
-                payload=receiver.reconstruct(),
-            ),
-            telemetry,
-            intact=receiver.intact_count,
-        )
-
-    for round_index in range(1, max_rounds + 1):
-        if telemetry:
-            OBS.trace.emit(ROUND_START, round=round_index)
+    terminal = engine.start()
+    while terminal is None:
         for wire in frames:
             delivery = channel.send(wire)
             frames_sent += 1
-            receiver.offer(delivery)
-
-            if (
-                relevance_threshold is not None
-                and receiver.content_received >= relevance_threshold
-            ):
-                _store_cache(cache, prepared, receiver)
-                return _finish(
-                    TransferResult(
-                        document_id=prepared.document_id,
-                        success=True,
-                        terminated_early=True,
-                        response_time=channel.clock - start_time,
-                        rounds=round_index,
-                        frames_sent=frames_sent,
-                        content_received=receiver.content_received,
-                        payload=None,
-                    ),
-                    telemetry,
-                    intact=receiver.intact_count,
-                )
-            if receiver.can_reconstruct():
-                cache.discard(prepared.document_id)
-                return _finish(
-                    TransferResult(
-                        document_id=prepared.document_id,
-                        success=True,
-                        terminated_early=False,
-                        response_time=channel.clock - start_time,
-                        rounds=round_index,
-                        frames_sent=frames_sent,
-                        content_received=receiver.content_received,
-                        payload=receiver.reconstruct(),
-                    ),
-                    telemetry,
-                    intact=receiver.intact_count,
-                )
-
-        # Stalled: fewer than M intact after the full round.
-        if telemetry:
-            OBS.trace.emit(
-                ROUND_STALLED, round=round_index, intact=receiver.intact_count
+            sequence = receiver.offer(delivery)
+            if sequence is not None:
+                terminal = engine.on_frame_intact(sequence)
+            elif delivery.lost:
+                terminal = engine.on_frame_lost()
+            else:
+                terminal = engine.on_frame_corrupt()
+            if terminal is not None:
+                break
+        else:
+            # Stalled: fewer than M intact after the full round.  The
+            # cache decides whether the intact set survives; the engine
+            # mirrors whatever the cache actually retained.
+            receiver.reconcile(len(frames))
+            _store_cache(cache, prepared, receiver)
+            carried = not isinstance(cache, NullCache) and bool(
+                cache.load(prepared.document_id)
             )
-            OBS.metrics.counter(
-                "transfer.stalls", "rounds that ended with < M intact"
-            ).inc()
-        _store_cache(cache, prepared, receiver)
-        if isinstance(cache, NullCache) or not cache.load(prepared.document_id):
-            # NoCaching restarts from zero intact packets.
-            receiver = TransferReceiver(prepared)
+            if not carried:
+                receiver = TransferReceiver(prepared)
+            terminal = engine.on_round_ended(carried=carried)
 
-    return _finish(
-        TransferResult(
+    if isinstance(terminal, EarlyStop):
+        if terminal.round > 0:
+            _store_cache(cache, prepared, receiver)
+        result = TransferResult(
+            document_id=prepared.document_id,
+            success=True,
+            terminated_early=True,
+            response_time=channel.clock - start_time if terminal.round else 0.0,
+            rounds=terminal.round,
+            frames_sent=frames_sent,
+            content_received=terminal.content,
+            payload=None,
+        )
+    elif isinstance(terminal, Decoded):
+        cache.discard(prepared.document_id)
+        result = TransferResult(
+            document_id=prepared.document_id,
+            success=True,
+            terminated_early=False,
+            response_time=channel.clock - start_time if terminal.round else 0.0,
+            rounds=terminal.round,
+            frames_sent=frames_sent,
+            content_received=receiver.content_received,
+            payload=receiver.reconstruct(),
+        )
+    else:  # Failed: the retransmission bound was exhausted.
+        result = TransferResult(
             document_id=prepared.document_id,
             success=False,
             terminated_early=False,
             response_time=channel.clock - start_time,
-            rounds=max_rounds,
+            rounds=terminal.round,
             frames_sent=frames_sent,
             content_received=receiver.content_received,
             payload=None,
-        ),
-        telemetry,
-        intact=receiver.intact_count,
+        )
+    bridge.complete(
+        success=result.success,
+        terminated_early=result.terminated_early,
+        rounds=result.rounds,
+        frames=result.frames_sent,
+        content=result.content_received,
+        response_time=result.response_time,
     )
+    return result
 
 
 def _store_cache(
@@ -202,45 +183,3 @@ def _store_cache(
 ) -> None:
     for sequence, payload in receiver.intact.items():
         cache.store(prepared.document_id, sequence, payload)
-
-
-#: Buckets for simulated end-to-end response times (seconds of channel
-#: time — a 19.2 kbps link legitimately takes minutes on large pages).
-_RESPONSE_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0)
-_ROUND_BUCKETS = (1, 2, 3, 5, 8, 13, 21, 34, 55, 100)
-
-
-def _finish(
-    result: TransferResult, telemetry: bool, intact: Optional[int] = None
-) -> TransferResult:
-    """Emit the end-of-transfer events and metrics (telemetry on only)."""
-    if not telemetry:
-        return result
-    trace = OBS.trace
-    if result.terminated_early:
-        trace.emit(EARLY_STOP, content=result.content_received, round=result.rounds)
-    elif result.success:
-        trace.emit(DECODE_COMPLETE, round=result.rounds, intact=intact)
-    metrics = OBS.metrics
-    outcome = (
-        "early_stop"
-        if result.terminated_early
-        else ("ok" if result.success else "failed")
-    )
-    metrics.counter("transfer.completed").labels(outcome=outcome).inc()
-    metrics.histogram(
-        "transfer.rounds", "rounds per transfer", buckets=_ROUND_BUCKETS
-    ).observe(result.rounds)
-    metrics.histogram(
-        "transfer.response_seconds",
-        "simulated channel time per transfer",
-        buckets=_RESPONSE_BUCKETS,
-    ).observe(result.response_time)
-    trace.end_transfer(
-        success=result.success,
-        rounds=result.rounds,
-        frames=result.frames_sent,
-        content=result.content_received,
-        response_time=result.response_time,
-    )
-    return result

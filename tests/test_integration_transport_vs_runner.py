@@ -1,24 +1,42 @@
-"""Equivalence of the byte-level protocol and the oracle simulator.
+"""Three-way parity of the §4.2 protocol implementations.
 
-The evaluation (§5) runs on :func:`repro.simulation.runner.simulate_transfer`,
-which replays the transfer protocol on packet indices only.  These
-tests drive both implementations with the *same* corruption pattern
-and assert they terminate after the same number of frames — the
-property that makes the fast simulator a valid stand-in for the real
-protocol.
+Both the byte-exact transport session and the oracle-mode simulator
+are now thin drivers around :class:`repro.protocol.TransferEngine`.
+This suite proves three things:
+
+1. **Cross-driver equivalence** — the byte path and the oracle path
+   driven by the *same* corruption pattern terminate after the same
+   number of frames (the property that makes the fast simulator a
+   valid stand-in for the real protocol), and a bare engine fed typed
+   events agrees with both;
+2. **Golden regression** — both drivers reproduce, bit-for-bit, the
+   outcomes recorded from the pre-refactor implementations
+   (``tests/data/protocol_goldens.json``, written by
+   ``tools/record_protocol_goldens.py`` before the engine existed)
+   across seeded geometries, α values, and both cache policies;
+3. **CRN determinism** — engine-driven sessions remain byte-identical
+   between serial and ``--jobs`` parallel sweeps.
 """
 
+import json
 import random
+from functools import lru_cache
+from pathlib import Path
 from typing import List
 
 import pytest
 
 from repro.coding.packets import Packetizer
+from repro.protocol import FrameCorrupt, FrameDelivered, RoundEnded, TransferEngine
+from repro.simulation.parallel import SessionTask, map_session_means
+from repro.simulation.parameters import Parameters
 from repro.simulation.runner import simulate_transfer
 from repro.transport.cache import PacketCache
 from repro.transport.channel import WirelessChannel
 from repro.transport.sender import DocumentSender
 from repro.transport.session import transfer_document
+
+GOLDENS_PATH = Path(__file__).resolve().parent / "data" / "protocol_goldens.json"
 
 
 class ScriptedChannel(WirelessChannel):
@@ -117,3 +135,170 @@ class TestEquivalence:
         assert not byte_level.success and not oracle.success
         assert byte_level.frames_sent == oracle.packets_sent
         assert byte_level.rounds == oracle.rounds == 3
+
+
+def drive_engine(script, m, n, content_profile, caching, threshold, max_rounds):
+    """A third §4.2 implementation: the bare engine fed typed events."""
+    engine = TransferEngine(
+        m,
+        n,
+        content_profile=content_profile,
+        caching=caching,
+        relevance_threshold=threshold,
+        max_rounds=max_rounds,
+    )
+    frames_sent = 0
+    cursor = 0
+    terminal = engine.start()
+    while terminal is None:
+        for seq in range(n):
+            corrupt = script[cursor % len(script)]
+            cursor += 1
+            frames_sent += 1
+            event = FrameCorrupt(seq) if corrupt else FrameDelivered(seq)
+            engine.handle(event)
+            terminal = engine.finished
+            if terminal is not None:
+                break
+        else:
+            engine.handle(RoundEnded())
+            terminal = engine.finished
+    return terminal, frames_sent
+
+
+class TestEngineAgreesWithBothDrivers:
+    """The bare engine is the third leg of the parity triangle."""
+
+    @pytest.mark.parametrize("name", list(SCRIPTS))
+    @pytest.mark.parametrize("caching", [True, False])
+    @pytest.mark.parametrize("threshold", [None, 0.4])
+    def test_same_outcome_and_frames(self, name, caching, threshold):
+        script = SCRIPTS[name]
+        byte_level, oracle = run_both(script, caching=caching, threshold=threshold)
+        sender = DocumentSender(Packetizer(packet_size=256, redundancy_ratio=1.5))
+        prepared = sender.prepare_raw("doc", b"D" * 2048)
+        terminal, frames_sent = drive_engine(
+            script,
+            prepared.m,
+            prepared.n,
+            prepared.content_profile,
+            caching=caching,
+            threshold=threshold,
+            max_rounds=10,
+        )
+        from repro.protocol import EarlyStop, Failed
+
+        assert byte_level.success == (not isinstance(terminal, Failed))
+        assert byte_level.terminated_early == isinstance(terminal, EarlyStop)
+        assert byte_level.rounds == terminal.round
+        assert byte_level.frames_sent == frames_sent == oracle.packets_sent
+
+
+# ---------------------------------------------------------------------------
+# Golden regression: pre-refactor outcomes, replayed bit-for-bit
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _goldens():
+    return json.loads(GOLDENS_PATH.read_text())
+
+
+@lru_cache(maxsize=None)
+def _golden_prepared(doc_size: int, gamma: float):
+    sender = DocumentSender(
+        Packetizer(packet_size=_goldens()["packet_size"], redundancy_ratio=gamma)
+    )
+    payload = bytes(range(256)) * (doc_size // 256)
+    return sender.prepare_raw("golden", payload), payload
+
+
+def _case_id(case, keys):
+    return " ".join(f"{key}={case[key]}" for key in keys)
+
+
+class TestGoldenTransportReplay:
+    """Engine-driven session == pre-refactor session, exactly."""
+
+    @pytest.mark.parametrize(
+        "geometry", sorted({(c["doc_size"], c["gamma"]) for c in _goldens()["transport"]})
+    )
+    def test_byte_path_matches_goldens(self, geometry):
+        doc_size, gamma = geometry
+        goldens = _goldens()
+        prepared, payload = _golden_prepared(doc_size, gamma)
+        cases = [
+            c
+            for c in goldens["transport"]
+            if (c["doc_size"], c["gamma"]) == geometry
+        ]
+        assert cases
+        for case in cases:
+            channel = WirelessChannel(
+                alpha=case["alpha"], rng=random.Random(case["seed"])
+            )
+            cache = PacketCache() if case["caching"] else None
+            result = transfer_document(
+                prepared,
+                channel,
+                cache=cache,
+                relevance_threshold=case["threshold"],
+                max_rounds=goldens["max_rounds"],
+            )
+            label = _case_id(case, ("alpha", "caching", "threshold", "seed"))
+            assert result.success == case["success"], label
+            assert result.terminated_early == case["terminated_early"], label
+            assert result.rounds == case["rounds"], label
+            assert result.frames_sent == case["frames_sent"], label
+            assert result.response_time == case["response_time"], label
+            assert result.content_received == case["content_received"], label
+            payload_ok = result.payload == payload if result.payload is not None else None
+            assert payload_ok == case["payload_ok"], label
+
+
+class TestGoldenOracleReplay:
+    """Engine-driven oracle runner == pre-refactor runner, exactly."""
+
+    @pytest.mark.parametrize(
+        "geometry", sorted({(c["m"], c["n"]) for c in _goldens()["oracle"]})
+    )
+    def test_oracle_path_matches_goldens(self, geometry):
+        m, n = geometry
+        goldens = _goldens()
+        cases = [c for c in goldens["oracle"] if (c["m"], c["n"]) == geometry]
+        assert cases
+        for case in cases:
+            profile = [1.0 / m] * m if case["threshold"] is not None else None
+            outcome = simulate_transfer(
+                m=m,
+                n=n,
+                alpha=case["alpha"],
+                packet_time=goldens["packet_time"],
+                rng=random.Random(case["seed"]),
+                caching=case["caching"],
+                relevance_threshold=case["threshold"],
+                content_profile=profile,
+                max_rounds=goldens["max_rounds"],
+            )
+            label = _case_id(case, ("alpha", "caching", "threshold", "seed"))
+            assert outcome.success == case["success"], label
+            assert outcome.terminated_early == case["terminated_early"], label
+            assert outcome.rounds == case["rounds"], label
+            assert outcome.packets_sent == case["packets_sent"], label
+            assert outcome.response_time == case["response_time"], label
+
+
+class TestCrnDeterminismUnderJobs:
+    """Engine-driven sessions stay byte-identical across worker counts."""
+
+    def test_serial_and_parallel_sweeps_agree(self):
+        params = Parameters(repetitions=4, documents_per_session=4)
+        master = random.Random(99)
+        seeds = tuple(master.getrandbits(64) for _ in range(4))
+        tasks = [
+            SessionTask(params, seeds, caching)
+            for caching in (False, True)
+        ]
+        serial = map_session_means(tasks, jobs=1)
+        parallel = map_session_means(tasks, jobs=2)
+        assert serial == parallel  # bit-for-bit, not approx

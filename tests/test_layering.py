@@ -1,0 +1,59 @@
+"""The sans-IO import DAG holds (tier-1 mirror of the CI lint)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import check_layering  # noqa: E402
+
+
+class TestLayeringLint:
+    def test_tree_is_clean(self):
+        assert check_layering.check_tree(REPO / "src" / "repro") == []
+
+    def test_cli_exit_status(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_layering.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "layering OK" in proc.stdout
+
+    def test_violation_detected(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "protocol").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "protocol" / "__init__.py").write_text("")
+        (pkg / "protocol" / "bad.py").write_text(
+            "from repro.transport.channel import WirelessChannel\n"
+        )
+        violations = check_layering.check_tree(pkg)
+        assert len(violations) == 1
+        assert "repro.protocol.bad imports repro.transport.channel" in violations[0]
+
+    def test_driver_importing_session_detected(self, tmp_path):
+        pkg = tmp_path / "repro"
+        (pkg / "simulation").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "simulation" / "__init__.py").write_text("")
+        (pkg / "simulation" / "bad.py").write_text(
+            "import repro.transport.session\n"
+        )
+        violations = check_layering.check_tree(pkg)
+        assert len(violations) == 1
+        assert "repro.simulation.bad imports repro.transport.session" in violations[0]
+
+    def test_sibling_module_prefix_not_confused(self, tmp_path):
+        # repro.transport.session_helpers is NOT repro.transport.session.
+        pkg = tmp_path / "repro"
+        (pkg / "prototype").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "prototype" / "__init__.py").write_text("")
+        (pkg / "prototype" / "ok.py").write_text(
+            "import repro.transport.session_helpers\n"
+        )
+        assert check_layering.check_tree(pkg) == []

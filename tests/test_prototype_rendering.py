@@ -36,6 +36,34 @@ class TestLabelSortKey:
     def test_non_numeric_sorts_first(self):
         assert _label_sort_key("D") < _label_sort_key("0")
 
+    def test_mixed_alpha_pieces_are_totally_ordered(self):
+        # Regression: non-numeric pieces used to collapse to -1, so
+        # "A.2" vs "B.1" compared equal in the first piece and sorted
+        # arbitrarily.  The key is now total and deterministic.
+        assert _label_sort_key("A.2") < _label_sort_key("B.1")
+        assert _label_sort_key("A.2") > _label_sort_key("A.1")
+        labels = ["B.1", "A.2", "A.10", "A.9", "B", "A"]
+        ordered = sorted(labels, key=_label_sort_key)
+        assert ordered == ["A", "A.2", "A.9", "A.10", "B", "B.1"]
+
+    def test_alpha_and_numeric_pieces_do_not_collide(self):
+        # "D" is not the same sort position as any number.
+        keys = {_label_sort_key(label) for label in ["D", "-1", "0", "1"]}
+        assert len(keys) == 4
+
+    def test_title_suffix_strip_is_not_positional(self):
+        # Only the *trailing* marker is stripped (structure.py appends
+        # it); a piece that merely contains the text is left alone.
+        assert _label_sort_key("2 (title)") == _label_sort_key("2")
+        assert _label_sort_key("intro(title)") == _label_sort_key("intro")
+        assert _label_sort_key("(title)x.1") != _label_sort_key("x.1")
+
+    def test_key_is_total_over_mixed_sets(self):
+        labels = ["3.2.1", "A", "1", "2.10", "B.2", "2.2", "0", "10", "D"]
+        ordered = sorted(labels, key=_label_sort_key)
+        # Non-numeric heads first (text order), then numeric in value order.
+        assert ordered == ["A", "B.2", "D", "0", "1", "2.2", "2.10", "3.2.1", "10"]
+
 
 class TestRenderingManager:
     def test_unit_renders_when_fully_covered(self):

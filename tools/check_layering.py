@@ -1,0 +1,150 @@
+"""Layering lint: enforce the sans-IO import DAG (run in CI).
+
+The refactor that introduced :mod:`repro.protocol` only stays honest
+if the dependency directions hold.  This script AST-parses every
+module under ``src/repro`` and fails the build when:
+
+1. ``repro.protocol`` imports any I/O layer — it may only use the
+   standard library, :mod:`repro.obs` (telemetry bridge),
+   :mod:`repro.util`, and itself;
+2. ``repro.simulation`` or ``repro.prototype`` imports
+   ``repro.transport.session`` — the byte driver's internals are not a
+   library for other layers; shared decision logic lives in
+   ``repro.protocol`` (the prototype drives the engine itself, and the
+   oracle runner must not silently fall back to the byte path);
+3. ``repro.obs`` imports any protocol or I/O layer (telemetry is a
+   leaf: everything may report to it, it depends on nothing).
+
+Usage::
+
+    python tools/check_layering.py [--root src/repro]
+
+Exit status 0 when clean, 1 with one ``file:line: message`` per
+violation otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: package prefix → module prefixes it must never import.
+#: Checked against absolute imports of ``repro.*`` (the codebase uses
+#: no relative imports across packages).
+FORBIDDEN: List[Tuple[str, Tuple[str, ...], str]] = [
+    (
+        "repro.protocol",
+        (
+            "repro.transport",
+            "repro.simulation",
+            "repro.prototype",
+            "repro.coding",
+            "repro.cli",
+            "repro.figures",
+            "repro.xmlkit",
+            "repro.htmlkit",
+            "repro.search",
+            "repro.core",
+            "repro.text",
+            "repro.analysis",
+            "repro.data",
+        ),
+        "repro.protocol is sans-IO: only stdlib, repro.obs, and repro.util",
+    ),
+    (
+        "repro.simulation",
+        ("repro.transport.session",),
+        "the oracle runner drives repro.protocol, not the byte driver",
+    ),
+    (
+        "repro.prototype",
+        ("repro.transport.session",),
+        "the prototype drives repro.protocol, not the byte driver",
+    ),
+    (
+        "repro.obs",
+        (
+            "repro.protocol",
+            "repro.transport",
+            "repro.simulation",
+            "repro.prototype",
+            "repro.coding",
+        ),
+        "repro.obs is a leaf: layers report to it, never the reverse",
+    ),
+]
+
+
+def module_name(root: Path, path: Path) -> str:
+    """``src/repro/a/b.py`` → ``repro.a.b`` (packages keep their name)."""
+    relative = path.relative_to(root.parent)
+    parts = list(relative.with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def imported_modules(tree: ast.AST) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, module)`` for every import in *tree*."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is not None and node.level == 0:
+                yield node.lineno, node.module
+
+
+def _violates(imported: str, banned: str) -> bool:
+    return imported == banned or imported.startswith(banned + ".")
+
+
+def check_tree(root: Path) -> List[str]:
+    violations: List[str] = []
+    for path in sorted(root.rglob("*.py")):
+        module = module_name(root, path)
+        rules = [
+            (banned_prefixes, why)
+            for package, banned_prefixes, why in FORBIDDEN
+            if module == package or module.startswith(package + ".")
+        ]
+        if not rules:
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for lineno, imported in imported_modules(tree):
+            for banned_prefixes, why in rules:
+                for banned in banned_prefixes:
+                    if _violates(imported, banned):
+                        violations.append(
+                            f"{path}:{lineno}: {module} imports {imported} ({why})"
+                        )
+    return violations
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=str(Path(__file__).resolve().parent.parent / "src" / "repro"),
+        help="package root to lint (default: src/repro)",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    violations = check_tree(root)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"{len(violations)} layering violation(s)", file=sys.stderr)
+        return 1
+    print("layering OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
