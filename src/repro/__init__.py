@@ -55,7 +55,7 @@ from repro.core import (
     conventional_schedule,
 )
 from repro.coding import Packetizer, RabinDispersal, SystematicRSCodec
-from repro.protocol import DEFAULT_MAX_ROUNDS, TransferEngine
+from repro.protocol import DEFAULT_MAX_ROUNDS, DEFAULT_ROUND_TIMEOUT, TransferEngine
 from repro.analysis import (
     AdaptiveRedundancyController,
     minimal_cooked_packets,
@@ -99,6 +99,7 @@ __all__ = [
     "AdaptiveRedundancyController",
     # protocol
     "DEFAULT_MAX_ROUNDS",
+    "DEFAULT_ROUND_TIMEOUT",
     "TransferEngine",
     # transport
     "WirelessChannel",

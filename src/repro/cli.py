@@ -29,7 +29,7 @@ from repro.core.multires import TransmissionSchedule
 from repro.core.pipeline import SCPipeline
 from repro.core.query import Query
 from repro.htmlkit.extract import html_to_research_paper
-from repro.protocol import DEFAULT_MAX_ROUNDS
+from repro.protocol import DEFAULT_MAX_ROUNDS, DEFAULT_ROUND_TIMEOUT
 from repro.text.keywords import KeywordExtractor
 from repro.transport.cache import PacketCache
 from repro.transport.channel import WirelessChannel
@@ -165,6 +165,196 @@ def cmd_transfer(args) -> int:
     return 0 if result.success else 1
 
 
+def _build_net_store(args):
+    """Cook every XML path into a served PreparedDocument keyed by stem."""
+    from repro.net.server import DocumentStore
+
+    store = DocumentStore()
+    for path in args.paths:
+        document_id = Path(path).stem
+        pipeline = SCPipeline()
+        document = _load_document(path, getattr(args, "html", False))
+        sc = pipeline.run(document)
+        query = None
+        query_text = getattr(args, "query", "") or ""
+        if query_text.strip():
+            extractor = KeywordExtractor(lemmatizer=pipeline.shared_lemmatizer)
+            query = Query(query_text, extractor=extractor)
+        annotate_sc(sc, query=query)
+        measure = "mqic" if query is not None and not query.is_empty else "ic"
+        schedule = TransmissionSchedule(sc, lod=LOD[args.lod.upper()], measure=measure)
+        sender = DocumentSender(
+            Packetizer(packet_size=args.packet_size, redundancy_ratio=args.gamma)
+        )
+        store.add(sender.prepare(document_id, schedule))
+        print(f"serving {document_id!r} from {path}")
+    return store
+
+
+def cmd_net_serve(args) -> int:
+    """Serve cooked documents over TCP until interrupted."""
+    import asyncio
+
+    from repro.net.server import NetServer
+
+    async def _serve() -> int:
+        if getattr(args, "via_broker", False):
+            from repro.prototype.broker import ObjectRequestBroker
+            from repro.prototype.netmode import serve_broker
+            from repro.prototype.server import (
+                DatabaseGateway,
+                DocumentTransmitterService,
+            )
+
+            gateway = DatabaseGateway()
+            for path in args.paths:
+                document_id = Path(path).stem
+                gateway.put(document_id, Path(path).read_text(encoding="utf-8"))
+                print(f"serving {document_id!r} from {path} (via broker)")
+            broker = ObjectRequestBroker()
+            broker.register(
+                "transmitter",
+                DocumentTransmitterService(gateway, packet_size=args.packet_size),
+            )
+            server = await serve_broker(
+                broker,
+                args.host,
+                args.port,
+                query_text=args.query,
+                lod_name=args.lod,
+                gamma=args.gamma,
+                max_rounds=args.max_rounds,
+                round_timeout=args.round_timeout,
+            )
+        else:
+            store = _build_net_store(args)
+            server = NetServer(
+                store,
+                args.host,
+                args.port,
+                max_rounds=args.max_rounds,
+                round_timeout=args.round_timeout,
+            )
+            await server.start()
+        print(f"listening on {server.host}:{server.port} (ctrl-c to stop)")
+        try:
+            await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+            stats = server.stats
+            print(
+                f"served {stats['completed']} transfer(s), "
+                f"{stats['rounds_served']} round(s), "
+                f"{stats['frames_sent']} frame(s)"
+            )
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_net_fetch(args) -> int:
+    """Fetch one document from a running net server."""
+    import asyncio
+
+    from repro.net import ConnectionLost, NetClient, WireError
+
+    client = NetClient(
+        args.host,
+        args.port,
+        cache=PacketCache() if args.cache else None,
+        relevance_threshold=args.stop_at,
+        max_rounds=args.max_rounds,
+        round_timeout=args.round_timeout,
+        max_reconnects=args.max_reconnects,
+    )
+    try:
+        result = asyncio.run(client.fetch(args.document_id))
+    except (ConnectionLost, WireError, OSError) as exc:
+        print(f"error: {exc}")
+        return 2
+    status = (
+        "early-stop" if result.terminated_early
+        else ("ok" if result.success else "FAILED")
+    )
+    size = len(result.payload) if result.payload is not None else 0
+    print(
+        f"{status}: {result.document_id} in {result.elapsed:.3f}s, "
+        f"{result.rounds} round(s), {result.frames_received} frame(s), "
+        f"{result.reconnects} reconnect(s), "
+        f"content={result.content_received:.3f}, {size} byte(s)"
+    )
+    if args.out and result.payload is not None:
+        Path(args.out).write_bytes(result.payload)
+        print(f"wrote {size} byte(s) -> {args.out}")
+    return 0 if result.success else 1
+
+
+def cmd_net_loadgen(args) -> int:
+    """Fan out concurrent fetches, optionally through a chaos proxy."""
+    import asyncio
+
+    from repro.net import ChaosProxy, run_loadgen
+
+    async def _run():
+        proxy = None
+        host, port = args.host, args.port
+        chaos = args.chaos_drop > 0 or args.chaos_corrupt > 0 or args.chaos_disconnect > 0
+        if chaos:
+            proxy = ChaosProxy(
+                args.host,
+                args.port,
+                rng=random.Random(args.seed),
+                drop=args.chaos_drop,
+                corrupt=args.chaos_corrupt,
+                disconnect=args.chaos_disconnect,
+            )
+            await proxy.start()
+            host, port = proxy.host, proxy.port
+            print(
+                f"chaos proxy on {host}:{port} "
+                f"(drop={args.chaos_drop:g} corrupt={args.chaos_corrupt:g} "
+                f"disconnect={args.chaos_disconnect:g} seed={args.seed})"
+            )
+        try:
+            report, _results = await run_loadgen(
+                host,
+                port,
+                args.document_id,
+                clients=args.clients,
+                use_cache=args.cache,
+                relevance_threshold=args.stop_at,
+                max_rounds=args.max_rounds,
+                round_timeout=args.round_timeout,
+                max_reconnects=args.max_reconnects,
+            )
+        finally:
+            if proxy is not None:
+                await proxy.stop()
+                print(f"proxy stats: {proxy.stats}")
+        return report
+
+    report = asyncio.run(_run())
+    print(
+        f"{report.succeeded}/{report.clients} succeeded "
+        f"({report.decoded} decoded, {report.early_stopped} early-stop, "
+        f"{report.failed} failed), {report.reconnects} reconnect(s)"
+    )
+    print(
+        f"latency: mean={report.mean_seconds:.3f}s p50={report.p50_seconds:.3f}s "
+        f"p90={report.p90_seconds:.3f}s p99={report.p99_seconds:.3f}s"
+    )
+    print(
+        f"throughput: {report.fetches_per_second:.1f} fetches/s, "
+        f"{report.payload_bytes} payload byte(s) in {report.elapsed:.3f}s"
+    )
+    return 0 if report.failed == 0 else 1
+
+
 def cmd_obs_summary(args) -> int:
     """Summarize a telemetry JSONL trace (timeline + histogram table)."""
     from repro.obs.summary import print_summary
@@ -292,6 +482,67 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = cpu count; default: $REPRO_JOBS, else 1)",
     )
     p_fig.set_defaults(func=cmd_figure)
+
+    p_net = sub.add_parser("net", help="run the §4.2 protocol over real sockets")
+    net_sub = p_net.add_subparsers(dest="net_command", required=True)
+
+    p_serve = net_sub.add_parser("serve", help="serve cooked documents over TCP")
+    p_serve.add_argument("paths", nargs="+", help="XML document file(s) to serve")
+    p_serve.add_argument("--html", action="store_true", help="treat inputs as HTML")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="listen port (0 picks a free port)")
+    p_serve.add_argument("--query", default="", help="query for MQIC ordering")
+    p_serve.add_argument("--lod", default="paragraph",
+                         choices=[lod.name.lower() for lod in LOD])
+    p_serve.add_argument("--gamma", type=float, default=1.5)
+    p_serve.add_argument("--packet-size", type=int, default=256)
+    p_serve.add_argument("--max-rounds", type=int, default=DEFAULT_MAX_ROUNDS)
+    p_serve.add_argument("--round-timeout", type=float,
+                         default=DEFAULT_ROUND_TIMEOUT, metavar="SECONDS")
+    p_serve.add_argument("--via-broker", action="store_true",
+                         help="route each fetch through the prototype ORB "
+                              "(interceptors see networked requests)")
+    p_serve.set_defaults(func=cmd_net_serve)
+
+    p_fetch = net_sub.add_parser("fetch", help="fetch one document from a server")
+    p_fetch.add_argument("document_id")
+    p_fetch.add_argument("--host", default="127.0.0.1")
+    p_fetch.add_argument("--port", type=int, default=8642)
+    p_fetch.add_argument("--no-cache", dest="cache", action="store_false",
+                         help="disable the §4.2 packet cache (no resume)")
+    p_fetch.add_argument("--stop-at", type=float, default=None,
+                         help="relevance threshold F for early termination")
+    p_fetch.add_argument("--max-rounds", type=int, default=DEFAULT_MAX_ROUNDS)
+    p_fetch.add_argument("--round-timeout", type=float,
+                         default=DEFAULT_ROUND_TIMEOUT, metavar="SECONDS")
+    p_fetch.add_argument("--max-reconnects", type=int, default=4)
+    p_fetch.add_argument("--out", default=None, metavar="PATH",
+                         help="write the reconstructed document to PATH")
+    p_fetch.set_defaults(func=cmd_net_fetch)
+
+    p_load = net_sub.add_parser(
+        "loadgen", help="fan out concurrent fetches, optionally through chaos"
+    )
+    p_load.add_argument("document_id")
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, default=8642)
+    p_load.add_argument("--clients", type=int, default=50)
+    p_load.add_argument("--no-cache", dest="cache", action="store_false")
+    p_load.add_argument("--stop-at", type=float, default=None)
+    p_load.add_argument("--max-rounds", type=int, default=DEFAULT_MAX_ROUNDS)
+    p_load.add_argument("--round-timeout", type=float,
+                        default=DEFAULT_ROUND_TIMEOUT, metavar="SECONDS")
+    p_load.add_argument("--max-reconnects", type=int, default=4)
+    p_load.add_argument("--chaos-drop", type=float, default=0.0,
+                        help="per-frame drop probability (in-process proxy)")
+    p_load.add_argument("--chaos-corrupt", type=float, default=0.0,
+                        help="per-frame corruption probability alpha")
+    p_load.add_argument("--chaos-disconnect", type=float, default=0.0,
+                        help="per-frame disconnect probability")
+    p_load.add_argument("--seed", type=int, default=0,
+                        help="chaos fault-plan seed")
+    p_load.set_defaults(func=cmd_net_loadgen)
 
     p_obs = sub.add_parser(
         "obs-summary",

@@ -1,0 +1,70 @@
+"""repro.net — the §4.2 protocol over real sockets.
+
+The asyncio network layer: a :class:`NetServer` streams cooked frames
+over TCP behind a length-prefixed wire codec
+(:mod:`repro.net.wire`), a :class:`NetClient` drives the sans-IO
+:class:`~repro.protocol.TransferEngine` against the socket with
+reconnect-and-resume from the packet cache, a :class:`ChaosProxy`
+replays seeded :class:`~repro.protocol.FaultPlan` schedules (drop /
+corrupt / disconnect) against the live byte stream, and
+:func:`run_loadgen` fans out concurrent fetches with latency
+percentiles.  See ``docs/networking.md`` for the wire format and the
+chaos-testing recipe.
+
+Layering: this package sits beside :mod:`repro.transport` — it may
+import the protocol engine, the coding/framing layer, transport's
+sender/cache state, and telemetry, but never the simulators, the
+prototype, or the CLI (enforced by ``tools/check_layering.py``).
+"""
+
+from repro.net.chaos import ChaosProxy
+from repro.net.client import FETCH_BUCKETS, NetClient, NetFetchResult
+from repro.net.loadgen import LoadgenReport, run_loadgen
+from repro.net.server import DocumentStore, NetServer
+from repro.net.wire import (
+    ENVELOPE_OVERHEAD,
+    MAX_MESSAGE_SIZE,
+    MESSAGE_NAMES,
+    MSG_DONE,
+    MSG_ERROR,
+    MSG_FRAME,
+    MSG_HELLO,
+    MSG_MANIFEST,
+    MSG_NEXT_ROUND,
+    MSG_ROUND_END,
+    ConnectionLost,
+    WireError,
+    decode_json,
+    encode_json,
+    encode_message,
+    read_expected,
+    read_message,
+)
+
+__all__ = [
+    "NetServer",
+    "DocumentStore",
+    "NetClient",
+    "NetFetchResult",
+    "FETCH_BUCKETS",
+    "ChaosProxy",
+    "run_loadgen",
+    "LoadgenReport",
+    "WireError",
+    "ConnectionLost",
+    "encode_message",
+    "encode_json",
+    "decode_json",
+    "read_message",
+    "read_expected",
+    "MESSAGE_NAMES",
+    "MAX_MESSAGE_SIZE",
+    "ENVELOPE_OVERHEAD",
+    "MSG_HELLO",
+    "MSG_MANIFEST",
+    "MSG_FRAME",
+    "MSG_ROUND_END",
+    "MSG_NEXT_ROUND",
+    "MSG_DONE",
+    "MSG_ERROR",
+]

@@ -1,0 +1,111 @@
+"""Concurrent load generator for the networked §4.2 protocol.
+
+:func:`run_loadgen` fans out N concurrent :class:`NetClient` fetches
+of one document — each client with its own packet cache, so every
+chaos-induced disconnect exercises reconnect-and-resume — and folds
+the outcomes into a :class:`LoadgenReport` with wall-clock latency
+percentiles (via :func:`repro.util.stats.percentile`) and effective
+throughput.  With telemetry enabled every fetch also lands in the
+``net.*`` metric family (``net.fetch_seconds``, ``net.fetches``,
+``net.reconnects``), so ``repro obs-summary`` can dissect a run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.net.client import NetClient, NetFetchResult
+from repro.net.wire import ConnectionLost, WireError
+from repro.protocol import DEFAULT_MAX_ROUNDS, DEFAULT_ROUND_TIMEOUT
+from repro.transport.cache import PacketCache
+from repro.util.stats import mean, percentile
+
+
+class LoadgenReport(NamedTuple):
+    """Aggregate outcome of one load-generation run."""
+
+    clients: int
+    succeeded: int             # decoded or early-stopped
+    decoded: int
+    early_stopped: int
+    failed: int                # Failed verdicts plus unreachable-server errors
+    reconnects: int            # total redials across all clients
+    elapsed: float             # wall-clock seconds for the whole fan-out
+    mean_seconds: float
+    p50_seconds: float
+    p90_seconds: float
+    p99_seconds: float
+    fetches_per_second: float
+    payload_bytes: int         # total reconstructed bytes across clients
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    document_id: str,
+    *,
+    clients: int = 50,
+    use_cache: bool = True,
+    relevance_threshold: Optional[float] = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    round_timeout: float = DEFAULT_ROUND_TIMEOUT,
+    max_reconnects: int = 4,
+    backend: Optional[object] = None,
+) -> Tuple[LoadgenReport, List[Optional[NetFetchResult]]]:
+    """Fetch *document_id* with *clients* concurrent connections.
+
+    Returns the aggregate report plus the per-client results (``None``
+    for a client that never reached the server).  Never raises on
+    per-client failures — an unreachable server is just ``failed``
+    clients in the report.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+
+    async def one_fetch(index: int) -> Optional[NetFetchResult]:
+        client = NetClient(
+            host,
+            port,
+            cache=PacketCache() if use_cache else None,
+            relevance_threshold=relevance_threshold,
+            max_rounds=max_rounds,
+            round_timeout=round_timeout,
+            max_reconnects=max_reconnects,
+            backend=backend,
+        )
+        try:
+            return await client.fetch(document_id)
+        except (ConnectionLost, WireError, OSError):
+            return None
+
+    started = time.monotonic()
+    results = list(
+        await asyncio.gather(*(one_fetch(index) for index in range(clients)))
+    )
+    elapsed = time.monotonic() - started
+
+    reached = [result for result in results if result is not None]
+    latencies = sorted(result.elapsed for result in reached)
+    decoded = sum(1 for result in reached if result.status == "decoded")
+    early = sum(1 for result in reached if result.status == "early_stop")
+    failed = clients - decoded - early
+    report = LoadgenReport(
+        clients=clients,
+        succeeded=decoded + early,
+        decoded=decoded,
+        early_stopped=early,
+        failed=failed,
+        reconnects=sum(result.reconnects for result in reached),
+        elapsed=elapsed,
+        mean_seconds=mean(latencies) if latencies else 0.0,
+        p50_seconds=percentile(latencies, 50.0) if latencies else 0.0,
+        p90_seconds=percentile(latencies, 90.0) if latencies else 0.0,
+        p99_seconds=percentile(latencies, 99.0) if latencies else 0.0,
+        fetches_per_second=clients / elapsed if elapsed > 0 else 0.0,
+        payload_bytes=sum(
+            len(result.payload) for result in reached if result.payload is not None
+        ),
+    )
+    return report, results

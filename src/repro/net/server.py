@@ -1,0 +1,402 @@
+"""Asyncio TCP server streaming cooked documents to §4.2 clients.
+
+:class:`NetServer` is the networked counterpart of the in-process
+drivers: it frames cooked packets over real sockets and leaves every
+protocol decision to the client-side
+:class:`~repro.protocol.TransferEngine`.  What the server owns is the
+I/O discipline the paper's broker needs on a weak link:
+
+* one transfer session per connection, each with its **own engine
+  instance** doing the server-side round bookkeeping (the engine's
+  retransmission bound stops a client that asks for rounds forever);
+* a **bounded send queue** per connection — the handler blocks when a
+  slow reader stops draining the socket, so a stalled client holds at
+  most ``send_queue_frames`` frames of server memory (backpressure,
+  not buffering);
+* **idle/stall timeouts** — every wait on the peer is bounded by the
+  shared :data:`repro.protocol.DEFAULT_ROUND_TIMEOUT`, and total
+  rounds by :data:`repro.protocol.DEFAULT_MAX_ROUNDS`;
+* **graceful drain** on shutdown: stop accepting, let in-flight
+  transfers finish within a deadline, then cancel stragglers.
+
+Resume support: a ``HELLO`` (or ``NEXT_ROUND``) listing cached intact
+sequences makes the next round skip them — a reconnecting client only
+pays for the packets it is missing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Iterable, Optional, Set
+
+from repro.net.wire import (
+    MSG_DONE,
+    MSG_ERROR,
+    MSG_FRAME,
+    MSG_HELLO,
+    MSG_MANIFEST,
+    MSG_NEXT_ROUND,
+    MSG_ROUND_END,
+    ConnectionLost,
+    WireError,
+    decode_json,
+    encode_json,
+    encode_message,
+    read_expected,
+)
+from repro.obs.runtime import OBS
+from repro.protocol import DEFAULT_MAX_ROUNDS, DEFAULT_ROUND_TIMEOUT, TransferEngine
+from repro.transport.sender import PreparedDocument
+
+
+class DocumentStore:
+    """Trivial in-memory document_id → :class:`PreparedDocument` store.
+
+    Anything with a ``get(document_id)`` returning a
+    ``PreparedDocument`` or ``None`` satisfies the server's store
+    contract (a plain dict works); this class exists for the common
+    case and for symmetry with the prototype's gateway-backed store.
+    """
+
+    def __init__(self) -> None:
+        self._documents: Dict[str, PreparedDocument] = {}
+
+    def add(self, prepared: PreparedDocument) -> None:
+        self._documents[prepared.document_id] = prepared
+
+    def get(self, document_id: str) -> Optional[PreparedDocument]:
+        return self._documents.get(document_id)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+
+class _BoundedSender:
+    """Bounded send queue + writer task for one connection.
+
+    ``send`` blocks once ``capacity`` messages are queued and the
+    writer task is stuck in ``drain()`` against a slow reader — that
+    block *is* the backpressure propagating to the round streamer.
+    After a write failure the queue keeps draining (discarding) so a
+    blocked producer can never deadlock; the failure resurfaces on the
+    next ``send``/``flush``.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter, capacity: int) -> None:
+        self._writer = writer
+        self._queue: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue(capacity)
+        self._failure: Optional[ConnectionLost] = None
+        self.high_water = 0
+        self.bytes_sent = 0
+        self._task = asyncio.ensure_future(self._run())
+
+    async def send(self, data: bytes) -> None:
+        if self._failure is not None:
+            raise self._failure
+        await self._queue.put(data)
+        depth = self._queue.qsize()
+        if depth > self.high_water:
+            self.high_water = depth
+
+    async def flush(self) -> None:
+        """Wait until everything queued so far is on the socket."""
+        await self._queue.join()
+        if self._failure is not None:
+            raise self._failure
+
+    async def close(self) -> None:
+        await self._queue.put(None)
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+
+    def abort(self) -> None:
+        self._task.cancel()
+
+    async def _run(self) -> None:
+        while True:
+            data = await self._queue.get()
+            try:
+                if data is None:
+                    return
+                if self._failure is None:
+                    try:
+                        self._writer.write(data)
+                        await self._writer.drain()
+                        self.bytes_sent += len(data)
+                    except (ConnectionError, OSError) as exc:
+                        self._failure = ConnectionLost(str(exc))
+            finally:
+                self._queue.task_done()
+
+
+class NetServer:
+    """Serve §4.2 document transfers over TCP; see the module docstring.
+
+    Parameters
+    ----------
+    store:
+        ``get(document_id) -> Optional[PreparedDocument]`` provider.
+    host, port:
+        Bind address; port 0 picks a free port (read :attr:`port`
+        after :meth:`start`).
+    max_rounds:
+        Server-side retransmission bound per connection.
+    round_timeout:
+        Wall-clock bound on every wait for the peer (seconds).
+    send_queue_frames:
+        Capacity of the per-connection bounded send queue.
+    """
+
+    def __init__(
+        self,
+        store,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        round_timeout: float = DEFAULT_ROUND_TIMEOUT,
+        send_queue_frames: int = 32,
+    ) -> None:
+        if round_timeout <= 0:
+            raise ValueError(f"round_timeout must be positive, got {round_timeout}")
+        if send_queue_frames < 1:
+            raise ValueError(
+                f"send_queue_frames must be >= 1, got {send_queue_frames}"
+            )
+        self.store = store
+        self.host = host
+        self.port = port
+        self.max_rounds = max_rounds
+        self.round_timeout = round_timeout
+        self.send_queue_frames = send_queue_frames
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._draining = False
+        #: Plain counters for tests and diagnostics (always on, unlike
+        #: the OBS-gated ``net.*`` metric family).
+        self.stats: Dict[str, int] = {
+            "connections": 0,
+            "completed": 0,
+            "client_gone": 0,
+            "timeouts": 0,
+            "errors": 0,
+            "rounds_served": 0,
+            "frames_sent": 0,
+            "bytes_sent": 0,
+            "resumed_frames_skipped": 0,
+            "sendq_high_water": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("NetServer.start() called twice")
+        self._server = await asyncio.start_server(
+            self._accept, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self, drain_timeout: Optional[float] = None) -> None:
+        """Graceful drain: refuse new work, finish in-flight transfers.
+
+        Waits up to *drain_timeout* seconds (default: the round
+        timeout) for active connections, then cancels whatever is
+        left.  Safe to call twice.
+        """
+        if self._server is None:
+            return
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        if drain_timeout is None:
+            drain_timeout = self.round_timeout
+        active = {task for task in self._connections if not task.done()}
+        if active and drain_timeout > 0:
+            await asyncio.wait(active, timeout=drain_timeout)
+        for task in self._connections:
+            if not task.done():
+                task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._connections.clear()
+
+    def kill(self) -> None:
+        """Hard stop: drop the listener and abort every connection now.
+
+        The chaos-test counterpart of :meth:`stop` — clients see a
+        reset mid-round, exactly like a crashed broker.
+        """
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        for task in self._connections:
+            task.cancel()
+
+    @property
+    def active_connections(self) -> int:
+        return sum(1 for task in self._connections if not task.done())
+
+    async def __aenter__(self) -> "NetServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- connection handling -----------------------------------------------
+
+    def _accept(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        if self._draining:
+            writer.close()
+            return
+        task = asyncio.ensure_future(self._handle(reader, writer))
+        self._connections.add(task)
+        task.add_done_callback(self._connections.discard)
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats["connections"] += 1
+        if OBS.enabled:
+            OBS.metrics.gauge(
+                "net.active_connections", "transfers in flight"
+            ).inc()
+        sender = _BoundedSender(writer, self.send_queue_frames)
+        outcome = "error"
+        try:
+            outcome = await self._serve_transfer(reader, sender)
+        except asyncio.TimeoutError:
+            outcome = "timeout"
+            self.stats["timeouts"] += 1
+        except ConnectionLost:
+            outcome = "client_gone"
+            self.stats["client_gone"] += 1
+        except WireError as exc:
+            self.stats["errors"] += 1
+            try:
+                await sender.send(encode_json(MSG_ERROR, {"message": str(exc)}))
+                await sender.flush()
+            except ConnectionLost:
+                pass
+        except asyncio.CancelledError:
+            outcome = "cancelled"
+            sender.abort()
+            raise
+        finally:
+            self.stats["bytes_sent"] += sender.bytes_sent
+            if sender.high_water > self.stats["sendq_high_water"]:
+                self.stats["sendq_high_water"] = sender.high_water
+            await sender.close()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            if OBS.enabled:
+                OBS.metrics.gauge("net.active_connections").dec()
+                OBS.metrics.counter(
+                    "net.connections", "transfer connections served"
+                ).labels(outcome=outcome).inc()
+
+    async def _serve_transfer(
+        self, reader: asyncio.StreamReader, sender: _BoundedSender
+    ) -> str:
+        _, body = await asyncio.wait_for(
+            read_expected(reader, MSG_HELLO), self.round_timeout
+        )
+        hello = decode_json(body)
+        document_id = str(hello.get("doc", ""))
+        prepared = self.store.get(document_id)
+        if prepared is None:
+            await sender.send(
+                encode_json(MSG_ERROR, {"message": f"unknown document {document_id!r}"})
+            )
+            await sender.flush()
+            self.stats["errors"] += 1
+            return "unknown_document"
+        skip = self._valid_sequences(hello.get("have", ()), prepared.n)
+
+        # Per-connection engine: the server never sees frame outcomes
+        # (the client decides), so its engine instance only does the
+        # round bookkeeping — and enforces the retransmission bound
+        # against clients that keep asking.
+        engine = TransferEngine(
+            prepared.m,
+            prepared.n,
+            max_rounds=self.max_rounds,
+            document_id=document_id,
+        )
+        engine.start()
+
+        cooked = prepared.cooked
+        await sender.send(
+            encode_json(
+                MSG_MANIFEST,
+                {
+                    "doc": document_id,
+                    "m": prepared.m,
+                    "n": prepared.n,
+                    "packet_size": cooked.packet_size,
+                    "original_size": cooked.original_size,
+                    "systematic": bool(getattr(cooked.codec, "systematic", False)),
+                    "profile": list(prepared.content_profile),
+                    "skip": sorted(skip),
+                },
+            )
+        )
+
+        frames = prepared.frames()
+        while True:
+            sent = 0
+            for sequence, wire in enumerate(frames):
+                if sequence in skip:
+                    self.stats["resumed_frames_skipped"] += 1
+                    continue
+                await sender.send(encode_message(MSG_FRAME, wire))
+                sent += 1
+            self.stats["frames_sent"] += sent
+            self.stats["rounds_served"] += 1
+            if OBS.enabled:
+                OBS.metrics.counter("net.frames_sent", "cooked frames streamed").inc(
+                    sent
+                )
+                OBS.metrics.counter("net.rounds_served", "rounds streamed").inc()
+            await sender.send(
+                encode_json(MSG_ROUND_END, {"round": engine.round, "sent": sent})
+            )
+            await sender.flush()
+
+            msg_type, body = await asyncio.wait_for(
+                read_expected(reader, MSG_NEXT_ROUND, MSG_DONE), self.round_timeout
+            )
+            if msg_type == MSG_DONE:
+                self.stats["completed"] += 1
+                return str(decode_json(body).get("status", "done"))
+            request = decode_json(body)
+            skip = self._valid_sequences(request.get("have", ()), prepared.n)
+            if engine.on_round_ended(carried=True) is not None:
+                # Server-side retransmission bound: refuse more rounds.
+                await sender.send(
+                    encode_json(
+                        MSG_ERROR,
+                        {"message": f"retransmission bound {self.max_rounds} exhausted"},
+                    )
+                )
+                await sender.flush()
+                self.stats["errors"] += 1
+                return "round_bound"
+
+    @staticmethod
+    def _valid_sequences(have: Iterable[object], n: int) -> Set[int]:
+        valid: Set[int] = set()
+        if not isinstance(have, (list, tuple)):
+            return valid
+        for entry in have:
+            if isinstance(entry, int) and 0 <= entry < n:
+                valid.add(entry)
+        return valid

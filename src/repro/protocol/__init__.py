@@ -11,7 +11,11 @@ lint (``tools/check_layering.py``) enforces this in CI.
 """
 
 from repro.protocol.bridge import TelemetryBridge
-from repro.protocol.engine import DEFAULT_MAX_ROUNDS, TransferEngine
+from repro.protocol.engine import (
+    DEFAULT_MAX_ROUNDS,
+    DEFAULT_ROUND_TIMEOUT,
+    TransferEngine,
+)
 from repro.protocol.events import (
     Decoded,
     EarlyStop,
@@ -27,13 +31,15 @@ from repro.protocol.events import (
     Stalled,
     TERMINAL_EFFECTS,
 )
-from repro.protocol.faults import FaultInjector
+from repro.protocol.faults import FaultInjector, FaultPlan
 
 __all__ = [
     "DEFAULT_MAX_ROUNDS",
+    "DEFAULT_ROUND_TIMEOUT",
     "TransferEngine",
     "TelemetryBridge",
     "FaultInjector",
+    "FaultPlan",
     "FrameDelivered",
     "FrameCorrupt",
     "FrameLost",

@@ -63,6 +63,16 @@ from repro.protocol.events import (
 #: eventually give up.
 DEFAULT_MAX_ROUNDS = 100
 
+#: The one round-timeout shared by every driver, in seconds: a round
+#: that takes longer than this means the link is effectively dead and
+#: the driver gives up instead of retrying.  Simulated drivers measure
+#: it in channel time (a full 255-frame round at 19.2 kbps is ~28 s,
+#: well under the bound), the asyncio network layer in wall-clock time
+#: (each socket read while a round is in flight must complete within
+#: it).  Drivers report the give-up through :meth:`TransferEngine.abort`
+#: so the stall telemetry still flows through the single bridge site.
+DEFAULT_ROUND_TIMEOUT = 60.0
+
 
 class TransferEngine:
     """Pure state machine for one §4.2 document transfer.
@@ -347,6 +357,26 @@ class TransferEngine:
         if bridge is not None and OBS.enabled:
             bridge.round_start(self.round)
         return None
+
+    def abort(self) -> Effect:
+        """Driver-initiated failure: the link is dead, stop retrying.
+
+        Used when a driver's round timeout expires (simulated channel
+        time or wall-clock, per :data:`DEFAULT_ROUND_TIMEOUT`) or when
+        reconnection attempts are exhausted.  Emits the stall telemetry
+        for the unfinished round, then terminates with
+        :class:`~repro.protocol.events.Failed` — so an aborted transfer
+        traces exactly like one that exhausted the retransmission
+        bound.  Idempotent once terminal.
+        """
+        if self._terminal is not None:
+            return self._terminal
+        aborted_round = max(1, self.round)
+        intact = len(self._intact)
+        self._last_stall = Stalled(aborted_round, intact)
+        if self._bridge is not None and OBS.enabled:
+            self._bridge.stalled(aborted_round, intact)
+        return self._finish(Failed(aborted_round, intact))
 
     # -- typed-event dispatch ----------------------------------------------
 

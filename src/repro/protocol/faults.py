@@ -9,6 +9,13 @@ window — under its own seeded RNG, so fault schedules are reproducible
 and independent of the driver's channel RNG (common-random-numbers
 discipline: the injector never draws from the driver's stream).
 
+The *decision* core lives in :class:`FaultPlan` so the same seeded
+drop/corrupt/disconnect schedule can also be applied to live byte
+streams: the asyncio :class:`repro.net.chaos.ChaosProxy` consults a
+plan per forwarded frame, mapping ``drop`` to a swallowed message,
+``corrupt`` to garbled payload bytes (caught by the frame CRC), and
+``disconnect`` to a severed TCP connection.
+
 Typical use in a test or chaos experiment::
 
     engine = TransferEngine(m, n, ...)
@@ -34,37 +41,45 @@ from repro.protocol.events import (
     InputEvent,
 )
 
+#: The four verdicts a :class:`FaultPlan` can return for one frame.
+PASS = "pass"
+DROP = "drop"
+CORRUPT = "corrupt"
+DISCONNECT = "disconnect"
 
-class FaultInjector:
-    """Rewrites ``FrameDelivered`` events into losses/corruption.
+
+class FaultPlan:
+    """Seeded per-frame drop/corrupt/disconnect schedule.
+
+    One :meth:`decide` call consumes the schedule for one frame and
+    returns a verdict: :data:`PASS` (deliver untouched), :data:`DROP`
+    (the frame is lost), :data:`CORRUPT` (the frame arrives damaged),
+    or :data:`DISCONNECT` (a disconnection window opens — this frame
+    is lost, and the next ``outage_events - 1`` frames return
+    :data:`DROP` unconditionally).
+
+    The draw order is fixed — disconnect, then drop, then corrupt,
+    each drawn only when its probability is positive — so a seeded
+    plan produces the same schedule whether it is consumed by the
+    event-level :class:`FaultInjector` or by a byte-level proxy.
 
     Parameters
     ----------
-    engine:
-        The wrapped transfer engine.
     rng:
-        Dedicated seeded RNG; one draw per ``FrameDelivered`` (plus one
-        per disconnection decision), never shared with the driver.
+        Dedicated seeded RNG; one draw per positive-probability fault
+        class per frame, never shared with the driver.
     drop:
-        Probability a delivered frame is silently converted to
-        :class:`~repro.protocol.events.FrameLost`.
+        Probability a frame is silently lost.
     corrupt:
-        Probability a delivered frame is converted to
-        :class:`~repro.protocol.events.FrameCorrupt` (CRC failure).
+        Probability a frame arrives damaged (CRC failure).
     disconnect:
-        Probability, evaluated per delivered frame while connected,
-        that a disconnection window opens.
+        Probability, evaluated per frame while connected, that a
+        disconnection window opens.
     outage_events:
-        Length of a disconnection window: that many subsequent
-        ``FrameDelivered`` events become ``FrameLost`` unconditionally.
-
-    ``RoundEnded`` and already-degraded events pass through untouched —
-    the injector only ever makes the channel worse, so protocol
-    invariants (termination, bounds) are preserved by construction.
+        Length of a disconnection window, counted in frames.
     """
 
     __slots__ = (
-        "engine",
         "rng",
         "drop",
         "corrupt",
@@ -78,7 +93,6 @@ class FaultInjector:
 
     def __init__(
         self,
-        engine: TransferEngine,
         *,
         rng: Optional[random.Random] = None,
         drop: float = 0.0,
@@ -91,7 +105,6 @@ class FaultInjector:
                 raise ValueError(f"{name} must be a probability, got {p}")
         if outage_events < 0:
             raise ValueError(f"outage_events must be >= 0, got {outage_events}")
-        self.engine = engine
         self.rng = rng if rng is not None else random.Random(0)
         self.drop = drop
         self.corrupt = corrupt
@@ -107,6 +120,100 @@ class FaultInjector:
         """True while a disconnection window is swallowing frames."""
         return self._outage_left > 0
 
+    def decide(self) -> str:
+        """Consume the schedule for one frame and return its verdict."""
+        if self._outage_left > 0:
+            self._outage_left -= 1
+            self.dropped += 1
+            return DROP
+        if self.disconnect > 0.0 and self.rng.random() < self.disconnect:
+            self.outages += 1
+            self._outage_left = max(0, self.outage_events - 1)
+            self.dropped += 1
+            return DISCONNECT
+        if self.drop > 0.0 and self.rng.random() < self.drop:
+            self.dropped += 1
+            return DROP
+        if self.corrupt > 0.0 and self.rng.random() < self.corrupt:
+            self.corrupted += 1
+            return CORRUPT
+        return PASS
+
+
+class FaultInjector:
+    """Rewrites ``FrameDelivered`` events into losses/corruption.
+
+    A thin event-level adapter over :class:`FaultPlan`: ``drop`` and
+    ``disconnect`` verdicts become
+    :class:`~repro.protocol.events.FrameLost`, ``corrupt`` becomes
+    :class:`~repro.protocol.events.FrameCorrupt` (CRC failure).
+
+    ``RoundEnded`` and already-degraded events pass through untouched —
+    the injector only ever makes the channel worse, so protocol
+    invariants (termination, bounds) are preserved by construction.
+    """
+
+    __slots__ = ("engine", "plan")
+
+    def __init__(
+        self,
+        engine: TransferEngine,
+        *,
+        rng: Optional[random.Random] = None,
+        drop: float = 0.0,
+        corrupt: float = 0.0,
+        disconnect: float = 0.0,
+        outage_events: int = 0,
+    ) -> None:
+        self.engine = engine
+        self.plan = FaultPlan(
+            rng=rng,
+            drop=drop,
+            corrupt=corrupt,
+            disconnect=disconnect,
+            outage_events=outage_events,
+        )
+
+    # Schedule state and counters live on the plan; these mirrors keep
+    # the pre-refactor injector API intact for existing callers.
+
+    @property
+    def rng(self) -> random.Random:
+        return self.plan.rng
+
+    @property
+    def drop(self) -> float:
+        return self.plan.drop
+
+    @property
+    def corrupt(self) -> float:
+        return self.plan.corrupt
+
+    @property
+    def disconnect(self) -> float:
+        return self.plan.disconnect
+
+    @property
+    def outage_events(self) -> int:
+        return self.plan.outage_events
+
+    @property
+    def dropped(self) -> int:
+        return self.plan.dropped
+
+    @property
+    def corrupted(self) -> int:
+        return self.plan.corrupted
+
+    @property
+    def outages(self) -> int:
+        return self.plan.outages
+
+    @property
+    def disconnected(self) -> bool:
+        """True while a disconnection window is swallowing frames."""
+        return self.plan.disconnected
+
     def begin(self) -> Tuple[Effect, ...]:
         return self.engine.begin()
 
@@ -114,22 +221,12 @@ class FaultInjector:
         """Return the (possibly rewritten) event without applying it."""
         if not isinstance(event, FrameDelivered):
             return event
-        if self._outage_left > 0:
-            self._outage_left -= 1
-            self.dropped += 1
-            return FrameLost(event.sequence)
-        if self.disconnect > 0.0 and self.rng.random() < self.disconnect:
-            self.outages += 1
-            self._outage_left = max(0, self.outage_events - 1)
-            self.dropped += 1
-            return FrameLost(event.sequence)
-        if self.drop > 0.0 and self.rng.random() < self.drop:
-            self.dropped += 1
-            return FrameLost(event.sequence)
-        if self.corrupt > 0.0 and self.rng.random() < self.corrupt:
-            self.corrupted += 1
+        verdict = self.plan.decide()
+        if verdict is PASS:
+            return event
+        if verdict is CORRUPT:
             return FrameCorrupt(event.sequence)
-        return event
+        return FrameLost(event.sequence)  # DROP or DISCONNECT
 
     def handle(self, event: InputEvent) -> Tuple[Effect, ...]:
         """Inject faults into *event*, then feed it to the engine."""

@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 
 from repro.protocol import (
     DEFAULT_MAX_ROUNDS,
+    DEFAULT_ROUND_TIMEOUT,
     Decoded,
     EarlyStop,
     FrameCorrupt,
@@ -122,10 +123,15 @@ class SequenceManager:
         channel: WirelessChannel,
         cache: Optional[PacketCache] = None,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
+        round_timeout: float = DEFAULT_ROUND_TIMEOUT,
     ) -> None:
         self.channel = channel
         self.cache = cache if cache is not None else NullCache()
         self.max_rounds = max_rounds
+        #: Channel-time bound per round (shared
+        #: :data:`repro.protocol.DEFAULT_ROUND_TIMEOUT`): a stalled
+        #: round at least this long aborts the fetch.
+        self.round_timeout = round_timeout
 
     def run(
         self,
@@ -172,6 +178,7 @@ class SequenceManager:
                 # accompanies it happens at the round boundary below.
 
         execute(engine.begin())
+        round_started = self.channel.clock
         while terminal is None and streaming:
             streaming = False
             for wire in frames:
@@ -189,12 +196,16 @@ class SequenceManager:
             else:
                 receiver.reconcile(len(frames))
                 self._store(prepared, receiver)
+                if self.channel.clock - round_started >= self.round_timeout:
+                    terminal = engine.abort()
+                    break
                 carried = not isinstance(self.cache, NullCache) and bool(
                     self.cache.load(prepared.document_id)
                 )
                 if not carried:
                     receiver = TransferReceiver(prepared)
                 execute(engine.handle(RoundEnded(carried=carried)))
+                round_started = self.channel.clock
 
         document_text: Optional[str] = None
         if isinstance(terminal, Decoded):

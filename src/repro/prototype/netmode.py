@@ -1,0 +1,87 @@
+"""Network mode for the prototype broker (Figure 1 over real sockets).
+
+The in-process :class:`~repro.prototype.broker.ObjectRequestBroker`
+already hosts the server half of the paper's prototype — the
+``transmitter`` servant that ranks, schedules, and cooks a document
+per request.  This module delegates its delivery to the asyncio
+network layer: :class:`BrokerDocumentStore` adapts the servant to the
+:class:`~repro.net.server.NetServer` store contract (every broker
+invocation flows through the registered interceptor chain, so tracing
+and compression interceptors see networked fetches too), and
+:func:`serve_broker` wraps it in a running server.
+
+Used by ``repro net serve --via-broker`` and directly::
+
+    broker = build_prototype(...)          # gateway + transmitter + ORB
+    server = await serve_broker(broker, port=0)
+    ... clients fetch over TCP ...
+    await server.stop()
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.server import NetServer
+from repro.prototype.broker import BrokerError, ObjectRequestBroker
+from repro.prototype.messages import FetchRequest
+from repro.transport.sender import PreparedDocument
+
+
+class BrokerDocumentStore:
+    """Adapts the ORB's ``transmitter`` servant to the net-store contract.
+
+    Each ``get`` is one broker invocation of ``transmitter.fetch`` —
+    the document is prepared per request with the configured LOD,
+    query, and redundancy, exactly like an in-process browse.
+    """
+
+    def __init__(
+        self,
+        broker: ObjectRequestBroker,
+        *,
+        query_text: str = "",
+        lod_name: str = "paragraph",
+        gamma: float = 1.5,
+    ) -> None:
+        self.broker = broker
+        self.query_text = query_text
+        self.lod_name = lod_name
+        self.gamma = gamma
+
+    def get(self, document_id: str) -> Optional[PreparedDocument]:
+        request = FetchRequest(
+            document_id=document_id,
+            query_text=self.query_text,
+            lod_name=self.lod_name,
+            gamma=self.gamma,
+        )
+        try:
+            _manifest, prepared = self.broker.invoke("transmitter", "fetch", request)
+        except (BrokerError, KeyError):
+            return None
+        return prepared
+
+
+async def serve_broker(
+    broker: ObjectRequestBroker,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    query_text: str = "",
+    lod_name: str = "paragraph",
+    gamma: float = 1.5,
+    **server_options,
+) -> NetServer:
+    """Start a :class:`NetServer` fronting *broker*'s transmitter.
+
+    Returns the started server (read ``.port`` for the bound port);
+    the caller owns shutdown via ``await server.stop()``.  Extra
+    keyword arguments pass through to :class:`NetServer`.
+    """
+    store = BrokerDocumentStore(
+        broker, query_text=query_text, lod_name=lod_name, gamma=gamma
+    )
+    server = NetServer(store, host, port, **server_options)
+    await server.start()
+    return server

@@ -29,7 +29,13 @@ import random
 from typing import List, NamedTuple, Optional, Sequence
 
 from repro.obs.runtime import OBS
-from repro.protocol import EarlyStop, Failed, TelemetryBridge, TransferEngine
+from repro.protocol import (
+    DEFAULT_ROUND_TIMEOUT,
+    EarlyStop,
+    Failed,
+    TelemetryBridge,
+    TransferEngine,
+)
 from repro.simulation.parameters import Parameters
 from repro.simulation.workload import SyntheticDocument, generate_session, relevance_flags
 from repro.core.lod import LOD
@@ -60,11 +66,16 @@ def simulate_transfer(
     relevance_threshold: Optional[float] = None,
     content_profile: Optional[Sequence[float]] = None,
     max_rounds: int = 25,
+    round_timeout: float = DEFAULT_ROUND_TIMEOUT,
 ) -> TransferOutcome:
     """Simulate one document download; see the module docstring.
 
     *content_profile* gives the content of clear-text packet i (in
     transmission order); required when *relevance_threshold* is set.
+    *round_timeout* is the shared channel-time bound per round
+    (:data:`repro.protocol.DEFAULT_ROUND_TIMEOUT`): when one full
+    round of N packets takes at least this long, the link is too slow
+    to ever converge and the transfer aborts instead of retrying.
     """
     bridge = _SIM_BRIDGE
     engine = TransferEngine(
@@ -100,7 +111,10 @@ def simulate_transfer(
             if terminal is not None:
                 break
         else:
-            terminal = engine.on_round_ended()
+            if n * packet_time >= round_timeout:
+                terminal = engine.abort()
+            else:
+                terminal = engine.on_round_ended()
 
     outcome = TransferOutcome(
         time,

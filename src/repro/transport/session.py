@@ -33,6 +33,7 @@ from typing import NamedTuple, Optional
 
 from repro.protocol import (
     DEFAULT_MAX_ROUNDS,
+    DEFAULT_ROUND_TIMEOUT,
     Decoded,
     EarlyStop,
     TelemetryBridge,
@@ -64,6 +65,7 @@ def transfer_document(
     cache: Optional[PacketCache] = None,
     relevance_threshold: Optional[float] = None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    round_timeout: float = DEFAULT_ROUND_TIMEOUT,
 ) -> TransferResult:
     """Download *prepared* over *channel*; see the module docstring.
 
@@ -80,8 +82,15 @@ def transfer_document(
         Safety bound on retransmission rounds; exceeding it reports a
         failed transfer with the time spent so far (matching how an
         interactive user would eventually give up).
+    round_timeout:
+        Channel-time bound per round (seconds,
+        :data:`repro.protocol.DEFAULT_ROUND_TIMEOUT`): when a stalled
+        round alone consumed at least this much air time the link is
+        considered dead and the transfer aborts instead of retrying.
     """
     check_positive_int(max_rounds, "max_rounds")
+    if round_timeout <= 0:
+        raise ValueError(f"round_timeout must be positive, got {round_timeout}")
     if cache is None:
         cache = NullCache()
 
@@ -105,6 +114,7 @@ def transfer_document(
     engine.preload(receiver.intact)
 
     terminal = engine.start()
+    round_started = channel.clock
     while terminal is None:
         for wire in frames:
             delivery = channel.send(wire)
@@ -124,12 +134,18 @@ def transfer_document(
             # mirrors whatever the cache actually retained.
             receiver.reconcile(len(frames))
             _store_cache(cache, prepared, receiver)
+            if channel.clock - round_started >= round_timeout:
+                # The link is too slow to ever finish a round inside
+                # the timeout: give up rather than loop to max_rounds.
+                terminal = engine.abort()
+                break
             carried = not isinstance(cache, NullCache) and bool(
                 cache.load(prepared.document_id)
             )
             if not carried:
                 receiver = TransferReceiver(prepared)
             terminal = engine.on_round_ended(carried=carried)
+            round_started = channel.clock
 
     if isinstance(terminal, EarlyStop):
         if terminal.round > 0:

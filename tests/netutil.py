@@ -1,0 +1,37 @@
+"""Shared helpers for the socket-marked ``net``/``slow`` suites."""
+
+import asyncio
+import random
+
+from repro.coding.packets import Packetizer
+from repro.transport.sender import DocumentSender
+
+
+def make_prepared(
+    document_id="doc",
+    size=2048,
+    packet_size=64,
+    gamma=1.5,
+    seed=99,
+):
+    """Cook a deterministic pseudo-random payload; returns (prepared, payload)."""
+    payload = bytes(random.Random(seed).randrange(256) for _ in range(size))
+    sender = DocumentSender(
+        Packetizer(packet_size=packet_size, redundancy_ratio=gamma)
+    )
+    return sender.prepare_raw(document_id, payload), payload
+
+
+async def assert_no_leaked_tasks():
+    """Every server/proxy/client task must be finished by teardown.
+
+    Each test runs under its own ``asyncio.run`` loop, so anything
+    still pending here was leaked by the code under test.
+    """
+    for _ in range(5):  # let done-callbacks and cancellations settle
+        await asyncio.sleep(0)
+    current = asyncio.current_task()
+    leaked = [
+        task for task in asyncio.all_tasks() if task is not current and not task.done()
+    ]
+    assert not leaked, f"leaked tasks: {leaked!r}"

@@ -38,6 +38,7 @@ FORBIDDEN: List[Tuple[str, Tuple[str, ...], str]] = [
     (
         "repro.protocol",
         (
+            "repro.net",
             "repro.transport",
             "repro.simulation",
             "repro.prototype",
@@ -68,12 +69,36 @@ FORBIDDEN: List[Tuple[str, Tuple[str, ...], str]] = [
         "repro.obs",
         (
             "repro.protocol",
+            "repro.net",
             "repro.transport",
             "repro.simulation",
             "repro.prototype",
             "repro.coding",
         ),
         "repro.obs is a leaf: layers report to it, never the reverse",
+    ),
+    (
+        "repro.net",
+        (
+            "repro.simulation",
+            "repro.prototype",
+            "repro.cli",
+            "repro.figures",
+            "repro.xmlkit",
+            "repro.htmlkit",
+            "repro.search",
+            "repro.core",
+            "repro.text",
+            "repro.analysis",
+            "repro.data",
+        ),
+        "repro.net sits beside repro.transport: it drives repro.protocol "
+        "over sockets and may reuse coding/transport state, nothing above",
+    ),
+    (
+        "repro.transport",
+        ("repro.net",),
+        "the simulated byte driver must not depend on the socket layer",
     ),
 ]
 
