@@ -29,7 +29,18 @@ including every substrate the paper depends on:
 * :mod:`repro.prototype` — the Figure 1 browser/server prototype;
 * :mod:`repro.figures` — one entry point per paper table and figure.
 
-Quickstart::
+* :mod:`repro.prep` — the on-demand preparation service: a two-tier
+  (SC + cooked) byte-budgeted cache in front of the whole
+  parse → pipeline → annotate → schedule → encode chain.
+
+Quickstart — the one-shot facade::
+
+    import repro
+
+    prepared = repro.prepare("paper.xml", query="mobile web", lod="section")
+    result = repro.transfer("paper.xml", query="mobile web")
+
+or the underlying pieces::
 
     from repro import build_sc, annotate_sc, Query, TransmissionSchedule, LOD
     from repro.xmlkit import parse_xml
@@ -69,9 +80,38 @@ from repro.transport import (
     WirelessChannel,
     transfer_document,
 )
+from repro.prep import (
+    PreparationService,
+    PrepRequest,
+    TransferSettings,
+    default_service,
+    prepare,
+)
 from repro.simulation import Parameters, simulate_session, table2_defaults
 
 __version__ = "1.0.0"
+
+
+def transfer(document, *, channel=None, settings=None, request=None,
+             html=False, service=None, cache=None, **request_fields):
+    """One-shot: prepare *document* and run the §4.2 protocol over a channel.
+
+    *document* is anything :func:`repro.prepare` accepts (a path or
+    markup string); preparation parameters come from *request* (a
+    :class:`PrepRequest`) or loose ``**request_fields`` such as
+    ``query=...``/``lod=...``.  Protocol knobs come from *settings*
+    (a :class:`TransferSettings`).  When *channel* is omitted a
+    default Table 2 :class:`WirelessChannel` is used.  Returns the
+    :class:`TransferResult`.
+    """
+    prepared = prepare(
+        document, request=request, html=html, service=service, **request_fields
+    )
+    if channel is None:
+        channel = WirelessChannel()
+    if settings is None:
+        settings = TransferSettings()
+    return transfer_document(prepared, channel, cache=cache, settings=settings)
 
 __all__ = [
     "__version__",
@@ -108,6 +148,13 @@ __all__ = [
     "DocumentSender",
     "transfer_document",
     "TransferResult",
+    # prep (the request-facing facade)
+    "PreparationService",
+    "PrepRequest",
+    "TransferSettings",
+    "default_service",
+    "prepare",
+    "transfer",
     # simulation
     "Parameters",
     "table2_defaults",

@@ -22,18 +22,18 @@ from typing import List, Optional
 
 from repro import obs
 from repro.analysis.planner import minimal_cooked_packets
-from repro.coding.packets import Packetizer
 from repro.core.information import annotate_sc
 from repro.core.lod import LOD
 from repro.core.multires import TransmissionSchedule
 from repro.core.pipeline import SCPipeline
 from repro.core.query import Query
 from repro.htmlkit.extract import html_to_research_paper
+from repro.prep import PreparationService, PrepRequest, TransferSettings
+from repro.prep.request import KNOWN_MEASURES
 from repro.protocol import DEFAULT_MAX_ROUNDS, DEFAULT_ROUND_TIMEOUT
 from repro.text.keywords import KeywordExtractor
 from repro.transport.cache import PacketCache
 from repro.transport.channel import WirelessChannel
-from repro.transport.sender import DocumentSender
 from repro.transport.session import transfer_document
 from repro.xmlkit.parser import parse_xml
 
@@ -120,17 +120,21 @@ def cmd_transfer(args) -> int:
             coding_backend=get_backend(args.coding_backend).name,
         )
     try:
-        sc, query = _build_annotated_sc(args)
-        measure = "mqic" if query is not None and not query.is_empty else "ic"
-        schedule = TransmissionSchedule(sc, lod=LOD[args.lod.upper()], measure=measure)
-        sender = DocumentSender(
-            Packetizer(
-                packet_size=args.packet_size,
-                redundancy_ratio=args.gamma,
-                backend=args.coding_backend,
-            )
+        backend = get_backend(args.coding_backend).name if args.coding_backend else None
+        service = PreparationService()
+        document_id = service.add_path(
+            Path(args.path), html=getattr(args, "html", False)
         )
-        prepared = sender.prepare(args.path, schedule)
+        prepared = service.prepare(
+            document_id,
+            PrepRequest(
+                lod=args.lod,
+                query=getattr(args, "query", "") or "",
+                packet_size=args.packet_size,
+                gamma=args.gamma,
+                backend=backend,
+            ),
+        )
         channel = WirelessChannel(
             bandwidth_kbps=args.bandwidth, alpha=args.alpha, rng=random.Random(args.seed)
         )
@@ -139,8 +143,10 @@ def cmd_transfer(args) -> int:
             prepared,
             channel,
             cache=cache,
-            relevance_threshold=args.stop_at,
-            max_rounds=args.max_rounds,
+            settings=TransferSettings(
+                relevance_threshold=args.stop_at,
+                max_rounds=args.max_rounds,
+            ),
         )
         if tracing:
             obs.OBS.trace.emit(
@@ -165,30 +171,37 @@ def cmd_transfer(args) -> int:
     return 0 if result.success else 1
 
 
-def _build_net_store(args):
-    """Cook every XML path into a served PreparedDocument keyed by stem."""
-    from repro.net.server import DocumentStore
+def _default_prep_request(args) -> PrepRequest:
+    """The server-side default preparation parameters from CLI flags."""
+    return PrepRequest(
+        lod=args.lod,
+        query=getattr(args, "query", "") or "",
+        packet_size=args.packet_size,
+        gamma=args.gamma,
+    )
 
-    store = DocumentStore()
+
+def _build_net_store(args) -> PreparationService:
+    """Register every document path with a lazy preparation service.
+
+    One shared pipeline serves all documents, the CLI ``--query`` /
+    ``--lod`` / ``--gamma`` flags become the service's *default*
+    request (used for clients that send no ``prep`` parameters), and
+    nothing is cooked until the first fetch — unless ``--warmup``
+    prefetches the default request for every document.
+    """
+    service = PreparationService(
+        default_request=_default_prep_request(args),
+        sc_budget_bytes=args.sc_budget_mb * 1024 * 1024,
+        cooked_budget_bytes=args.cooked_budget_mb * 1024 * 1024,
+    )
     for path in args.paths:
-        document_id = Path(path).stem
-        pipeline = SCPipeline()
-        document = _load_document(path, getattr(args, "html", False))
-        sc = pipeline.run(document)
-        query = None
-        query_text = getattr(args, "query", "") or ""
-        if query_text.strip():
-            extractor = KeywordExtractor(lemmatizer=pipeline.shared_lemmatizer)
-            query = Query(query_text, extractor=extractor)
-        annotate_sc(sc, query=query)
-        measure = "mqic" if query is not None and not query.is_empty else "ic"
-        schedule = TransmissionSchedule(sc, lod=LOD[args.lod.upper()], measure=measure)
-        sender = DocumentSender(
-            Packetizer(packet_size=args.packet_size, redundancy_ratio=args.gamma)
-        )
-        store.add(sender.prepare(document_id, schedule))
+        document_id = service.add_path(Path(path), html=getattr(args, "html", False))
         print(f"serving {document_id!r} from {path}")
-    return store
+    if args.warmup:
+        count = service.warmup()
+        print(f"warmed up {count} document(s) with the default request")
+    return service
 
 
 def cmd_net_serve(args) -> int:
@@ -220,9 +233,7 @@ def cmd_net_serve(args) -> int:
                 broker,
                 args.host,
                 args.port,
-                query_text=args.query,
-                lod_name=args.lod,
-                gamma=args.gamma,
+                request=_default_prep_request(args),
                 max_rounds=args.max_rounds,
                 round_timeout=args.round_timeout,
             )
@@ -257,6 +268,36 @@ def cmd_net_serve(args) -> int:
         return 0
 
 
+def _client_prep_request(args) -> Optional[PrepRequest]:
+    """Per-fetch preparation parameters, or None when none were given.
+
+    ``None`` keeps the ``prep`` field off the wire entirely, so the
+    server cooks with *its* configured default — the right behaviour
+    for clients that don't care.
+    """
+    supplied = {
+        name: value
+        for name, value in (
+            ("query", args.query),
+            ("lod", args.lod),
+            ("measure", args.measure),
+            ("gamma", args.gamma),
+            ("packet_size", args.prep_packet_size),
+        )
+        if value is not None
+    }
+    return PrepRequest(**supplied) if supplied else None
+
+
+def _client_settings(args) -> TransferSettings:
+    return TransferSettings(
+        relevance_threshold=args.stop_at,
+        max_rounds=args.max_rounds,
+        round_timeout=args.round_timeout,
+        max_reconnects=args.max_reconnects,
+    )
+
+
 def cmd_net_fetch(args) -> int:
     """Fetch one document from a running net server."""
     import asyncio
@@ -267,10 +308,8 @@ def cmd_net_fetch(args) -> int:
         args.host,
         args.port,
         cache=PacketCache() if args.cache else None,
-        relevance_threshold=args.stop_at,
-        max_rounds=args.max_rounds,
-        round_timeout=args.round_timeout,
-        max_reconnects=args.max_reconnects,
+        settings=_client_settings(args),
+        request=_client_prep_request(args),
     )
     try:
         result = asyncio.run(client.fetch(args.document_id))
@@ -327,10 +366,8 @@ def cmd_net_loadgen(args) -> int:
                 args.document_id,
                 clients=args.clients,
                 use_cache=args.cache,
-                relevance_threshold=args.stop_at,
-                max_rounds=args.max_rounds,
-                round_timeout=args.round_timeout,
-                max_reconnects=args.max_reconnects,
+                settings=_client_settings(args),
+                request=_client_prep_request(args),
             )
         finally:
             if proxy is not None:
@@ -503,7 +540,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--via-broker", action="store_true",
                          help="route each fetch through the prototype ORB "
                               "(interceptors see networked requests)")
+    p_serve.add_argument("--warmup", action="store_true",
+                         help="cook every document with the default request "
+                              "before accepting connections")
+    p_serve.add_argument("--sc-budget-mb", type=int, default=64,
+                         help="byte budget for the SC cache tier (MiB)")
+    p_serve.add_argument("--cooked-budget-mb", type=int, default=256,
+                         help="byte budget for the cooked cache tier (MiB)")
     p_serve.set_defaults(func=cmd_net_serve)
+
+    def add_prep_flags(p) -> None:
+        """Per-request preparation parameters (unset → server default)."""
+        p.add_argument("--query", default=None,
+                       help="query for QIC/MQIC ordering of this fetch")
+        p.add_argument("--lod", default=None,
+                       choices=[lod.name.lower() for lod in LOD],
+                       help="level of detail for this fetch")
+        p.add_argument("--measure", default=None,
+                       choices=sorted(KNOWN_MEASURES),
+                       help="content measure (default: auto)")
+        p.add_argument("--gamma", type=float, default=None,
+                       help="redundancy ratio for this fetch")
+        p.add_argument("--prep-packet-size", type=int, default=None,
+                       help="packet size the server should cook with")
 
     p_fetch = net_sub.add_parser("fetch", help="fetch one document from a server")
     p_fetch.add_argument("document_id")
@@ -519,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fetch.add_argument("--max-reconnects", type=int, default=4)
     p_fetch.add_argument("--out", default=None, metavar="PATH",
                          help="write the reconstructed document to PATH")
+    add_prep_flags(p_fetch)
     p_fetch.set_defaults(func=cmd_net_fetch)
 
     p_load = net_sub.add_parser(
@@ -542,6 +602,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-frame disconnect probability")
     p_load.add_argument("--seed", type=int, default=0,
                         help="chaos fault-plan seed")
+    add_prep_flags(p_load)
     p_load.set_defaults(func=cmd_net_loadgen)
 
     p_obs = sub.add_parser(

@@ -311,6 +311,26 @@ class SCPipeline:
         """The lemmatizer instance, for building compatible queries."""
         return self.lemmatizer.lemmatizer
 
+    def cache_token(self) -> Tuple[str, ...]:
+        """A hashable token identifying this pipeline configuration.
+
+        Two pipelines with the same token produce the same SC for the
+        same bytes, so caches (the preparation service's SC tier) may
+        share output across them.  Custom stage classes change the
+        token; stage *instances* with divergent constructor arguments
+        should subclass to stay distinguishable.
+        """
+        return tuple(
+            type(stage).__qualname__
+            for stage in (
+                self.recognizer,
+                self.lemmatizer,
+                self.word_filter,
+                self.extractor,
+                self.generator,
+            )
+        )
+
 
 def build_sc(document: Document) -> StructuralCharacteristic:
     """Build the SC of *document* with the default pipeline."""

@@ -20,6 +20,7 @@ from typing import NamedTuple, Optional
 from repro.coding.packets import Packetizer
 from repro.core.lod import LOD
 from repro.core.structure import StructuralCharacteristic
+from repro.prep.request import TransferSettings
 from repro.text.tokens import lead_in_sentence
 from repro.transport.cache import PacketCache
 from repro.transport.channel import WirelessChannel
@@ -79,10 +80,11 @@ def summary_first_browse(
         packetizer = Packetizer(packet_size=256, redundancy_ratio=1.5)
     sender = DocumentSender(packetizer)
 
+    settings = TransferSettings(max_rounds=max_rounds)
     summary = build_summary(sc).encode("utf-8")
     summary_prepared = sender.prepare_raw(f"{document_id}#summary", summary)
     summary_result = transfer_document(
-        summary_prepared, channel, cache=cache, max_rounds=max_rounds
+        summary_prepared, channel, cache=cache, settings=settings
     )
 
     if not relevant or not summary_result.success:
@@ -97,7 +99,7 @@ def summary_first_browse(
     document_payload = sc.root.subtree_payload()
     document_prepared = sender.prepare_raw(document_id, document_payload)
     document_result = transfer_document(
-        document_prepared, channel, cache=cache, max_rounds=max_rounds
+        document_prepared, channel, cache=cache, settings=settings
     )
     return SummaryFirstResult(
         summary_result=summary_result,
@@ -135,6 +137,8 @@ def multiresolution_browse(
         prepared,
         channel,
         cache=cache,
-        relevance_threshold=None if relevant else threshold,
-        max_rounds=max_rounds,
+        settings=TransferSettings(
+            relevance_threshold=None if relevant else threshold,
+            max_rounds=max_rounds,
+        ),
     )

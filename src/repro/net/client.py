@@ -44,6 +44,12 @@ from repro.net.wire import (
     read_message,
 )
 from repro.obs.runtime import OBS
+from repro.prep.request import (
+    PrepRequest,
+    TransferSettings,
+    legacy_value,
+    settings_from_legacy,
+)
 from repro.protocol import (
     DEFAULT_MAX_ROUNDS,
     DEFAULT_ROUND_TIMEOUT,
@@ -93,20 +99,24 @@ class NetClient:
         Server (or chaos-proxy) address.
     cache:
         ``None`` selects NoCaching — a dropped connection restarts the
-        transfer.  Pass a :class:`PacketCache` for the §4.2 Caching
-        policy: intact packets survive drops and reconnects resume.
-    relevance_threshold:
-        The paper's F; early-stops the fetch once the received content
-        reaches it.
-    max_rounds:
-        Client-side retransmission bound (shared engine semantics).
-    round_timeout:
-        Wall-clock bound on every socket wait; a read that exceeds it
-        is treated as a dead connection.
-    max_reconnects:
-        Redials allowed per fetch before the transfer aborts.
+        transfer — unless ``settings.use_cache`` asks for a private
+        :class:`PacketCache`.  Pass a shared :class:`PacketCache` for
+        the §4.2 Caching policy across fetches: intact packets survive
+        drops and reconnects resume.
+    settings:
+        :class:`repro.prep.TransferSettings` carrying the protocol
+        knobs (relevance threshold F, retransmission bound, round
+        timeout, reconnect budget).  The individual
+        ``relevance_threshold`` / ``max_rounds`` / ``round_timeout`` /
+        ``max_reconnects`` keywords remain as deprecated shims and
+        override the matching *settings* fields.
+    request:
+        Default :class:`repro.prep.PrepRequest` sent to the server
+        with every fetch (LOD, measure, query, packet size, γ,
+        backend); ``None`` lets the server cook with its own default.
+        :meth:`fetch` can override per call.
     backend:
-        GF(2^8) kernel selection for reconstruction (see
+        GF(2^8) kernel selection for client-side reconstruction (see
         :mod:`repro.coding.backend`).
     """
 
@@ -122,25 +132,43 @@ class NetClient:
         max_reconnects: int = 4,
         reconnect_delay: float = 0.05,
         backend: Optional[object] = None,
+        settings: Optional[TransferSettings] = None,
+        request: Optional[PrepRequest] = None,
     ) -> None:
-        if round_timeout <= 0:
-            raise ValueError(f"round_timeout must be positive, got {round_timeout}")
-        if max_reconnects < 0:
-            raise ValueError(f"max_reconnects must be >= 0, got {max_reconnects}")
+        settings = settings_from_legacy(
+            settings,
+            "NetClient",
+            relevance_threshold=legacy_value(relevance_threshold, None),
+            max_rounds=legacy_value(max_rounds, DEFAULT_MAX_ROUNDS),
+            round_timeout=legacy_value(round_timeout, DEFAULT_ROUND_TIMEOUT),
+            max_reconnects=legacy_value(max_reconnects, 4),
+        )
         self.host = host
         self.port = port
-        self.cache: PacketCache = cache if cache is not None else NullCache()
-        self.relevance_threshold = relevance_threshold
-        self.max_rounds = max_rounds
-        self.round_timeout = round_timeout
-        self.max_reconnects = max_reconnects
+        self.settings = settings
+        self.request = request
+        if cache is None:
+            cache = PacketCache() if settings.use_cache else NullCache()
+        self.cache: PacketCache = cache
+        self.relevance_threshold = settings.relevance_threshold
+        self.max_rounds = settings.max_rounds
+        self.round_timeout = settings.round_timeout
+        self.max_reconnects = settings.max_reconnects
         self.reconnect_delay = reconnect_delay
         self.backend = backend
 
     # -- public API --------------------------------------------------------
 
-    async def fetch(self, document_id: str) -> NetFetchResult:
+    async def fetch(
+        self, document_id: str, request: Optional[PrepRequest] = None
+    ) -> NetFetchResult:
         """Download *document_id*; reconnect-and-resume on drops.
+
+        *request* carries the per-fetch preparation parameters (LOD,
+        measure, query, packet size, γ, coding backend) to the server
+        in the ``HELLO`` ``prep`` field; ``None`` falls back to the
+        client default, then to the server default.  Old servers
+        ignore the field and serve their eagerly-prepared bytes.
 
         Raises :class:`ConnectionLost` when the server is unreachable
         before a manifest was ever received, and :class:`WireError` on
@@ -148,6 +176,8 @@ class NetClient:
         after that every failure mode lands in the result's
         ``status="failed"``.
         """
+        if request is None:
+            request = self.request
         intact: Dict[int, bytes] = dict(self.cache.load(document_id))
         engine: Optional[TransferEngine] = None
         manifest: Optional[_Manifest] = None
@@ -164,16 +194,14 @@ class NetClient:
                     asyncio.open_connection(self.host, self.port),
                     self.round_timeout,
                 )
-                writer.write(
-                    encode_json(
-                        MSG_HELLO,
-                        {
-                            "doc": document_id,
-                            "have": sorted(intact),
-                            "max_rounds": self.max_rounds,
-                        },
-                    )
-                )
+                hello = {
+                    "doc": document_id,
+                    "have": sorted(intact),
+                    "max_rounds": self.max_rounds,
+                }
+                if request is not None:
+                    hello["prep"] = request.to_wire()
+                writer.write(encode_json(MSG_HELLO, hello))
                 await writer.drain()
                 _, body = await asyncio.wait_for(
                     read_expected(reader, MSG_MANIFEST), self.round_timeout

@@ -14,10 +14,16 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import List, NamedTuple, Optional, Tuple
+from typing import Any, List, NamedTuple, Optional, Tuple
 
 from repro.net.client import NetClient, NetFetchResult
 from repro.net.wire import ConnectionLost, WireError
+from repro.prep.request import (
+    PrepRequest,
+    TransferSettings,
+    legacy_value,
+    settings_from_legacy,
+)
 from repro.protocol import DEFAULT_MAX_ROUNDS, DEFAULT_ROUND_TIMEOUT
 from repro.transport.cache import PacketCache
 from repro.util.stats import mean, percentile
@@ -48,13 +54,22 @@ async def run_loadgen(
     *,
     clients: int = 50,
     use_cache: bool = True,
-    relevance_threshold: Optional[float] = None,
-    max_rounds: int = DEFAULT_MAX_ROUNDS,
-    round_timeout: float = DEFAULT_ROUND_TIMEOUT,
-    max_reconnects: int = 4,
+    relevance_threshold: Any = None,
+    max_rounds: Any = DEFAULT_MAX_ROUNDS,
+    round_timeout: Any = DEFAULT_ROUND_TIMEOUT,
+    max_reconnects: Any = 4,
     backend: Optional[object] = None,
+    settings: Optional[TransferSettings] = None,
+    request: Optional[PrepRequest] = None,
 ) -> Tuple[LoadgenReport, List[Optional[NetFetchResult]]]:
     """Fetch *document_id* with *clients* concurrent connections.
+
+    *settings* carries the per-client protocol knobs and *request* the
+    per-fetch preparation parameters sent to the server (all clients
+    share both, so a preparation-capable server cooks exactly once).
+    The individual ``relevance_threshold`` / ``max_rounds`` /
+    ``round_timeout`` / ``max_reconnects`` keywords are deprecated
+    shims over *settings*.
 
     Returns the aggregate report plus the per-client results (``None``
     for a client that never reached the server).  Never raises on
@@ -63,16 +78,22 @@ async def run_loadgen(
     """
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients}")
+    settings = settings_from_legacy(
+        settings,
+        "run_loadgen",
+        relevance_threshold=legacy_value(relevance_threshold, None),
+        max_rounds=legacy_value(max_rounds, DEFAULT_MAX_ROUNDS),
+        round_timeout=legacy_value(round_timeout, DEFAULT_ROUND_TIMEOUT),
+        max_reconnects=legacy_value(max_reconnects, 4),
+    )
 
     async def one_fetch(index: int) -> Optional[NetFetchResult]:
         client = NetClient(
             host,
             port,
             cache=PacketCache() if use_cache else None,
-            relevance_threshold=relevance_threshold,
-            max_rounds=max_rounds,
-            round_timeout=round_timeout,
-            max_reconnects=max_reconnects,
+            settings=settings,
+            request=request,
             backend=backend,
         )
         try:

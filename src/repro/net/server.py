@@ -45,8 +45,9 @@ from repro.net.wire import (
     read_expected,
 )
 from repro.obs.runtime import OBS
+from repro.prep.prepare import PreparedDocument
+from repro.prep.request import PrepRequest
 from repro.protocol import DEFAULT_MAX_ROUNDS, DEFAULT_ROUND_TIMEOUT, TransferEngine
-from repro.transport.sender import PreparedDocument
 
 
 class DocumentStore:
@@ -138,6 +139,10 @@ class NetServer:
     ----------
     store:
         ``get(document_id) -> Optional[PreparedDocument]`` provider.
+        Stores that also expose ``prepare(document_id, request)`` —
+        e.g. :class:`~repro.prep.service.PreparationService` — cook on
+        demand per the client's ``HELLO`` ``prep`` parameters, off the
+        event loop.
     host, port:
         Bind address; port 0 picks a free port (read :attr:`port`
         after :meth:`start`).
@@ -311,7 +316,17 @@ class NetServer:
         )
         hello = decode_json(body)
         document_id = str(hello.get("doc", ""))
-        prepared = self.store.get(document_id)
+        try:
+            prepared = await self._prepare(document_id, hello.get("prep"))
+        except ValueError as exc:
+            # Malformed prep parameters, or a request the document
+            # cannot satisfy (e.g. a query measure without a query).
+            await sender.send(
+                encode_json(MSG_ERROR, {"message": f"bad prep parameters: {exc}"})
+            )
+            await sender.flush()
+            self.stats["errors"] += 1
+            return "bad_request"
         if prepared is None:
             await sender.send(
                 encode_json(MSG_ERROR, {"message": f"unknown document {document_id!r}"})
@@ -390,6 +405,36 @@ class NetServer:
                 await sender.flush()
                 self.stats["errors"] += 1
                 return "round_bound"
+
+    async def _prepare(
+        self, document_id: str, prep_field: object
+    ) -> Optional[PreparedDocument]:
+        """Resolve the document through the store, off the event loop.
+
+        Preparation-capable stores (anything with
+        ``prepare(document_id, request)`` — notably
+        :class:`~repro.prep.service.PreparationService`) cook on
+        demand with the connection's ``prep`` parameters; since a cold
+        cook runs the full pipeline + encode, it is off-loaded to the
+        default executor so the event loop keeps serving other
+        connections.  The service's single-flight makes concurrent
+        identical requests share one build.  Plain ``get`` stores keep
+        the old behaviour: pre-cooked bytes, ``prep`` ignored.
+        """
+        prepare = getattr(self.store, "prepare", None)
+        if not callable(prepare):
+            return self.store.get(document_id)
+        request: Optional[PrepRequest] = None
+        if prep_field is not None:
+            request = PrepRequest.from_wire(prep_field)  # ValueError on junk
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(
+                None, prepare, document_id, request
+            )
+        except KeyError:
+            # UnknownDocumentError (or any KeyError-style miss).
+            return None
 
     @staticmethod
     def _valid_sequences(have: Iterable[object], n: int) -> Set[int]:

@@ -1,0 +1,301 @@
+"""Frozen request objects for content preparation and transfer.
+
+Before this module existed the knobs of a fetch — LOD, query,
+packet size, redundancy ratio, coding backend, retransmission bounds —
+were threaded ad hoc as keyword arguments through ``cli.py``,
+``transport/session.py``, ``net/client.py``, and
+``prototype/client.py``, each with its own defaults and its own subset.
+Two dataclasses consolidate the sprawl:
+
+* :class:`PrepRequest` — everything the **server** needs to cook a
+  document: it is hashable, canonicalized, wire-serializable, and its
+  :meth:`PrepRequest.cache_key` is the cooked-tier cache key of the
+  :class:`~repro.prep.service.PreparationService`;
+* :class:`TransferSettings` — everything the **client** needs to run
+  the §4.2 protocol: relevance threshold, retransmission bound, round
+  timeout, reconnect budget.
+
+Old keyword signatures keep working everywhere through
+:func:`settings_from_legacy` / :func:`request_from_legacy`, which merge
+explicitly-passed legacy values into the new objects while emitting a
+:class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.lod import LOD
+from repro.protocol import DEFAULT_MAX_ROUNDS, DEFAULT_ROUND_TIMEOUT
+from repro.util.validation import check_positive_int
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` in
+#: the deprecation shims.
+UNSET: Any = type("_Unset", (), {"__repr__": lambda self: "<unset>"})()
+
+_LOD_NAMES = frozenset(lod.name.lower() for lod in LOD)
+
+#: Content-measure keys a request may name ("auto" resolves per query);
+#: matches the measures :func:`repro.core.information.annotate_sc` emits.
+KNOWN_MEASURES = frozenset(
+    {"auto", "ic", "qic", "mqic", "proportional", "tfidf"}
+)
+
+
+def _normalize_query(query: str) -> str:
+    """Canonical query key: collapsed whitespace, case-folded."""
+    return " ".join(query.split()).lower()
+
+
+@dataclass(frozen=True)
+class PrepRequest:
+    """One canonical content-preparation request.
+
+    Parameters
+    ----------
+    lod:
+        Level-of-detail name (``"paragraph"`` … ``"document"``),
+        case-insensitive.
+    measure:
+        Content-measure key ranking the units; ``"auto"`` resolves to
+        ``"mqic"`` when a query is present, ``"ic"`` otherwise.
+    query:
+        Free-text query driving query-based measures.  Part of the
+        cache key in normalized form (whitespace-collapsed,
+        case-folded).
+    packet_size:
+        Raw payload bytes per packet (the paper's ``s_p``).
+    gamma:
+        Redundancy ratio γ = N/M (≥ 1).
+    backend:
+        GF(2^8) kernel name (``"baseline"``/``"fused"``/``"numpy"``),
+        or ``None`` for the environment default.
+    systematic:
+        True for the paper's clear-text-prefix code.
+    """
+
+    lod: str = "paragraph"
+    measure: str = "auto"
+    query: str = ""
+    packet_size: int = 256
+    gamma: float = 1.5
+    backend: Optional[str] = None
+    systematic: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lod", str(self.lod).strip().lower())
+        object.__setattr__(self, "measure", str(self.measure).strip().lower())
+        object.__setattr__(self, "query", str(self.query))
+        if self.lod not in _LOD_NAMES:
+            raise ValueError(
+                f"unknown lod {self.lod!r}; choose from {sorted(_LOD_NAMES)}"
+            )
+        if self.measure not in KNOWN_MEASURES:
+            raise ValueError(
+                f"unknown measure {self.measure!r}; "
+                f"choose from {sorted(KNOWN_MEASURES)}"
+            )
+        check_positive_int(self.packet_size, "packet_size")
+        if self.gamma < 1.0:
+            raise ValueError(f"gamma must be >= 1, got {self.gamma}")
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise ValueError(
+                f"backend must be a kernel name or None, got {self.backend!r}"
+            )
+
+    # -- canonical views ---------------------------------------------------
+
+    @property
+    def query_key(self) -> str:
+        """The normalized query used for cache keying."""
+        return _normalize_query(self.query)
+
+    @property
+    def resolved_measure(self) -> str:
+        """``measure`` with ``"auto"`` resolved against the query."""
+        if self.measure != "auto":
+            return self.measure
+        return "mqic" if self.query_key else "ic"
+
+    @property
+    def lod_level(self) -> LOD:
+        return LOD[self.lod.upper()]
+
+    def cache_key(self, digest: str) -> Tuple:
+        """The full canonical cooked-tier key for a document *digest*."""
+        return (
+            digest,
+            self.lod,
+            self.resolved_measure,
+            self.query_key,
+            self.packet_size,
+            self.gamma,
+            self.backend or "",
+            self.systematic,
+        )
+
+    def replace(self, **changes: Any) -> "PrepRequest":
+        """A copy with *changes* applied (re-validated)."""
+        return replace(self, **changes)
+
+    # -- wire form ---------------------------------------------------------
+
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-safe dict carried in the ``HELLO`` ``prep`` field."""
+        wire: Dict[str, Any] = {
+            "lod": self.lod,
+            "measure": self.measure,
+            "query": self.query,
+            "packet_size": self.packet_size,
+            "gamma": self.gamma,
+            "systematic": self.systematic,
+        }
+        if self.backend:
+            wire["backend"] = self.backend
+        return wire
+
+    @classmethod
+    def from_wire(cls, fields_in: Dict[str, Any]) -> "PrepRequest":
+        """Parse and validate a wire dict; raises ``ValueError`` on junk."""
+        if not isinstance(fields_in, dict):
+            raise ValueError("prep parameters must be an object")
+        known = {f.name for f in fields(cls)}
+        unknown = set(fields_in) - known
+        if unknown:
+            raise ValueError(f"unknown prep parameter(s) {sorted(unknown)}")
+        kwargs: Dict[str, Any] = {}
+        for name in ("lod", "measure", "query"):
+            if name in fields_in:
+                value = fields_in[name]
+                if not isinstance(value, str):
+                    raise ValueError(f"{name} must be a string, got {value!r}")
+                kwargs[name] = value
+        if "packet_size" in fields_in:
+            value = fields_in["packet_size"]
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(f"packet_size must be an int, got {value!r}")
+            kwargs["packet_size"] = value
+        if "gamma" in fields_in:
+            value = fields_in["gamma"]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"gamma must be a number, got {value!r}")
+            kwargs["gamma"] = float(value)
+        if "backend" in fields_in:
+            value = fields_in["backend"]
+            if value is not None and not isinstance(value, str):
+                raise ValueError(f"backend must be a string, got {value!r}")
+            kwargs["backend"] = value or None
+        if "systematic" in fields_in:
+            value = fields_in["systematic"]
+            if not isinstance(value, bool):
+                raise ValueError(f"systematic must be a bool, got {value!r}")
+            kwargs["systematic"] = value
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class TransferSettings:
+    """Client-side knobs for one §4.2 transfer.
+
+    Parameters
+    ----------
+    relevance_threshold:
+        The paper's F — early-stop once received content reaches it;
+        ``None`` downloads to completion.
+    max_rounds:
+        Retransmission-round bound before the transfer fails.
+    round_timeout:
+        Wall-clock (or channel-time) bound on one round, seconds.
+    max_reconnects:
+        Redials allowed per networked fetch.
+    use_cache:
+        Selects the paper's Caching policy (packets survive stalls and
+        disconnections) where the caller doesn't pass a cache object.
+    """
+
+    relevance_threshold: Optional[float] = None
+    max_rounds: int = DEFAULT_MAX_ROUNDS
+    round_timeout: float = DEFAULT_ROUND_TIMEOUT
+    max_reconnects: int = 4
+    use_cache: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_rounds, "max_rounds")
+        if self.round_timeout <= 0:
+            raise ValueError(
+                f"round_timeout must be positive, got {self.round_timeout}"
+            )
+        if self.max_reconnects < 0:
+            raise ValueError(
+                f"max_reconnects must be >= 0, got {self.max_reconnects}"
+            )
+
+    def replace(self, **changes: Any) -> "TransferSettings":
+        return replace(self, **changes)
+
+
+def _merge_legacy(
+    target,
+    caller: str,
+    kind: str,
+    legacy: Dict[str, Any],
+):
+    supplied = {
+        name: value for name, value in legacy.items() if value is not UNSET
+    }
+    if not supplied:
+        return target
+    warnings.warn(
+        f"{caller}: keyword argument(s) {sorted(supplied)} are deprecated; "
+        f"pass {kind} instead",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+    return replace(target, **supplied)
+
+
+def legacy_value(value: Any, default: Any) -> Any:
+    """Map a legacy keyword back to :data:`UNSET` when left at default.
+
+    Shimmed signatures keep their original defaults (introspection and
+    help text stay truthful), so "was it passed?" is approximated by
+    "does it differ from the default?" — callers explicitly passing
+    the default value lose nothing, since the settings object defaults
+    to the same value.
+    """
+    return UNSET if value is default or value == default else value
+
+
+def settings_from_legacy(
+    settings: Optional[TransferSettings],
+    caller: str,
+    **legacy: Any,
+) -> TransferSettings:
+    """Fold explicitly-passed legacy keywords into a settings object.
+
+    Values equal to :data:`UNSET` were not passed; anything else
+    triggers one :class:`DeprecationWarning` naming *caller* and is
+    merged over *settings* (or the defaults).
+    """
+    return _merge_legacy(
+        settings if settings is not None else TransferSettings(),
+        caller,
+        "settings=TransferSettings(...)",
+        legacy,
+    )
+
+
+def request_from_legacy(
+    request: Optional[PrepRequest],
+    caller: str,
+    **legacy: Any,
+) -> PrepRequest:
+    """:func:`settings_from_legacy`, but for :class:`PrepRequest`."""
+    return _merge_legacy(
+        request if request is not None else PrepRequest(),
+        caller,
+        "request=PrepRequest(...)",
+        legacy,
+    )

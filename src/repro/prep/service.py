@@ -1,0 +1,564 @@
+"""The on-demand preparation service: lazy, shared, metered cooking.
+
+:class:`PreparationService` is the single place content preparation
+happens anywhere in the codebase.  Given a
+:class:`~repro.prep.request.PrepRequest` it lazily runs the paper's
+full server-side chain — parse → five-module SC pipeline (§3.3) →
+measure annotation → :class:`~repro.core.multires.TransmissionSchedule`
+→ :meth:`~repro.prep.prepare.DocumentSender.prepare` — behind two
+cache tiers:
+
+* the **SC tier**, keyed by document content digest (plus the pipeline
+  configuration token): pipeline output is query-independent, so one
+  SC serves every request against the same bytes;
+* the **cooked tier**, keyed by the full canonical request tuple
+  ``(digest, lod, measure, query_key, packet_size, gamma, backend,
+  systematic)``: byte-identical requests share one encode.
+
+Both tiers use byte-budget LRU eviction
+(:class:`~repro.prep.cache.ByteBudgetLRU`).  Concurrent misses for the
+same key are **single-flighted**: exactly one caller runs the pipeline
+and encode, everyone else blocks on the flight and shares the result.
+The mechanism is a plain ``threading.Event``, which is correct both
+for plain threads (transport/prototype callers) and for asyncio
+callers that off-load via :meth:`PreparationService.prepare_async` /
+``run_in_executor`` (the :class:`~repro.net.server.NetServer` does).
+
+Telemetry (``prep.hits`` / ``prep.misses`` / ``prep.evictions``
+labeled by tier, the ``prep.inflight`` gauge, ``prep.*.seconds``
+stage timers) flows through :mod:`repro.obs` when enabled; the plain
+:attr:`PreparationService.stats` counters are always on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.coding.packets import Packetizer
+from repro.core.information import annotate_sc
+from repro.core.multires import TransmissionSchedule
+from repro.core.pipeline import SCPipeline
+from repro.core.query import Query
+from repro.core.structure import StructuralCharacteristic
+from repro.obs.runtime import OBS
+from repro.obs.timing import timed
+from repro.prep.cache import MISS, ByteBudgetLRU
+from repro.prep.prepare import DocumentSender, PreparedDocument
+from repro.prep.request import PrepRequest
+from repro.text.keywords import KeywordExtractor
+from repro.xmlkit.parser import parse_xml
+
+#: Default byte budgets: generous for a document corpus, small enough
+#: that a long-lived server cannot grow without bound.
+DEFAULT_SC_BUDGET = 64 * 1024 * 1024
+DEFAULT_COOKED_BUDGET = 256 * 1024 * 1024
+
+
+class UnknownDocumentError(KeyError):
+    """The requested document_id is not registered with the service."""
+
+
+class _SourceRecord:
+    """One registered document: source text, origin, content digest."""
+
+    __slots__ = ("document_id", "source", "html", "digest", "path")
+
+    def __init__(
+        self,
+        document_id: str,
+        source: str,
+        html: bool,
+        path: Optional[Path],
+    ) -> None:
+        self.document_id = document_id
+        self.source = source
+        self.html = html
+        self.path = path
+        self.digest = content_digest(source, html=html)
+
+
+class _ScEntry:
+    """Cached pipeline output plus the lock serializing annotation.
+
+    ``annotate_sc`` mutates the SC in place (it attaches per-query
+    measure values to every unit), so every build that reuses this SC
+    must hold :attr:`lock` from annotation through packetization.
+    """
+
+    __slots__ = ("sc", "lock")
+
+    def __init__(self, sc: StructuralCharacteristic) -> None:
+        self.sc = sc
+        self.lock = threading.Lock()
+
+
+class _Flight:
+    """One in-progress computation shared by concurrent requesters."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+
+def content_digest(source: str, *, html: bool = False) -> str:
+    """The cache digest of a document source (parse-mode aware)."""
+    hasher = hashlib.sha256(b"html\x00" if html else b"xml\x00")
+    hasher.update(source.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def _sc_size(sc: StructuralCharacteristic) -> int:
+    """Byte-budget weight of a cached SC (payload + per-unit overhead)."""
+    units = list(sc.root.walk())
+    return sum(unit.size_bytes() for unit in units) + 64 * len(units)
+
+
+def _cooked_size(prepared: PreparedDocument) -> int:
+    """Byte-budget weight of a cached cooked document."""
+    return prepared.cooked_bytes + 8 * len(prepared.content_profile)
+
+
+class PreparationService:
+    """Lazy document preparation behind a shared two-tier cache.
+
+    Satisfies the net-server store contract twice over: ``get`` cooks
+    with the service's default request, ``prepare`` with any request —
+    so per-request FETCH parameters and plain stores interoperate.
+
+    Parameters
+    ----------
+    pipeline:
+        The shared :class:`SCPipeline`; one instance serves every
+        document (its configuration is part of the SC-tier key).
+    default_request:
+        Used by :meth:`get`, :meth:`warmup`, and whenever ``prepare``
+        receives ``request=None``.
+    sc_budget_bytes / cooked_budget_bytes:
+        LRU byte budgets per tier; ``None`` disables eviction.
+    """
+
+    def __init__(
+        self,
+        *,
+        pipeline: Optional[SCPipeline] = None,
+        default_request: Optional[PrepRequest] = None,
+        sc_budget_bytes: Optional[int] = DEFAULT_SC_BUDGET,
+        cooked_budget_bytes: Optional[int] = DEFAULT_COOKED_BUDGET,
+    ) -> None:
+        self._pipeline = pipeline if pipeline is not None else SCPipeline()
+        self.default_request = (
+            default_request if default_request is not None else PrepRequest()
+        )
+        self._sc_tier = ByteBudgetLRU(sc_budget_bytes, name="sc")
+        self._cooked_tier = ByteBudgetLRU(cooked_budget_bytes, name="cooked")
+        self._records: Dict[str, _SourceRecord] = {}
+        self._flights: Dict[Tuple, _Flight] = {}
+        self._lock = threading.Lock()
+        #: Always-on counters (the OBS ``prep.*`` family mirrors them
+        #: when telemetry is enabled).
+        self.stats: Dict[str, int] = {
+            "sc_hits": 0,
+            "sc_misses": 0,
+            "cooked_hits": 0,
+            "cooked_misses": 0,
+            "inflight_waits": 0,
+            "evictions": 0,
+            "invalidations": 0,
+        }
+
+    # -- document registry -------------------------------------------------
+
+    def add_document(
+        self, document_id: str, source: str, *, html: bool = False
+    ) -> str:
+        """Register (or refresh) a document source; returns its digest.
+
+        Re-adding unchanged content is a cheap no-op; changed content
+        replaces the record and drops every cache entry derived from
+        the superseded digest (unless another document still shares
+        it).
+        """
+        record = _SourceRecord(document_id, source, html, path=None)
+        return self._install(record)
+
+    def add_path(
+        self,
+        path,
+        *,
+        document_id: Optional[str] = None,
+        html: bool = False,
+    ) -> str:
+        """Register a document file; returns the document_id (its stem).
+
+        The path is remembered so :meth:`invalidate` can re-read it.
+        """
+        path = Path(path)
+        if document_id is None:
+            document_id = path.stem
+        record = _SourceRecord(
+            document_id, path.read_text(encoding="utf-8"), html, path=path
+        )
+        self._install(record)
+        return document_id
+
+    def _install(self, record: _SourceRecord) -> str:
+        with self._lock:
+            previous = self._records.get(record.document_id)
+            self._records[record.document_id] = record
+        if previous is not None and previous.digest != record.digest:
+            self._drop_digest(previous.digest)
+        return record.digest
+
+    def remove(self, document_id: str) -> None:
+        """Unregister a document and drop its (unshared) cache entries."""
+        with self._lock:
+            record = self._records.pop(document_id, None)
+        if record is None:
+            raise UnknownDocumentError(document_id)
+        self._drop_digest(record.digest)
+
+    def invalidate(self, document_id: str) -> int:
+        """Force re-preparation of *document_id*; returns entries dropped.
+
+        Path-backed documents are re-read from disk, so an edited file
+        gets a new digest and fresh cache entries on the next request;
+        in-memory documents simply lose their cached tiers.
+        """
+        with self._lock:
+            record = self._records.get(document_id)
+        if record is None:
+            raise UnknownDocumentError(document_id)
+        self.stats["invalidations"] += 1
+        if record.path is not None:
+            fresh = _SourceRecord(
+                record.document_id,
+                record.path.read_text(encoding="utf-8"),
+                record.html,
+                path=record.path,
+            )
+            with self._lock:
+                self._records[document_id] = fresh
+        return self._drop_digest(record.digest)
+
+    def _drop_digest(self, digest: str) -> int:
+        """Drop cache entries for *digest* unless another doc shares it."""
+        with self._lock:
+            shared = any(
+                record.digest == digest for record in self._records.values()
+            )
+        if shared:
+            return 0
+        dropped = self._sc_tier.discard_where(lambda key: key[0] == digest)
+        dropped += self._cooked_tier.discard_where(lambda key: key[0] == digest)
+        self._update_size_gauges()
+        return dropped
+
+    def digest(self, document_id: str) -> str:
+        """The current content digest of a registered document."""
+        with self._lock:
+            record = self._records.get(document_id)
+        if record is None:
+            raise UnknownDocumentError(document_id)
+        return record.digest
+
+    def document_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._records)
+
+    def __contains__(self, document_id: str) -> bool:
+        with self._lock:
+            return document_id in self._records
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # -- preparation -------------------------------------------------------
+
+    def prepare(
+        self, document_id: str, request: Optional[PrepRequest] = None
+    ) -> PreparedDocument:
+        """The prepared document for ``(document_id, request)``.
+
+        Cache hit, single-flight wait, or full build — always the same
+        bytes for the same canonical request.  Raises
+        :class:`UnknownDocumentError` for an unregistered id.
+        """
+        if request is None:
+            request = self.default_request
+        with self._lock:
+            record = self._records.get(document_id)
+        if record is None:
+            raise UnknownDocumentError(document_id)
+        key = request.cache_key(record.digest)
+        prepared = self._fetch(
+            self._cooked_tier,
+            key,
+            "cooked",
+            lambda: self._build_cooked(record, request),
+            _cooked_size,
+        )
+        return self._with_id(prepared, document_id)
+
+    async def prepare_async(
+        self, document_id: str, request: Optional[PrepRequest] = None
+    ) -> PreparedDocument:
+        """:meth:`prepare` off the event loop (default executor).
+
+        Concurrent coroutines requesting the same key dedupe through
+        the same single-flight as plain threads.
+        """
+        import asyncio
+        from functools import partial
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, partial(self.prepare, document_id, request)
+        )
+
+    def get(self, document_id: str) -> Optional[PreparedDocument]:
+        """Net-store contract: default-request preparation, None if unknown."""
+        try:
+            return self.prepare(document_id, None)
+        except UnknownDocumentError:
+            return None
+
+    def sc_for(self, document_id: str) -> StructuralCharacteristic:
+        """The (cached) pipeline output for a registered document."""
+        with self._lock:
+            record = self._records.get(document_id)
+        if record is None:
+            raise UnknownDocumentError(document_id)
+        return self._sc_entry(record).sc
+
+    def seed_sc(self, document_id: str, sc: StructuralCharacteristic) -> bool:
+        """Adopt an externally-built SC for a registered document.
+
+        Lets callers that already ran the pipeline (the prototype's
+        eager gateway) donate the result instead of paying a second
+        run; a no-op (returns False) when the tier already holds one.
+        The donated object is shared, so subsequent annotation runs
+        under the service's per-entry lock like any cached SC.
+        """
+        with self._lock:
+            record = self._records.get(document_id)
+        if record is None:
+            raise UnknownDocumentError(document_id)
+        key = (record.digest, self._pipeline_token())
+        if self._sc_tier.peek(key) is not MISS:
+            return False
+        entry = _ScEntry(sc)
+        evicted = self._sc_tier.put(key, entry, _sc_size(sc))
+        if evicted:
+            self.stats["evictions"] += len(evicted)
+        self._update_size_gauges()
+        return True
+
+    def warmup(
+        self,
+        document_ids: Optional[Iterable[str]] = None,
+        requests: Optional[Iterable[PrepRequest]] = None,
+    ) -> int:
+        """Prefetch documents × requests into the cache; returns count.
+
+        With no arguments, cooks every registered document with the
+        default request — the old eager-at-startup behaviour, now an
+        explicit recipe.
+        """
+        ids = list(document_ids) if document_ids is not None else self.document_ids()
+        reqs = list(requests) if requests is not None else [self.default_request]
+        count = 0
+        for document_id in ids:
+            for request in reqs:
+                self.prepare(document_id, request)
+                count += 1
+        return count
+
+    # -- cache internals ---------------------------------------------------
+
+    def _fetch(
+        self,
+        tier: ByteBudgetLRU,
+        key: Tuple,
+        tier_name: str,
+        factory: Callable[[], Any],
+        size_of: Callable[[Any], int],
+    ) -> Any:
+        """Tier lookup with single-flight miss deduplication."""
+        value = tier.get(key)
+        if value is not MISS:
+            self._count_hit(tier_name)
+            return value
+        flight_key = (tier.name, key)
+        while True:
+            with self._lock:
+                value = tier.get(key)
+                if value is not MISS:
+                    leader = None
+                    flight = None
+                else:
+                    flight = self._flights.get(flight_key)
+                    if flight is None:
+                        flight = _Flight()
+                        self._flights[flight_key] = flight
+                        leader = True
+                    else:
+                        leader = False
+            if flight is None:
+                self._count_hit(tier_name)
+                return value
+            if not leader:
+                # Share the in-progress computation: block until the
+                # leader resolves the flight, then use its outcome.
+                flight.event.wait()
+                if flight.error is not None:
+                    raise flight.error
+                self.stats["inflight_waits"] += 1
+                self._count_hit(tier_name)
+                return flight.value
+            break
+        # Leader: run the build, publish the result, settle followers.
+        self.stats[f"{tier_name}_misses"] += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "prep.misses", "preparation cache misses"
+            ).labels(tier=tier_name).inc()
+            OBS.metrics.gauge(
+                "prep.inflight", "preparation builds in flight"
+            ).inc()
+        try:
+            with timed(f"prep.{tier_name}_build"):
+                value = factory()
+            evicted = tier.put(key, value, size_of(value))
+            if evicted:
+                self.stats["evictions"] += len(evicted)
+                if OBS.enabled:
+                    OBS.metrics.counter(
+                        "prep.evictions", "cache entries evicted by the byte budget"
+                    ).labels(tier=tier_name).inc(len(evicted))
+            self._update_size_gauges()
+            flight.value = value
+            return value
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(flight_key, None)
+            if OBS.enabled:
+                OBS.metrics.gauge("prep.inflight").dec()
+            flight.event.set()
+
+    def _count_hit(self, tier_name: str) -> None:
+        self.stats[f"{tier_name}_hits"] += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "prep.hits", "preparation cache hits"
+            ).labels(tier=tier_name).inc()
+
+    def _update_size_gauges(self) -> None:
+        if OBS.enabled:
+            OBS.metrics.gauge(
+                "prep.sc_bytes", "bytes held by the SC cache tier"
+            ).set(self._sc_tier.bytes)
+            OBS.metrics.gauge(
+                "prep.cooked_bytes", "bytes held by the cooked cache tier"
+            ).set(self._cooked_tier.bytes)
+
+    def _sc_entry(self, record: _SourceRecord) -> _ScEntry:
+        key = (record.digest, self._pipeline_token())
+        return self._fetch(
+            self._sc_tier,
+            key,
+            "sc",
+            lambda: self._build_sc(record),
+            lambda entry: _sc_size(entry.sc),
+        )
+
+    def _pipeline_token(self) -> Tuple:
+        token = getattr(self._pipeline, "cache_token", None)
+        if callable(token):
+            return token()
+        return (type(self._pipeline).__qualname__,)
+
+    def _build_sc(self, record: _SourceRecord) -> _ScEntry:
+        with timed("prep.parse"):
+            if record.html:
+                from repro.htmlkit.extract import html_to_research_paper
+
+                document = html_to_research_paper(record.source)
+            else:
+                document = parse_xml(record.source)
+        sc = self._pipeline.run(document)
+        return _ScEntry(sc)
+
+    def _build_cooked(
+        self, record: _SourceRecord, request: PrepRequest
+    ) -> PreparedDocument:
+        entry = self._sc_entry(record)
+        # Annotation mutates the shared SC; the entry lock serializes
+        # every build over the same pipeline output.
+        with entry.lock:
+            with timed("prep.annotate"):
+                query: Optional[Query] = None
+                if request.query.strip():
+                    extractor = KeywordExtractor(
+                        lemmatizer=self._pipeline.shared_lemmatizer
+                    )
+                    query = Query(request.query, extractor=extractor)
+                annotate_sc(entry.sc, query=query)
+                measure = request.resolved_measure
+                if request.measure == "auto" and (
+                    query is None or query.is_empty
+                ):
+                    # A query of pure stop words carries no keywords;
+                    # "auto" degrades to the static measure (matching
+                    # the pre-service CLI behaviour).
+                    measure = "ic"
+                schedule = TransmissionSchedule(
+                    entry.sc, lod=request.lod_level, measure=measure
+                )
+            sender = DocumentSender(
+                Packetizer(
+                    packet_size=request.packet_size,
+                    redundancy_ratio=request.gamma,
+                    systematic=request.systematic,
+                    backend=request.backend,
+                )
+            )
+            return sender.prepare(record.document_id, schedule)
+
+    @staticmethod
+    def _with_id(
+        prepared: PreparedDocument, document_id: str
+    ) -> PreparedDocument:
+        """Re-label a digest-shared entry for an aliased document id."""
+        if prepared.document_id == document_id:
+            return prepared
+        alias = PreparedDocument(
+            document_id,
+            prepared.cooked,
+            prepared.content_profile,
+            measure=prepared.measure,
+            segments=prepared.segments,
+        )
+        return alias
+
+    # -- introspection -----------------------------------------------------
+
+    def cache_info(self) -> Dict[str, Any]:
+        """Snapshot of both tiers plus the flight and stat counters."""
+        with self._lock:
+            inflight = len(self._flights)
+        return {
+            "sc": self._sc_tier.info(),
+            "cooked": self._cooked_tier.info(),
+            "inflight": inflight,
+            "stats": dict(self.stats),
+        }

@@ -14,8 +14,15 @@ wires both to the broker.
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
+from repro.prep.request import (
+    PrepRequest,
+    TransferSettings,
+    legacy_value,
+    request_from_legacy,
+    settings_from_legacy,
+)
 from repro.protocol import (
     DEFAULT_MAX_ROUNDS,
     DEFAULT_ROUND_TIMEOUT,
@@ -116,7 +123,13 @@ class RenderingManager:
 
 
 class SequenceManager:
-    """Broker-side driver of the §4.2 engine with incremental rendering."""
+    """Broker-side driver of the §4.2 engine with incremental rendering.
+
+    Protocol knobs come from ``settings``
+    (:class:`repro.prep.TransferSettings`); the individual
+    ``max_rounds`` / ``round_timeout`` keywords are deprecated shims
+    over it.
+    """
 
     def __init__(
         self,
@@ -124,14 +137,25 @@ class SequenceManager:
         cache: Optional[PacketCache] = None,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         round_timeout: float = DEFAULT_ROUND_TIMEOUT,
+        *,
+        settings: Optional[TransferSettings] = None,
     ) -> None:
+        settings = settings_from_legacy(
+            settings,
+            "SequenceManager",
+            max_rounds=legacy_value(max_rounds, DEFAULT_MAX_ROUNDS),
+            round_timeout=legacy_value(round_timeout, DEFAULT_ROUND_TIMEOUT),
+        )
         self.channel = channel
-        self.cache = cache if cache is not None else NullCache()
-        self.max_rounds = max_rounds
+        if cache is None:
+            cache = PacketCache() if settings.use_cache else NullCache()
+        self.cache = cache
+        self.settings = settings
+        self.max_rounds = settings.max_rounds
         #: Channel-time bound per round (shared
         #: :data:`repro.protocol.DEFAULT_ROUND_TIMEOUT`): a stalled
         #: round at least this long aborts the fetch.
-        self.round_timeout = round_timeout
+        self.round_timeout = settings.round_timeout
 
     def run(
         self,
@@ -140,6 +164,8 @@ class SequenceManager:
         renderer: RenderingManager,
         relevance_threshold: Optional[float] = None,
     ) -> BrowseResult:
+        if relevance_threshold is None:
+            relevance_threshold = self.settings.relevance_threshold
         start = self.channel.clock
         receiver = TransferReceiver(prepared)
         frames = prepared.frames()
@@ -257,9 +283,11 @@ class MobileBrowser:
         broker: ObjectRequestBroker,
         channel: WirelessChannel,
         cache: Optional[PacketCache] = None,
+        *,
+        settings: Optional[TransferSettings] = None,
     ) -> None:
         self.broker = broker
-        self.sequence_manager = SequenceManager(channel, cache=cache)
+        self.sequence_manager = SequenceManager(channel, cache=cache, settings=settings)
 
     def search(self, query_text: str, limit: int = 10):
         """Query the server-side search service (ORB name "search")."""
@@ -268,19 +296,36 @@ class MobileBrowser:
     def browse(
         self,
         document_id: str,
-        query_text: str = "",
-        lod_name: str = "paragraph",
-        gamma: float = 1.5,
+        query_text: Any = "",
+        lod_name: Any = "paragraph",
+        gamma: Any = 1.5,
         relevance_threshold: Optional[float] = None,
+        *,
+        request: Optional[PrepRequest] = None,
     ) -> BrowseResult:
-        """Fetch and incrementally render one document."""
-        request = FetchRequest(
-            document_id=document_id,
-            query_text=query_text,
-            lod_name=lod_name,
-            gamma=gamma,
+        """Fetch and incrementally render one document.
+
+        *request* carries the preparation parameters
+        (:class:`repro.prep.PrepRequest`); the individual
+        ``query_text`` / ``lod_name`` / ``gamma`` positional keywords
+        are deprecated shims over it.
+        """
+        prep = request_from_legacy(
+            request,
+            "MobileBrowser.browse",
+            query=legacy_value(query_text, ""),
+            lod=legacy_value(lod_name, "paragraph"),
+            gamma=legacy_value(gamma, 1.5),
         )
-        manifest, prepared = self.broker.invoke("transmitter", "fetch", request)
+        fetch = FetchRequest(
+            document_id=document_id,
+            query_text=prep.query,
+            lod_name=prep.lod,
+            gamma=prep.gamma,
+            packet_size=None if request is None else prep.packet_size,
+            measure=prep.measure,
+        )
+        manifest, prepared = self.broker.invoke("transmitter", "fetch", fetch)
         renderer = RenderingManager(manifest)
         return self.sequence_manager.run(
             manifest, prepared, renderer, relevance_threshold=relevance_threshold

@@ -12,6 +12,8 @@ class FetchRequest(NamedTuple):
     query_text: str = ""           # drives QIC ordering when non-empty
     lod_name: str = "paragraph"    # document|section|subsection|subsubsection|paragraph
     gamma: float = 1.5             # redundancy ratio for this transfer
+    packet_size: Optional[int] = None  # None: the transmitter's default
+    measure: str = "auto"          # content measure ("auto" resolves per query)
 
 
 class UnitDescriptor(NamedTuple):

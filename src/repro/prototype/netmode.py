@@ -20,9 +20,10 @@ Used by ``repro net serve --via-broker`` and directly::
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from repro.net.server import NetServer
+from repro.prep.request import PrepRequest, legacy_value, request_from_legacy
 from repro.prototype.broker import BrokerError, ObjectRequestBroker
 from repro.prototype.messages import FetchRequest
 from repro.transport.sender import PreparedDocument
@@ -31,36 +32,54 @@ from repro.transport.sender import PreparedDocument
 class BrokerDocumentStore:
     """Adapts the ORB's ``transmitter`` servant to the net-store contract.
 
-    Each ``get`` is one broker invocation of ``transmitter.fetch`` —
-    the document is prepared per request with the configured LOD,
-    query, and redundancy, exactly like an in-process browse.
+    Each ``get``/``prepare`` is one broker invocation of
+    ``transmitter.fetch`` — the document is prepared per request with
+    the connection's LOD, query, and redundancy (falling back to the
+    store's default :class:`PrepRequest`), exactly like an in-process
+    browse.  The transmitter's preparation service caches the cooked
+    result, so repeated identical requests share one build.
     """
 
     def __init__(
         self,
         broker: ObjectRequestBroker,
         *,
-        query_text: str = "",
-        lod_name: str = "paragraph",
-        gamma: float = 1.5,
+        request: Optional[PrepRequest] = None,
+        query_text: Any = "",
+        lod_name: Any = "paragraph",
+        gamma: Any = 1.5,
     ) -> None:
         self.broker = broker
-        self.query_text = query_text
-        self.lod_name = lod_name
-        self.gamma = gamma
+        self.request = request_from_legacy(
+            request,
+            "BrokerDocumentStore",
+            query=legacy_value(query_text, ""),
+            lod=legacy_value(lod_name, "paragraph"),
+            gamma=legacy_value(gamma, 1.5),
+        )
 
-    def get(self, document_id: str) -> Optional[PreparedDocument]:
-        request = FetchRequest(
+    def prepare(
+        self, document_id: str, request: Optional[PrepRequest] = None
+    ) -> Optional[PreparedDocument]:
+        """Net-store ``prepare``: cook per the connection's parameters."""
+        if request is None:
+            request = self.request
+        fetch = FetchRequest(
             document_id=document_id,
-            query_text=self.query_text,
-            lod_name=self.lod_name,
-            gamma=self.gamma,
+            query_text=request.query,
+            lod_name=request.lod,
+            gamma=request.gamma,
+            packet_size=request.packet_size,
+            measure=request.measure,
         )
         try:
-            _manifest, prepared = self.broker.invoke("transmitter", "fetch", request)
+            _manifest, prepared = self.broker.invoke("transmitter", "fetch", fetch)
         except (BrokerError, KeyError):
             return None
         return prepared
+
+    def get(self, document_id: str) -> Optional[PreparedDocument]:
+        return self.prepare(document_id, None)
 
 
 async def serve_broker(
@@ -68,19 +87,27 @@ async def serve_broker(
     host: str = "127.0.0.1",
     port: int = 0,
     *,
-    query_text: str = "",
-    lod_name: str = "paragraph",
-    gamma: float = 1.5,
+    request: Optional[PrepRequest] = None,
+    query_text: Any = "",
+    lod_name: Any = "paragraph",
+    gamma: Any = 1.5,
     **server_options,
 ) -> NetServer:
     """Start a :class:`NetServer` fronting *broker*'s transmitter.
 
-    Returns the started server (read ``.port`` for the bound port);
-    the caller owns shutdown via ``await server.stop()``.  Extra
-    keyword arguments pass through to :class:`NetServer`.
+    *request* sets the default preparation parameters for connections
+    that send no ``prep`` field (the ``query_text``/``lod_name``/
+    ``gamma`` keywords are deprecated shims over it).  Returns the
+    started server (read ``.port`` for the bound port); the caller
+    owns shutdown via ``await server.stop()``.  Extra keyword
+    arguments pass through to :class:`NetServer`.
     """
     store = BrokerDocumentStore(
-        broker, query_text=query_text, lod_name=lod_name, gamma=gamma
+        broker,
+        request=request,
+        query_text=query_text,
+        lod_name=lod_name,
+        gamma=gamma,
     )
     server = NetServer(store, host, port, **server_options)
     await server.start()

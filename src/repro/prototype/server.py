@@ -3,26 +3,26 @@
 ``DatabaseGateway`` fronts the document store: it parses and pipelines
 XML sources into SCs on ingest and caches them ("the SC is created by
 deriving the information content of each organizational unit", §3.3).
-``DocumentTransmitterService`` is the servant the browser invokes: it
-ranks the requested document's units by the query-appropriate measure,
-cooks the packet stream, and returns the manifest plus the prepared
-document.
+``DocumentTransmitterService`` is the servant the browser invokes; it
+is now a thin adapter over the
+:class:`~repro.prep.service.PreparationService`, which ranks the
+requested document's units by the query-appropriate measure, cooks the
+packet stream, and caches the result — repeated fetches with the same
+parameters reuse the cooked bytes instead of re-running annotation and
+encode per request.  The gateway's eagerly-built SC is donated to the
+service's SC tier, so ingest still pays the pipeline exactly once.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
-from repro.coding.packets import Packetizer
-from repro.core.information import annotate_sc
-from repro.core.lod import LOD
-from repro.core.multires import TransmissionSchedule
 from repro.core.pipeline import SCPipeline
-from repro.core.query import Query
 from repro.core.structure import StructuralCharacteristic
+from repro.prep.prepare import PreparedDocument
+from repro.prep.request import PrepRequest
+from repro.prep.service import PreparationService
 from repro.prototype.messages import FetchManifest, FetchRequest, UnitDescriptor
-from repro.text.keywords import KeywordExtractor
-from repro.transport.sender import DocumentSender, PreparedDocument
 from repro.xmlkit.parser import parse_xml
 
 
@@ -31,8 +31,8 @@ class DatabaseGateway:
 
     def __init__(self, pipeline: Optional[SCPipeline] = None) -> None:
         self._pipeline = pipeline if pipeline is not None else SCPipeline()
-        self._sources: Dict[str, str] = {}
-        self._scs: Dict[str, StructuralCharacteristic] = {}
+        self._sources: dict = {}
+        self._scs: dict = {}
 
     def put(self, document_id: str, xml_source: str) -> StructuralCharacteristic:
         """Store an XML document and build its SC immediately."""
@@ -66,38 +66,70 @@ class DatabaseGateway:
 
 
 class DocumentTransmitterService:
-    """The servant behind the ORB name ``"transmitter"``."""
+    """The servant behind the ORB name ``"transmitter"``.
 
-    def __init__(self, gateway: DatabaseGateway, packet_size: int = 256) -> None:
+    Parameters
+    ----------
+    gateway:
+        The document store; its pipeline (and its already-built SCs)
+        are shared with the preparation service.
+    packet_size:
+        Default packet size for requests that don't name one.
+    service:
+        The :class:`PreparationService` doing the actual work; built
+        over the gateway's pipeline when omitted.
+    """
+
+    def __init__(
+        self,
+        gateway: DatabaseGateway,
+        packet_size: int = 256,
+        service: Optional[PreparationService] = None,
+    ) -> None:
         self._gateway = gateway
         self._packet_size = packet_size
+        if service is None:
+            service = PreparationService(pipeline=gateway.pipeline)
+        self._service = service
+
+    @property
+    def service(self) -> PreparationService:
+        return self._service
 
     def fetch(self, request: FetchRequest) -> Tuple[FetchManifest, PreparedDocument]:
         """Prepare one document for transmission per *request*."""
-        sc = self._gateway.sc(request.document_id)
-        lod = LOD[request.lod_name.upper()]
+        prep = self.prep_request(request)
+        prepared = self._prepare(request.document_id, prep)
+        return self._manifest(prepared), prepared
 
-        measure = "ic"
-        query: Optional[Query] = None
-        if request.query_text.strip():
-            extractor = KeywordExtractor(
-                lemmatizer=self._gateway.pipeline.shared_lemmatizer
-            )
-            query = Query(request.query_text, extractor=extractor)
-            if not query.is_empty:
-                measure = "mqic"
-        annotate_sc(sc, query=query)
-
-        schedule = TransmissionSchedule(sc, lod=lod, measure=measure)
-        packetizer = Packetizer(
-            packet_size=self._packet_size, redundancy_ratio=request.gamma
+    def prep_request(self, request: FetchRequest) -> PrepRequest:
+        """Translate a prototype :class:`FetchRequest` to the prep API."""
+        return PrepRequest(
+            lod=request.lod_name,
+            measure=request.measure,
+            query=request.query_text,
+            gamma=request.gamma,
+            packet_size=(
+                request.packet_size
+                if request.packet_size is not None
+                else self._packet_size
+            ),
         )
-        sender = DocumentSender(packetizer)
-        prepared = sender.prepare(request.document_id, schedule)
 
+    def _prepare(self, document_id: str, prep: PrepRequest) -> PreparedDocument:
+        """Sync the gateway's document into the service, then cook."""
+        source = self._gateway.source(document_id)  # KeyError when unknown
+        self._service.add_document(document_id, source)  # digest-idempotent
+        # Donate the SC the gateway built at ingest: a fetch never
+        # re-runs the pipeline for unchanged content.
+        self._service.seed_sc(document_id, self._gateway.sc(document_id))
+        return self._service.prepare(document_id, prep)
+
+    @staticmethod
+    def _manifest(prepared: PreparedDocument) -> FetchManifest:
         units = []
         offset = 0
-        for segment in schedule.segments():
+        for segment in prepared.segments or ():
             units.append(
                 UnitDescriptor(
                     label=segment.label,
@@ -107,12 +139,11 @@ class DocumentTransmitterService:
                 )
             )
             offset += segment.size
-        manifest = FetchManifest(
-            document_id=request.document_id,
-            measure=measure,
+        return FetchManifest(
+            document_id=prepared.document_id,
+            measure=prepared.measure,
             total_bytes=offset,
             m=prepared.m,
             n=prepared.n,
             units=units,
         )
-        return manifest, prepared

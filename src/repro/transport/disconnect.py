@@ -24,6 +24,7 @@ from repro.protocol import DEFAULT_MAX_ROUNDS
 from repro.transport.cache import PacketCache
 from repro.transport.channel import Delivery, WirelessChannel
 from repro.transport.sender import PreparedDocument
+from repro.prep.request import TransferSettings
 from repro.transport.session import TransferResult, transfer_document
 
 
@@ -118,8 +119,10 @@ def resumable_transfer(
             prepared,
             channel,
             cache=cache,
-            relevance_threshold=relevance_threshold,
-            max_rounds=min(rounds_per_attempt, rounds_left),
+            settings=TransferSettings(
+                relevance_threshold=relevance_threshold,
+                max_rounds=min(rounds_per_attempt, rounds_left),
+            ),
         )
         rounds_left -= max(result.rounds, 1)
         attempt_results.append(result)

@@ -1,118 +1,14 @@
-"""Server-side document transmitter.
+"""Compatibility shim: the sender moved to :mod:`repro.prep.prepare`.
 
-Combines the multi-resolution schedule (§3/§4.2) with the packetizer
-(§4.1): the scheduled byte stream is split into M raw packets, cooked
-into N ≥ M packets, and framed for the wire.  The transmitter also
-derives the *content profile* — how much information content each
-clear-text packet carries — which drives the client's early
-termination decision.
+Content preparation is now owned by :mod:`repro.prep` — the
+:class:`~repro.prep.service.PreparationService` and its request API —
+so :class:`DocumentSender` and :class:`PreparedDocument` live there.
+This module re-exports both names so existing imports
+(``from repro.transport.sender import DocumentSender``) keep working.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from repro.prep.prepare import DocumentSender, PreparedDocument
 
-from repro.coding.packets import CookedDocument, Packetizer
-from repro.core.multires import TransmissionSchedule
-from repro.obs.runtime import OBS
-from repro.obs.timing import timed
-
-
-class PreparedDocument:
-    """A document ready for fault-tolerant multi-resolution transfer."""
-
-    def __init__(
-        self,
-        document_id: str,
-        cooked: CookedDocument,
-        content_profile: List[float],
-    ) -> None:
-        self.document_id = document_id
-        self.cooked = cooked
-        #: content carried by clear-text packet i (length M, sums to
-        #: the document's total content, 1.0 for a complete measure).
-        self.content_profile = content_profile
-
-    @property
-    def m(self) -> int:
-        return self.cooked.m
-
-    @property
-    def n(self) -> int:
-        return self.cooked.n
-
-    def frames(self) -> List[bytes]:
-        return self.cooked.frames()
-
-
-class DocumentSender:
-    """Prepares documents for transmission over the wireless channel.
-
-    Parameters
-    ----------
-    packetizer:
-        Controls packet size, redundancy ratio γ, and codec choice.
-    backend:
-        GF(2^8) kernel used for cooking when no *packetizer* is
-        supplied (name, instance, or None for the environment
-        default; see :mod:`repro.coding.backend`).
-    """
-
-    def __init__(
-        self,
-        packetizer: Optional[Packetizer] = None,
-        backend: Optional[object] = None,
-    ) -> None:
-        if packetizer is None:
-            packetizer = Packetizer(backend=backend)
-        self.packetizer = packetizer
-
-    def prepare(
-        self, document_id: str, schedule: TransmissionSchedule
-    ) -> PreparedDocument:
-        """Cook a scheduled document and compute its content profile."""
-        payload = schedule.payload()
-        if not payload:
-            raise ValueError(f"document {document_id!r} has an empty payload")
-        with timed("sender.prepare"):
-            cooked = self.packetizer.cook(payload)
-            profile = self._content_profile(schedule, cooked.m)
-        if OBS.enabled:
-            self._record_prepared(cooked)
-        return PreparedDocument(document_id, cooked, profile)
-
-    def prepare_raw(self, document_id: str, payload: bytes) -> PreparedDocument:
-        """Cook an unscheduled byte blob (conventional transmission).
-
-        The content profile is uniform: every clear packet carries an
-        equal share, which is the information-free assumption for a
-        document without an SC.
-        """
-        if not payload:
-            raise ValueError(f"document {document_id!r} has an empty payload")
-        with timed("sender.prepare"):
-            cooked = self.packetizer.cook(payload)
-        profile = [1.0 / cooked.m] * cooked.m
-        if OBS.enabled:
-            self._record_prepared(cooked)
-        return PreparedDocument(document_id, cooked, profile)
-
-    @staticmethod
-    def _record_prepared(cooked: CookedDocument) -> None:
-        OBS.metrics.counter("sender.documents_prepared").labels(
-            backend=cooked.codec.backend.name
-        ).inc()
-        OBS.metrics.counter("sender.cooked_packets").inc(cooked.n)
-        OBS.metrics.counter("sender.raw_packets").inc(cooked.m)
-
-    def _content_profile(
-        self, schedule: TransmissionSchedule, m: int
-    ) -> List[float]:
-        size = self.packetizer.packet_size
-        profile: List[float] = []
-        previous = 0.0
-        for index in range(m):
-            cumulative = schedule.content_prefix((index + 1) * size)
-            profile.append(cumulative - previous)
-            previous = cumulative
-        return profile
+__all__ = ["DocumentSender", "PreparedDocument"]

@@ -39,11 +39,11 @@ from repro.protocol import (
     TelemetryBridge,
     TransferEngine,
 )
+from repro.prep.request import TransferSettings, legacy_value, settings_from_legacy
 from repro.transport.cache import NullCache, PacketCache
 from repro.transport.channel import WirelessChannel
 from repro.transport.receiver import TransferReceiver
 from repro.transport.sender import PreparedDocument
-from repro.util.validation import check_positive_int
 
 
 class TransferResult(NamedTuple):
@@ -66,33 +66,40 @@ def transfer_document(
     relevance_threshold: Optional[float] = None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     round_timeout: float = DEFAULT_ROUND_TIMEOUT,
+    *,
+    settings: Optional[TransferSettings] = None,
 ) -> TransferResult:
     """Download *prepared* over *channel*; see the module docstring.
 
     Parameters
     ----------
     cache:
-        ``None`` selects NoCaching.  Pass a shared
-        :class:`PacketCache` for the Caching strategy.
-    relevance_threshold:
-        The paper's F: when set, the client stops (document judged
-        irrelevant) once the received content reaches it.  ``None``
-        downloads to completion.
-    max_rounds:
-        Safety bound on retransmission rounds; exceeding it reports a
-        failed transfer with the time spent so far (matching how an
-        interactive user would eventually give up).
-    round_timeout:
-        Channel-time bound per round (seconds,
-        :data:`repro.protocol.DEFAULT_ROUND_TIMEOUT`): when a stalled
-        round alone consumed at least this much air time the link is
-        considered dead and the transfer aborts instead of retrying.
+        ``None`` selects NoCaching (or Caching with a fresh
+        :class:`PacketCache` when ``settings.use_cache`` is set).  Pass
+        a shared :class:`PacketCache` for Caching across transfers.
+    settings:
+        The client-side protocol knobs —
+        :class:`repro.prep.TransferSettings` — replacing the individual
+        ``relevance_threshold`` / ``max_rounds`` / ``round_timeout``
+        keywords, which remain as deprecated shims: passing them still
+        works (one :class:`DeprecationWarning`) and overrides the
+        matching *settings* fields.  ``relevance_threshold`` is the
+        paper's F (stop once received content reaches it; ``None``
+        downloads to completion); ``max_rounds`` bounds retransmission
+        rounds; ``round_timeout`` bounds per-round channel time.
     """
-    check_positive_int(max_rounds, "max_rounds")
-    if round_timeout <= 0:
-        raise ValueError(f"round_timeout must be positive, got {round_timeout}")
+    settings = settings_from_legacy(
+        settings,
+        "transfer_document",
+        relevance_threshold=legacy_value(relevance_threshold, None),
+        max_rounds=legacy_value(max_rounds, DEFAULT_MAX_ROUNDS),
+        round_timeout=legacy_value(round_timeout, DEFAULT_ROUND_TIMEOUT),
+    )
+    relevance_threshold = settings.relevance_threshold
+    max_rounds = settings.max_rounds
+    round_timeout = settings.round_timeout
     if cache is None:
-        cache = NullCache()
+        cache = PacketCache() if settings.use_cache else NullCache()
 
     start_time = channel.clock
     frames = prepared.frames()

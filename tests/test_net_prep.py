@@ -1,0 +1,135 @@
+"""Networked acceptance for the preparation service (issue criterion).
+
+A ``NetServer`` fronted directly by a :class:`PreparationService`:
+50 concurrent loadgen clients sharing one request must trigger exactly
+one pipeline run and one cooked build (``prep.misses`` tier=cooked
+== 1, ``prep.hits`` >= 49); per-request ``prep`` parameters in HELLO
+change what is served; junk parameters come back as a wire error, not
+a hang.  Marked ``net``.
+"""
+
+import asyncio
+
+import pytest
+
+import repro.obs as obs
+from repro.net import NetClient, NetServer, WireError, run_loadgen
+from repro.prep import PrepRequest, PreparationService
+
+from tests.netutil import assert_no_leaked_tasks
+from tests.test_prep_service import OTHER, PAPER, make_service
+
+pytestmark = [pytest.mark.net]
+
+
+@pytest.fixture
+def telemetry():
+    obs.enable()
+    yield obs.OBS
+    obs.disable(reset=True)
+
+
+def make_store():
+    service, pipeline = make_service()
+    service.add_document("doc", PAPER)
+    service.add_document("other", OTHER)
+    return service, pipeline
+
+
+class TestLoadgenSharesOneBuild:
+    def test_fifty_clients_one_pipeline_run(self, telemetry):
+        service, pipeline = make_store()
+
+        async def go():
+            async with NetServer(service) as server:
+                report, results = await run_loadgen(
+                    server.host,
+                    server.port,
+                    "doc",
+                    clients=50,
+                    request=PrepRequest(query="mobile web", packet_size=64),
+                )
+            await assert_no_leaked_tasks()
+            return report, results
+
+        report, results = asyncio.run(go())
+        assert report.succeeded == 50
+        assert report.failed == 0
+        payloads = {result.payload for result in results}
+        assert len(payloads) == 1  # every client decoded the same bytes
+
+        # The acceptance criterion: one cook, everyone else hits.
+        assert pipeline.runs == 1
+        assert service.stats["cooked_misses"] == 1
+        assert service.stats["cooked_hits"] >= 49
+        misses = obs.OBS.metrics.get("prep.misses")
+        hits = obs.OBS.metrics.get("prep.hits")
+        assert misses.labels(tier="cooked").value == 1
+        assert hits.labels(tier="cooked").value >= 49
+
+
+class TestPerRequestParameters:
+    def test_prep_field_changes_served_bytes(self):
+        service, _ = make_store()
+
+        async def fetch(request):
+            async with NetServer(service) as server:
+                client = NetClient(server.host, server.port, request=request)
+                return await client.fetch("doc")
+
+        async def go():
+            everything = await fetch(PrepRequest(query="caching packets"))
+            headline = await fetch(
+                PrepRequest(query="caching packets", lod="section")
+            )
+            await assert_no_leaked_tasks()
+            return everything, headline
+
+        everything, headline = asyncio.run(go())
+        # Same document, but the section-level schedule orders (and
+        # frames) the stream differently than the paragraph-level one.
+        assert everything.payload != headline.payload
+        # Distinct parameter sets are distinct cooked-tier entries.
+        assert service.stats["cooked_misses"] == 2
+
+    def test_absent_prep_field_uses_server_default(self):
+        service, _ = make_store()
+        service.default_request = PrepRequest(query="mobile web")
+
+        async def go():
+            async with NetServer(service) as server:
+                no_field = NetClient(server.host, server.port)
+                explicit = NetClient(
+                    server.host, server.port, request=PrepRequest(query="mobile web")
+                )
+                first = await no_field.fetch("doc")
+                second = await explicit.fetch("doc")
+            await assert_no_leaked_tasks()
+            return first, second
+
+        first, second = asyncio.run(go())
+        assert first.payload == second.payload
+        assert service.stats["cooked_misses"] == 1
+        assert service.stats["cooked_hits"] == 1
+
+    def test_bad_prep_parameters_is_a_clean_wire_error(self):
+        service, _ = make_store()
+
+        async def go():
+            async with NetServer(service) as server:
+                client = NetClient(
+                    server.host,
+                    server.port,
+                    # qic needs a query; the server rejects the combination.
+                    request=PrepRequest(measure="qic"),
+                )
+                with pytest.raises(WireError, match="bad prep parameters"):
+                    await client.fetch("doc")
+                assert server.stats["errors"] >= 1
+                # The connection slot is released; a good fetch still works.
+                ok = NetClient(server.host, server.port)
+                result = await ok.fetch("doc")
+                assert result.payload
+            await assert_no_leaked_tasks()
+
+        asyncio.run(go())

@@ -1,0 +1,176 @@
+"""The redesigned request API: PrepRequest / TransferSettings contracts."""
+
+import pytest
+
+from repro.prep.request import (
+    KNOWN_MEASURES,
+    PrepRequest,
+    TransferSettings,
+    UNSET,
+    legacy_value,
+    request_from_legacy,
+    settings_from_legacy,
+)
+from repro.protocol import DEFAULT_MAX_ROUNDS, DEFAULT_ROUND_TIMEOUT
+
+
+class TestPrepRequestValidation:
+    def test_defaults(self):
+        request = PrepRequest()
+        assert request.lod == "paragraph"
+        assert request.measure == "auto"
+        assert request.query == ""
+        assert request.packet_size == 256
+        assert request.gamma == 1.5
+        assert request.systematic is True
+
+    def test_frozen(self):
+        request = PrepRequest()
+        with pytest.raises(AttributeError):
+            request.lod = "section"
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ValueError, match="unknown measure"):
+            PrepRequest(measure="entropy")
+
+    def test_every_known_measure_accepted(self):
+        for measure in KNOWN_MEASURES:
+            assert PrepRequest(measure=measure).measure == measure
+
+    def test_unknown_lod_rejected(self):
+        with pytest.raises(ValueError):
+            PrepRequest(lod="chapter")
+
+    @pytest.mark.parametrize("field,value", [
+        ("packet_size", 0),
+        ("packet_size", -8),
+        ("gamma", 0.5),
+        ("gamma", 0.0),
+    ])
+    def test_bad_numbers_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            PrepRequest(**{field: value})
+
+    def test_resolved_measure_auto(self):
+        assert PrepRequest(query="mobile web").resolved_measure == "mqic"
+        assert PrepRequest(query="").resolved_measure == "ic"
+        assert PrepRequest(query="   ").resolved_measure == "ic"
+        assert PrepRequest(query="x", measure="qic").resolved_measure == "qic"
+
+    def test_query_key_normalises_whitespace_and_case(self):
+        assert (
+            PrepRequest(query="  Mobile   Web ").query_key
+            == PrepRequest(query="mobile web").query_key
+        )
+
+    def test_replace(self):
+        request = PrepRequest(query="a")
+        other = request.replace(lod="section")
+        assert other.lod == "section" and other.query == "a"
+        assert request.lod == "paragraph"
+
+
+class TestPrepRequestKeysAndWire:
+    def test_cache_key_depends_on_parameters(self):
+        digest = "d" * 64
+        base = PrepRequest(query="mobile web")
+        assert base.cache_key(digest) == PrepRequest(query="mobile  WEB ").cache_key(digest)
+        for variant in [
+            base.replace(lod="section"),
+            base.replace(query="other words"),
+            base.replace(gamma=2.0),
+            base.replace(packet_size=128),
+            base.replace(measure="qic"),
+            base.replace(systematic=False),
+        ]:
+            assert variant.cache_key(digest) != base.cache_key(digest)
+        assert base.cache_key("e" * 64) != base.cache_key(digest)
+
+    def test_wire_roundtrip(self):
+        request = PrepRequest(
+            lod="section", measure="qic", query="weak links",
+            packet_size=128, gamma=2.0, systematic=False,
+        )
+        assert PrepRequest.from_wire(request.to_wire()) == request
+
+    def test_from_wire_rejects_junk(self):
+        with pytest.raises(ValueError):
+            PrepRequest.from_wire("not a dict")
+        with pytest.raises(ValueError):
+            PrepRequest.from_wire({"lod": "paragraph", "bogus_field": 1})
+        with pytest.raises(ValueError):
+            PrepRequest.from_wire({"packet_size": "huge"})
+        with pytest.raises(ValueError):
+            PrepRequest.from_wire({"measure": "entropy"})
+
+
+class TestTransferSettings:
+    def test_defaults_match_protocol_constants(self):
+        settings = TransferSettings()
+        assert settings.relevance_threshold is None
+        assert settings.max_rounds == DEFAULT_MAX_ROUNDS
+        assert settings.round_timeout == DEFAULT_ROUND_TIMEOUT
+        assert settings.max_reconnects == 4
+        assert settings.use_cache is False
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_rounds": 0},
+        {"max_rounds": -1},
+        {"round_timeout": 0.0},
+        {"round_timeout": -1.0},
+        {"max_reconnects": -1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TransferSettings(**kwargs)
+
+
+class TestLegacyShims:
+    def test_legacy_value_maps_default_to_unset(self):
+        assert legacy_value(60.0, 60.0) is UNSET
+        assert legacy_value(None, None) is UNSET
+        assert legacy_value(30.0, 60.0) == 30.0
+
+    def test_settings_from_legacy_warns_and_folds(self):
+        with pytest.warns(DeprecationWarning, match="max_rounds"):
+            settings = settings_from_legacy(
+                None, "api", max_rounds=7, round_timeout=UNSET
+            )
+        assert settings.max_rounds == 7
+        assert settings.round_timeout == DEFAULT_ROUND_TIMEOUT
+
+    def test_settings_from_legacy_silent_when_nothing_supplied(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            settings = settings_from_legacy(
+                None, "api", max_rounds=UNSET, round_timeout=UNSET
+            )
+        assert settings == TransferSettings()
+
+    def test_legacy_merges_over_explicit_settings(self):
+        base = TransferSettings(max_rounds=9, round_timeout=5.0)
+        with pytest.warns(DeprecationWarning):
+            settings = settings_from_legacy(base, "api", max_rounds=3)
+        assert settings.max_rounds == 3
+        assert settings.round_timeout == 5.0
+
+    def test_request_from_legacy(self):
+        with pytest.warns(DeprecationWarning, match="query"):
+            request = request_from_legacy(None, "api", query="mobile", lod=UNSET)
+        assert request.query == "mobile"
+        assert request.lod == "paragraph"
+
+    def test_transfer_document_legacy_keywords_still_work(self):
+        from repro.prep.prepare import DocumentSender
+        from repro.coding import Packetizer
+        from repro.transport import WirelessChannel, transfer_document
+
+        sender = DocumentSender(Packetizer(packet_size=64, redundancy_ratio=1.5))
+        prepared = sender.prepare_raw("doc", b"x" * 512)
+        with pytest.warns(DeprecationWarning):
+            result = transfer_document(
+                prepared, WirelessChannel(alpha=0.0), max_rounds=3
+            )
+        assert result.success

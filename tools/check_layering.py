@@ -100,6 +100,19 @@ FORBIDDEN: List[Tuple[str, Tuple[str, ...], str]] = [
         ("repro.net",),
         "the simulated byte driver must not depend on the socket layer",
     ),
+    (
+        "repro.prep",
+        (
+            "repro.net",
+            "repro.transport",
+            "repro.prototype",
+            "repro.simulation",
+            "repro.cli",
+            "repro.figures",
+        ),
+        "repro.prep cooks documents for every driver: it may use the "
+        "core/coding/text substrate, never the layers that call it",
+    ),
 ]
 
 
