@@ -150,7 +150,9 @@ def cmd_transfer(args) -> int:
         )
         if tracing:
             obs.OBS.trace.emit(
-                "metrics_snapshot", metrics=obs.OBS.metrics.snapshot()
+                "metrics_snapshot",
+                metrics=obs.OBS.metrics.snapshot(),
+                prep=dict(service.stats),
             )
             try:
                 lines = obs.OBS.trace.export_jsonl(args.trace)
@@ -248,11 +250,28 @@ def cmd_net_serve(args) -> int:
             )
             await server.start()
         print(f"listening on {server.host}:{server.port} (ctrl-c to stop)")
+        metrics_http = None
+        if getattr(args, "metrics_port", None) is not None:
+            if not hasattr(server, "stats_snapshot"):
+                print("warning: --metrics-port is not supported with --via-broker")
+            else:
+                from repro.net.stats_http import StatsHTTP
+
+                metrics_http = StatsHTTP(
+                    server.stats_snapshot, args.host, args.metrics_port
+                )
+                await metrics_http.start()
+                print(
+                    f"metrics on http://{metrics_http.host}:{metrics_http.port}"
+                    "/metrics (also /stats.json, /healthz)"
+                )
         try:
             await asyncio.Event().wait()
         except asyncio.CancelledError:
             pass
         finally:
+            if metrics_http is not None:
+                await metrics_http.stop()
             await server.stop()
             stats = server.stats
             print(
@@ -337,9 +356,12 @@ def cmd_net_loadgen(args) -> int:
     """Fan out concurrent fetches, optionally through a chaos proxy."""
     import asyncio
 
-    from repro.net import ChaosProxy, run_loadgen
+    from repro.net import ChaosProxy, run_loadgen, write_bench
+
+    chaos_params = None
 
     async def _run():
+        nonlocal chaos_params
         proxy = None
         host, port = args.host, args.port
         chaos = args.chaos_drop > 0 or args.chaos_corrupt > 0 or args.chaos_disconnect > 0
@@ -354,6 +376,12 @@ def cmd_net_loadgen(args) -> int:
             )
             await proxy.start()
             host, port = proxy.host, proxy.port
+            chaos_params = {
+                "drop": args.chaos_drop,
+                "corrupt": args.chaos_corrupt,
+                "disconnect": args.chaos_disconnect,
+                "seed": args.seed,
+            }
             print(
                 f"chaos proxy on {host}:{port} "
                 f"(drop={args.chaos_drop:g} corrupt={args.chaos_corrupt:g} "
@@ -368,6 +396,7 @@ def cmd_net_loadgen(args) -> int:
                 use_cache=args.cache,
                 settings=_client_settings(args),
                 request=_client_prep_request(args),
+                error_budget=args.error_budget,
             )
         finally:
             if proxy is not None:
@@ -383,13 +412,75 @@ def cmd_net_loadgen(args) -> int:
     )
     print(
         f"latency: mean={report.mean_seconds:.3f}s p50={report.p50_seconds:.3f}s "
-        f"p90={report.p90_seconds:.3f}s p99={report.p99_seconds:.3f}s"
+        f"p95={report.p95_seconds:.3f}s p99={report.p99_seconds:.3f}s"
     )
     print(
         f"throughput: {report.fetches_per_second:.1f} fetches/s, "
-        f"{report.payload_bytes} payload byte(s) in {report.elapsed:.3f}s"
+        f"{report.payload_bytes} payload byte(s) "
+        f"({report.served_mb_per_second:.3f} MB/s) in {report.elapsed:.3f}s"
     )
-    return 0 if report.failed == 0 else 1
+    print(
+        f"slo: error_rate={report.error_rate:.3f} "
+        f"budget={report.error_budget:g} "
+        f"remaining={report.error_budget_remaining:.1%}"
+    )
+    if args.bench:
+        write_bench(
+            report, args.bench, document_id=args.document_id, chaos=chaos_params
+        )
+        print(f"bench record -> {args.bench}")
+    return 0 if report.error_budget_remaining > 0 else 1
+
+
+def cmd_net_stats(args) -> int:
+    """Query a running server's operational snapshot (STATS frame)."""
+    import asyncio
+    import json
+
+    from repro.net import ConnectionLost, WireError, fetch_stats
+
+    try:
+        snapshot = asyncio.run(fetch_stats(args.host, args.port))
+    except (ConnectionLost, WireError, OSError) as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    server = snapshot.get("server", {})
+    print(
+        f"connections={server.get('connections', 0)} "
+        f"active={snapshot.get('active_connections', 0)} "
+        f"completed={server.get('completed', 0)} "
+        f"rounds={server.get('rounds_served', 0)} "
+        f"frames={server.get('frames_sent', 0)} "
+        f"flight_dumps={server.get('flight_dumps', 0)}"
+    )
+    slo = snapshot.get("slo", {})
+    if slo:
+        print(
+            f"slo: count={slo.get('count', 0)} "
+            f"p50={slo.get('p50_seconds', 0):.3f}s "
+            f"p95={slo.get('p95_seconds', 0):.3f}s "
+            f"p99={slo.get('p99_seconds', 0):.3f}s "
+            f"error_rate={slo.get('error_rate', 0):.3f} "
+            f"budget_remaining={slo.get('error_budget_remaining', 1.0):.1%}"
+        )
+    prep = snapshot.get("prep")
+    if prep:
+        print(
+            f"prep: sc {prep.get('sc_hits', 0)}/{prep.get('sc_misses', 0)} "
+            f"hit/miss, cooked {prep.get('cooked_hits', 0)}"
+            f"/{prep.get('cooked_misses', 0)} hit/miss, "
+            f"{prep.get('evictions', 0)} eviction(s)"
+        )
+    for conn in snapshot.get("connections", []):
+        print(
+            f"  conn {conn.get('conn_id')}: {conn.get('document')!r} "
+            f"transfer={conn.get('transfer_id')} rounds={conn.get('rounds')} "
+            f"sendq={conn.get('sendq_depth')} age={conn.get('age_seconds'):.1f}s"
+        )
+    return 0
 
 
 def cmd_obs_summary(args) -> int:
@@ -547,6 +638,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="byte budget for the SC cache tier (MiB)")
     p_serve.add_argument("--cooked-budget-mb", type=int, default=256,
                          help="byte budget for the cooked cache tier (MiB)")
+    p_serve.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                         help="serve /metrics (Prometheus text), /stats.json, "
+                              "and /healthz on this HTTP port (0 picks one)")
     p_serve.set_defaults(func=cmd_net_serve)
 
     def add_prep_flags(p) -> None:
@@ -602,8 +696,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-frame disconnect probability")
     p_load.add_argument("--seed", type=int, default=0,
                         help="chaos fault-plan seed")
+    p_load.add_argument("--error-budget", type=float, default=0.05,
+                        metavar="RATE",
+                        help="tolerated error rate; exit 1 once the budget "
+                             "is exhausted (default: 0.05)")
+    p_load.add_argument("--bench", default=None, metavar="PATH",
+                        help="write the SLO benchmark record (BENCH_net.json "
+                             "format) to PATH")
     add_prep_flags(p_load)
     p_load.set_defaults(func=cmd_net_loadgen)
+
+    p_stats = net_sub.add_parser(
+        "stats", help="query a running server's operational snapshot"
+    )
+    p_stats.add_argument("--host", default="127.0.0.1")
+    p_stats.add_argument("--port", type=int, default=8642)
+    p_stats.add_argument("--json", action="store_true",
+                         help="print the raw snapshot as JSON")
+    p_stats.set_defaults(func=cmd_net_stats)
 
     p_obs = sub.add_parser(
         "obs-summary",

@@ -8,8 +8,12 @@ reconnect-and-resume from the packet cache, a :class:`ChaosProxy`
 replays seeded :class:`~repro.protocol.FaultPlan` schedules (drop /
 corrupt / disconnect) against the live byte stream, and
 :func:`run_loadgen` fans out concurrent fetches with latency
-percentiles.  See ``docs/networking.md`` for the wire format and the
-chaos-testing recipe.
+percentiles and an SLO verdict.  Operational telemetry rides the same
+wire: ``HELLO`` carries a trace context, the ``STATS`` admin frame
+(:func:`fetch_stats`) returns the server's live snapshot, and
+:class:`StatsHTTP` serves it over HTTP for Prometheus scrapes.  See
+``docs/networking.md`` for the wire format and the chaos-testing
+recipe, ``docs/observability.md`` for the telemetry surface.
 
 Layering: this package sits beside :mod:`repro.transport` — it may
 import the protocol engine, the coding/framing layer, transport's
@@ -18,9 +22,16 @@ prototype, or the CLI (enforced by ``tools/check_layering.py``).
 """
 
 from repro.net.chaos import ChaosProxy
-from repro.net.client import FETCH_BUCKETS, NetClient, NetFetchResult
-from repro.net.loadgen import LoadgenReport, run_loadgen
+from repro.net.client import FETCH_BUCKETS, NetClient, NetFetchResult, fetch_stats
+from repro.net.loadgen import (
+    LoadgenReport,
+    bench_record,
+    run_loadgen,
+    summarize_results,
+    write_bench,
+)
 from repro.net.server import DocumentStore, NetServer
+from repro.net.stats_http import StatsHTTP, render_exposition
 from repro.net.wire import (
     ENVELOPE_OVERHEAD,
     MAX_MESSAGE_SIZE,
@@ -32,6 +43,7 @@ from repro.net.wire import (
     MSG_MANIFEST,
     MSG_NEXT_ROUND,
     MSG_ROUND_END,
+    MSG_STATS,
     ConnectionLost,
     WireError,
     decode_json,
@@ -47,8 +59,14 @@ __all__ = [
     "NetClient",
     "NetFetchResult",
     "FETCH_BUCKETS",
+    "fetch_stats",
+    "StatsHTTP",
+    "render_exposition",
     "ChaosProxy",
     "run_loadgen",
+    "summarize_results",
+    "bench_record",
+    "write_bench",
     "LoadgenReport",
     "WireError",
     "ConnectionLost",
@@ -67,4 +85,5 @@ __all__ = [
     "MSG_NEXT_ROUND",
     "MSG_DONE",
     "MSG_ERROR",
+    "MSG_STATS",
 ]

@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import asyncio
 import random
-from typing import Dict, Optional, Set
+from collections import deque
+from typing import Deque, Dict, Optional, Set
 
 from repro.net.wire import (
     MSG_FRAME,
@@ -108,6 +109,9 @@ class ChaosProxy:
             "frames_corrupted": 0,
             "disconnects": 0,
         }
+        #: Per-connection chaos hits, newest last (bounded), so a test
+        #: or snapshot can see *which* link a fault landed on.
+        self.link_stats: Deque[Dict[str, int]] = deque(maxlen=64)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -148,6 +152,14 @@ class ChaosProxy:
         self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
     ) -> None:
         self.stats["connections"] += 1
+        link: Dict[str, int] = {
+            "connection": self.stats["connections"],
+            "frames_forwarded": 0,
+            "frames_dropped": 0,
+            "frames_corrupted": 0,
+            "disconnected": 0,
+        }
+        self.link_stats.append(link)
         first = not self._first_connection_seen
         self._first_connection_seen = True
         try:
@@ -160,7 +172,7 @@ class ChaosProxy:
         cut_at = self.cut_after_frames if first else None
         up = asyncio.ensure_future(self._pump_up(client_reader, upstream_writer))
         down = asyncio.ensure_future(
-            self._pump_down(upstream_reader, client_writer, cut_at)
+            self._pump_down(upstream_reader, client_writer, cut_at, link)
         )
         try:
             # Either direction ending (EOF, fault-ordered cut, error)
@@ -196,6 +208,7 @@ class ChaosProxy:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         cut_after_frames: Optional[int],
+        link: Dict[str, int],
     ) -> None:
         """server → client: per-frame fault decisions."""
         frames_seen = 0
@@ -211,13 +224,14 @@ class ChaosProxy:
                     continue
                 frames_seen += 1
                 if cut_after_frames is not None and frames_seen > cut_after_frames:
-                    self._record_disconnect()
+                    self._record_disconnect(link)
                     raise _Severed
                 verdict = self.plan.decide()
                 if verdict is DISCONNECT and not self._may_disconnect():
                     verdict = PASS  # disconnect budget spent: forward
                 if verdict is DROP:
                     self.stats["frames_dropped"] += 1
+                    link["frames_dropped"] += 1
                     if OBS.enabled:
                         OBS.metrics.counter(
                             "net.chaos_drops", "frames swallowed by the proxy"
@@ -226,16 +240,18 @@ class ChaosProxy:
                 if verdict is CORRUPT:
                     body = self._garble(body)
                     self.stats["frames_corrupted"] += 1
+                    link["frames_corrupted"] += 1
                     if OBS.enabled:
                         OBS.metrics.counter(
                             "net.chaos_corruptions", "frames garbled by the proxy"
                         ).inc()
                 elif verdict is DISCONNECT:
-                    self._record_disconnect()
+                    self._record_disconnect(link)
                     raise _Severed
                 writer.write(encode_message(msg_type, body))
                 await writer.drain()
                 self.stats["frames_forwarded"] += 1
+                link["frames_forwarded"] += 1
         except _Severed:
             return
         except (ConnectionError, OSError):
@@ -247,8 +263,10 @@ class ChaosProxy:
             or self.stats["disconnects"] < self.max_disconnects
         )
 
-    def _record_disconnect(self) -> None:
+    def _record_disconnect(self, link: Optional[Dict[str, int]] = None) -> None:
         self.stats["disconnects"] += 1
+        if link is not None:
+            link["disconnected"] = 1
         if OBS.enabled:
             OBS.metrics.counter(
                 "net.chaos_disconnects", "connections severed by the proxy"

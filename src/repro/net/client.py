@@ -17,6 +17,12 @@ resumed transfer therefore decodes from ``M`` intact packets
 accumulated *across connections*, byte-identical to an uninterrupted
 one.  Without a cache the policy is NoCaching: a drop starts over,
 like a browser reload.
+
+Each fetch mints a :class:`~repro.obs.live.TraceContext` and sends it
+in every ``HELLO``, so the server's ``net_*`` trace events and the
+client's protocol events share one transfer ID across every
+reconnect of the same logical fetch.  :func:`fetch_stats` speaks the
+``STATS`` admin frame for operational snapshots.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from repro.net.wire import (
     MSG_MANIFEST,
     MSG_NEXT_ROUND,
     MSG_ROUND_END,
+    MSG_STATS,
     ConnectionLost,
     WireError,
     decode_json,
@@ -43,6 +50,7 @@ from repro.net.wire import (
     read_expected,
     read_message,
 )
+from repro.obs.live import TraceContext
 from repro.obs.runtime import OBS
 from repro.prep.request import (
     PrepRequest,
@@ -181,7 +189,8 @@ class NetClient:
         intact: Dict[int, bytes] = dict(self.cache.load(document_id))
         engine: Optional[TransferEngine] = None
         manifest: Optional[_Manifest] = None
-        bridge = TelemetryBridge("transfer")
+        ctx = TraceContext.mint()
+        bridge = TelemetryBridge("transfer", transfer_id=ctx.transfer_id)
         frames_received = 0
         reconnects = 0
         terminal: Optional[Effect] = None
@@ -194,10 +203,12 @@ class NetClient:
                     asyncio.open_connection(self.host, self.port),
                     self.round_timeout,
                 )
+                ctx.next_connection()
                 hello = {
                     "doc": document_id,
                     "have": sorted(intact),
                     "max_rounds": self.max_rounds,
+                    "trace": ctx.to_wire(),
                 }
                 if request is not None:
                     hello["prep"] = request.to_wire()
@@ -446,3 +457,31 @@ class NetClient:
         codec = codec_cls(manifest.m, manifest.n, backend=self.backend)
         raw = codec.decode(intact)
         return b"".join(raw)[: manifest.original_size]
+
+
+async def fetch_stats(
+    host: str, port: int, *, timeout: float = DEFAULT_ROUND_TIMEOUT
+) -> Dict[str, object]:
+    """Ask a server for its operational snapshot via the ``STATS`` frame.
+
+    Opens a connection, sends ``STATS {}`` as the first message, and
+    returns the decoded snapshot (see
+    :meth:`~repro.net.server.NetServer.stats_snapshot`).  Raises
+    :class:`ConnectionLost` / :class:`WireError` like a fetch would.
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        writer.write(encode_json(MSG_STATS, {}))
+        await writer.drain()
+        _, body = await asyncio.wait_for(
+            read_expected(reader, MSG_STATS), timeout
+        )
+        return decode_json(body)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

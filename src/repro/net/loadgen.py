@@ -8,16 +8,23 @@ percentiles (via :func:`repro.util.stats.percentile`) and effective
 throughput.  With telemetry enabled every fetch also lands in the
 ``net.*`` metric family (``net.fetch_seconds``, ``net.fetches``,
 ``net.reconnects``), so ``repro obs-summary`` can dissect a run.
+
+The report doubles as an SLO verdict: ``error_rate`` against the run's
+``error_budget`` yields ``error_budget_remaining`` (1.0 = untouched,
+0.0 = exhausted), and :func:`write_bench` serializes the whole thing
+to ``BENCH_net.json`` for CI trend lines.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
 import time
-from typing import Any, List, NamedTuple, Optional, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.net.client import NetClient, NetFetchResult
 from repro.net.wire import ConnectionLost, WireError
+from repro.obs.slo import DEFAULT_ERROR_BUDGET
 from repro.prep.request import (
     PrepRequest,
     TransferSettings,
@@ -30,7 +37,11 @@ from repro.util.stats import mean, percentile
 
 
 class LoadgenReport(NamedTuple):
-    """Aggregate outcome of one load-generation run."""
+    """Aggregate outcome of one load-generation run.
+
+    New fields are appended with defaults so positional construction
+    from older call sites keeps working.
+    """
 
     clients: int
     succeeded: int             # decoded or early-stopped
@@ -45,6 +56,58 @@ class LoadgenReport(NamedTuple):
     p99_seconds: float
     fetches_per_second: float
     payload_bytes: int         # total reconstructed bytes across clients
+    p95_seconds: float = 0.0
+    error_rate: float = 0.0    # failed / clients
+    error_budget: float = DEFAULT_ERROR_BUDGET
+    error_budget_remaining: float = 1.0   # max(0, 1 - error_rate/budget)
+    served_mb_per_second: float = 0.0     # reconstructed payload MB / elapsed
+
+
+def summarize_results(
+    results: List[Optional[NetFetchResult]],
+    *,
+    clients: int,
+    elapsed: float,
+    error_budget: float = DEFAULT_ERROR_BUDGET,
+) -> LoadgenReport:
+    """Fold per-client outcomes into a :class:`LoadgenReport`.
+
+    Pure — callable on synthetic results in tests.  ``None`` entries
+    are clients that never reached the server (counted as failed).
+    """
+    if error_budget <= 0:
+        raise ValueError(f"error_budget must be positive, got {error_budget}")
+    reached = [result for result in results if result is not None]
+    latencies = sorted(result.elapsed for result in reached)
+    decoded = sum(1 for result in reached if result.status == "decoded")
+    early = sum(1 for result in reached if result.status == "early_stop")
+    failed = clients - decoded - early
+    error_rate = failed / clients if clients else 0.0
+    payload_bytes = sum(
+        len(result.payload) for result in reached if result.payload is not None
+    )
+    return LoadgenReport(
+        clients=clients,
+        succeeded=decoded + early,
+        decoded=decoded,
+        early_stopped=early,
+        failed=failed,
+        reconnects=sum(result.reconnects for result in reached),
+        elapsed=elapsed,
+        mean_seconds=mean(latencies) if latencies else 0.0,
+        p50_seconds=percentile(latencies, 50.0) if latencies else 0.0,
+        p90_seconds=percentile(latencies, 90.0) if latencies else 0.0,
+        p99_seconds=percentile(latencies, 99.0) if latencies else 0.0,
+        fetches_per_second=clients / elapsed if elapsed > 0 else 0.0,
+        payload_bytes=payload_bytes,
+        p95_seconds=percentile(latencies, 95.0) if latencies else 0.0,
+        error_rate=error_rate,
+        error_budget=error_budget,
+        error_budget_remaining=max(0.0, 1.0 - error_rate / error_budget),
+        served_mb_per_second=(
+            payload_bytes / (1024 * 1024) / elapsed if elapsed > 0 else 0.0
+        ),
+    )
 
 
 async def run_loadgen(
@@ -61,6 +124,7 @@ async def run_loadgen(
     backend: Optional[object] = None,
     settings: Optional[TransferSettings] = None,
     request: Optional[PrepRequest] = None,
+    error_budget: float = DEFAULT_ERROR_BUDGET,
 ) -> Tuple[LoadgenReport, List[Optional[NetFetchResult]]]:
     """Fetch *document_id* with *clients* concurrent connections.
 
@@ -69,7 +133,8 @@ async def run_loadgen(
     share both, so a preparation-capable server cooks exactly once).
     The individual ``relevance_threshold`` / ``max_rounds`` /
     ``round_timeout`` / ``max_reconnects`` keywords are deprecated
-    shims over *settings*.
+    shims over *settings*.  *error_budget* is the tolerated error rate
+    the report's ``error_budget_remaining`` is measured against.
 
     Returns the aggregate report plus the per-client results (``None``
     for a client that never reached the server).  Never raises on
@@ -106,27 +171,61 @@ async def run_loadgen(
         await asyncio.gather(*(one_fetch(index) for index in range(clients)))
     )
     elapsed = time.monotonic() - started
-
-    reached = [result for result in results if result is not None]
-    latencies = sorted(result.elapsed for result in reached)
-    decoded = sum(1 for result in reached if result.status == "decoded")
-    early = sum(1 for result in reached if result.status == "early_stop")
-    failed = clients - decoded - early
-    report = LoadgenReport(
-        clients=clients,
-        succeeded=decoded + early,
-        decoded=decoded,
-        early_stopped=early,
-        failed=failed,
-        reconnects=sum(result.reconnects for result in reached),
-        elapsed=elapsed,
-        mean_seconds=mean(latencies) if latencies else 0.0,
-        p50_seconds=percentile(latencies, 50.0) if latencies else 0.0,
-        p90_seconds=percentile(latencies, 90.0) if latencies else 0.0,
-        p99_seconds=percentile(latencies, 99.0) if latencies else 0.0,
-        fetches_per_second=clients / elapsed if elapsed > 0 else 0.0,
-        payload_bytes=sum(
-            len(result.payload) for result in reached if result.payload is not None
-        ),
+    report = summarize_results(
+        results, clients=clients, elapsed=elapsed, error_budget=error_budget
     )
     return report, results
+
+
+def bench_record(
+    report: LoadgenReport,
+    *,
+    document_id: Optional[str] = None,
+    chaos: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The JSON payload :func:`write_bench` persists — SLO-shaped.
+
+    *chaos* optionally embeds the fault-plan parameters the run was
+    subjected to, so a regression in the trend line can be traced to
+    its injected failure mix.
+    """
+    record: Dict[str, Any] = {
+        "benchmark": "net_loadgen_slo",
+        "clients": report.clients,
+        "succeeded": report.succeeded,
+        "decoded": report.decoded,
+        "early_stopped": report.early_stopped,
+        "failed": report.failed,
+        "reconnects": report.reconnects,
+        "elapsed_seconds": round(report.elapsed, 6),
+        "p50_seconds": round(report.p50_seconds, 6),
+        "p95_seconds": round(report.p95_seconds, 6),
+        "p99_seconds": round(report.p99_seconds, 6),
+        "mean_seconds": round(report.mean_seconds, 6),
+        "fetches_per_second": round(report.fetches_per_second, 3),
+        "payload_bytes": report.payload_bytes,
+        "served_mb_per_second": round(report.served_mb_per_second, 6),
+        "error_rate": round(report.error_rate, 6),
+        "error_budget": report.error_budget,
+        "error_budget_remaining": round(report.error_budget_remaining, 6),
+    }
+    if document_id is not None:
+        record["document_id"] = document_id
+    if chaos is not None:
+        record["chaos"] = chaos
+    return record
+
+
+def write_bench(
+    report: LoadgenReport,
+    path: str,
+    *,
+    document_id: Optional[str] = None,
+    chaos: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Write the SLO benchmark record to *path* (``BENCH_net.json``)."""
+    record = bench_record(report, document_id=document_id, chaos=chaos)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return record

@@ -22,12 +22,23 @@ I/O discipline the paper's broker needs on a weak link:
 Resume support: a ``HELLO`` (or ``NEXT_ROUND``) listing cached intact
 sequences makes the next round skip them — a reconnecting client only
 pays for the packets it is missing.
+
+Operational telemetry (``repro.obs.live``): every connection adopts
+the client's wire-propagated :class:`~repro.obs.live.TraceContext`
+(so server-side trace events share the client's transfer ID across
+reconnects), keeps a bounded :class:`~repro.obs.flight.FlightRecorder`
+ring that is dumped only on abnormal close, and feeds a rolling
+:class:`~repro.obs.slo.SLOTracker`.  :meth:`NetServer.stats_snapshot`
+exposes all of it — served in-band via the ``STATS`` admin frame and
+over HTTP by :class:`~repro.net.stats_http.StatsHTTP`.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Iterable, Optional, Set
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, Optional, Set
 
 from repro.net.wire import (
     MSG_DONE,
@@ -37,6 +48,7 @@ from repro.net.wire import (
     MSG_MANIFEST,
     MSG_NEXT_ROUND,
     MSG_ROUND_END,
+    MSG_STATS,
     ConnectionLost,
     WireError,
     decode_json,
@@ -44,10 +56,37 @@ from repro.net.wire import (
     encode_message,
     read_expected,
 )
+from repro.obs.flight import DEFAULT_FLIGHT_EVENTS, FlightRecorder
+from repro.obs.live import TraceContext
 from repro.obs.runtime import OBS
+from repro.obs.slo import (
+    DEFAULT_ERROR_BUDGET,
+    DEFAULT_SLO_WINDOW,
+    DEFAULT_TARGET_SECONDS,
+    SLOTracker,
+)
+from repro.obs.trace import NET_CONN_CLOSE, NET_CONN_OPEN, NET_FLIGHT_DUMP, NET_ROUND_SERVED
 from repro.prep.prepare import PreparedDocument
 from repro.prep.request import PrepRequest
 from repro.protocol import DEFAULT_MAX_ROUNDS, DEFAULT_ROUND_TIMEOUT, TransferEngine
+
+#: Connection outcomes that trigger a flight-recorder dump: the closes
+#: where post-mortem evidence matters (the peer vanished, a wait timed
+#: out, the stream broke, or the handler was killed mid-transfer).
+ABNORMAL_OUTCOMES = frozenset({"timeout", "client_gone", "cancelled", "error"})
+
+#: Outcomes folded into the SLO as successes: the client confirmed a
+#: verdict with ``DONE`` (``decoded`` / ``early_stop`` / legacy
+#: ``done``).
+SLO_OK_OUTCOMES = frozenset({"decoded", "early_stop", "done"})
+
+#: Outcomes folded into the SLO as errors.  ``client_gone`` is *not*
+#: one: with reconnect-and-resume a severed connection is routine
+#: weak-link behaviour, not a serving failure.
+SLO_ERROR_OUTCOMES = frozenset({"timeout", "round_bound", "error", "failed"})
+
+#: Abnormal-close dumps kept in memory for ``stats_snapshot``.
+FLIGHT_DUMPS_KEPT = 32
 
 
 class DocumentStore:
@@ -132,6 +171,59 @@ class _BoundedSender:
                 self._queue.task_done()
 
 
+class _ConnState:
+    """Live bookkeeping for one connection, exposed by ``stats_snapshot``.
+
+    Owns the connection's :class:`FlightRecorder` ring; everything else
+    is a plain field the handler updates as the transfer progresses.
+    """
+
+    __slots__ = (
+        "conn_id",
+        "peer",
+        "transfer_id",
+        "span",
+        "document",
+        "rounds",
+        "frames_sent",
+        "resumed",
+        "started",
+        "sender",
+        "flight",
+    )
+
+    def __init__(self, conn_id: int, peer: str, flight_events: int) -> None:
+        self.conn_id = conn_id
+        self.peer = peer
+        self.transfer_id: Optional[str] = None
+        self.span: Optional[str] = None
+        self.document: Optional[str] = None
+        self.rounds = 0
+        self.frames_sent = 0
+        self.resumed = False
+        self.started = time.monotonic()
+        self.sender: Optional[_BoundedSender] = None
+        self.flight = FlightRecorder(capacity=flight_events)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe live view (queue depth read off the sender)."""
+        sender = self.sender
+        return {
+            "conn_id": self.conn_id,
+            "peer": self.peer,
+            "transfer_id": self.transfer_id,
+            "span": self.span,
+            "document": self.document,
+            "rounds": self.rounds,
+            "frames_sent": self.frames_sent,
+            "resumed": self.resumed,
+            "age_seconds": round(time.monotonic() - self.started, 6),
+            "sendq_depth": sender._queue.qsize() if sender is not None else 0,
+            "bytes_sent": sender.bytes_sent if sender is not None else 0,
+            "flight_events": len(self.flight),
+        }
+
+
 class NetServer:
     """Serve §4.2 document transfers over TCP; see the module docstring.
 
@@ -152,6 +244,10 @@ class NetServer:
         Wall-clock bound on every wait for the peer (seconds).
     send_queue_frames:
         Capacity of the per-connection bounded send queue.
+    slo_target_seconds, slo_error_budget, slo_window:
+        Rolling SLO parameters (see :class:`~repro.obs.slo.SLOTracker`).
+    flight_events:
+        Ring capacity of each connection's flight recorder.
     """
 
     def __init__(
@@ -163,6 +259,10 @@ class NetServer:
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         round_timeout: float = DEFAULT_ROUND_TIMEOUT,
         send_queue_frames: int = 32,
+        slo_target_seconds: float = DEFAULT_TARGET_SECONDS,
+        slo_error_budget: float = DEFAULT_ERROR_BUDGET,
+        slo_window: int = DEFAULT_SLO_WINDOW,
+        flight_events: int = DEFAULT_FLIGHT_EVENTS,
     ) -> None:
         if round_timeout <= 0:
             raise ValueError(f"round_timeout must be positive, got {round_timeout}")
@@ -176,8 +276,18 @@ class NetServer:
         self.max_rounds = max_rounds
         self.round_timeout = round_timeout
         self.send_queue_frames = send_queue_frames
+        self.flight_events = flight_events
+        self.slo = SLOTracker(
+            window=slo_window,
+            error_budget=slo_error_budget,
+            target_seconds=slo_target_seconds,
+        )
+        #: Most recent abnormal-close flight dumps, newest last.
+        self.flight_dumps: Deque[Dict[str, Any]] = deque(maxlen=FLIGHT_DUMPS_KEPT)
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[asyncio.Task] = set()
+        self._live: Dict[int, _ConnState] = {}
+        self._conn_seq = 0
         self._draining = False
         #: Plain counters for tests and diagnostics (always on, unlike
         #: the OBS-gated ``net.*`` metric family).
@@ -192,6 +302,8 @@ class NetServer:
             "bytes_sent": 0,
             "resumed_frames_skipped": 0,
             "sendq_high_water": 0,
+            "stats_requests": 0,
+            "flight_dumps": 0,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -267,22 +379,31 @@ class NetServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.stats["connections"] += 1
+        self._conn_seq += 1
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        state = _ConnState(self._conn_seq, peer, self.flight_events)
+        self._live[state.conn_id] = state
         if OBS.enabled:
             OBS.metrics.gauge(
                 "net.active_connections", "transfers in flight"
             ).inc()
         sender = _BoundedSender(writer, self.send_queue_frames)
+        state.sender = sender
         outcome = "error"
         try:
-            outcome = await self._serve_transfer(reader, sender)
+            outcome = await self._serve_transfer(reader, sender, state)
         except asyncio.TimeoutError:
             outcome = "timeout"
             self.stats["timeouts"] += 1
-        except ConnectionLost:
+            state.flight.record("timeout", waited=self.round_timeout)
+        except ConnectionLost as exc:
             outcome = "client_gone"
             self.stats["client_gone"] += 1
+            state.flight.record("client_gone", detail=str(exc))
         except WireError as exc:
             self.stats["errors"] += 1
+            state.flight.record("wire_error", detail=str(exc))
             try:
                 await sender.send(encode_json(MSG_ERROR, {"message": str(exc)}))
                 await sender.flush()
@@ -290,12 +411,16 @@ class NetServer:
                 pass
         except asyncio.CancelledError:
             outcome = "cancelled"
+            state.flight.record("cancelled")
             sender.abort()
+            self._finish(state, outcome)
             raise
         finally:
             self.stats["bytes_sent"] += sender.bytes_sent
             if sender.high_water > self.stats["sendq_high_water"]:
                 self.stats["sendq_high_water"] = sender.high_water
+            if outcome != "cancelled":
+                self._finish(state, outcome)
             await sender.close()
             writer.close()
             try:
@@ -308,14 +433,83 @@ class NetServer:
                     "net.connections", "transfer connections served"
                 ).labels(outcome=outcome).inc()
 
+    def _finish(self, state: _ConnState, outcome: str) -> None:
+        """Close out one connection: flight dump, SLO, trace event."""
+        self._live.pop(state.conn_id, None)
+        elapsed = time.monotonic() - state.started
+        if outcome in ABNORMAL_OUTCOMES:
+            dump = state.flight.dump(outcome)
+            dump.update(
+                conn_id=state.conn_id,
+                peer=state.peer,
+                transfer_id=state.transfer_id,
+                document=state.document,
+                elapsed=round(elapsed, 6),
+            )
+            self.flight_dumps.append(dump)
+            self.stats["flight_dumps"] += 1
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "net.flight.dumps", "abnormal-close flight dumps"
+                ).labels(reason=outcome).inc()
+                OBS.trace.emit(
+                    NET_FLIGHT_DUMP,
+                    transfer_id=state.transfer_id,
+                    reason=outcome,
+                    events=dump["recorded"],
+                    dropped=dump["dropped"],
+                )
+        if outcome in SLO_OK_OUTCOMES:
+            self.slo.observe(elapsed, ok=True)
+        elif outcome in SLO_ERROR_OUTCOMES:
+            self.slo.observe(elapsed, ok=False)
+        if OBS.enabled and outcome != "stats":
+            OBS.trace.emit(
+                NET_CONN_CLOSE,
+                transfer_id=state.transfer_id,
+                outcome=outcome,
+                rounds=state.rounds,
+                frames=state.frames_sent,
+                elapsed=round(elapsed, 6),
+            )
+
     async def _serve_transfer(
-        self, reader: asyncio.StreamReader, sender: _BoundedSender
+        self, reader: asyncio.StreamReader, sender: _BoundedSender, state: _ConnState
     ) -> str:
-        _, body = await asyncio.wait_for(
-            read_expected(reader, MSG_HELLO), self.round_timeout
+        msg_type, body = await asyncio.wait_for(
+            read_expected(reader, MSG_HELLO, MSG_STATS), self.round_timeout
         )
+        if msg_type == MSG_STATS:
+            # Admin probe: answer with one snapshot and hang up.
+            self.stats["stats_requests"] += 1
+            await sender.send(encode_json(MSG_STATS, self.stats_snapshot()))
+            await sender.flush()
+            return "stats"
         hello = decode_json(body)
         document_id = str(hello.get("doc", ""))
+        state.document = document_id
+        trace = TraceContext.from_wire(hello.get("trace"))
+        if trace is not None:
+            state.transfer_id = trace.transfer_id
+            state.span = trace.span_id
+        else:
+            # Legacy client: correlate under a server-local ID.
+            state.transfer_id = f"conn{state.conn_id}"
+        state.resumed = bool(hello.get("have"))
+        state.flight.record(
+            "hello",
+            doc=document_id,
+            have=len(hello.get("have") or ()),
+            span=state.span,
+        )
+        if OBS.enabled:
+            OBS.trace.emit(
+                NET_CONN_OPEN,
+                transfer_id=state.transfer_id,
+                document=document_id,
+                span=state.span,
+                resumed=state.resumed,
+            )
         try:
             prepared = await self._prepare(document_id, hello.get("prep"))
         except ValueError as exc:
@@ -326,6 +520,7 @@ class NetServer:
             )
             await sender.flush()
             self.stats["errors"] += 1
+            state.flight.record("bad_request", detail=str(exc))
             return "bad_request"
         if prepared is None:
             await sender.send(
@@ -333,6 +528,7 @@ class NetServer:
             )
             await sender.flush()
             self.stats["errors"] += 1
+            state.flight.record("unknown_document", doc=document_id)
             return "unknown_document"
         skip = self._valid_sequences(hello.get("have", ()), prepared.n)
 
@@ -364,6 +560,7 @@ class NetServer:
                 },
             )
         )
+        state.flight.record("manifest", m=prepared.m, n=prepared.n, skip=len(skip))
 
         frames = prepared.frames()
         while True:
@@ -376,11 +573,23 @@ class NetServer:
                 sent += 1
             self.stats["frames_sent"] += sent
             self.stats["rounds_served"] += 1
+            state.rounds += 1
+            state.frames_sent += sent
+            state.flight.record(
+                "round", round=engine.round, sent=sent, skipped=len(skip)
+            )
             if OBS.enabled:
                 OBS.metrics.counter("net.frames_sent", "cooked frames streamed").inc(
                     sent
                 )
                 OBS.metrics.counter("net.rounds_served", "rounds streamed").inc()
+                OBS.trace.emit(
+                    NET_ROUND_SERVED,
+                    transfer_id=state.transfer_id,
+                    round=engine.round,
+                    sent=sent,
+                    skipped=len(skip),
+                )
             await sender.send(
                 encode_json(MSG_ROUND_END, {"round": engine.round, "sent": sent})
             )
@@ -391,9 +600,12 @@ class NetServer:
             )
             if msg_type == MSG_DONE:
                 self.stats["completed"] += 1
-                return str(decode_json(body).get("status", "done"))
+                status = str(decode_json(body).get("status", "done"))
+                state.flight.record("done", status=status)
+                return status
             request = decode_json(body)
             skip = self._valid_sequences(request.get("have", ()), prepared.n)
+            state.flight.record("next_round", have=len(skip))
             if engine.on_round_ended(carried=True) is not None:
                 # Server-side retransmission bound: refuse more rounds.
                 await sender.send(
@@ -404,7 +616,37 @@ class NetServer:
                 )
                 await sender.flush()
                 self.stats["errors"] += 1
+                state.flight.record("round_bound", bound=self.max_rounds)
                 return "round_bound"
+
+    # -- exposition ---------------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """One JSON-safe operational snapshot of the whole server.
+
+        Served verbatim over the ``STATS`` wire frame and as
+        ``/stats.json`` by :class:`~repro.net.stats_http.StatsHTTP`.
+        """
+        snapshot: Dict[str, Any] = {
+            "server": dict(self.stats),
+            "active_connections": self.active_connections,
+            "slo": self.slo.report(),
+            "connections": [
+                state.describe() for state in self._live.values()
+            ],
+            "flight": {
+                "dumps": self.stats["flight_dumps"],
+                "kept": len(self.flight_dumps),
+                "recent": list(self.flight_dumps),
+            },
+        }
+        prep_stats = getattr(self.store, "stats", None)
+        if isinstance(prep_stats, dict):
+            snapshot["prep"] = dict(prep_stats)
+        cache_info = getattr(self.store, "cache_info", None)
+        if callable(cache_info):
+            snapshot["prep_cache"] = cache_info()
+        return snapshot
 
     async def _prepare(
         self, document_id: str, prep_field: object

@@ -31,7 +31,15 @@ Message flow for one fetch::
 
 A dropped connection at any point is recoverable: the client redials,
 sends a fresh ``HELLO`` whose ``have`` lists the intact sequences it
-cached, and the server resumes with a round that skips them.
+cached, and the server resumes with a round that skips them.  The
+``HELLO`` may also carry a ``trace`` context (see
+:mod:`repro.obs.live`) correlating every connection of one logical
+transfer in the telemetry of both peers.
+
+``STATS`` is the in-band admin frame: a client sends ``STATS {}`` as
+its *first* message instead of ``HELLO`` and the server answers with
+one ``STATS`` carrying its full operational snapshot (always-on
+counters, rolling SLO report, per-connection state), then closes.
 """
 
 from __future__ import annotations
@@ -50,13 +58,14 @@ ENVELOPE_OVERHEAD = 5
 
 # -- message types ----------------------------------------------------------
 
-MSG_HELLO = 0x01        # client → server: {doc, have, max_rounds}
+MSG_HELLO = 0x01        # client → server: {doc, have, max_rounds, prep?, trace?}
 MSG_MANIFEST = 0x02     # server → client: {doc, m, n, packet_size, ...}
 MSG_FRAME = 0x03        # server → client: raw cooked frame (CRC passthrough)
 MSG_ROUND_END = 0x04    # server → client: {round, sent}
 MSG_NEXT_ROUND = 0x05   # client → server: {round, have}
 MSG_DONE = 0x06         # client → server: {status, round}
 MSG_ERROR = 0x07        # either direction: {message}
+MSG_STATS = 0x08        # admin: {} request (C → S), snapshot reply (S → C)
 
 MESSAGE_NAMES = {
     MSG_HELLO: "hello",
@@ -66,6 +75,7 @@ MESSAGE_NAMES = {
     MSG_NEXT_ROUND: "next_round",
     MSG_DONE: "done",
     MSG_ERROR: "error",
+    MSG_STATS: "stats",
 }
 
 

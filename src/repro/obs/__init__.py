@@ -30,6 +30,8 @@ and allocate nothing while telemetry is off; see
 ``docs/observability.md`` for the event schema and metric names.
 """
 
+from repro.obs.flight import DEFAULT_FLIGHT_EVENTS, FlightRecorder
+from repro.obs.live import TraceContext, mint_transfer_id, valid_trace_id
 from repro.obs.metrics import (
     DEFAULT_COUNT_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
@@ -37,8 +39,15 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    prometheus_name,
 )
 from repro.obs.orb import InvocationRecord, TracingInterceptor
+from repro.obs.slo import (
+    DEFAULT_ERROR_BUDGET,
+    DEFAULT_SLO_WINDOW,
+    DEFAULT_TARGET_SECONDS,
+    SLOTracker,
+)
 from repro.obs.runtime import OBS, Observability, disable, enable, enabled
 from repro.obs.timing import timed
 from repro.obs.trace import (
@@ -67,4 +76,14 @@ __all__ = [
     "load_jsonl",
     "TracingInterceptor",
     "InvocationRecord",
+    "TraceContext",
+    "mint_transfer_id",
+    "valid_trace_id",
+    "FlightRecorder",
+    "DEFAULT_FLIGHT_EVENTS",
+    "SLOTracker",
+    "DEFAULT_ERROR_BUDGET",
+    "DEFAULT_SLO_WINDOW",
+    "DEFAULT_TARGET_SECONDS",
+    "prometheus_name",
 ]

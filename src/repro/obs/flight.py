@@ -1,0 +1,76 @@
+"""Per-connection flight recorder: a bounded ring of protocol events.
+
+Always-on tracing of a busy server is expensive; *no* tracing makes a
+chaos-run post-mortem guesswork.  The flight recorder is the middle
+ground the disconnection-tolerant literature argues for: every
+connection keeps the last *capacity* protocol events in a fixed-size
+ring (one ``deque.append`` per event, no I/O, no growth), and only an
+**abnormal** close — stall timeout, kill, corrupt frame — dumps the
+ring as a single structured record.  A clean close discards it.
+
+The recorder itself is policy-free: callers decide what counts as an
+event and when to dump.  :class:`~repro.net.server.NetServer` attaches
+one per connection and keeps the dumps on
+``NetServer.flight_dumps`` (bounded), additionally emitting a
+``net_flight_dump`` trace event when telemetry is enabled.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Tuple
+
+#: Default ring capacity: enough for dozens of rounds of control-plane
+#: events while bounding a dump to a few KiB of JSON.
+DEFAULT_FLIGHT_EVENTS = 64
+
+
+class FlightRecorder:
+    """Fixed-capacity ring buffer of ``(ts, event, fields)`` records."""
+
+    __slots__ = ("capacity", "_events", "_recorded", "_origin")
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_EVENTS) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[Tuple[float, str, Dict[str, Any]]] = deque(
+            maxlen=capacity
+        )
+        self._recorded = 0
+        self._origin = time.monotonic()
+
+    def record(self, event: str, **fields: Any) -> None:
+        """Append one event; the oldest falls off once the ring is full."""
+        self._events.append((time.monotonic() - self._origin, event, fields))
+        self._recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (retained + fallen off the ring)."""
+        return self._recorded
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the ring (recorded - retained)."""
+        return self._recorded - len(self._events)
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """The retained events as JSON-safe dicts, oldest first."""
+        return [
+            {"ts": round(ts, 6), "event": event, **fields}
+            for ts, event, fields in self._events
+        ]
+
+    def dump(self, reason: str) -> Dict[str, Any]:
+        """One post-mortem record: the retained ring plus bookkeeping."""
+        return {
+            "reason": reason,
+            "recorded": self._recorded,
+            "dropped": self.dropped,
+            "events": self.snapshot(),
+        }

@@ -21,6 +21,7 @@ it at all is decided by the process-global switch in
 
 from __future__ import annotations
 
+import re
 from bisect import bisect_left
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -37,6 +38,31 @@ DEFAULT_COUNT_BUCKETS: Tuple[float, ...] = (1, 2, 3, 5, 8, 13, 21, 34, 55, 100)
 
 def _label_key(labels: Dict[str, object]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+_PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """A Prometheus-legal sample name (dots and dashes become ``_``)."""
+    sanitized = _PROM_NAME_BAD.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prometheus_escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _prometheus_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{prometheus_name(k)}="{_prometheus_escape(str(v))}"'
+        for k, v in labels.items()
+    )
+    return "{" + inner + "}"
 
 
 class _Metric:
@@ -292,6 +318,48 @@ class MetricsRegistry:
                         ],
                     }
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def render_prometheus(self, prefix: str = "") -> str:
+        """The whole registry in Prometheus text exposition format.
+
+        Metric names are sanitized (``net.frames_sent`` →
+        ``net_frames_sent``) and optionally *prefix*-ed; labeled
+        children render as ``name{key="value"}`` sample lines, and
+        histograms expand into the conventional cumulative
+        ``_bucket{le=...}`` series plus ``_sum`` / ``_count``.  The
+        output is what the ``--metrics-port`` endpoint serves on
+        ``/metrics``.
+        """
+        lines: List[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            sample = prometheus_name(prefix + name)
+            lines.append(f"# HELP {sample} {metric.help or name}")
+            lines.append(f"# TYPE {sample} {metric.kind}")
+            for child in metric.children():
+                if child._children and not child._labels and _is_untouched(child):
+                    continue  # pure family node, mirrors snapshot()
+                labels = dict(child._labels)
+                if isinstance(child, Histogram):
+                    cumulative = 0
+                    for bound, count in child.bucket_counts():
+                        cumulative += count
+                        le = "+Inf" if bound is None else format(bound, "g")
+                        lines.append(
+                            f"{sample}_bucket"
+                            f"{_prometheus_labels({**labels, 'le': le})} {cumulative}"
+                        )
+                    lines.append(
+                        f"{sample}_sum{_prometheus_labels(labels)} {child.sum:g}"
+                    )
+                    lines.append(
+                        f"{sample}_count{_prometheus_labels(labels)} {child.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{sample}{_prometheus_labels(labels)} {child.value:g}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def render_table(self) -> str:
         """Human-readable dump of every family and child."""

@@ -219,6 +219,15 @@ def find_metrics_snapshot(events: List[Dict[str, Any]]) -> Optional[Dict[str, An
     return snapshot if isinstance(snapshot, dict) else None
 
 
+def find_prep_stats(events: List[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
+    """The preparation-service counters riding the last snapshot, if any."""
+    stats = None
+    for record in events:
+        if record.get("event") == tr.METRICS_SNAPSHOT and "prep" in record:
+            stats = record.get("prep")
+    return stats if isinstance(stats, dict) else None
+
+
 def _format_timer_table(timers: Dict[str, List[float]]) -> List[str]:
     lines = ["== timers =="]
     width = max(len(name) for name in timers) + 2
@@ -303,6 +312,13 @@ def format_summary(events: List[Dict[str, Any]]) -> str:
     if snapshot is not None:
         lines.append("")
         lines.extend(_format_snapshot(snapshot))
+
+    prep = find_prep_stats(events)
+    if prep is not None:
+        lines.append("")
+        lines.append("== prep ==")
+        for name in sorted(prep):
+            lines.append(f"{name} = {prep[name]:g}")
     return "\n".join(lines)
 
 

@@ -39,6 +39,10 @@ ORB_INVOKE = "orb_invoke"
 TIMER = "timer"
 RUN_CONFIG = "run_config"
 METRICS_SNAPSHOT = "metrics_snapshot"
+NET_CONN_OPEN = "net_conn_open"
+NET_ROUND_SERVED = "net_round_served"
+NET_CONN_CLOSE = "net_conn_close"
+NET_FLIGHT_DUMP = "net_flight_dump"
 
 #: event name → (required field, description) documentation; the
 #: schema is advisory (emitters may add fields) and is rendered into
@@ -72,6 +76,26 @@ EVENT_SCHEMA: Dict[str, Dict[str, str]] = {
     TIMER: {"name": "timer name", "seconds": "elapsed seconds"},
     RUN_CONFIG: {"seed": "RNG seed actually used"},
     METRICS_SNAPSHOT: {"metrics": "full registry snapshot (see metrics.py)"},
+    NET_CONN_OPEN: {
+        "document": "document id requested in HELLO",
+        "resumed": "whether HELLO carried cached sequences",
+    },
+    NET_ROUND_SERVED: {
+        "round": "1-based server-side round index",
+        "sent": "frames streamed this round",
+        "skipped": "frames skipped because the client already holds them",
+    },
+    NET_CONN_CLOSE: {
+        "outcome": "connection verdict (done | timeout | client_gone | ...)",
+        "rounds": "rounds served on this connection",
+        "frames": "frames streamed on this connection",
+        "seconds": "connection wall-clock lifetime",
+    },
+    NET_FLIGHT_DUMP: {
+        "reason": "abnormal-close reason that triggered the dump",
+        "events": "protocol events retained in the ring",
+        "dropped": "events that fell off the bounded ring",
+    },
 }
 
 _RESERVED_KEYS = ("ts", "event", "transfer", "span")
@@ -140,22 +164,38 @@ class TraceRecorder:
         self,
         event: str,
         span: Optional[str] = None,
+        transfer_id: Optional[str] = None,
         **fields: Any,
     ) -> TraceEvent:
-        """Record one event, stamped with the current transfer context."""
+        """Record one event, stamped with the current transfer context.
+
+        *transfer_id* overrides the ambient ``current_transfer`` scope
+        for this one event — concurrent emitters (the net server's
+        per-connection handlers) use it to stamp a wire-propagated
+        correlation ID without disturbing the scope.
+        """
         record = TraceEvent(
             ts=time.monotonic() - self._origin,
             event=event,
-            transfer=self.current_transfer,
+            transfer=transfer_id if transfer_id is not None else self.current_transfer,
             span=span,
             fields=fields,
         )
         self.events.append(record)
         return record
 
-    def begin_transfer(self, document: str, **fields: Any) -> str:
-        """Open a transfer scope: new ID, emit ``transfer_start``."""
-        transfer_id = self.new_transfer_id()
+    def begin_transfer(
+        self, document: str, transfer_id: Optional[str] = None, **fields: Any
+    ) -> str:
+        """Open a transfer scope: new (or given) ID, emit ``transfer_start``.
+
+        An explicit *transfer_id* adopts a wire-propagated correlation
+        ID (see :mod:`repro.obs.live`) instead of minting ``tN``, so
+        client- and server-side events of one networked transfer share
+        one timeline.
+        """
+        if transfer_id is None:
+            transfer_id = self.new_transfer_id()
         self.current_transfer = transfer_id
         self.emit(TRANSFER_START, document=document, **fields)
         return transfer_id

@@ -80,11 +80,21 @@ _NAMESPACES = {
 
 
 class TelemetryBridge:
-    """Emits the protocol's trace events and metrics for one namespace."""
+    """Emits the protocol's trace events and metrics for one namespace.
 
-    __slots__ = ("_ns",)
+    *transfer_id* optionally pins the trace scope to a wire-propagated
+    correlation ID (see :mod:`repro.obs.live`): the networked client
+    mints one per logical fetch and passes it here, so client-side
+    protocol events and server-side ``net_*`` events of the same
+    transfer share one timeline across reconnect-and-resume.  ``None``
+    keeps the recorder's own ``tN`` numbering (the in-process drivers).
+    """
 
-    def __init__(self, namespace: str = "transfer") -> None:
+    __slots__ = ("_ns", "_transfer_id")
+
+    def __init__(
+        self, namespace: str = "transfer", transfer_id: Optional[str] = None
+    ) -> None:
         try:
             self._ns = _NAMESPACES[namespace]
         except KeyError:
@@ -92,6 +102,11 @@ class TelemetryBridge:
                 f"unknown telemetry namespace {namespace!r}; "
                 f"choose from {sorted(_NAMESPACES)}"
             ) from None
+        self._transfer_id = transfer_id
+
+    @property
+    def transfer_id(self) -> Optional[str]:
+        return self._transfer_id
 
     # -- engine-side hooks -------------------------------------------------
 
@@ -99,7 +114,9 @@ class TelemetryBridge:
         """Open the transfer scope (``transfer_start``)."""
         if not OBS.enabled:
             return
-        OBS.trace.begin_transfer(document=document, m=m, n=n)
+        OBS.trace.begin_transfer(
+            document=document, transfer_id=self._transfer_id, m=m, n=n
+        )
         if self._ns.started is not None:
             OBS.metrics.counter(self._ns.started).inc()
 

@@ -1,0 +1,132 @@
+"""Tier-1 tests for the loadgen SLO report and BENCH_net serialization.
+
+Pure-function coverage: :func:`summarize_results` on synthetic
+:class:`NetFetchResult` values and :func:`write_bench` round-tripping —
+no sockets, no server.
+"""
+
+import json
+
+import pytest
+
+from repro.net.client import NetFetchResult
+from repro.net.loadgen import (
+    LoadgenReport,
+    bench_record,
+    summarize_results,
+    write_bench,
+)
+
+
+def result(status="decoded", elapsed=0.1, payload=b"x" * 100, reconnects=0):
+    return NetFetchResult(
+        document_id="doc",
+        status=status,
+        success=status in ("decoded", "early_stop"),
+        terminated_early=status == "early_stop",
+        rounds=1,
+        frames_received=10,
+        reconnects=reconnects,
+        elapsed=elapsed,
+        content_received=1.0,
+        payload=payload if status == "decoded" else None,
+    )
+
+
+class TestSummarize:
+    def test_all_succeed(self):
+        results = [result(elapsed=0.1 * (i + 1)) for i in range(10)]
+        report = summarize_results(results, clients=10, elapsed=2.0)
+        assert report.succeeded == 10
+        assert report.failed == 0
+        assert report.error_rate == 0.0
+        assert report.error_budget_remaining == 1.0
+        assert report.p50_seconds == pytest.approx(0.55, abs=0.06)
+        assert report.p95_seconds >= report.p50_seconds
+        assert report.p99_seconds >= report.p95_seconds
+        assert report.payload_bytes == 1000
+        assert report.served_mb_per_second == pytest.approx(
+            1000 / (1024 * 1024) / 2.0
+        )
+
+    def test_failures_burn_the_budget(self):
+        results = [result() for _ in range(8)] + [result(status="failed")] + [None]
+        report = summarize_results(
+            results, clients=10, elapsed=1.0, error_budget=0.5
+        )
+        assert report.failed == 2
+        assert report.error_rate == pytest.approx(0.2)
+        assert report.error_budget_remaining == pytest.approx(0.6)
+
+    def test_budget_exhaustion_clamps_to_zero(self):
+        results = [result(status="failed") for _ in range(4)]
+        report = summarize_results(
+            results, clients=4, elapsed=1.0, error_budget=0.05
+        )
+        assert report.error_rate == 1.0
+        assert report.error_budget_remaining == 0.0
+
+    def test_unreached_clients_count_as_failed(self):
+        report = summarize_results([None, None], clients=2, elapsed=1.0)
+        assert report.failed == 2
+        assert report.succeeded == 0
+
+    def test_early_stop_counts_as_success(self):
+        report = summarize_results(
+            [result(status="early_stop")], clients=1, elapsed=0.5
+        )
+        assert report.succeeded == 1
+        assert report.early_stopped == 1
+        assert report.error_rate == 0.0
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_results([], clients=1, elapsed=1.0, error_budget=0.0)
+
+    def test_legacy_positional_construction_still_works(self):
+        # Pre-SLO call sites built the tuple positionally with 13
+        # fields; the appended fields must default.
+        report = LoadgenReport(
+            10, 9, 8, 1, 1, 3, 2.0, 0.2, 0.18, 0.3, 0.4, 5.0, 4096
+        )
+        assert report.clients == 10
+        assert report.p95_seconds == 0.0
+        assert report.error_budget_remaining == 1.0
+
+
+class TestBenchRecord:
+    def test_record_keys(self):
+        report = summarize_results([result()], clients=1, elapsed=1.0)
+        record = bench_record(report, document_id="doc", chaos={"corrupt": 0.1})
+        for key in (
+            "benchmark",
+            "p50_seconds",
+            "p95_seconds",
+            "p99_seconds",
+            "error_rate",
+            "error_budget",
+            "error_budget_remaining",
+            "served_mb_per_second",
+            "fetches_per_second",
+            "reconnects",
+        ):
+            assert key in record, key
+        assert record["document_id"] == "doc"
+        assert record["chaos"] == {"corrupt": 0.1}
+
+    def test_optional_fields_omitted(self):
+        report = summarize_results([result()], clients=1, elapsed=1.0)
+        record = bench_record(report)
+        assert "document_id" not in record
+        assert "chaos" not in record
+
+    def test_write_bench_roundtrips(self, tmp_path):
+        report = summarize_results(
+            [result(elapsed=0.25)], clients=1, elapsed=1.0
+        )
+        path = tmp_path / "BENCH_net.json"
+        written = write_bench(report, str(path), document_id="doc")
+        loaded = json.loads(path.read_text())
+        assert loaded == written
+        assert loaded["p50_seconds"] == pytest.approx(0.25)
+        assert loaded["benchmark"] == "net_loadgen_slo"

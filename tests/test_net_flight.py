@@ -1,0 +1,107 @@
+"""Flight-recorder behaviour of the net server (net-marked).
+
+The contract under test: an *abnormal* close — here a chaos-killed
+connection the server sees as ``client_gone`` — dumps exactly one
+bounded ring record; a clean transfer dumps nothing.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.net import ChaosProxy, DocumentStore, NetClient, NetServer
+from repro.transport.cache import PacketCache
+
+from tests.netutil import assert_no_leaked_tasks, make_prepared
+
+pytestmark = pytest.mark.net
+
+
+def test_clean_close_dumps_nothing():
+    async def go():
+        prepared, payload = make_prepared(size=2048, packet_size=64)
+        store = DocumentStore()
+        store.add(prepared)
+        async with NetServer(store) as server:
+            result = await NetClient(
+                server.host, server.port, cache=PacketCache()
+            ).fetch("doc")
+            assert result.status == "decoded"
+            assert result.payload == payload
+            assert server.stats["flight_dumps"] == 0
+            assert list(server.flight_dumps) == []
+        await assert_no_leaked_tasks()
+
+    asyncio.run(go())
+
+
+def test_killed_connection_dumps_exactly_one_record():
+    async def go():
+        prepared, payload = make_prepared(size=4096, packet_size=64)
+        store = DocumentStore()
+        store.add(prepared)
+        async with NetServer(store) as server:
+            async with ChaosProxy(
+                server.host, server.port, cut_after_frames=max(1, prepared.m // 2)
+            ) as proxy:
+                client = NetClient(
+                    proxy.host,
+                    proxy.port,
+                    cache=PacketCache(),
+                    reconnect_delay=0.01,
+                )
+                result = await client.fetch("doc")
+            assert result.status == "decoded"
+            assert result.reconnects == 1
+
+            # Give the server a beat to notice the severed first link.
+            for _ in range(50):
+                if server.stats["flight_dumps"]:
+                    break
+                await asyncio.sleep(0.01)
+
+            # One cut connection -> exactly one dump; the clean resumed
+            # connection contributed none.
+            assert server.stats["flight_dumps"] == 1
+            assert len(server.flight_dumps) == 1
+            dump = server.flight_dumps[0]
+            assert dump["reason"] == "client_gone"
+            assert dump["document"] == "doc"
+            assert dump["recorded"] >= 1
+            events = [record["event"] for record in dump["events"]]
+            assert events[0] == "hello"
+            assert "client_gone" in events
+        await assert_no_leaked_tasks()
+
+    asyncio.run(go())
+
+
+def test_dump_ring_is_bounded():
+    """A tiny ring drops old events but the dump still accounts for them."""
+
+    async def go():
+        prepared, _payload = make_prepared(size=4096, packet_size=64)
+        store = DocumentStore()
+        store.add(prepared)
+        async with NetServer(store, flight_events=2) as server:
+            async with ChaosProxy(
+                server.host, server.port, cut_after_frames=max(1, prepared.m // 2)
+            ) as proxy:
+                client = NetClient(
+                    proxy.host,
+                    proxy.port,
+                    cache=PacketCache(),
+                    reconnect_delay=0.01,
+                )
+                result = await client.fetch("doc")
+            assert result.status == "decoded"
+            for _ in range(50):
+                if server.stats["flight_dumps"]:
+                    break
+                await asyncio.sleep(0.01)
+            dump = server.flight_dumps[0]
+            assert len(dump["events"]) <= 2
+            assert dump["recorded"] == dump["dropped"] + len(dump["events"])
+        await assert_no_leaked_tasks()
+
+    asyncio.run(go())

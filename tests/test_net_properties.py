@@ -18,7 +18,16 @@ import random
 
 import pytest
 
+from repro import obs
 from repro.net import ChaosProxy, DocumentStore, NetClient, NetServer
+from repro.obs.trace import (
+    NET_CONN_CLOSE,
+    NET_CONN_OPEN,
+    NET_ROUND_SERVED,
+    TRANSFER_COMPLETE,
+    TRANSFER_START,
+    load_jsonl,
+)
 from repro.transport.cache import PacketCache
 
 from tests.netutil import assert_no_leaked_tasks, make_prepared
@@ -137,6 +146,72 @@ def test_resumed_transfer_is_byte_identical(cut_fraction):
         await assert_no_leaked_tasks()
 
     asyncio.run(go())
+
+
+def test_trace_context_survives_reconnect(tmp_path):
+    """One transfer ID correlates both peers across a cut-and-resume.
+
+    The client mints the ID once; after the chaos proxy severs the
+    first connection the redial's ``HELLO`` carries the *same* ID, so
+    the exported JSONL shows a single correlated timeline: the client's
+    ``transfer_start``/``transfer_complete`` and the server's
+    ``net_conn_open``/``net_round_served``/``net_conn_close`` — one
+    open per connection, the resumed one flagged.
+    """
+
+    async def go():
+        prepared, payload = make_prepared(size=4096, packet_size=64)
+        store = DocumentStore()
+        store.add(prepared)
+        async with NetServer(store) as server:
+            async with ChaosProxy(
+                server.host, server.port, cut_after_frames=max(1, prepared.m // 2)
+            ) as proxy:
+                client = NetClient(
+                    proxy.host,
+                    proxy.port,
+                    cache=PacketCache(),
+                    reconnect_delay=0.01,
+                )
+                result = await client.fetch("doc")
+        assert result.status == "decoded"
+        assert result.reconnects >= 1
+        assert result.payload == payload
+        await assert_no_leaked_tasks()
+
+    obs.enable()
+    try:
+        asyncio.run(go())
+        trace_path = tmp_path / "trace.jsonl"
+        obs.OBS.trace.export_jsonl(str(trace_path))
+    finally:
+        obs.disable(reset=True)
+
+    events = load_jsonl(str(trace_path))
+    starts = [e for e in events if e["event"] == TRANSFER_START]
+    assert len(starts) == 1
+    transfer_id = starts[0]["transfer"]
+    # Wire-minted ID, not the recorder's local tN numbering.
+    assert not transfer_id.startswith("t")
+
+    opens = [e for e in events if e["event"] == NET_CONN_OPEN]
+    rounds = [e for e in events if e["event"] == NET_ROUND_SERVED]
+    closes = [e for e in events if e["event"] == NET_CONN_CLOSE]
+    completes = [e for e in events if e["event"] == TRANSFER_COMPLETE]
+    assert len(opens) >= 2              # original dial + >= 1 redial
+    assert len(closes) == len(opens)
+    assert rounds and completes
+
+    # Every event of the transfer — both peers — shares the one ID.
+    for event in opens + rounds + closes + completes:
+        assert event["transfer"] == transfer_id, event
+    # Exactly the redials are flagged as resumed, and each connection
+    # carries its own span (.c1, .c2, ...) under the shared ID.
+    assert [e["resumed"] for e in opens].count(False) == 1
+    assert [e["resumed"] for e in opens].count(True) == len(opens) - 1
+    spans = {e["span"] for e in opens}
+    assert len(spans) == len(opens)
+    assert all(span.startswith(transfer_id + ".c") for span in spans)
 
 
 def test_no_cache_restart_still_decodes():

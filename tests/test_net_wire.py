@@ -20,6 +20,7 @@ from repro.net.wire import (
     MSG_MANIFEST,
     MSG_NEXT_ROUND,
     MSG_ROUND_END,
+    MSG_STATS,
     ConnectionLost,
     WireError,
     decode_json,
@@ -67,6 +68,7 @@ ALL_TYPES = [
     MSG_NEXT_ROUND,
     MSG_DONE,
     MSG_ERROR,
+    MSG_STATS,
 ]
 
 

@@ -5,6 +5,7 @@ from repro.obs.summary import (
     aggregate_timers,
     build_timelines,
     find_metrics_snapshot,
+    find_prep_stats,
     format_summary,
 )
 
@@ -40,7 +41,9 @@ def _synthetic_trace():
          "metrics": {"counters": {"transfer.started": 2.0}, "gauges": {},
                      "histograms": {"transfer.rounds": {
                          "count": 2, "sum": 3.0,
-                         "buckets": [[1, 1], [2, 1], [None, 0]]}}}},
+                         "buckets": [[1, 1], [2, 1], [None, 0]]}}},
+         "prep": {"sc_hits": 1, "sc_misses": 2, "cooked_hits": 0,
+                  "cooked_misses": 2, "evictions": 0}},
     ]
 
 
@@ -92,6 +95,17 @@ class TestAggregates:
     def test_no_snapshot_returns_none(self):
         assert find_metrics_snapshot([{"event": "x", "ts": 0}]) is None
 
+    def test_prep_stats_found(self):
+        stats = find_prep_stats(_synthetic_trace())
+        assert stats["sc_misses"] == 2
+        assert stats["cooked_misses"] == 2
+
+    def test_no_prep_stats_returns_none(self):
+        assert find_prep_stats([{"event": "x", "ts": 0}]) is None
+        # A snapshot without the prep key is fine too.
+        events = [{"event": tr.METRICS_SNAPSHOT, "ts": 0, "metrics": {}}]
+        assert find_prep_stats(events) is None
+
 
 class TestFormatting:
     def test_full_report_sections(self):
@@ -107,6 +121,8 @@ class TestFormatting:
         assert "rs.decode" in report
         assert "== metrics ==" in report
         assert "transfer.rounds" in report
+        assert "== prep ==" in report
+        assert "sc_misses = 2" in report
 
     def test_empty_trace(self):
         report = format_summary([])
