@@ -155,6 +155,7 @@ class CookedDocument:
         self.packet_size = packet_size
         self.codec = codec
         self.cooked: List[bytes] = list(cooked)
+        self._frames: Optional[List[bytes]] = None
 
     @property
     def m(self) -> int:
@@ -165,11 +166,33 @@ class CookedDocument:
         return self.codec.n
 
     def frames(self) -> List[bytes]:
-        """All cooked packets framed for the wire, in sequence order."""
-        return [encode_frame(seq, payload) for seq, payload in enumerate(self.cooked)]
+        """All cooked packets framed for the wire, in sequence order.
+
+        Framing (header + CRC) is deterministic per cooked set, so the
+        frames are built once and the cached list is returned on every
+        later call — a served document re-frames nothing, on any round
+        or any connection.  Callers must not mutate the result.
+        """
+        if self._frames is None:
+            self._frames = [
+                encode_frame(seq, payload)
+                for seq, payload in enumerate(self.cooked)
+            ]
+        return self._frames
 
     def reassemble(self, received: Dict[int, bytes]) -> bytes:
-        """Reconstruct the document from ≥ M intact cooked payloads."""
+        """Reconstruct the document from ≥ M intact cooked payloads.
+
+        Decodes through the codec's buffer-reuse path: the raw packets
+        land contiguously in one arena, so the document is a single
+        slice off the front rather than a ``b"".join`` over M packet
+        objects.
+        """
+        sizes = {len(payload) for payload in received.values()}
+        if len(sizes) == 1:
+            arena = bytearray(self.m * sizes.pop())
+            written = self.codec.decode_into(received, arena)
+            return bytes(memoryview(arena)[: min(written, self.original_size)])
         raw = self.codec.decode(received)
         return b"".join(raw)[: self.original_size]
 

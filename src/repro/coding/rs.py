@@ -109,6 +109,21 @@ class _VandermondeCodec:
         self.backend = get_backend(backend)
         self.generator = _generator_matrix(m, n, self.systematic)
         self._decode_cache = _DecodeMatrixCache()
+        self._encode_rows: Optional[List[List[int]]] = None
+
+    def _encode_matrix(self) -> List[List[int]]:
+        """The generator rows the encoder multiplies by, fetched once.
+
+        Systematic codecs skip the identity prefix (those cooked
+        packets are the raw packets verbatim); caching the row lists
+        keeps repeated encodes off the per-row matrix accessors.
+        """
+        if self._encode_rows is None:
+            start = self.m if self.systematic else 0
+            self._encode_rows = [
+                self.generator.row(i) for i in range(start, self.n)
+            ]
+        return self._encode_rows
 
     # -- encoding ----------------------------------------------------------
 
@@ -126,17 +141,16 @@ class _VandermondeCodec:
             raise CodecError("raw packets must all have the same length")
 
         with timed("rs.encode"):
+            rows = self._encode_matrix()
             if self.systematic:
                 # Clear-text fast path: the first M cooked packets are
                 # the raw packets verbatim; only the redundancy rows
                 # go through the kernel (no dead generator.row(i)
                 # fetch for the identity prefix).
                 cooked = [bytes(packet) for packet in raw_packets]
-                if self.n > self.m:
-                    rows = [self.generator.row(i) for i in range(self.m, self.n)]
+                if rows:
                     cooked.extend(self.backend.matmul(rows, raw_packets, size))
             else:
-                rows = [self.generator.row(i) for i in range(self.n)]
                 cooked = self.backend.matmul(rows, raw_packets, size)
         if OBS.enabled:
             OBS.metrics.counter("rs.encodes").labels(backend=self.backend.name).inc()
@@ -144,14 +158,8 @@ class _VandermondeCodec:
 
     # -- decoding ------------------------------------------------------------
 
-    def decode(self, cooked: Mapping[int, bytes]) -> List[bytes]:
-        """Reconstruct the M raw packets from any M intact cooked packets.
-
-        *cooked* maps cooked-packet index → payload.  Extra packets
-        beyond M are ignored (preferring clear-text rows when the code
-        is systematic, which avoids any matrix work for a loss-free
-        prefix).
-        """
+    def _decode_plan(self, cooked: Mapping[int, bytes]) -> Tuple[List[int], int]:
+        """Validate *cooked* and pick the M indices the decode will use."""
         if len(cooked) < self.m:
             raise CodecError(
                 f"need at least {self.m} cooked packets to decode, got {len(cooked)}"
@@ -172,7 +180,38 @@ class _VandermondeCodec:
         sizes = {len(cooked[i]) for i in chosen}
         if len(sizes) != 1:
             raise CodecError("cooked packets must all have the same length")
-        size = sizes.pop()
+        return chosen, sizes.pop()
+
+    def _decode_rows(self, chosen: List[int]) -> Tuple[List[List[int]], bool]:
+        """The inverse-matrix rows for *chosen*, through the LRU cache."""
+        key = tuple(chosen)
+        inverse = self._decode_cache.get(key)
+        cached = inverse is not None
+        if inverse is None:
+            inverse = self.generator.submatrix(chosen).inverse()
+            self._decode_cache.put(key, inverse)
+        return [inverse.row(i) for i in range(self.m)], cached
+
+    def _count_decode(self, cached: bool) -> None:
+        OBS.metrics.counter("rs.decodes").labels(
+            path="matrix", backend=self.backend.name
+        ).inc()
+        OBS.metrics.counter("rs.decode_matrix_cache").labels(
+            result="hit" if cached else "miss"
+        ).inc()
+        OBS.metrics.gauge(
+            "rs.decode_cache_entries", "cached decode-matrix inverses"
+        ).set(len(self._decode_cache))
+
+    def decode(self, cooked: Mapping[int, bytes]) -> List[bytes]:
+        """Reconstruct the M raw packets from any M intact cooked packets.
+
+        *cooked* maps cooked-packet index → payload.  Extra packets
+        beyond M are ignored (preferring clear-text rows when the code
+        is systematic, which avoids any matrix work for a loss-free
+        prefix).
+        """
+        chosen, size = self._decode_plan(cooked)
 
         if self.systematic and chosen == list(range(self.m)):
             if OBS.enabled:
@@ -180,27 +219,43 @@ class _VandermondeCodec:
             return [bytes(cooked[i]) for i in chosen]
 
         with timed("rs.decode"):
-            key = tuple(chosen)
-            inverse = self._decode_cache.get(key)
-            cached = inverse is not None
-            if inverse is None:
-                inverse = self.generator.submatrix(chosen).inverse()
-                self._decode_cache.put(key, inverse)
-
-            rows = [inverse.row(i) for i in range(self.m)]
+            rows, cached = self._decode_rows(chosen)
             stack = [cooked[index] for index in chosen]
             raw = self.backend.matmul(rows, stack, size)
         if OBS.enabled:
-            OBS.metrics.counter("rs.decodes").labels(
-                path="matrix", backend=self.backend.name
-            ).inc()
-            OBS.metrics.counter("rs.decode_matrix_cache").labels(
-                result="hit" if cached else "miss"
-            ).inc()
-            OBS.metrics.gauge(
-                "rs.decode_cache_entries", "cached decode-matrix inverses"
-            ).set(len(self._decode_cache))
+            self._count_decode(cached)
         return raw
+
+    def decode_into(
+        self, cooked: Mapping[int, bytes], out: Union[bytearray, memoryview]
+    ) -> int:
+        """Decode straight into a contiguous caller buffer.
+
+        Writes the M raw packets back-to-back into *out* (which must
+        hold at least M·size bytes) and returns the number of bytes
+        written.  This is the buffer-reuse path: a vectorized backend
+        lands its product in *out* directly, so reconstructing a
+        document costs one pass instead of per-packet ``bytes``
+        objects plus a ``b"".join`` re-copy.
+        """
+        chosen, size = self._decode_plan(cooked)
+        total = self.m * size
+        view = memoryview(out)[:total]
+
+        if self.systematic and chosen == list(range(self.m)):
+            for slot, index in enumerate(chosen):
+                view[slot * size : (slot + 1) * size] = cooked[index]
+            if OBS.enabled:
+                OBS.metrics.counter("rs.decodes").labels(path="clear").inc()
+            return total
+
+        with timed("rs.decode"):
+            rows, cached = self._decode_rows(chosen)
+            stack = [cooked[index] for index in chosen]
+            self.backend.matmul_into(rows, stack, size, view)
+        if OBS.enabled:
+            self._count_decode(cached)
+        return total
 
     def __repr__(self) -> str:
         kind = "systematic" if self.systematic else "non-systematic"

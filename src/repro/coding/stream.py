@@ -89,7 +89,11 @@ class IncrementalDecoder:
             return False
 
         row = self.codec.generator.row(sequence)
-        data = bytes(payload)
+        # No defensive copy: backends accept any bytes-like payload
+        # (memoryviews included), and the first transformation below
+        # already produces fresh bytes, so the arriving buffer is
+        # never aliased past this call.
+        data = payload
         # Eliminate against existing pivots.
         for column in range(self._m):
             if row[column] == 0:
@@ -101,7 +105,9 @@ class IncrementalDecoder:
                 row = [gf_mul(inverse, value) for value in row]
                 data = self._backend.scale(inverse, data)
                 self._pivot_rows[column] = row
-                self._pivot_payloads[column] = data
+                self._pivot_payloads[column] = (
+                    data if isinstance(data, bytes) else bytes(data)
+                )
                 self._rank += 1
                 return True
             factor = row[column]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import time
 from typing import Any, Dict, List, NamedTuple, Optional, Tuple
 
@@ -61,6 +62,8 @@ class LoadgenReport(NamedTuple):
     error_budget: float = DEFAULT_ERROR_BUDGET
     error_budget_remaining: float = 1.0   # max(0, 1 - error_rate/budget)
     served_mb_per_second: float = 0.0     # reconstructed payload MB / elapsed
+    server_cores: int = 0                 # cores available to the serving host
+    served_mb_per_second_per_core: float = 0.0  # throughput normalized per core
 
 
 def summarize_results(
@@ -69,14 +72,22 @@ def summarize_results(
     clients: int,
     elapsed: float,
     error_budget: float = DEFAULT_ERROR_BUDGET,
+    server_cores: Optional[int] = None,
 ) -> LoadgenReport:
     """Fold per-client outcomes into a :class:`LoadgenReport`.
 
     Pure — callable on synthetic results in tests.  ``None`` entries
     are clients that never reached the server (counted as failed).
+    *server_cores* normalizes throughput per serving core for the SLO
+    trend line; it defaults to this host's core count because the
+    loadgen harness co-locates server and clients.
     """
     if error_budget <= 0:
         raise ValueError(f"error_budget must be positive, got {error_budget}")
+    if server_cores is None:
+        server_cores = os.cpu_count() or 1
+    if server_cores < 1:
+        raise ValueError(f"server_cores must be >= 1, got {server_cores}")
     reached = [result for result in results if result is not None]
     latencies = sorted(result.elapsed for result in reached)
     decoded = sum(1 for result in reached if result.status == "decoded")
@@ -106,6 +117,12 @@ def summarize_results(
         error_budget_remaining=max(0.0, 1.0 - error_rate / error_budget),
         served_mb_per_second=(
             payload_bytes / (1024 * 1024) / elapsed if elapsed > 0 else 0.0
+        ),
+        server_cores=server_cores,
+        served_mb_per_second_per_core=(
+            payload_bytes / (1024 * 1024) / elapsed / server_cores
+            if elapsed > 0
+            else 0.0
         ),
     )
 
@@ -205,6 +222,10 @@ def bench_record(
         "fetches_per_second": round(report.fetches_per_second, 3),
         "payload_bytes": report.payload_bytes,
         "served_mb_per_second": round(report.served_mb_per_second, 6),
+        "server_cores": report.server_cores,
+        "served_mb_per_second_per_core": round(
+            report.served_mb_per_second_per_core, 6
+        ),
         "error_rate": round(report.error_rate, 6),
         "error_budget": report.error_budget,
         "error_budget_remaining": round(report.error_budget_remaining, 6),

@@ -11,8 +11,12 @@ I/O discipline the paper's broker needs on a weak link:
   retransmission bound stops a client that asks for rounds forever);
 * a **bounded send queue** per connection — the handler blocks when a
   slow reader stops draining the socket, so a stalled client holds at
-  most ``send_queue_frames`` frames of server memory (backpressure,
-  not buffering);
+  most ``send_queue_frames`` queued writes of server memory
+  (backpressure, not buffering).  With the default vectored send path
+  each queued write is a coalesced batch of at most
+  ``send_batch_bytes`` bytes — a whole round usually goes out as a
+  handful of ``write``/``drain`` pairs over cached wire envelopes,
+  with the byte bound ``send_queue_frames × send_batch_bytes``;
 * **idle/stall timeouts** — every wait on the peer is bounded by the
   shared :data:`repro.protocol.DEFAULT_ROUND_TIMEOUT`, and total
   rounds by :data:`repro.protocol.DEFAULT_MAX_ROUNDS`;
@@ -38,7 +42,7 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import deque
-from typing import Any, Deque, Dict, Iterable, Optional, Set
+from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.net.wire import (
     MSG_DONE,
@@ -88,6 +92,13 @@ SLO_ERROR_OUTCOMES = frozenset({"timeout", "round_bound", "error", "failed"})
 #: Abnormal-close dumps kept in memory for ``stats_snapshot``.
 FLIGHT_DUMPS_KEPT = 32
 
+#: Default coalescing bound for the vectored send path: frames of one
+#: round are joined into socket writes of at most this many bytes.
+#: Large enough to amortize the syscall + drain across a whole round
+#: at the paper's geometries, small enough that a single batch never
+#: dominates connection memory.
+SEND_BATCH_BYTES = 64 * 1024
+
 
 class DocumentStore:
     """Trivial in-memory document_id → :class:`PreparedDocument` store.
@@ -120,23 +131,76 @@ class _BoundedSender:
     After a write failure the queue keeps draining (discarding) so a
     blocked producer can never deadlock; the failure resurfaces on the
     next ``send``/``flush``.
+
+    ``send_many`` is the vectored path: it coalesces a sequence of
+    prebuilt wire envelopes (bytes or memoryview slices) into joined
+    writes of at most ``batch_bytes`` each — one ``b"".join`` copy at
+    the socket boundary and one queue slot / ``drain()`` per batch
+    instead of per frame.  Backpressure is preserved: a batch is one
+    queue item, so a slow reader still caps queued memory at roughly
+    ``capacity × batch_bytes``.
     """
 
-    def __init__(self, writer: asyncio.StreamWriter, capacity: int) -> None:
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        capacity: int,
+        batch_bytes: int = SEND_BATCH_BYTES,
+    ) -> None:
         self._writer = writer
         self._queue: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue(capacity)
+        self._batch_bytes = batch_bytes
         self._failure: Optional[ConnectionLost] = None
         self.high_water = 0
         self.bytes_sent = 0
+        self.queued_bytes = 0
+        self.high_water_bytes = 0
         self._task = asyncio.ensure_future(self._run())
 
-    async def send(self, data: bytes) -> None:
-        if self._failure is not None:
-            raise self._failure
+    async def _put(self, data: Union[bytes, memoryview]) -> None:
         await self._queue.put(data)
+        self.queued_bytes += len(data)
+        if self.queued_bytes > self.high_water_bytes:
+            self.high_water_bytes = self.queued_bytes
         depth = self._queue.qsize()
         if depth > self.high_water:
             self.high_water = depth
+
+    async def send(self, data: Union[bytes, memoryview]) -> None:
+        if self._failure is not None:
+            raise self._failure
+        await self._put(data)
+
+    async def send_many(
+        self, chunks: Sequence[Union[bytes, memoryview]]
+    ) -> Tuple[int, int]:
+        """Queue *chunks* as coalesced batches; returns (batches, bytes).
+
+        Consecutive chunks are joined until adding the next one would
+        exceed ``batch_bytes`` (a single oversized chunk still goes
+        out alone).  Each batch is written to the socket with one
+        ``write`` + ``drain``.
+        """
+        if self._failure is not None:
+            raise self._failure
+        batches = 0
+        total = 0
+        group: List[Union[bytes, memoryview]] = []
+        group_size = 0
+        for chunk in chunks:
+            length = len(chunk)
+            if group and group_size + length > self._batch_bytes:
+                await self._put(b"".join(group))
+                batches += 1
+                group = []
+                group_size = 0
+            group.append(chunk)
+            group_size += length
+            total += length
+        if group:
+            await self._put(b"".join(group))
+            batches += 1
+        return batches, total
 
     async def flush(self) -> None:
         """Wait until everything queued so far is on the socket."""
@@ -168,6 +232,8 @@ class _BoundedSender:
                     except (ConnectionError, OSError) as exc:
                         self._failure = ConnectionLost(str(exc))
             finally:
+                if data is not None:
+                    self.queued_bytes -= len(data)
                 self._queue.task_done()
 
 
@@ -219,6 +285,7 @@ class _ConnState:
             "resumed": self.resumed,
             "age_seconds": round(time.monotonic() - self.started, 6),
             "sendq_depth": sender._queue.qsize() if sender is not None else 0,
+            "sendq_bytes": sender.queued_bytes if sender is not None else 0,
             "bytes_sent": sender.bytes_sent if sender is not None else 0,
             "flight_events": len(self.flight),
         }
@@ -243,7 +310,15 @@ class NetServer:
     round_timeout:
         Wall-clock bound on every wait for the peer (seconds).
     send_queue_frames:
-        Capacity of the per-connection bounded send queue.
+        Capacity of the per-connection bounded send queue (measured in
+        queued writes; under batching one write is one batch).
+    batch_send:
+        When True (default) the frames of each round are coalesced
+        into joined socket writes of at most *send_batch_bytes* each;
+        False restores the one-write-per-frame path (useful for
+        comparative tests — the bytes on the wire are identical).
+    send_batch_bytes:
+        Coalescing bound for the vectored send path.
     slo_target_seconds, slo_error_budget, slo_window:
         Rolling SLO parameters (see :class:`~repro.obs.slo.SLOTracker`).
     flight_events:
@@ -259,6 +334,8 @@ class NetServer:
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         round_timeout: float = DEFAULT_ROUND_TIMEOUT,
         send_queue_frames: int = 32,
+        batch_send: bool = True,
+        send_batch_bytes: int = SEND_BATCH_BYTES,
         slo_target_seconds: float = DEFAULT_TARGET_SECONDS,
         slo_error_budget: float = DEFAULT_ERROR_BUDGET,
         slo_window: int = DEFAULT_SLO_WINDOW,
@@ -270,12 +347,18 @@ class NetServer:
             raise ValueError(
                 f"send_queue_frames must be >= 1, got {send_queue_frames}"
             )
+        if send_batch_bytes < 1:
+            raise ValueError(
+                f"send_batch_bytes must be >= 1, got {send_batch_bytes}"
+            )
         self.store = store
         self.host = host
         self.port = port
         self.max_rounds = max_rounds
         self.round_timeout = round_timeout
         self.send_queue_frames = send_queue_frames
+        self.batch_send = batch_send
+        self.send_batch_bytes = send_batch_bytes
         self.flight_events = flight_events
         self.slo = SLOTracker(
             window=slo_window,
@@ -300,8 +383,10 @@ class NetServer:
             "rounds_served": 0,
             "frames_sent": 0,
             "bytes_sent": 0,
+            "batches_sent": 0,
             "resumed_frames_skipped": 0,
             "sendq_high_water": 0,
+            "sendq_high_water_bytes": 0,
             "stats_requests": 0,
             "flight_dumps": 0,
         }
@@ -388,7 +473,9 @@ class NetServer:
             OBS.metrics.gauge(
                 "net.active_connections", "transfers in flight"
             ).inc()
-        sender = _BoundedSender(writer, self.send_queue_frames)
+        sender = _BoundedSender(
+            writer, self.send_queue_frames, self.send_batch_bytes
+        )
         state.sender = sender
         outcome = "error"
         try:
@@ -419,6 +506,8 @@ class NetServer:
             self.stats["bytes_sent"] += sender.bytes_sent
             if sender.high_water > self.stats["sendq_high_water"]:
                 self.stats["sendq_high_water"] = sender.high_water
+            if sender.high_water_bytes > self.stats["sendq_high_water_bytes"]:
+                self.stats["sendq_high_water_bytes"] = sender.high_water_bytes
             if outcome != "cancelled":
                 self._finish(state, outcome)
             await sender.close()
@@ -562,15 +651,36 @@ class NetServer:
         )
         state.flight.record("manifest", m=prepared.m, n=prepared.n, skip=len(skip))
 
-        frames = prepared.frames()
+        # Serialize once per connection (and, for preparation-service
+        # stores, once per *cooked document*: the envelopes are cached
+        # next to the cooked packets, so a cache hit re-serializes
+        # nothing and every round below is pure buffer handoff).
+        envelopes = self._wire_envelopes(prepared)
         while True:
-            sent = 0
-            for sequence, wire in enumerate(frames):
-                if sequence in skip:
-                    self.stats["resumed_frames_skipped"] += 1
-                    continue
-                await sender.send(encode_message(MSG_FRAME, wire))
-                sent += 1
+            to_send = [
+                envelopes[sequence]
+                for sequence in range(len(envelopes))
+                if sequence not in skip
+            ]
+            self.stats["resumed_frames_skipped"] += len(envelopes) - len(to_send)
+            sent = len(to_send)
+            if self.batch_send:
+                batches, batched_bytes = await sender.send_many(to_send)
+                self.stats["batches_sent"] += batches
+                if OBS.enabled and sent:
+                    OBS.metrics.counter(
+                        "net.send.batched_frames", "frames sent via coalesced writes"
+                    ).inc(sent)
+                    OBS.metrics.counter(
+                        "net.send.batch_bytes", "bytes sent via coalesced writes"
+                    ).inc(batched_bytes)
+                    OBS.metrics.counter(
+                        "net.send.batches", "coalesced socket writes"
+                    ).inc(batches)
+            else:
+                for envelope in to_send:
+                    await sender.send(envelope)
+                self.stats["batches_sent"] += sent
             self.stats["frames_sent"] += sent
             self.stats["rounds_served"] += 1
             state.rounds += 1
@@ -677,6 +787,20 @@ class NetServer:
         except KeyError:
             # UnknownDocumentError (or any KeyError-style miss).
             return None
+
+    @staticmethod
+    def _wire_envelopes(prepared) -> Sequence[Union[bytes, memoryview]]:
+        """Complete MSG_FRAME wire images for *prepared*, in sequence order.
+
+        Prefers the precomputed envelopes a :mod:`repro.prep` document
+        caches next to its cooked packets (zero serialization on this
+        path); any store object exposing only ``frames()`` gets the
+        legacy per-connection ``encode_message`` fallback.
+        """
+        wire_frames = getattr(prepared, "wire_frames", None)
+        if callable(wire_frames):
+            return wire_frames()
+        return [encode_message(MSG_FRAME, wire) for wire in prepared.frames()]
 
     @staticmethod
     def _valid_sequences(have: Iterable[object], n: int) -> Set[int]:

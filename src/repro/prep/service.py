@@ -120,8 +120,17 @@ def _sc_size(sc: StructuralCharacteristic) -> int:
 
 
 def _cooked_size(prepared: PreparedDocument) -> int:
-    """Byte-budget weight of a cached cooked document."""
-    return prepared.cooked_bytes + 8 * len(prepared.content_profile)
+    """Byte-budget weight of a cached cooked document.
+
+    Counts the precomputed wire-envelope arena alongside the cooked
+    payloads (envelopes live next to the packets for the document's
+    whole cache lifetime) plus the content-profile floats.
+    """
+    return (
+        prepared.cooked_bytes
+        + prepared.wire_bytes
+        + 8 * len(prepared.content_profile)
+    )
 
 
 class PreparationService:

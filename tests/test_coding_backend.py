@@ -24,6 +24,7 @@ from repro.coding.backend import (
     default_backend_name,
     get_backend,
 )
+from repro.coding import backend as backend_module
 from repro.coding.gf256 import gf_mul
 from repro.coding.rs import (
     DECODE_CACHE_MAX,
@@ -107,6 +108,87 @@ class TestKernelParity:
 
 
 # ---------------------------------------------------------------------------
+# Block-kernel surface: memoryviews, matmul_into, native vs fallback
+# ---------------------------------------------------------------------------
+
+class TestBlockKernelSurface:
+    @pytest.mark.parametrize("name", OTHERS)
+    @pytest.mark.parametrize("rows,m,size", [(1, 1, 1), (5, 3, 17), (24, 16, 256)])
+    def test_memoryview_packets_match_bytes(self, name, rows, m, size):
+        rng = random.Random(rows * 31 + m * 7 + size)
+        matrix = _rows(rng, rows, m)
+        stack = _packets(rng, m, size)
+        backend = get_backend(name)
+        views = [memoryview(packet) for packet in stack]
+        assert backend.matmul(matrix, views, size) == BASELINE.matmul(
+            matrix, stack, size
+        )
+
+    @pytest.mark.parametrize("name", OTHERS)
+    def test_scalar_primitives_accept_memoryviews(self, name):
+        backend = get_backend(name)
+        rng = random.Random(11)
+        data = bytes(rng.randrange(256) for _ in range(41))
+        acc = bytes(rng.randrange(256) for _ in range(41))
+        for scalar in (0, 1, 2, 77, 255):
+            assert bytes(backend.scale(scalar, memoryview(data))) == BASELINE.scale(
+                scalar, data
+            )
+            assert bytes(
+                backend.mul_xor(memoryview(acc), scalar, memoryview(data))
+            ) == BASELINE.mul_xor(acc, scalar, data)
+
+    @pytest.mark.parametrize("name", available_backends())
+    @pytest.mark.parametrize("rows,m,size", [(1, 1, 1), (4, 3, 33), (24, 16, 4096)])
+    def test_matmul_into_matches_matmul(self, name, rows, m, size):
+        rng = random.Random(rows * 13 + m + size)
+        matrix = _rows(rng, rows, m)
+        stack = _packets(rng, m, size)
+        backend = get_backend(name)
+        arena = bytearray(rows * size)
+        backend.matmul_into(matrix, stack, size, arena)
+        assert bytes(arena) == b"".join(BASELINE.matmul(matrix, stack, size))
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_matmul_into_rejects_wrong_size_buffer(self, name):
+        backend = get_backend(name)
+        with pytest.raises(CodingBackendError, match="matmul_into buffer"):
+            backend.matmul_into([[1, 2]], [b"ab", b"cd"], 2, bytearray(3))
+
+    def test_native_and_fallback_engines_agree(self):
+        numpy_backend = pytest.importorskip("numpy") and get_backend("numpy")
+        fallback = backend_module.NumpyBackend(use_native=False)
+        assert not fallback.native
+        rng = random.Random(23)
+        for rows, m, size in [(1, 1, 1), (3, 2, 7), (9, 5, 65), (24, 16, 1024)]:
+            matrix = _rows(rng, rows, m)
+            stack = _packets(rng, m, size)
+            expected = BASELINE.matmul(matrix, stack, size)
+            assert fallback.matmul(matrix, stack, size) == expected
+            assert numpy_backend.matmul(matrix, stack, size) == expected
+
+    def test_matmul_never_materializes_product_tensor(self):
+        pytest.importorskip("numpy")
+        import tracemalloc
+
+        rows, m, size = 96, 24, 16384
+        tensor_bytes = rows * m * size  # 37.7 MB in the old formulation
+        rng = random.Random(99)
+        matrix = _rows(rng, rows, m)
+        stack = _packets(rng, m, size)
+        for use_native in (True, False):
+            backend = backend_module.NumpyBackend(use_native=use_native)
+            backend.matmul(matrix, stack, size)  # warm arenas + native load
+            tracemalloc.start()
+            try:
+                backend.matmul(matrix, stack, size)
+                _, peak = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+            assert peak < tensor_bytes // 2, (use_native, peak)
+
+
+# ---------------------------------------------------------------------------
 # Codec-level parity: cooked packets and reconstructions are identical
 # ---------------------------------------------------------------------------
 
@@ -172,6 +254,55 @@ class TestCodecParity:
 
 
 # ---------------------------------------------------------------------------
+# Golden-fixture geometries stay byte-identical under the default backend
+# ---------------------------------------------------------------------------
+
+class TestGoldenGeometryParity:
+    def test_default_backend_cooks_golden_geometries_identically(self):
+        """Cook every (m, n, packet_size) geometry the protocol goldens
+        exercise and require byte parity with the baseline kernel.
+
+        The full golden replay in
+        test_integration_transport_vs_runner.py runs under the default
+        backend automatically; this pins the coding layer itself to the
+        same geometries so a kernel regression is caught here first,
+        with a pointed failure.
+        """
+        import json
+        import pathlib
+
+        goldens = json.loads(
+            (pathlib.Path(__file__).parent / "data" / "protocol_goldens.json")
+            .read_text()
+        )
+        geometries = sorted(
+            {
+                (entry["m"], entry["n"], entry["doc_size"])
+                for entry in goldens["transport"]
+            }
+        )
+        assert geometries, "golden fixture file lost its transport entries"
+        packet_size = goldens["packet_size"]
+        default = get_backend()
+        for m, n, doc_size in geometries:
+            rng = random.Random(doc_size * 31 + m)
+            document = bytes(rng.randrange(256) for _ in range(doc_size))
+            for codec_cls in (SystematicRSCodec, RabinDispersal):
+                reference = codec_cls(m, n, backend="baseline")
+                candidate = codec_cls(m, n, backend=default)
+                padded = document + bytes(m * packet_size - doc_size)
+                chunks = [
+                    padded[i * packet_size : (i + 1) * packet_size]
+                    for i in range(m)
+                ]
+                cooked_ref = reference.encode(chunks)
+                cooked_new = candidate.encode(chunks)
+                assert cooked_new == cooked_ref, (codec_cls.__name__, m, n)
+                received = {i: cooked_ref[i] for i in range(n - m, n)}
+                assert candidate.decode(received) == reference.decode(received)
+
+
+# ---------------------------------------------------------------------------
 # Backend selection
 # ---------------------------------------------------------------------------
 
@@ -196,17 +327,47 @@ class TestSelection:
         monkeypatch.setenv(BACKEND_ENV, "fused")
         assert isinstance(get_backend(), FusedBackend)
 
-    def test_auto_and_unset_pick_fused_default(self, monkeypatch):
+    def test_auto_and_unset_pick_best_available(self, monkeypatch):
+        # Auto-selection prefers the numpy block kernel when numpy is
+        # importable (its parity self-check must pass), else fused.
+        expected = "numpy" if "numpy" in available_backends() else "fused"
         monkeypatch.delenv(BACKEND_ENV, raising=False)
-        assert default_backend_name() == "fused"
+        assert default_backend_name() == expected
         monkeypatch.setenv(BACKEND_ENV, "auto")
+        assert default_backend_name() == expected
+
+    def test_explicit_fused_still_overrides_auto(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "fused")
         assert default_backend_name() == "fused"
+        assert isinstance(get_backend(), FusedBackend)
 
     def test_codec_accepts_name_and_instance(self):
         by_name = RabinDispersal(2, 4, backend="baseline")
         assert isinstance(by_name.backend, BaselineBackend)
         fused = FusedBackend()
         assert RabinDispersal(2, 4, backend=fused).backend is fused
+
+    def test_default_resolution_logged_once(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.setattr(backend_module, "_SELECTION_LOGGED", False)
+        obs.enable()
+        try:
+            first = get_backend()
+            get_backend()  # second resolution must not double-log
+            get_backend("baseline")  # explicit names are never logged
+            snapshot = obs.OBS.metrics.snapshot()
+            counters = snapshot["counters"]
+            key = f"coding.backend_selected{{backend={first.name}}}"
+            assert counters.get(key) == 1.0
+            events = [
+                event
+                for event in obs.OBS.trace.events
+                if event.event == "coding_backend_selected"
+            ]
+            assert len(events) == 1
+            assert events[0].fields["backend"] == first.name
+        finally:
+            obs.disable(reset=True)
 
 
 # ---------------------------------------------------------------------------

@@ -180,6 +180,35 @@ class TestReadMessage:
         assert issubclass(ConnectionLost, WireError)
 
 
+class TestEnvelopeParity:
+    """The prep layer duplicates the MSG_FRAME envelope constants
+    (layering forbids prep -> net); this pins the two byte-identical."""
+
+    def test_prep_wire_frames_match_encode_message(self):
+        import importlib
+
+        prep_module = importlib.import_module("repro.prep.prepare")
+        from tests.netutil import make_prepared
+
+        assert prep_module._FRAME_MSG_TYPE == MSG_FRAME
+        assert prep_module._ENVELOPE_OVERHEAD == ENVELOPE_OVERHEAD
+
+        prepared, _payload = make_prepared(size=777, packet_size=64)
+        envelopes = prepared.wire_frames()
+        frames = prepared.frames()
+        assert len(envelopes) == len(frames) == prepared.n
+        for envelope, frame in zip(envelopes, frames):
+            assert envelope.tobytes() == encode_message(MSG_FRAME, frame)
+
+    def test_wire_frames_cached_and_shared_across_aliases(self):
+        from tests.netutil import make_prepared
+
+        prepared, _payload = make_prepared(size=512, packet_size=64)
+        first = prepared.wire_frames()
+        assert prepared.wire_frames() is first
+        assert prepared.wire_bytes == sum(len(view) for view in first)
+
+
 class TestReadExpected:
     def test_accepts_expected(self):
         async def check():

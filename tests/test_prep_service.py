@@ -202,7 +202,13 @@ class TestSingleFlight:
         assert pipeline.runs == 1
         assert service.stats["cooked_misses"] == 1
         assert all(result is results[0] for result in results)
-        assert service.stats["inflight_waits"] + service.stats["cooked_hits"] == 15
+        # Every follower is a cooked hit; a hit that had to block on
+        # the leader's in-progress build is *additionally* counted as
+        # an in-flight wait (how many wait is scheduling-dependent —
+        # the coding kernel releases the GIL, so followers may run
+        # mid-build).
+        assert service.stats["cooked_hits"] == 15
+        assert 0 <= service.stats["inflight_waits"] <= 15
 
     def test_asyncio_gather_shares_one_build(self):
         service, pipeline = make_service()
