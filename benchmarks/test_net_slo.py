@@ -126,3 +126,89 @@ def test_net_loadgen_slo():
         f"error budget exhausted: rate={report.error_rate:.3f} "
         f"against budget={report.error_budget}"
     )
+
+
+BURSTY_LABEL = "bursty-adaptive"
+BURSTY_CHAOS = {
+    "seed": 20000806,
+    "model": "gilbert:alpha=0.25,burst=6",
+}
+
+
+def test_net_loadgen_slo_bursty_adaptive_row():
+    """The A/B leg: bursty Gilbert–Elliott chaos vs an adaptive server.
+
+    Appends a labelled row to ``BENCH_net.json`` (after the primary
+    record, which this must not disturb) so the CI trend line carries
+    both the i.i.d. baseline and the bursty/adaptive variant.
+    """
+    from repro.channel import parse_model_spec
+
+    async def go():
+        store = DocumentStore()
+        store.add(_prepared_document(size=4096, packet_size=64))
+        async with NetServer(
+            store,
+            slo_error_budget=ERROR_BUDGET,
+            adaptive_gamma=True,
+            initial_loss=0.0,
+            gamma_ceiling=3.0,
+        ) as server:
+            model = parse_model_spec(
+                BURSTY_CHAOS["model"], seed=BURSTY_CHAOS["seed"]
+            )
+            async with ChaosProxy(server.host, server.port, model=model) as proxy:
+                report, _results = await run_loadgen(
+                    proxy.host,
+                    proxy.port,
+                    "doc",
+                    clients=CLIENTS,
+                    error_budget=ERROR_BUDGET,
+                )
+            adaptive = server.stats_snapshot()["adaptive"]
+        return report, adaptive
+
+    report, adaptive = asyncio.run(go())
+    record = write_bench(
+        report,
+        str(BENCH_PATH),
+        document_id="doc",
+        chaos=dict(BURSTY_CHAOS),
+        label=BURSTY_LABEL,
+        adaptive=adaptive,
+        append_row=True,
+    )
+
+    emit(
+        "net_loadgen_slo_bursty",
+        "\n".join(
+            [
+                f"clients: {report.clients}  succeeded: {report.succeeded}  "
+                f"failed: {report.failed}  reconnects: {report.reconnects}",
+                f"adaptive: rounds={adaptive['rounds']}  "
+                f"frames_saved={adaptive['frames_saved']}",
+                f"slo: error_rate={report.error_rate:.3f}  "
+                f"remaining={report.error_budget_remaining:.1%}",
+                f"row: {BURSTY_LABEL} -> {BENCH_PATH}",
+            ]
+        ),
+    )
+
+    assert record["label"] == BURSTY_LABEL
+    assert record["adaptive"]["enabled"] is True
+    assert record["adaptive"]["rounds"] >= 1
+    # The adaptive server demonstrably responded to the bursty channel.
+    persisted = json.loads(BENCH_PATH.read_text())
+    rows = persisted.get("rows", [])
+    assert [row["label"] for row in rows].count(BURSTY_LABEL) == 1
+    (row,) = [row for row in rows if row["label"] == BURSTY_LABEL]
+    assert row == record
+    # The primary record's top-level shape survives the append.
+    assert persisted["benchmark"] == "net_loadgen_slo"
+
+    # The same CI gate applies to the bursty leg.
+    assert report.succeeded >= 1
+    assert report.error_budget_remaining > 0.0, (
+        f"error budget exhausted on the bursty leg: "
+        f"rate={report.error_rate:.3f} against budget={report.error_budget}"
+    )

@@ -1,0 +1,224 @@
+"""Time-varying channel traces: bandwidth, handoffs, outages from JSON.
+
+A trace is a sequence of *segments*, each active for a fixed number of
+frames.  A segment either carries per-frame fault probabilities (and
+optionally a bandwidth), or is an ``outage`` — a handoff / dead zone
+whose first frame returns :data:`~repro.channel.model.DISCONNECT` and
+whose remaining frames are swallowed (:data:`~repro.channel.model.DROP`).
+After the last segment the trace either wraps (``repeat``) or the final
+segment persists — a trace that ends in a clean segment models a
+recovered link, one that ends in an outage models a dead one.
+
+The JSON format (``trace:FILE`` on the CLI)::
+
+    {
+      "name": "urban-handoff",
+      "repeat": true,
+      "segments": [
+        {"frames": 200, "bandwidth_kbps": 19.2, "corrupt": 0.02},
+        {"frames": 25, "outage": true},
+        {"frames": 150, "bandwidth_kbps": 4.8, "corrupt": 0.2, "drop": 0.05}
+      ]
+    }
+
+A bare JSON list is accepted as shorthand for ``{"segments": [...]}``.
+Unknown keys are rejected so typos fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Union
+
+import random
+
+from repro.channel.model import (
+    CORRUPT,
+    DISCONNECT,
+    DROP,
+    PASS,
+    ChannelModel,
+    _check_probability,
+)
+
+_SEGMENT_KEYS = frozenset(
+    {"frames", "drop", "corrupt", "disconnect", "outage", "bandwidth_kbps"}
+)
+_TRACE_KEYS = frozenset({"name", "repeat", "segments"})
+
+
+class TraceSegment(NamedTuple):
+    """One homogeneous stretch of channel behaviour."""
+
+    frames: int
+    drop: float = 0.0
+    corrupt: float = 0.0
+    outage: bool = False
+    bandwidth_kbps: Optional[float] = None
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], index: int) -> "TraceSegment":
+        if not isinstance(data, dict):
+            raise ValueError(f"trace segment {index} must be an object, got {data!r}")
+        unknown = set(data) - _SEGMENT_KEYS
+        if unknown:
+            raise ValueError(
+                f"trace segment {index} has unknown key(s) {sorted(unknown)}; "
+                f"valid keys: {sorted(_SEGMENT_KEYS)}"
+            )
+        frames = data.get("frames")
+        if not isinstance(frames, int) or isinstance(frames, bool) or frames < 1:
+            raise ValueError(
+                f"trace segment {index} needs an integer frames >= 1, got {frames!r}"
+            )
+        bandwidth = data.get("bandwidth_kbps")
+        if bandwidth is not None:
+            if not isinstance(bandwidth, (int, float)) or bandwidth <= 0:
+                raise ValueError(
+                    f"trace segment {index}: bandwidth_kbps must be positive, "
+                    f"got {bandwidth!r}"
+                )
+            bandwidth = float(bandwidth)
+        outage = bool(data.get("outage", False))
+        drop = float(data.get("drop", 0.0))
+        corrupt = float(data.get("corrupt", 0.0))
+        _check_probability(f"trace segment {index} drop", drop)
+        _check_probability(f"trace segment {index} corrupt", corrupt)
+        return cls(
+            frames=frames,
+            drop=drop,
+            corrupt=corrupt,
+            outage=outage,
+            bandwidth_kbps=bandwidth,
+        )
+
+
+class TraceModel(ChannelModel):
+    """Replay a time-varying bandwidth / handoff / outage schedule.
+
+    Frame-clocked: each :meth:`decide` consumes one frame of the
+    current segment; :attr:`bandwidth_kbps` always reflects the segment
+    the *next* frame will see, so timing-aware consumers read a
+    consistent time/bandwidth view.
+    """
+
+    def __init__(
+        self,
+        segments: Sequence[TraceSegment],
+        *,
+        rng: Optional[random.Random] = None,
+        repeat: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        if not segments:
+            raise ValueError("a trace needs at least one segment")
+        super().__init__(bandwidth_kbps=segments[0].bandwidth_kbps)
+        self.segments: List[TraceSegment] = list(segments)
+        self.rng = rng if rng is not None else random.Random(0)
+        self.repeat = repeat
+        self.name = name
+        self._segment_index = 0
+        self._frame_in_segment = 0
+        # A segment without a bandwidth inherits the last one seen.
+        self._last_bandwidth = segments[0].bandwidth_kbps
+
+    # -- loading -----------------------------------------------------------
+
+    @classmethod
+    def from_dict(
+        cls,
+        data: Union[Dict[str, Any], List[Any]],
+        *,
+        rng: Optional[random.Random] = None,
+    ) -> "TraceModel":
+        if isinstance(data, list):
+            data = {"segments": data}
+        if not isinstance(data, dict):
+            raise ValueError(f"trace must be an object or a list, got {data!r}")
+        unknown = set(data) - _TRACE_KEYS
+        if unknown:
+            raise ValueError(
+                f"trace has unknown key(s) {sorted(unknown)}; "
+                f"valid keys: {sorted(_TRACE_KEYS)}"
+            )
+        raw_segments = data.get("segments")
+        if not isinstance(raw_segments, list) or not raw_segments:
+            raise ValueError("trace needs a non-empty 'segments' list")
+        segments = [
+            TraceSegment.from_dict(entry, index)
+            for index, entry in enumerate(raw_segments)
+        ]
+        return cls(
+            segments,
+            rng=rng,
+            repeat=bool(data.get("repeat", False)),
+            name=data.get("name"),
+        )
+
+    @classmethod
+    def from_json(
+        cls, path: str, *, rng: Optional[random.Random] = None
+    ) -> "TraceModel":
+        """Load a trace file; raises ``ValueError`` on malformed content."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace file {path!r} is not valid JSON: {exc}") from None
+        return cls.from_dict(data, rng=rng)
+
+    # -- schedule ----------------------------------------------------------
+
+    @property
+    def segment_index(self) -> int:
+        """Index of the segment the next frame will be decided under."""
+        return self._segment_index
+
+    @property
+    def current_segment(self) -> TraceSegment:
+        return self.segments[self._segment_index]
+
+    @property
+    def disconnected(self) -> bool:
+        return self.current_segment.outage
+
+    def decide(self) -> str:
+        segment = self.segments[self._segment_index]
+        if segment.bandwidth_kbps is not None:
+            self._last_bandwidth = segment.bandwidth_kbps
+        self.bandwidth_kbps = self._last_bandwidth
+        if segment.outage:
+            # First frame of an outage visit severs the link; the rest
+            # of the window is swallowed.
+            verdict = DISCONNECT if self._frame_in_segment == 0 else DROP
+        elif segment.drop > 0.0 and self.rng.random() < segment.drop:
+            verdict = DROP
+        elif segment.corrupt > 0.0 and self.rng.random() < segment.corrupt:
+            verdict = CORRUPT
+        else:
+            verdict = PASS
+        self._advance()
+        return self._record(verdict)
+
+    def _advance(self) -> None:
+        self._frame_in_segment += 1
+        if self._frame_in_segment < self.segments[self._segment_index].frames:
+            return
+        if self._segment_index + 1 < len(self.segments):
+            self._segment_index += 1
+            self._frame_in_segment = 0
+        elif self.repeat:
+            self._segment_index = 0
+            self._frame_in_segment = 0
+        else:
+            # The final segment persists; restart its frame counter so
+            # a trailing outage keeps DROPping (not re-DISCONNECTing
+            # every ``frames`` frames).
+            self._frame_in_segment = 1 if self.segments[-1].outage else 0
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"TraceModel({len(self.segments)} segment(s){label}, "
+            f"repeat={self.repeat})"
+        )

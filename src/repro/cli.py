@@ -33,7 +33,7 @@ from repro.prep.request import KNOWN_MEASURES
 from repro.protocol import DEFAULT_MAX_ROUNDS, DEFAULT_ROUND_TIMEOUT
 from repro.text.keywords import KeywordExtractor
 from repro.transport.cache import PacketCache
-from repro.transport.channel import WirelessChannel
+from repro.transport.channel import ModelChannel, WirelessChannel
 from repro.transport.session import transfer_document
 from repro.xmlkit.parser import parse_xml
 
@@ -105,12 +105,14 @@ def cmd_transfer(args) -> int:
     from repro.coding.backend import get_backend
 
     tracing = bool(getattr(args, "trace", None))
+    chaos_model = getattr(args, "chaos_model", None)
     if tracing:
         obs.enable()
         obs.OBS.trace.emit(
             "run_config",
             seed=args.seed,
             alpha=args.alpha,
+            chaos_model=chaos_model,
             gamma=args.gamma,
             bandwidth=args.bandwidth,
             packet_size=args.packet_size,
@@ -135,9 +137,23 @@ def cmd_transfer(args) -> int:
                 backend=backend,
             ),
         )
-        channel = WirelessChannel(
-            bandwidth_kbps=args.bandwidth, alpha=args.alpha, rng=random.Random(args.seed)
-        )
+        if chaos_model:
+            from repro.channel import parse_model_spec
+
+            # --chaos-model replaces the i.i.d. --alpha channel: the
+            # model owns the fault schedule (seeded by --seed) while a
+            # separate RNG keeps garbling layer-independent.
+            channel = ModelChannel(
+                parse_model_spec(chaos_model, seed=args.seed),
+                bandwidth_kbps=args.bandwidth,
+                rng=random.Random(args.seed + 1),
+            )
+        else:
+            channel = WirelessChannel(
+                bandwidth_kbps=args.bandwidth,
+                alpha=args.alpha,
+                rng=random.Random(args.seed),
+            )
         cache = PacketCache() if args.cache else None
         result = transfer_document(
             prepared,
@@ -214,6 +230,8 @@ def cmd_net_serve(args) -> int:
 
     async def _serve() -> int:
         if getattr(args, "via_broker", False):
+            if getattr(args, "adaptive_gamma", False):
+                print("warning: --adaptive-gamma is not supported with --via-broker")
             from repro.prototype.broker import ObjectRequestBroker
             from repro.prototype.netmode import serve_broker
             from repro.prototype.server import (
@@ -247,8 +265,16 @@ def cmd_net_serve(args) -> int:
                 args.port,
                 max_rounds=args.max_rounds,
                 round_timeout=args.round_timeout,
+                adaptive_gamma=getattr(args, "adaptive_gamma", False),
+                gamma_floor=getattr(args, "gamma_floor", 1.0),
+                gamma_ceiling=getattr(args, "gamma_ceiling", 3.0),
             )
             await server.start()
+            if getattr(args, "adaptive_gamma", False):
+                print(
+                    f"adaptive gamma on "
+                    f"(floor={args.gamma_floor:g} ceiling={args.gamma_ceiling:g})"
+                )
         print(f"listening on {server.host}:{server.port} (ctrl-c to stop)")
         metrics_http = None
         if getattr(args, "metrics_port", None) is not None:
@@ -360,12 +386,36 @@ def cmd_net_loadgen(args) -> int:
 
     chaos_params = None
 
+    legacy_chaos = (
+        args.chaos_drop > 0 or args.chaos_corrupt > 0 or args.chaos_disconnect > 0
+    )
+    if args.chaos_model and legacy_chaos:
+        print(
+            "error: give either --chaos-model or the legacy "
+            "--chaos-drop/--chaos-corrupt/--chaos-disconnect flags, not both"
+        )
+        return 2
+
     async def _run():
         nonlocal chaos_params
         proxy = None
         host, port = args.host, args.port
-        chaos = args.chaos_drop > 0 or args.chaos_corrupt > 0 or args.chaos_disconnect > 0
-        if chaos:
+        if args.chaos_model:
+            from repro.channel import parse_model_spec
+
+            try:
+                model = parse_model_spec(args.chaos_model, seed=args.seed)
+            except (ValueError, OSError) as exc:
+                raise SystemExit(f"error: bad --chaos-model: {exc}")
+            proxy = ChaosProxy(args.host, args.port, model=model)
+            await proxy.start()
+            host, port = proxy.host, proxy.port
+            chaos_params = {"model": args.chaos_model, "seed": args.seed}
+            print(
+                f"chaos proxy on {host}:{port} "
+                f"(model={args.chaos_model} seed={args.seed})"
+            )
+        elif legacy_chaos:
             proxy = ChaosProxy(
                 args.host,
                 args.port,
@@ -426,9 +476,15 @@ def cmd_net_loadgen(args) -> int:
     )
     if args.bench:
         write_bench(
-            report, args.bench, document_id=args.document_id, chaos=chaos_params
+            report,
+            args.bench,
+            document_id=args.document_id,
+            chaos=chaos_params,
+            label=args.bench_label,
+            append_row=args.bench_append,
         )
-        print(f"bench record -> {args.bench}")
+        mode = "row appended" if args.bench_append else "record"
+        print(f"bench {mode} -> {args.bench}")
     return 0 if report.error_budget_remaining > 0 else 1
 
 
@@ -590,6 +646,11 @@ def build_parser() -> argparse.ArgumentParser:
                              f"(default: {DEFAULT_MAX_ROUNDS})")
     p_xfer.add_argument("--trace", default=None, metavar="PATH",
                         help="record a telemetry trace to PATH (JSON Lines)")
+    p_xfer.add_argument("--chaos-model", default=None, metavar="SPEC",
+                        help="channel model replacing the i.i.d. --alpha one: "
+                             "iid:drop=0.1,corrupt=0.2 | "
+                             "gilbert:alpha=0.2,burst=5 | trace:FILE.json "
+                             "(seeded by --seed)")
     p_xfer.add_argument(
         "--coding-backend",
         default=None,
@@ -638,6 +699,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="byte budget for the SC cache tier (MiB)")
     p_serve.add_argument("--cooked-budget-mb", type=int, default=256,
                          help="byte budget for the cooked cache tier (MiB)")
+    p_serve.add_argument("--adaptive-gamma", action="store_true",
+                         help="adapt per-client redundancy to the observed "
+                              "loss rate (EWMA) instead of a fixed gamma")
+    p_serve.add_argument("--gamma-floor", type=float, default=1.0,
+                         help="lower bound for the adaptive gamma (default: 1.0)")
+    p_serve.add_argument("--gamma-ceiling", type=float, default=3.0,
+                         help="upper bound for the adaptive gamma (default: 3.0)")
     p_serve.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
                          help="serve /metrics (Prometheus text), /stats.json, "
                               "and /healthz on this HTTP port (0 picks one)")
@@ -694,8 +762,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-frame corruption probability alpha")
     p_load.add_argument("--chaos-disconnect", type=float, default=0.0,
                         help="per-frame disconnect probability")
+    p_load.add_argument("--chaos-model", default=None, metavar="SPEC",
+                        help="channel model for the proxy: "
+                             "iid:drop=0.1,corrupt=0.2 | "
+                             "gilbert:alpha=0.2,burst=5 | trace:FILE.json "
+                             "(seeded by --seed; excludes the --chaos-* "
+                             "probability flags)")
     p_load.add_argument("--seed", type=int, default=0,
-                        help="chaos fault-plan seed")
+                        help="chaos channel-model seed")
     p_load.add_argument("--error-budget", type=float, default=0.05,
                         metavar="RATE",
                         help="tolerated error rate; exit 1 once the budget "
@@ -703,6 +777,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--bench", default=None, metavar="PATH",
                         help="write the SLO benchmark record (BENCH_net.json "
                              "format) to PATH")
+    p_load.add_argument("--bench-label", default=None, metavar="NAME",
+                        help="label this run variant in the bench record "
+                             "(e.g. bursty-adaptive)")
+    p_load.add_argument("--bench-append", action="store_true",
+                        help="append the record to the bench file's rows "
+                             "list instead of replacing the file (A/B legs)")
     add_prep_flags(p_load)
     p_load.set_defaults(func=cmd_net_loadgen)
 

@@ -5,8 +5,9 @@ over TCP behind a length-prefixed wire codec
 (:mod:`repro.net.wire`), a :class:`NetClient` drives the sans-IO
 :class:`~repro.protocol.TransferEngine` against the socket with
 reconnect-and-resume from the packet cache, a :class:`ChaosProxy`
-replays seeded :class:`~repro.protocol.FaultPlan` schedules (drop /
-corrupt / disconnect) against the live byte stream, and
+replays seeded :class:`~repro.channel.ChannelModel` schedules (drop /
+corrupt / disconnect — i.i.d., Gilbert–Elliott, or trace) against the
+live byte stream, and
 :func:`run_loadgen` fans out concurrent fetches with latency
 percentiles and an SLO verdict.  Operational telemetry rides the same
 wire: ``HELLO`` carries a trace context, the ``STATS`` admin frame

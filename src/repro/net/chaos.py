@@ -2,10 +2,10 @@
 
 :class:`ChaosProxy` sits between a :class:`~repro.net.client.NetClient`
 and a :class:`~repro.net.server.NetServer` as an asyncio
-man-in-the-middle and replays a seeded
-:class:`~repro.protocol.FaultPlan` — the same drop/corrupt/disconnect
-schedule the event-level :class:`~repro.protocol.FaultInjector` uses —
-against the server→client message stream:
+man-in-the-middle and consumes a seeded
+:class:`~repro.channel.ChannelModel` — the same unified decision core
+the event-level :class:`~repro.protocol.FaultInjector` uses — against
+the server→client message stream:
 
 * ``drop`` — the frame envelope is swallowed whole; the client sees a
   sequence gap and the round-end ledger books a loss;
@@ -15,13 +15,19 @@ against the server→client message stream:
 * ``disconnect`` — both directions are severed mid-stream; the client
   reconnects through the proxy and resumes from its cache.
 
+Any model works: the default i.i.d. one (built from the legacy
+*drop*/*corrupt*/*disconnect* keywords), a bursty
+:class:`~repro.channel.GilbertElliottModel`, or a replayed
+:class:`~repro.channel.TraceModel` — pass ``model=`` (or a
+``--chaos-model`` spec through :func:`repro.channel.parse_model_spec`).
+
 Only :data:`~repro.net.wire.MSG_FRAME` messages are touched — control
 messages model the paper's reliable signalling path.  The client→
 server direction is forwarded verbatim.
 
 For deterministic regression tests, ``cut_after_frames`` cuts the
 first connection after exactly that many forwarded frames, independent
-of the probabilistic plan.
+of the probabilistic model.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ import random
 from collections import deque
 from typing import Deque, Dict, Optional, Set
 
+from repro.channel import CORRUPT, DISCONNECT, DROP, PASS, ChannelModel, IIDModel
 from repro.net.wire import (
     MSG_FRAME,
     ConnectionLost,
@@ -39,12 +46,10 @@ from repro.net.wire import (
     read_message,
 )
 from repro.obs.runtime import OBS
-from repro.protocol import FaultPlan
-from repro.protocol.faults import CORRUPT, DISCONNECT, DROP, PASS
 
 
 class _Severed(Exception):
-    """Internal: the plan ordered this connection cut."""
+    """Internal: the model ordered this connection cut."""
 
 
 class ChaosProxy:
@@ -56,18 +61,27 @@ class ChaosProxy:
         The real server to relay to.
     host, port:
         Listen address; port 0 picks a free port.
-    plan:
-        The seeded :class:`FaultPlan` to consume, one decision per
-        relayed frame.  Alternatively pass *rng*/*drop*/*corrupt*/
-        *disconnect*/*outage_events* to build one.
+    model:
+        The seeded :class:`~repro.channel.ChannelModel` to consume,
+        one decision per relayed frame.  Alternatively pass
+        *rng*/*drop*/*corrupt*/*disconnect*/*outage_events* to build
+        an i.i.d. one (``plan=`` remains as a deprecated alias of
+        ``model=`` accepting a legacy ``FaultPlan``).
     cut_after_frames:
         Deterministic override: sever the **first** connection after
         forwarding exactly this many frames (later connections run on
-        the plan alone).
+        the model alone).
     max_disconnects:
-        Cap on plan-ordered disconnects; once reached, further
+        Cap on model-ordered disconnects; once reached, further
         ``disconnect`` verdicts forward the frame instead, so tests
         always terminate.
+
+    Counters: ``stats`` carries the unified vocabulary of
+    :meth:`repro.channel.ChannelModel.counters` — ``dropped`` /
+    ``corrupted`` / ``disconnects`` are distinct (a severed link is
+    not a dropped frame) — plus ``connections`` and
+    ``frames_forwarded``; ``link_stats`` holds the same fields per
+    connection.
     """
 
     def __init__(
@@ -77,7 +91,8 @@ class ChaosProxy:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
-        plan: Optional[FaultPlan] = None,
+        model: Optional[ChannelModel] = None,
+        plan: Optional[object] = None,
         rng: Optional[random.Random] = None,
         drop: float = 0.0,
         corrupt: float = 0.0,
@@ -90,13 +105,27 @@ class ChaosProxy:
         self.upstream_port = upstream_port
         self.host = host
         self.port = port
-        self.plan = plan if plan is not None else FaultPlan(
-            rng=rng,
-            drop=drop,
-            corrupt=corrupt,
-            disconnect=disconnect,
-            outage_events=outage_events,
-        )
+        if model is not None and plan is not None:
+            raise ValueError("give either model= or the legacy plan=, not both")
+        if model is None and plan is not None:
+            # A legacy FaultPlan wraps an IIDModel; unwrap it so the
+            # proxy books counters with the unified semantics.
+            model = getattr(plan, "model", None)
+            if not isinstance(model, ChannelModel):
+                raise TypeError(f"plan= does not wrap a channel model: {plan!r}")
+        if model is None:
+            model = IIDModel(
+                rng=rng,
+                drop=drop,
+                corrupt=corrupt,
+                disconnect=disconnect,
+                outage_events=outage_events,
+            )
+        elif rng is not None or drop or corrupt or disconnect or outage_events:
+            raise ValueError(
+                "give either model=/plan= or the legacy iid keywords, not both"
+            )
+        self.model = model
         self.cut_after_frames = cut_after_frames
         self.max_disconnects = max_disconnects
         self._server: Optional[asyncio.AbstractServer] = None
@@ -105,12 +134,14 @@ class ChaosProxy:
         self.stats: Dict[str, int] = {
             "connections": 0,
             "frames_forwarded": 0,
-            "frames_dropped": 0,
-            "frames_corrupted": 0,
+            "dropped": 0,
+            "corrupted": 0,
             "disconnects": 0,
         }
         #: Per-connection chaos hits, newest last (bounded), so a test
-        #: or snapshot can see *which* link a fault landed on.
+        #: or snapshot can see *which* link a fault landed on.  Fields
+        #: mirror ``stats`` (``forwarded`` / ``dropped`` /
+        #: ``corrupted`` / ``disconnects``).
         self.link_stats: Deque[Dict[str, int]] = deque(maxlen=64)
 
     # -- lifecycle ---------------------------------------------------------
@@ -154,10 +185,10 @@ class ChaosProxy:
         self.stats["connections"] += 1
         link: Dict[str, int] = {
             "connection": self.stats["connections"],
-            "frames_forwarded": 0,
-            "frames_dropped": 0,
-            "frames_corrupted": 0,
-            "disconnected": 0,
+            "forwarded": 0,
+            "dropped": 0,
+            "corrupted": 0,
+            "disconnects": 0,
         }
         self.link_stats.append(link)
         first = not self._first_connection_seen
@@ -226,32 +257,32 @@ class ChaosProxy:
                 if cut_after_frames is not None and frames_seen > cut_after_frames:
                     self._record_disconnect(link)
                     raise _Severed
-                verdict = self.plan.decide()
-                if verdict is DISCONNECT and not self._may_disconnect():
+                verdict = self.model.decide()
+                if verdict == DISCONNECT and not self._may_disconnect():
                     verdict = PASS  # disconnect budget spent: forward
-                if verdict is DROP:
-                    self.stats["frames_dropped"] += 1
-                    link["frames_dropped"] += 1
+                if verdict == DROP:
+                    self.stats["dropped"] += 1
+                    link["dropped"] += 1
                     if OBS.enabled:
                         OBS.metrics.counter(
                             "net.chaos_drops", "frames swallowed by the proxy"
                         ).inc()
                     continue
-                if verdict is CORRUPT:
+                if verdict == CORRUPT:
                     body = self._garble(body)
-                    self.stats["frames_corrupted"] += 1
-                    link["frames_corrupted"] += 1
+                    self.stats["corrupted"] += 1
+                    link["corrupted"] += 1
                     if OBS.enabled:
                         OBS.metrics.counter(
                             "net.chaos_corruptions", "frames garbled by the proxy"
                         ).inc()
-                elif verdict is DISCONNECT:
+                elif verdict == DISCONNECT:
                     self._record_disconnect(link)
                     raise _Severed
                 writer.write(encode_message(msg_type, body))
                 await writer.drain()
                 self.stats["frames_forwarded"] += 1
-                link["frames_forwarded"] += 1
+                link["forwarded"] += 1
         except _Severed:
             return
         except (ConnectionError, OSError):
@@ -266,7 +297,7 @@ class ChaosProxy:
     def _record_disconnect(self, link: Optional[Dict[str, int]] = None) -> None:
         self.stats["disconnects"] += 1
         if link is not None:
-            link["disconnected"] = 1
+            link["disconnects"] += 1
         if OBS.enabled:
             OBS.metrics.counter(
                 "net.chaos_disconnects", "connections severed by the proxy"
@@ -276,9 +307,9 @@ class ChaosProxy:
     def _garble(body: bytes) -> bytes:
         """Flip payload bytes; the frame CRC turns this into corrupt.
 
-        Deterministic (no RNG draws) so a plan consumed by the proxy
-        stays draw-for-draw aligned with the same plan consumed by the
-        event-level injector.
+        Deterministic (no RNG draws) so a model consumed by the proxy
+        stays draw-for-draw aligned with the same model consumed by
+        the event-level injector.
         """
         if not body:
             return body

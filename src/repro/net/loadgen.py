@@ -199,12 +199,16 @@ def bench_record(
     *,
     document_id: Optional[str] = None,
     chaos: Optional[Dict[str, Any]] = None,
+    label: Optional[str] = None,
+    adaptive: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """The JSON payload :func:`write_bench` persists — SLO-shaped.
 
-    *chaos* optionally embeds the fault-plan parameters the run was
+    *chaos* optionally embeds the channel-model parameters the run was
     subjected to, so a regression in the trend line can be traced to
-    its injected failure mix.
+    its injected failure mix; *label* names the run variant (e.g.
+    ``"bursty-adaptive"``) and *adaptive* carries the serving side's
+    ``net.adaptive.*`` summary for A/B rows.
     """
     record: Dict[str, Any] = {
         "benchmark": "net_loadgen_slo",
@@ -234,6 +238,10 @@ def bench_record(
         record["document_id"] = document_id
     if chaos is not None:
         record["chaos"] = chaos
+    if label is not None:
+        record["label"] = label
+    if adaptive is not None:
+        record["adaptive"] = adaptive
     return record
 
 
@@ -243,10 +251,49 @@ def write_bench(
     *,
     document_id: Optional[str] = None,
     chaos: Optional[Dict[str, Any]] = None,
+    label: Optional[str] = None,
+    adaptive: Optional[Dict[str, Any]] = None,
+    append_row: bool = False,
 ) -> Dict[str, Any]:
-    """Write the SLO benchmark record to *path* (``BENCH_net.json``)."""
-    record = bench_record(report, document_id=document_id, chaos=chaos)
+    """Write the SLO benchmark record to *path* (``BENCH_net.json``).
+
+    With ``append_row=True`` the record is appended to the existing
+    file's ``rows`` list instead of replacing it — secondary runs
+    (e.g. the bursty-channel SLO leg) ride along under the primary
+    record without disturbing its top-level shape.  A missing or
+    non-object file falls back to a plain write with the record under
+    its own ``rows``.
+    """
+    record = bench_record(
+        report,
+        document_id=document_id,
+        chaos=chaos,
+        label=label,
+        adaptive=adaptive,
+    )
+    payload: Dict[str, Any] = record
+    if append_row:
+        existing: Optional[Dict[str, Any]] = None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                loaded = json.load(handle)
+            if isinstance(loaded, dict):
+                existing = loaded
+        except (OSError, ValueError):
+            existing = None
+        if existing is None:
+            existing = {"benchmark": "net_loadgen_slo"}
+        rows = existing.get("rows")
+        if not isinstance(rows, list):
+            rows = []
+        # Replace any previous row carrying the same label, so reruns
+        # update in place instead of accumulating duplicates.
+        if label is not None:
+            rows = [row for row in rows if row.get("label") != label]
+        rows.append(record)
+        existing["rows"] = rows
+        payload = existing
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(record, handle, indent=2, sort_keys=True)
+        json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return record

@@ -40,9 +40,12 @@ over HTTP by :class:`~repro.net.stats_http.StatsHTTP`.
 from __future__ import annotations
 
 import asyncio
+import math
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.ewma import AdaptiveRedundancyController
 
 from repro.net.wire import (
     MSG_DONE,
@@ -98,6 +101,11 @@ FLIGHT_DUMPS_KEPT = 32
 #: at the paper's geometries, small enough that a single batch never
 #: dominates connection memory.
 SEND_BATCH_BYTES = 64 * 1024
+
+#: Per-client adaptive-γ controllers kept for reconnect continuity; a
+#: client that resumes under the same transfer ID picks up its channel
+#: estimate where the severed connection left it.
+MAX_GAMMA_CONTROLLERS = 256
 
 
 class DocumentStore:
@@ -256,6 +264,8 @@ class _ConnState:
         "started",
         "sender",
         "flight",
+        "gamma",
+        "loss_estimate",
     )
 
     def __init__(self, conn_id: int, peer: str, flight_events: int) -> None:
@@ -270,6 +280,9 @@ class _ConnState:
         self.started = time.monotonic()
         self.sender: Optional[_BoundedSender] = None
         self.flight = FlightRecorder(capacity=flight_events)
+        #: Adaptive redundancy (None while fixed-γ serving).
+        self.gamma: Optional[float] = None
+        self.loss_estimate: Optional[float] = None
 
     def describe(self) -> Dict[str, Any]:
         """JSON-safe live view (queue depth read off the sender)."""
@@ -288,6 +301,12 @@ class _ConnState:
             "sendq_bytes": sender.queued_bytes if sender is not None else 0,
             "bytes_sent": sender.bytes_sent if sender is not None else 0,
             "flight_events": len(self.flight),
+            "gamma": round(self.gamma, 4) if self.gamma is not None else None,
+            "loss_estimate": (
+                round(self.loss_estimate, 4)
+                if self.loss_estimate is not None
+                else None
+            ),
         }
 
 
@@ -323,6 +342,23 @@ class NetServer:
         Rolling SLO parameters (see :class:`~repro.obs.slo.SLOTracker`).
     flight_events:
         Ring capacity of each connection's flight recorder.
+    adaptive_gamma:
+        When True, the server estimates each client's per-round loss
+        rate from the ``NEXT_ROUND`` feedback (EWMA over
+        ``frames lost / frames sent``) and sizes every round as
+        ``need × γ`` with γ chosen by
+        :class:`~repro.analysis.ewma.AdaptiveRedundancyController` —
+        the paper's §4.2 adaptive-γ suggestion applied per client.
+        Clean channels converge toward ``gamma_floor`` (fewer
+        redundant frames per round); bursty ones push γ up toward
+        ``gamma_ceiling``.  Controllers are keyed by transfer ID, so a
+        reconnecting client keeps its channel estimate.
+    gamma_floor, gamma_ceiling:
+        Clamp on the adaptive γ (floor must be ≥ 1).
+    gamma_weight:
+        EWMA weight for per-round loss observations.
+    initial_loss:
+        Prior loss-rate estimate before any feedback arrives.
     """
 
     def __init__(
@@ -340,6 +376,11 @@ class NetServer:
         slo_error_budget: float = DEFAULT_ERROR_BUDGET,
         slo_window: int = DEFAULT_SLO_WINDOW,
         flight_events: int = DEFAULT_FLIGHT_EVENTS,
+        adaptive_gamma: bool = False,
+        gamma_floor: float = 1.0,
+        gamma_ceiling: float = 3.0,
+        gamma_weight: float = 0.3,
+        initial_loss: float = 0.0,
     ) -> None:
         if round_timeout <= 0:
             raise ValueError(f"round_timeout must be positive, got {round_timeout}")
@@ -360,6 +401,24 @@ class NetServer:
         self.batch_send = batch_send
         self.send_batch_bytes = send_batch_bytes
         self.flight_events = flight_events
+        self.adaptive_gamma = adaptive_gamma
+        self.gamma_floor = gamma_floor
+        self.gamma_ceiling = gamma_ceiling
+        self.gamma_weight = gamma_weight
+        self.initial_loss = initial_loss
+        if adaptive_gamma:
+            # Validate the knobs eagerly with a throwaway controller so
+            # misconfiguration fails at construction, not mid-transfer.
+            AdaptiveRedundancyController(
+                weight=gamma_weight,
+                initial_alpha=initial_loss,
+                floor=gamma_floor,
+                ceiling=gamma_ceiling,
+            )
+        #: transfer_id → per-client γ controller, LRU-bounded.
+        self._gamma_controllers: "OrderedDict[str, AdaptiveRedundancyController]" = (
+            OrderedDict()
+        )
         self.slo = SLOTracker(
             window=slo_window,
             error_budget=slo_error_budget,
@@ -389,6 +448,8 @@ class NetServer:
             "sendq_high_water_bytes": 0,
             "stats_requests": 0,
             "flight_dumps": 0,
+            "adaptive_rounds": 0,
+            "adaptive_frames_saved": 0,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -655,14 +716,53 @@ class NetServer:
         # stores, once per *cooked document*: the envelopes are cached
         # next to the cooked packets, so a cache hit re-serializes
         # nothing and every round below is pure buffer handoff).
+        controller: Optional[AdaptiveRedundancyController] = None
+        if self.adaptive_gamma:
+            controller = self._gamma_controller(state.transfer_id, prepared.m)
+
         envelopes = self._wire_envelopes(prepared)
         while True:
-            to_send = [
-                envelopes[sequence]
+            missing = [
+                sequence
                 for sequence in range(len(envelopes))
                 if sequence not in skip
             ]
-            self.stats["resumed_frames_skipped"] += len(envelopes) - len(to_send)
+            self.stats["resumed_frames_skipped"] += len(envelopes) - len(missing)
+            if controller is not None:
+                # Adaptive round sizing: the client still needs
+                # ``need`` intact packets to decode; stream
+                # ``need × γ`` of its missing sequences (in sequence
+                # order, preserving the content-profile prefix) and
+                # hold the rest back for later rounds.
+                gamma = controller.gamma()
+                need = prepared.m - len(skip)
+                if 0 < need <= len(missing):
+                    send_count = min(
+                        len(missing), max(need, math.ceil(need * gamma))
+                    )
+                else:
+                    send_count = len(missing)
+                saved = len(missing) - send_count
+                state.gamma = gamma
+                self.stats["adaptive_rounds"] += 1
+                self.stats["adaptive_frames_saved"] += saved
+                if OBS.enabled:
+                    OBS.metrics.gauge(
+                        "net.adaptive.gamma", "per-client redundancy ratio"
+                    ).set(gamma)
+                    OBS.metrics.gauge(
+                        "net.adaptive.alpha", "EWMA per-client loss estimate"
+                    ).set(controller.alpha_estimate)
+                    OBS.metrics.counter(
+                        "net.adaptive.rounds", "rounds sized adaptively"
+                    ).inc()
+                    OBS.metrics.counter(
+                        "net.adaptive.frames_saved",
+                        "redundant frames withheld by adaptive γ",
+                    ).inc(saved)
+                to_send = [envelopes[sequence] for sequence in missing[:send_count]]
+            else:
+                to_send = [envelopes[sequence] for sequence in missing]
             sent = len(to_send)
             if self.batch_send:
                 batches, batched_bytes = await sender.send_many(to_send)
@@ -714,7 +814,14 @@ class NetServer:
                 state.flight.record("done", status=status)
                 return status
             request = decode_json(body)
-            skip = self._valid_sequences(request.get("have", ()), prepared.n)
+            new_skip = self._valid_sequences(request.get("have", ()), prepared.n)
+            if controller is not None and sent > 0:
+                # The round's loss observable: frames sent minus
+                # sequences that newly became intact at the client.
+                gained = len(new_skip - skip)
+                lost = min(max(sent - gained, 0), sent)
+                state.loss_estimate = controller.record_transfer(lost, sent)
+            skip = new_skip
             state.flight.record("next_round", have=len(skip))
             if engine.on_round_ended(carried=True) is not None:
                 # Server-side retransmission bound: refuse more rounds.
@@ -728,6 +835,32 @@ class NetServer:
                 self.stats["errors"] += 1
                 state.flight.record("round_bound", bound=self.max_rounds)
                 return "round_bound"
+
+    def _gamma_controller(
+        self, transfer_id: Optional[str], m_hint: int
+    ) -> AdaptiveRedundancyController:
+        """The per-client γ controller, created on first sight.
+
+        Keyed by transfer ID so reconnect-and-resume continues the
+        same channel estimate; LRU-bounded at
+        :data:`MAX_GAMMA_CONTROLLERS`.
+        """
+        key = transfer_id or "?"
+        controller = self._gamma_controllers.get(key)
+        if controller is not None:
+            self._gamma_controllers.move_to_end(key)
+            return controller
+        controller = AdaptiveRedundancyController(
+            m_hint=max(1, m_hint),
+            weight=self.gamma_weight,
+            initial_alpha=self.initial_loss,
+            floor=self.gamma_floor,
+            ceiling=self.gamma_ceiling,
+        )
+        self._gamma_controllers[key] = controller
+        while len(self._gamma_controllers) > MAX_GAMMA_CONTROLLERS:
+            self._gamma_controllers.popitem(last=False)
+        return controller
 
     # -- exposition ---------------------------------------------------------
 
@@ -748,6 +881,14 @@ class NetServer:
                 "dumps": self.stats["flight_dumps"],
                 "kept": len(self.flight_dumps),
                 "recent": list(self.flight_dumps),
+            },
+            "adaptive": {
+                "enabled": self.adaptive_gamma,
+                "clients": len(self._gamma_controllers),
+                "rounds": self.stats["adaptive_rounds"],
+                "frames_saved": self.stats["adaptive_frames_saved"],
+                "floor": self.gamma_floor,
+                "ceiling": self.gamma_ceiling,
             },
         }
         prep_stats = getattr(self.store, "stats", None)

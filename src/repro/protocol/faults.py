@@ -9,12 +9,13 @@ window — under its own seeded RNG, so fault schedules are reproducible
 and independent of the driver's channel RNG (common-random-numbers
 discipline: the injector never draws from the driver's stream).
 
-The *decision* core lives in :class:`FaultPlan` so the same seeded
-drop/corrupt/disconnect schedule can also be applied to live byte
-streams: the asyncio :class:`repro.net.chaos.ChaosProxy` consults a
-plan per forwarded frame, mapping ``drop`` to a swallowed message,
-``corrupt`` to garbled payload bytes (caught by the frame CRC), and
-``disconnect`` to a severed TCP connection.
+The *decision* core lives one layer down, in :mod:`repro.channel`:
+the injector consumes any :class:`~repro.channel.ChannelModel`
+(i.i.d., Gilbert–Elliott bursts, or a JSON trace), and the same seeded
+model can equally be applied to live byte streams by the asyncio
+:class:`repro.net.chaos.ChaosProxy`, mapping ``drop`` to a swallowed
+message, ``corrupt`` to garbled payload bytes (caught by the frame
+CRC), and ``disconnect`` to a severed TCP connection.
 
 Typical use in a test or chaos experiment::
 
@@ -25,6 +26,11 @@ Typical use in a test or chaos experiment::
     effects = faulty.begin()
     ...
     effects = faulty.handle(FrameDelivered(seq))
+
+or, with a bursty model::
+
+    model = GilbertElliottModel.matched_to_alpha(0.2, rng=random.Random(7))
+    faulty = FaultInjector(engine, model=model)
 """
 
 from __future__ import annotations
@@ -32,6 +38,16 @@ from __future__ import annotations
 import random
 from typing import Optional, Tuple
 
+# Verdict constants are re-exported here for backwards compatibility;
+# their home is repro.channel.
+from repro.channel import (  # noqa: F401  (re-exported)
+    CORRUPT,
+    DISCONNECT,
+    DROP,
+    PASS,
+    ChannelModel,
+    IIDModel,
+)
 from repro.protocol.engine import TransferEngine
 from repro.protocol.events import (
     Effect,
@@ -41,55 +57,24 @@ from repro.protocol.events import (
     InputEvent,
 )
 
-#: The four verdicts a :class:`FaultPlan` can return for one frame.
-PASS = "pass"
-DROP = "drop"
-CORRUPT = "corrupt"
-DISCONNECT = "disconnect"
-
 
 class FaultPlan:
-    """Seeded per-frame drop/corrupt/disconnect schedule.
+    """Legacy i.i.d. drop/corrupt/disconnect schedule (compat shim).
 
-    One :meth:`decide` call consumes the schedule for one frame and
-    returns a verdict: :data:`PASS` (deliver untouched), :data:`DROP`
-    (the frame is lost), :data:`CORRUPT` (the frame arrives damaged),
-    or :data:`DISCONNECT` (a disconnection window opens — this frame
-    is lost, and the next ``outage_events - 1`` frames return
-    :data:`DROP` unconditionally).
+    Pre-refactor, this class *was* the decision core; it is now a thin
+    wrapper over :class:`repro.channel.IIDModel`, which preserves its
+    draw order byte-for-byte (disconnect, then drop, then corrupt,
+    each drawn only when its probability is positive).  New code
+    should construct a channel model directly and hand it to
+    :class:`FaultInjector` / :class:`~repro.net.chaos.ChaosProxy`.
 
-    The draw order is fixed — disconnect, then drop, then corrupt,
-    each drawn only when its probability is positive — so a seeded
-    plan produces the same schedule whether it is consumed by the
-    event-level :class:`FaultInjector` or by a byte-level proxy.
-
-    Parameters
-    ----------
-    rng:
-        Dedicated seeded RNG; one draw per positive-probability fault
-        class per frame, never shared with the driver.
-    drop:
-        Probability a frame is silently lost.
-    corrupt:
-        Probability a frame arrives damaged (CRC failure).
-    disconnect:
-        Probability, evaluated per frame while connected, that a
-        disconnection window opens.
-    outage_events:
-        Length of a disconnection window, counted in frames.
+    The legacy counter semantics are preserved exactly: ``dropped``
+    counts every lost frame *including* the frame that opened a
+    disconnection window, and ``outages`` counts the windows — where
+    the unified model keeps ``dropped`` and ``disconnects`` distinct.
     """
 
-    __slots__ = (
-        "rng",
-        "drop",
-        "corrupt",
-        "disconnect",
-        "outage_events",
-        "dropped",
-        "corrupted",
-        "outages",
-        "_outage_left",
-    )
+    __slots__ = ("model",)
 
     def __init__(
         self,
@@ -100,73 +85,7 @@ class FaultPlan:
         disconnect: float = 0.0,
         outage_events: int = 0,
     ) -> None:
-        for name, p in (("drop", drop), ("corrupt", corrupt), ("disconnect", disconnect)):
-            if not 0.0 <= p <= 1.0:
-                raise ValueError(f"{name} must be a probability, got {p}")
-        if outage_events < 0:
-            raise ValueError(f"outage_events must be >= 0, got {outage_events}")
-        self.rng = rng if rng is not None else random.Random(0)
-        self.drop = drop
-        self.corrupt = corrupt
-        self.disconnect = disconnect
-        self.outage_events = outage_events
-        self.dropped = 0
-        self.corrupted = 0
-        self.outages = 0
-        self._outage_left = 0
-
-    @property
-    def disconnected(self) -> bool:
-        """True while a disconnection window is swallowing frames."""
-        return self._outage_left > 0
-
-    def decide(self) -> str:
-        """Consume the schedule for one frame and return its verdict."""
-        if self._outage_left > 0:
-            self._outage_left -= 1
-            self.dropped += 1
-            return DROP
-        if self.disconnect > 0.0 and self.rng.random() < self.disconnect:
-            self.outages += 1
-            self._outage_left = max(0, self.outage_events - 1)
-            self.dropped += 1
-            return DISCONNECT
-        if self.drop > 0.0 and self.rng.random() < self.drop:
-            self.dropped += 1
-            return DROP
-        if self.corrupt > 0.0 and self.rng.random() < self.corrupt:
-            self.corrupted += 1
-            return CORRUPT
-        return PASS
-
-
-class FaultInjector:
-    """Rewrites ``FrameDelivered`` events into losses/corruption.
-
-    A thin event-level adapter over :class:`FaultPlan`: ``drop`` and
-    ``disconnect`` verdicts become
-    :class:`~repro.protocol.events.FrameLost`, ``corrupt`` becomes
-    :class:`~repro.protocol.events.FrameCorrupt` (CRC failure).
-
-    ``RoundEnded`` and already-degraded events pass through untouched —
-    the injector only ever makes the channel worse, so protocol
-    invariants (termination, bounds) are preserved by construction.
-    """
-
-    __slots__ = ("engine", "plan")
-
-    def __init__(
-        self,
-        engine: TransferEngine,
-        *,
-        rng: Optional[random.Random] = None,
-        drop: float = 0.0,
-        corrupt: float = 0.0,
-        disconnect: float = 0.0,
-        outage_events: int = 0,
-    ) -> None:
-        self.engine = engine
-        self.plan = FaultPlan(
+        self.model = IIDModel(
             rng=rng,
             drop=drop,
             corrupt=corrupt,
@@ -174,45 +93,144 @@ class FaultInjector:
             outage_events=outage_events,
         )
 
-    # Schedule state and counters live on the plan; these mirrors keep
-    # the pre-refactor injector API intact for existing callers.
-
     @property
     def rng(self) -> random.Random:
-        return self.plan.rng
+        return self.model.rng
 
     @property
     def drop(self) -> float:
-        return self.plan.drop
+        return self.model.drop
 
     @property
     def corrupt(self) -> float:
-        return self.plan.corrupt
+        return self.model.corrupt
 
     @property
     def disconnect(self) -> float:
-        return self.plan.disconnect
+        return self.model.disconnect
 
     @property
     def outage_events(self) -> int:
-        return self.plan.outage_events
+        return self.model.outage_events
 
     @property
     def dropped(self) -> int:
-        return self.plan.dropped
+        """Lost frames, *including* disconnect-opening frames (legacy)."""
+        return self.model.dropped + self.model.disconnects
 
     @property
     def corrupted(self) -> int:
-        return self.plan.corrupted
+        return self.model.corrupted
 
     @property
     def outages(self) -> int:
-        return self.plan.outages
+        """Disconnection windows opened (the model calls these disconnects)."""
+        return self.model.disconnects
 
     @property
     def disconnected(self) -> bool:
         """True while a disconnection window is swallowing frames."""
-        return self.plan.disconnected
+        return self.model.disconnected
+
+    def decide(self) -> str:
+        """Consume the schedule for one frame and return its verdict."""
+        return self.model.decide()
+
+
+class FaultInjector:
+    """Rewrites ``FrameDelivered`` events into losses/corruption.
+
+    A thin event-level adapter over a
+    :class:`~repro.channel.ChannelModel`: ``drop`` and ``disconnect``
+    verdicts become :class:`~repro.protocol.events.FrameLost`,
+    ``corrupt`` becomes :class:`~repro.protocol.events.FrameCorrupt`
+    (CRC failure).
+
+    Pass ``model=`` to inject under any channel model (bursty
+    Gilbert–Elliott, a replayed trace); the legacy keyword form builds
+    a seeded :class:`~repro.channel.IIDModel` with the pre-refactor
+    draw order.  ``RoundEnded`` and already-degraded events pass
+    through untouched — the injector only ever makes the channel
+    worse, so protocol invariants (termination, bounds) are preserved
+    by construction.
+    """
+
+    __slots__ = ("engine", "model")
+
+    def __init__(
+        self,
+        engine: TransferEngine,
+        *,
+        model: Optional[ChannelModel] = None,
+        rng: Optional[random.Random] = None,
+        drop: float = 0.0,
+        corrupt: float = 0.0,
+        disconnect: float = 0.0,
+        outage_events: int = 0,
+    ) -> None:
+        self.engine = engine
+        if model is not None:
+            if rng is not None or drop or corrupt or disconnect or outage_events:
+                raise ValueError(
+                    "give either model= or the legacy iid keywords, not both"
+                )
+            self.model = model
+        else:
+            self.model = IIDModel(
+                rng=rng,
+                drop=drop,
+                corrupt=corrupt,
+                disconnect=disconnect,
+                outage_events=outage_events,
+            )
+
+    # Schedule state and counters live on the model; these mirrors keep
+    # the pre-refactor injector API intact for existing callers.  The
+    # probability mirrors only exist on i.i.d. models, hence getattr.
+
+    @property
+    def rng(self) -> Optional[random.Random]:
+        return getattr(self.model, "rng", None)
+
+    @property
+    def drop(self) -> float:
+        return getattr(self.model, "drop", 0.0)
+
+    @property
+    def corrupt(self) -> float:
+        return getattr(self.model, "corrupt", 0.0)
+
+    @property
+    def disconnect(self) -> float:
+        return getattr(self.model, "disconnect", 0.0)
+
+    @property
+    def outage_events(self) -> int:
+        return getattr(self.model, "outage_events", 0)
+
+    @property
+    def dropped(self) -> int:
+        """Frames turned into losses — drops *and* disconnect frames.
+
+        At the event level both verdicts become ``FrameLost``, so the
+        legacy combined counter is the accurate one here; the model's
+        own :meth:`~repro.channel.ChannelModel.counters` keeps them
+        distinct.
+        """
+        return self.model.dropped + self.model.disconnects
+
+    @property
+    def corrupted(self) -> int:
+        return self.model.corrupted
+
+    @property
+    def outages(self) -> int:
+        return self.model.disconnects
+
+    @property
+    def disconnected(self) -> bool:
+        """True while a disconnection window is swallowing frames."""
+        return self.model.disconnected
 
     def begin(self) -> Tuple[Effect, ...]:
         return self.engine.begin()
@@ -221,10 +239,10 @@ class FaultInjector:
         """Return the (possibly rewritten) event without applying it."""
         if not isinstance(event, FrameDelivered):
             return event
-        verdict = self.plan.decide()
-        if verdict is PASS:
+        verdict = self.model.decide()
+        if verdict == PASS:
             return event
-        if verdict is CORRUPT:
+        if verdict == CORRUPT:
             return FrameCorrupt(event.sequence)
         return FrameLost(event.sequence)  # DROP or DISCONNECT
 

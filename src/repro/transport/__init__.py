@@ -3,7 +3,7 @@ multi-resolution transfer protocol, packet caching, and the ARQ /
 compression / prefetching companions.
 """
 
-from repro.transport.channel import Delivery, WirelessChannel
+from repro.transport.channel import Delivery, ModelChannel, WirelessChannel
 from repro.transport.cache import NullCache, PacketCache
 from repro.transport.sender import DocumentSender, PreparedDocument
 from repro.transport.receiver import TransferReceiver
@@ -20,6 +20,7 @@ from repro.transport.gilbert import GilbertElliottChannel, matched_to_alpha
 
 __all__ = [
     "WirelessChannel",
+    "ModelChannel",
     "Delivery",
     "PacketCache",
     "NullCache",

@@ -11,13 +11,23 @@ error)".
 Frame *loss* (for the ARQ baselines) is modelled separately via
 ``loss_probability``; a lost frame consumes air time but never
 arrives, and the receiver detects the gap through sequence numbers.
+
+The *decision* about each frame's fate is delegated to the shared
+:mod:`repro.channel` core: :class:`WirelessChannel` drives a seeded
+:class:`~repro.channel.IIDModel` (in the legacy draw discipline, which
+burns one corruption draw per undropped frame even at α = 0, so
+existing seeded schedules replay byte-for-byte), while
+:class:`ModelChannel` drives *any* channel model — bursty
+Gilbert–Elliott, a replayed bandwidth/outage trace — and keeps this
+module's timing and framing behaviour.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, Iterator, List, NamedTuple, Optional
+from typing import Iterable, Iterator, NamedTuple, Optional
 
+from repro.channel import CORRUPT, DISCONNECT, DROP, ChannelModel, IIDModel
 from repro.obs.runtime import OBS
 from repro.obs.trace import FRAME_SENT
 from repro.util.validation import check_positive, check_probability
@@ -51,7 +61,8 @@ class WirelessChannel:
         by the ARQ baselines).
     rng:
         Source of randomness; pass a seeded ``random.Random`` for
-        reproducible runs.
+        reproducible runs.  Shared between the fault decisions and the
+        byte garbling, preserving the pre-refactor draw order.
     """
 
     def __init__(
@@ -63,28 +74,57 @@ class WirelessChannel:
     ) -> None:
         check_positive(bandwidth_kbps, "bandwidth_kbps")
         self.bandwidth_kbps = bandwidth_kbps
-        self.alpha = check_probability(alpha, "alpha")
-        self.loss_probability = check_probability(loss_probability, "loss_probability")
         self.rng = rng if rng is not None else random.Random()
+        #: The seeded decision core (see :mod:`repro.channel`).
+        self.model: ChannelModel = IIDModel(
+            rng=self.rng,
+            drop=check_probability(loss_probability, "loss_probability"),
+            corrupt=check_probability(alpha, "alpha"),
+            always_draw_corrupt=True,
+        )
         self.clock = 0.0
         #: instrumentation counters
         self.frames_sent = 0
         self.frames_corrupted = 0
         self.frames_lost = 0
 
+    # The scalar channel parameters read off the model, so subclasses
+    # that install a different model report sensible values through
+    # the same instrumentation surface.
+
+    @property
+    def alpha(self) -> float:
+        """Per-frame corruption probability (stationary rate for bursty models)."""
+        corrupt = getattr(self.model, "corrupt", None)
+        if corrupt is not None:
+            return corrupt
+        return getattr(self.model, "stationary_alpha", 0.0)
+
+    @property
+    def loss_probability(self) -> float:
+        return getattr(self.model, "drop", 0.0)
+
     def transmission_time(self, size_bytes: int) -> float:
-        """Air time of *size_bytes* at the configured bandwidth."""
-        return size_bytes * 8.0 / (self.bandwidth_kbps * 1000.0)
+        """Air time of *size_bytes* at the current bandwidth.
+
+        Models that carry their own (possibly time-varying) bandwidth
+        override the channel's static parameter.
+        """
+        bandwidth = self.model.bandwidth_kbps
+        if bandwidth is None:
+            bandwidth = self.bandwidth_kbps
+        return size_bytes * 8.0 / (bandwidth * 1000.0)
 
     def send(self, wire: bytes) -> Delivery:
         """Transmit one frame; advances the channel clock."""
+        verdict = self.model.decide()
         self.clock += self.transmission_time(len(wire))
         self.frames_sent += 1
 
-        if self.loss_probability and self.rng.random() < self.loss_probability:
+        if verdict is DROP or verdict is DISCONNECT:
             self.frames_lost += 1
             delivery = Delivery(time=self.clock, wire=None, corrupted=False, lost=True)
-        elif self.rng.random() < self.alpha:
+        elif verdict is CORRUPT:
             self.frames_corrupted += 1
             delivery = Delivery(
                 time=self.clock,
@@ -133,9 +173,44 @@ class WirelessChannel:
         self.frames_sent = 0
         self.frames_corrupted = 0
         self.frames_lost = 0
+        self.model.reset_counters()
 
     def __repr__(self) -> str:
         return (
             f"WirelessChannel({self.bandwidth_kbps}kbps, alpha={self.alpha}, "
             f"loss={self.loss_probability})"
         )
+
+
+class ModelChannel(WirelessChannel):
+    """A simulated link driven by an arbitrary channel model.
+
+    Keeps :class:`WirelessChannel`'s timing/framing behaviour (FIFO
+    clock, air time, byte garbling, ``Delivery`` tuples) but takes all
+    per-frame verdicts — and, when the model carries one, the current
+    bandwidth — from the supplied :class:`~repro.channel.ChannelModel`.
+    A ``DISCONNECT`` verdict is a lost frame whose air time is still
+    consumed (the sender cannot know the client vanished); the model's
+    ``disconnects`` counter keeps the severed-link tally.
+
+    The garbling RNG is deliberately *separate* from the model's
+    decision RNG, so a seeded model instance produces the same verdict
+    schedule here as it would at the event or byte level.
+    """
+
+    def __init__(
+        self,
+        model: ChannelModel,
+        bandwidth_kbps: float = 19.2,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(
+            bandwidth_kbps=bandwidth_kbps,
+            alpha=0.0,
+            loss_probability=0.0,
+            rng=rng if rng is not None else random.Random(0),
+        )
+        self.model = model
+
+    def __repr__(self) -> str:
+        return f"ModelChannel({self.model!r}, {self.bandwidth_kbps}kbps)"

@@ -14,7 +14,11 @@ Gilbert–Elliott chain does:
 * after every packet the state flips with probability
   ``good_to_bad`` / ``bad_to_good``.
 
-The stationary corruption rate is
+The chain itself — per-frame decisions, stationary math, matched-α
+solving — lives in :mod:`repro.channel`
+(:class:`~repro.channel.GilbertElliottModel`); this module wraps it in
+the simulator's timing/framing behaviour.  The stationary corruption
+rate is
 
     α* = π_bad·bad_alpha + (1 − π_bad)·good_alpha,
     π_bad = good_to_bad / (good_to_bad + bad_to_good)
@@ -30,18 +34,20 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from repro.transport.channel import Delivery, WirelessChannel
-from repro.util.validation import check_probability
+from repro.channel import GilbertElliottModel, matched_transitions
+from repro.transport.channel import WirelessChannel
 
 
 class GilbertElliottChannel(WirelessChannel):
     """Two-state bursty wireless channel.
 
     Inherits the timing/framing behaviour of
-    :class:`~repro.transport.channel.WirelessChannel`; only the
-    corruption process differs.  ``alpha`` is reported as the
-    stationary corruption rate so existing instrumentation reads
-    sensibly.
+    :class:`~repro.transport.channel.WirelessChannel` and delegates the
+    corruption process to a seeded
+    :class:`~repro.channel.GilbertElliottModel` sharing the channel
+    RNG (preserving the pre-refactor draw order byte-for-byte).
+    ``alpha`` is reported as the stationary corruption rate so
+    existing instrumentation reads sensibly.
     """
 
     def __init__(
@@ -54,59 +60,56 @@ class GilbertElliottChannel(WirelessChannel):
         rng: Optional[random.Random] = None,
         start_in_bad: bool = False,
     ) -> None:
-        check_probability(good_alpha, "good_alpha")
-        check_probability(bad_alpha, "bad_alpha")
-        check_probability(good_to_bad, "good_to_bad")
-        check_probability(bad_to_good, "bad_to_good")
-        if good_to_bad + bad_to_good == 0:
-            raise ValueError("the chain must be able to change state")
-        stationary_bad = good_to_bad / (good_to_bad + bad_to_good)
-        stationary_alpha = stationary_bad * bad_alpha + (1 - stationary_bad) * good_alpha
-        super().__init__(
-            bandwidth_kbps=bandwidth_kbps, alpha=stationary_alpha, rng=rng
+        super().__init__(bandwidth_kbps=bandwidth_kbps, alpha=0.0, rng=rng)
+        self.model = GilbertElliottModel(
+            rng=self.rng,
+            good_alpha=good_alpha,
+            bad_alpha=bad_alpha,
+            good_to_bad=good_to_bad,
+            bad_to_good=bad_to_good,
+            start_in_bad=start_in_bad,
         )
-        self.good_alpha = good_alpha
-        self.bad_alpha = bad_alpha
-        self.good_to_bad = good_to_bad
-        self.bad_to_good = bad_to_good
-        self.in_bad_state = start_in_bad
-        #: instrumentation: packets sent while in the BAD state.
-        self.bad_state_frames = 0
+
+    # Chain parameters and state live on the model; these mirrors keep
+    # the pre-refactor channel API intact for existing callers.
+
+    @property
+    def good_alpha(self) -> float:
+        return self.model.good_alpha
+
+    @property
+    def bad_alpha(self) -> float:
+        return self.model.bad_alpha
+
+    @property
+    def good_to_bad(self) -> float:
+        return self.model.good_to_bad
+
+    @property
+    def bad_to_good(self) -> float:
+        return self.model.bad_to_good
+
+    @property
+    def in_bad_state(self) -> bool:
+        return self.model.in_bad_state
+
+    @in_bad_state.setter
+    def in_bad_state(self, value: bool) -> None:
+        self.model.in_bad_state = value
+
+    @property
+    def bad_state_frames(self) -> int:
+        """Packets sent while in the BAD state."""
+        return self.model.bad_frames
 
     @property
     def stationary_bad_probability(self) -> float:
         """Long-run fraction of time spent in the BAD state."""
-        return self.good_to_bad / (self.good_to_bad + self.bad_to_good)
+        return self.model.stationary_bad_probability
 
     def expected_burst_length(self) -> float:
         """Mean number of consecutive packets spent in one BAD visit."""
-        if self.bad_to_good == 0:
-            return float("inf")
-        return 1.0 / self.bad_to_good
-
-    def send(self, wire: bytes) -> Delivery:
-        self.clock += self.transmission_time(len(wire))
-        self.frames_sent += 1
-        if self.in_bad_state:
-            self.bad_state_frames += 1
-
-        corrupt_probability = self.bad_alpha if self.in_bad_state else self.good_alpha
-        corrupted = self.rng.random() < corrupt_probability
-
-        # State transition applies after the packet (per-packet steps).
-        if self.in_bad_state:
-            if self.rng.random() < self.bad_to_good:
-                self.in_bad_state = False
-        else:
-            if self.rng.random() < self.good_to_bad:
-                self.in_bad_state = True
-
-        if corrupted:
-            self.frames_corrupted += 1
-            return Delivery(
-                time=self.clock, wire=self._garble(wire), corrupted=True, lost=False
-            )
-        return Delivery(time=self.clock, wire=wire, corrupted=False, lost=False)
+        return self.model.expected_burst_length()
 
 
 def matched_to_alpha(
@@ -119,26 +122,17 @@ def matched_to_alpha(
 ) -> GilbertElliottChannel:
     """A bursty channel whose stationary corruption rate equals *alpha*.
 
-    Solves for the transition probabilities given the desired mean
-    burst length (``1 / bad_to_good``) and the per-state corruption
-    rates.  Requires ``good_alpha < alpha < bad_alpha``.
+    Solves for the transition probabilities via
+    :func:`repro.channel.matched_transitions` — the one matched-α
+    implementation, shared with
+    :meth:`repro.channel.GilbertElliottModel.matched_to_alpha` —
+    given the desired mean burst length (``1 / bad_to_good``) and the
+    per-state corruption rates.  Requires
+    ``good_alpha < alpha < bad_alpha``.
     """
-    check_probability(alpha, "alpha")
-    if not good_alpha < alpha < bad_alpha:
-        raise ValueError(
-            f"alpha must lie strictly between good_alpha ({good_alpha}) "
-            f"and bad_alpha ({bad_alpha})"
-        )
-    if burst_length < 1.0:
-        raise ValueError("burst_length must be >= 1 packet")
-    bad_to_good = 1.0 / burst_length
-    # π_bad from the stationary-rate equation.
-    pi_bad = (alpha - good_alpha) / (bad_alpha - good_alpha)
-    good_to_bad = bad_to_good * pi_bad / (1.0 - pi_bad)
-    if good_to_bad > 1.0:
-        raise ValueError(
-            "burst_length too short for the requested alpha; increase it"
-        )
+    good_to_bad, bad_to_good = matched_transitions(
+        alpha, burst_length, good_alpha=good_alpha, bad_alpha=bad_alpha
+    )
     return GilbertElliottChannel(
         bandwidth_kbps=bandwidth_kbps,
         good_alpha=good_alpha,

@@ -1,10 +1,38 @@
 """Shared helpers for the socket-marked ``net``/``slow`` suites."""
 
 import asyncio
+import os
 import random
 
+from repro.channel import GilbertElliottModel, IIDModel
 from repro.coding.packets import Packetizer
 from repro.transport.sender import DocumentSender
+
+
+def chaos_model(alpha, seed, *, drop=0.0, disconnect=0.0, burst_length=5.0):
+    """The chaos :class:`~repro.channel.ChannelModel` CI selects.
+
+    ``REPRO_CHAOS_MODEL`` picks the channel family — ``iid`` (default)
+    or ``gilbert`` (burst errors matched to the same stationary
+    *alpha*) — so the chaos-matrix CI leg replays the same suite over
+    both channel shapes without editing any test.
+    """
+    kind = os.environ.get("REPRO_CHAOS_MODEL", "iid").strip().lower()
+    rng = random.Random(seed)
+    if kind in ("", "iid"):
+        return IIDModel(rng=rng, drop=drop, corrupt=alpha, disconnect=disconnect)
+    if kind == "gilbert":
+        if drop or disconnect:
+            raise ValueError(
+                "the gilbert chaos family models corruption only; "
+                "drop/disconnect need REPRO_CHAOS_MODEL=iid"
+            )
+        return GilbertElliottModel.matched_to_alpha(
+            alpha, burst_length=burst_length, rng=rng
+        )
+    raise ValueError(
+        f"unknown REPRO_CHAOS_MODEL {kind!r} (valid: iid, gilbert)"
+    )
 
 
 def make_prepared(

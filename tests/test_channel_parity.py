@@ -1,0 +1,168 @@
+"""Cross-layer parity: one seeded model, identical schedules everywhere.
+
+The refactor's core promise — every consumer calls ``decide()`` exactly
+once per frame and never draws from the model's RNG itself — means a
+seeded :class:`~repro.channel.ChannelModel` yields the *same* verdict
+schedule whether it is consumed by the event-level
+:class:`~repro.protocol.FaultInjector`, the simulated
+:class:`~repro.transport.channel.ModelChannel`, or the byte-level
+:class:`~repro.net.chaos.ChaosProxy`.  These tests pin that for all
+three model families (i.i.d., Gilbert–Elliott, trace).
+
+The socket half is ``net``-marked; the event/byte-simulation half runs
+in tier 1.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.channel import (
+    CORRUPT,
+    DISCONNECT,
+    DROP,
+    GilbertElliottModel,
+    IIDModel,
+    RecordingModel,
+    TraceModel,
+    TraceSegment,
+)
+from repro.protocol import FaultInjector, FrameCorrupt, FrameDelivered, FrameLost
+from repro.transport.channel import ModelChannel
+
+
+def iid_factory(seed):
+    return IIDModel(
+        rng=random.Random(seed), drop=0.1, corrupt=0.15, disconnect=0.02,
+        outage_events=3,
+    )
+
+
+def gilbert_factory(seed):
+    return GilbertElliottModel.matched_to_alpha(
+        0.2, burst_length=5.0, rng=random.Random(seed)
+    )
+
+
+def trace_factory(seed):
+    return TraceModel(
+        [
+            TraceSegment(frames=20, corrupt=0.1, bandwidth_kbps=19.2),
+            TraceSegment(frames=4, outage=True),
+            TraceSegment(frames=30, drop=0.2, corrupt=0.3, bandwidth_kbps=4.8),
+        ],
+        rng=random.Random(seed),
+        repeat=True,
+    )
+
+
+MODEL_FACTORIES = [iid_factory, gilbert_factory, trace_factory]
+FACTORY_IDS = ["iid", "gilbert", "trace"]
+
+
+def reference_schedule(factory, seed, frames):
+    """The ground truth: the model consumed directly, no layer at all."""
+    model = factory(seed)
+    return [model.decide() for _ in range(frames)]
+
+
+@pytest.mark.parametrize("factory", MODEL_FACTORIES, ids=FACTORY_IDS)
+def test_fault_injector_consumes_the_exact_schedule(factory):
+    """Event layer: inject() maps verdicts 1:1 onto typed events."""
+    seed = 1234
+    recorder = RecordingModel(factory(seed))
+    # inject() never touches the engine, so none is needed here.
+    injector = FaultInjector(None, model=recorder)
+    events = [injector.inject(FrameDelivered(seq)) for seq in range(200)]
+    assert recorder.verdicts == reference_schedule(factory, seed, 200)
+    for seq, (event, verdict) in enumerate(zip(events, recorder.verdicts)):
+        if verdict == CORRUPT:
+            assert event == FrameCorrupt(seq)
+        elif verdict in (DROP, DISCONNECT):
+            assert event == FrameLost(seq)
+        else:
+            assert event == FrameDelivered(seq)
+
+
+@pytest.mark.parametrize("factory", MODEL_FACTORIES, ids=FACTORY_IDS)
+def test_simulated_channel_consumes_the_exact_schedule(factory):
+    """Byte-simulation layer: ModelChannel's delivery mirrors decide()."""
+    seed = 987
+    recorder = RecordingModel(factory(seed))
+    channel = ModelChannel(recorder, bandwidth_kbps=19.2, rng=random.Random(1))
+    deliveries = [channel.send(bytes([seq % 256]) * 32) for seq in range(200)]
+    assert recorder.verdicts == reference_schedule(factory, seed, 200)
+    for delivery, verdict in zip(deliveries, recorder.verdicts):
+        if verdict in (DROP, DISCONNECT):
+            assert delivery.lost
+        elif verdict == CORRUPT:
+            assert delivery.corrupted and not delivery.lost
+        else:
+            assert not delivery.lost and not delivery.corrupted
+
+
+@pytest.mark.net
+@pytest.mark.parametrize("factory", MODEL_FACTORIES, ids=FACTORY_IDS)
+def test_chaos_proxy_consumes_the_exact_schedule(factory):
+    """Socket layer: the proxy burns one decision per relayed frame."""
+    from repro.net import ChaosProxy, DocumentStore, NetClient, NetServer
+    from repro.prep.request import TransferSettings
+    from repro.transport.cache import PacketCache
+
+    from tests.netutil import assert_no_leaked_tasks, make_prepared
+
+    async def go():
+        seed = 2026
+        prepared, payload = make_prepared(size=4096, packet_size=64)
+        store = DocumentStore()
+        store.add(prepared)
+        recorder = RecordingModel(factory(seed))
+        async with NetServer(store) as server:
+            async with ChaosProxy(
+                server.host,
+                server.port,
+                model=recorder,
+                max_disconnects=3,
+            ) as proxy:
+                client = NetClient(
+                    proxy.host,
+                    proxy.port,
+                    cache=PacketCache(),
+                    settings=TransferSettings(
+                        round_timeout=2.0, max_reconnects=8
+                    ),
+                    reconnect_delay=0.01,
+                )
+                result = await client.fetch("doc")
+        assert result.status == "decoded"
+        assert result.payload == payload
+        frames = len(recorder.verdicts)
+        assert frames > 0
+        assert recorder.verdicts == reference_schedule(factory, seed, frames)
+        # The proxy's unified counters agree with the model's own books.
+        counts = recorder.counters()
+        assert proxy.stats["dropped"] == counts["dropped"]
+        assert proxy.stats["corrupted"] == counts["corrupted"]
+        await assert_no_leaked_tasks()
+
+    asyncio.run(go())
+
+
+@pytest.mark.parametrize("factory", MODEL_FACTORIES, ids=FACTORY_IDS)
+def test_injector_and_simulated_channel_agree(factory):
+    """The cross-layer statement itself: two consumers, one schedule."""
+    seed = 5150
+    injector_recorder = RecordingModel(factory(seed))
+    injector = FaultInjector(None, model=injector_recorder)
+    for seq in range(150):
+        injector.inject(FrameDelivered(seq))
+
+    channel_recorder = RecordingModel(factory(seed))
+    channel = ModelChannel(
+        channel_recorder, bandwidth_kbps=19.2, rng=random.Random(0)
+    )
+    for seq in range(150):
+        channel.send(b"payload-%03d" % seq)
+
+    assert injector_recorder.verdicts == channel_recorder.verdicts

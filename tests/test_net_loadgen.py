@@ -6,13 +6,12 @@ tasks.  Marked ``net`` and ``slow``.
 """
 
 import asyncio
-import random
 
 import pytest
 
 from repro.net import ChaosProxy, DocumentStore, NetServer, run_loadgen
 
-from tests.netutil import assert_no_leaked_tasks, make_prepared
+from tests.netutil import assert_no_leaked_tasks, chaos_model, make_prepared
 
 pytestmark = [pytest.mark.net, pytest.mark.slow]
 
@@ -26,13 +25,14 @@ def test_fifty_clients_through_chaos_at_alpha_02():
             async with ChaosProxy(
                 server.host,
                 server.port,
-                rng=random.Random(42),
-                corrupt=0.2,  # the paper's alpha, on live bytes
+                # The paper's alpha=0.2 on live bytes; REPRO_CHAOS_MODEL
+                # swaps the i.i.d. channel for a matched bursty one.
+                model=chaos_model(0.2, 42),
             ) as proxy:
                 report, results = await run_loadgen(
                     proxy.host, proxy.port, "doc", clients=50
                 )
-            assert proxy.stats["frames_corrupted"] > 0
+            assert proxy.stats["corrupted"] > 0
 
         assert report.clients == 50
         assert report.failed == 0

@@ -36,6 +36,29 @@ from typing import Iterator, List, Tuple
 #: no relative imports across packages).
 FORBIDDEN: List[Tuple[str, Tuple[str, ...], str]] = [
     (
+        "repro.channel",
+        (
+            "repro.protocol",
+            "repro.net",
+            "repro.transport",
+            "repro.simulation",
+            "repro.prototype",
+            "repro.coding",
+            "repro.cli",
+            "repro.figures",
+            "repro.xmlkit",
+            "repro.htmlkit",
+            "repro.search",
+            "repro.core",
+            "repro.text",
+            "repro.analysis",
+            "repro.data",
+            "repro.prep",
+        ),
+        "repro.channel is the shared decision core below every consumer: "
+        "only stdlib, repro.obs, and repro.util",
+    ),
+    (
         "repro.protocol",
         (
             "repro.net",
@@ -53,7 +76,8 @@ FORBIDDEN: List[Tuple[str, Tuple[str, ...], str]] = [
             "repro.analysis",
             "repro.data",
         ),
-        "repro.protocol is sans-IO: only stdlib, repro.obs, and repro.util",
+        "repro.protocol is sans-IO: only stdlib, repro.channel, "
+        "repro.obs, and repro.util",
     ),
     (
         "repro.simulation",
@@ -68,6 +92,7 @@ FORBIDDEN: List[Tuple[str, Tuple[str, ...], str]] = [
     (
         "repro.obs",
         (
+            "repro.channel",
             "repro.protocol",
             "repro.net",
             "repro.transport",
@@ -89,11 +114,15 @@ FORBIDDEN: List[Tuple[str, Tuple[str, ...], str]] = [
             "repro.search",
             "repro.core",
             "repro.text",
-            "repro.analysis",
+            "repro.analysis.planner",
+            "repro.analysis.negbinom",
+            "repro.analysis.response",
+            "repro.analysis.sequential",
             "repro.data",
         ),
         "repro.net sits beside repro.transport: it drives repro.protocol "
-        "over sockets and may reuse coding/transport state, nothing above",
+        "over sockets and may reuse coding/transport state plus the "
+        "EWMA estimators, nothing above",
     ),
     (
         "repro.transport",
