@@ -208,10 +208,15 @@ def _build_net_store(args) -> PreparationService:
     nothing is cooked until the first fetch — unless ``--warmup``
     prefetches the default request for every document.
     """
+    disk_budget_mb = getattr(args, "disk_budget_mb", None)
     service = PreparationService(
         default_request=_default_prep_request(args),
         sc_budget_bytes=args.sc_budget_mb * 1024 * 1024,
         cooked_budget_bytes=args.cooked_budget_mb * 1024 * 1024,
+        disk_path=getattr(args, "disk_cache", None),
+        disk_budget_bytes=(
+            disk_budget_mb * 1024 * 1024 if disk_budget_mb else None
+        ),
     )
     for path in args.paths:
         document_id = service.add_path(Path(path), html=getattr(args, "html", False))
@@ -222,11 +227,128 @@ def _build_net_store(args) -> PreparationService:
     return service
 
 
+def _serve_workers(args) -> int:
+    """Multi-process serving: N workers over one port + shared disk tier.
+
+    The ``--warmup`` fix lives here: the parent cooks every document
+    into the **shared disk tier once, before any worker exists** —
+    each worker then serves its first request as a disk hit instead of
+    re-running the pipeline N times (``prep.misses{cooked}`` stays 1
+    cluster-wide however many workers fork).
+    """
+    import asyncio
+    import signal
+    import tempfile
+
+    from repro.net.stats_http import StatsHTTP
+    from repro.net.workers import HAVE_REUSE_PORT, WorkerConfig, WorkerPool
+
+    disk_root = getattr(args, "disk_cache", None)
+    if disk_root is None:
+        # Workers without a shared tier would each cook their own copy
+        # of everything; an ephemeral root restores sharing.
+        disk_root = tempfile.mkdtemp(prefix="repro-net-cache-")
+        print(f"no --disk-cache given; using ephemeral {disk_root}")
+    disk_budget_mb = getattr(args, "disk_budget_mb", None)
+    disk_budget = disk_budget_mb * 1024 * 1024 if disk_budget_mb else None
+    if args.warmup:
+        service = PreparationService(
+            default_request=_default_prep_request(args),
+            disk_path=disk_root,
+            disk_budget_bytes=disk_budget,
+        )
+        for path in args.paths:
+            service.add_path(Path(path), html=getattr(args, "html", False))
+        count = service.warmup()
+        print(f"warmed {count} document(s) into the shared disk tier")
+    config = WorkerConfig(
+        host=args.host,
+        port=args.port,
+        paths=tuple(str(path) for path in args.paths),
+        html=getattr(args, "html", False),
+        default_request=_default_prep_request(args),
+        sc_budget_bytes=args.sc_budget_mb * 1024 * 1024,
+        cooked_budget_bytes=args.cooked_budget_mb * 1024 * 1024,
+        disk_root=disk_root,
+        disk_budget_bytes=disk_budget,
+        warmup=False,  # cooked once above, served from disk below
+        max_rounds=args.max_rounds,
+        round_timeout=args.round_timeout,
+        adaptive_gamma=getattr(args, "adaptive_gamma", False),
+        gamma_floor=getattr(args, "gamma_floor", 1.0),
+        gamma_ceiling=getattr(args, "gamma_ceiling", 3.0),
+    )
+    pool = WorkerPool(config, args.workers)
+    pool.start()
+    mode = "SO_REUSEPORT" if pool.config.reuse_port else "shared listener"
+    print(
+        f"listening on {pool.host}:{pool.port} with {args.workers} "
+        f"worker(s) via {mode} (ctrl-c to stop)"
+    )
+    for path in args.paths:
+        print(f"serving {Path(path).stem!r} from {path}")
+
+    async def _wait() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, ValueError):
+                pass
+        metrics_http = None
+        if getattr(args, "metrics_port", None) is not None:
+            metrics_http = StatsHTTP(
+                lambda: pool.stats_snapshot(timeout=2.0),
+                args.host,
+                args.metrics_port,
+            )
+            await metrics_http.start()
+            print(
+                f"merged metrics on http://{metrics_http.host}:"
+                f"{metrics_http.port}/metrics (also /stats.json, /healthz)"
+            )
+        try:
+            await stop.wait()
+        finally:
+            if metrics_http is not None:
+                await metrics_http.stop()
+
+    try:
+        asyncio.run(_wait())
+    except KeyboardInterrupt:
+        pass
+    # Drain fan-out: every worker finishes in-flight transfers within
+    # the round timeout, reports a final snapshot, and exits.
+    finals = pool.stop(drain_timeout=args.round_timeout)
+    completed = sum(
+        snapshot["server"].get("completed", 0)
+        for snapshot in finals
+        if snapshot is not None
+    )
+    frames = sum(
+        snapshot["server"].get("frames_sent", 0)
+        for snapshot in finals
+        if snapshot is not None
+    )
+    print(
+        f"served {completed} transfer(s), {frames} frame(s) across "
+        f"{len([s for s in finals if s is not None])}/{args.workers} worker(s)"
+    )
+    return 0
+
+
 def cmd_net_serve(args) -> int:
     """Serve cooked documents over TCP until interrupted."""
     import asyncio
 
     from repro.net.server import NetServer
+
+    if getattr(args, "workers", 1) > 1:
+        if getattr(args, "via_broker", False):
+            print("error: --workers is not supported with --via-broker")
+            return 2
+        return _serve_workers(args)
 
     async def _serve() -> int:
         if getattr(args, "via_broker", False):
@@ -438,16 +560,41 @@ def cmd_net_loadgen(args) -> int:
                 f"disconnect={args.chaos_disconnect:g} seed={args.seed})"
             )
         try:
-            report, _results = await run_loadgen(
-                host,
-                port,
-                args.document_id,
-                clients=args.clients,
-                use_cache=args.cache,
-                settings=_client_settings(args),
-                request=_client_prep_request(args),
-                error_budget=args.error_budget,
-            )
+            if getattr(args, "processes", 1) > 1:
+                # Multi-process drivers: the blocking fan-out runs in
+                # an executor thread so a chaos proxy on this loop
+                # keeps relaying while the client fleet hammers it.
+                from functools import partial
+
+                from repro.net import run_loadgen_mp
+
+                loop = asyncio.get_running_loop()
+                report, _results = await loop.run_in_executor(
+                    None,
+                    partial(
+                        run_loadgen_mp,
+                        host,
+                        port,
+                        args.document_id,
+                        clients=args.clients,
+                        processes=args.processes,
+                        use_cache=args.cache,
+                        settings=_client_settings(args),
+                        request=_client_prep_request(args),
+                        error_budget=args.error_budget,
+                    ),
+                )
+            else:
+                report, _results = await run_loadgen(
+                    host,
+                    port,
+                    args.document_id,
+                    clients=args.clients,
+                    use_cache=args.cache,
+                    settings=_client_settings(args),
+                    request=_client_prep_request(args),
+                    error_budget=args.error_budget,
+                )
         finally:
             if proxy is not None:
                 await proxy.stop()
@@ -709,6 +856,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
                          help="serve /metrics (Prometheus text), /stats.json, "
                               "and /healthz on this HTTP port (0 picks one)")
+    p_serve.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="serving processes sharing the port via "
+                              "SO_REUSEPORT (fallback: one shared listener); "
+                              "each runs its own event loop (default: 1)")
+    p_serve.add_argument("--disk-cache", default=None, metavar="DIR",
+                         help="persistent cooked-bundle cache root shared by "
+                              "all workers and across restarts (multi-worker "
+                              "default: an ephemeral directory)")
+    p_serve.add_argument("--disk-budget-mb", type=int, default=None,
+                         help="soft byte budget for the disk cache (MiB; "
+                              "default: unbounded)")
     p_serve.set_defaults(func=cmd_net_serve)
 
     def add_prep_flags(p) -> None:
@@ -750,6 +908,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--host", default="127.0.0.1")
     p_load.add_argument("--port", type=int, default=8642)
     p_load.add_argument("--clients", type=int, default=50)
+    p_load.add_argument("--processes", type=int, default=1, metavar="N",
+                        help="client driver processes; splits --clients "
+                             "across N processes so client-side CPU stops "
+                             "capping the measured rate (default: 1)")
     p_load.add_argument("--no-cache", dest="cache", action="store_false")
     p_load.add_argument("--stop-at", type=float, default=None)
     p_load.add_argument("--max-rounds", type=int, default=DEFAULT_MAX_ROUNDS)

@@ -25,14 +25,24 @@ prototype, or the CLI (enforced by ``tools/check_layering.py``).
 from repro.net.chaos import ChaosProxy
 from repro.net.client import FETCH_BUCKETS, NetClient, NetFetchResult, fetch_stats
 from repro.net.loadgen import (
+    ClientOutcome,
     LoadgenReport,
     bench_record,
+    outcome_of,
     run_loadgen,
+    run_loadgen_mp,
+    summarize_outcomes,
     summarize_results,
     write_bench,
 )
 from repro.net.server import DocumentStore, NetServer
 from repro.net.stats_http import StatsHTTP, render_exposition
+from repro.net.workers import (
+    HAVE_REUSE_PORT,
+    WorkerConfig,
+    WorkerPool,
+    merge_snapshots,
+)
 from repro.net.wire import (
     ENVELOPE_OVERHEAD,
     MAX_MESSAGE_SIZE,
@@ -65,10 +75,18 @@ __all__ = [
     "render_exposition",
     "ChaosProxy",
     "run_loadgen",
+    "run_loadgen_mp",
     "summarize_results",
+    "summarize_outcomes",
+    "outcome_of",
+    "ClientOutcome",
     "bench_record",
     "write_bench",
     "LoadgenReport",
+    "WorkerConfig",
+    "WorkerPool",
+    "merge_snapshots",
+    "HAVE_REUSE_PORT",
     "WireError",
     "ConnectionLost",
     "encode_message",

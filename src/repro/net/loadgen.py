@@ -18,10 +18,11 @@ to ``BENCH_net.json`` for CI trend lines.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 import os
 import time
-from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.net.client import NetClient, NetFetchResult
 from repro.net.wire import ConnectionLost, WireError
@@ -66,21 +67,58 @@ class LoadgenReport(NamedTuple):
     served_mb_per_second_per_core: float = 0.0  # throughput normalized per core
 
 
-def summarize_results(
-    results: List[Optional[NetFetchResult]],
+class ClientOutcome(NamedTuple):
+    """One client's result, reduced to what aggregation needs.
+
+    The cheap, picklable currency of the multi-process driver: worker
+    processes ship these back instead of full
+    :class:`~repro.net.client.NetFetchResult` objects (whose payloads
+    would serialize megabytes per client).  ``payload_sha256`` keeps
+    byte-identity checkable across process boundaries without moving
+    the bytes.  Status ``"unreachable"`` marks a client whose
+    connection never completed a fetch (the ``None`` result of
+    :func:`run_loadgen`).
+    """
+
+    status: str
+    elapsed: float
+    reconnects: int
+    payload_bytes: int
+    payload_sha256: str = ""
+
+
+def outcome_of(result: Optional[NetFetchResult]) -> ClientOutcome:
+    """Reduce one loadgen result (or ``None``) to a :class:`ClientOutcome`."""
+    if result is None:
+        return ClientOutcome("unreachable", 0.0, 0, 0)
+    payload = result.payload
+    return ClientOutcome(
+        status=result.status,
+        elapsed=result.elapsed,
+        reconnects=result.reconnects,
+        payload_bytes=len(payload) if payload is not None else 0,
+        payload_sha256=(
+            hashlib.sha256(payload).hexdigest() if payload is not None else ""
+        ),
+    )
+
+
+def summarize_outcomes(
+    outcomes: Sequence[ClientOutcome],
     *,
     clients: int,
     elapsed: float,
     error_budget: float = DEFAULT_ERROR_BUDGET,
     server_cores: Optional[int] = None,
 ) -> LoadgenReport:
-    """Fold per-client outcomes into a :class:`LoadgenReport`.
+    """Fold reduced client outcomes into a :class:`LoadgenReport`.
 
-    Pure — callable on synthetic results in tests.  ``None`` entries
-    are clients that never reached the server (counted as failed).
-    *server_cores* normalizes throughput per serving core for the SLO
-    trend line; it defaults to this host's core count because the
-    loadgen harness co-locates server and clients.
+    The pure core shared by the single-process and multi-process
+    drivers; ``"unreachable"`` outcomes are counted as failed and
+    excluded from the latency distribution (they never measured a
+    fetch).  *server_cores* normalizes throughput per serving core for
+    the SLO trend line; it defaults to this host's core count because
+    the loadgen harness co-locates server and clients.
     """
     if error_budget <= 0:
         raise ValueError(f"error_budget must be positive, got {error_budget}")
@@ -88,22 +126,20 @@ def summarize_results(
         server_cores = os.cpu_count() or 1
     if server_cores < 1:
         raise ValueError(f"server_cores must be >= 1, got {server_cores}")
-    reached = [result for result in results if result is not None]
-    latencies = sorted(result.elapsed for result in reached)
-    decoded = sum(1 for result in reached if result.status == "decoded")
-    early = sum(1 for result in reached if result.status == "early_stop")
+    reached = [o for o in outcomes if o.status != "unreachable"]
+    latencies = sorted(o.elapsed for o in reached)
+    decoded = sum(1 for o in reached if o.status == "decoded")
+    early = sum(1 for o in reached if o.status == "early_stop")
     failed = clients - decoded - early
     error_rate = failed / clients if clients else 0.0
-    payload_bytes = sum(
-        len(result.payload) for result in reached if result.payload is not None
-    )
+    payload_bytes = sum(o.payload_bytes for o in reached)
     return LoadgenReport(
         clients=clients,
         succeeded=decoded + early,
         decoded=decoded,
         early_stopped=early,
         failed=failed,
-        reconnects=sum(result.reconnects for result in reached),
+        reconnects=sum(o.reconnects for o in reached),
         elapsed=elapsed,
         mean_seconds=mean(latencies) if latencies else 0.0,
         p50_seconds=percentile(latencies, 50.0) if latencies else 0.0,
@@ -124,6 +160,30 @@ def summarize_results(
             if elapsed > 0
             else 0.0
         ),
+    )
+
+
+def summarize_results(
+    results: List[Optional[NetFetchResult]],
+    *,
+    clients: int,
+    elapsed: float,
+    error_budget: float = DEFAULT_ERROR_BUDGET,
+    server_cores: Optional[int] = None,
+) -> LoadgenReport:
+    """Fold per-client fetch results into a :class:`LoadgenReport`.
+
+    Pure — callable on synthetic results in tests.  ``None`` entries
+    are clients that never reached the server (counted as failed).
+    Thin shim over :func:`summarize_outcomes`, the reduction shared
+    with the multi-process driver.
+    """
+    return summarize_outcomes(
+        [outcome_of(result) for result in results],
+        clients=clients,
+        elapsed=elapsed,
+        error_budget=error_budget,
+        server_cores=server_cores,
     )
 
 
@@ -194,6 +254,108 @@ async def run_loadgen(
     return report, results
 
 
+def _mp_fetch_block(
+    host: str,
+    port: int,
+    document_id: str,
+    clients: int,
+    use_cache: bool,
+    settings: Optional[TransferSettings],
+    request: Optional[PrepRequest],
+) -> List[ClientOutcome]:
+    """One driver process's share of the fan-out (spawn entry point).
+
+    Runs *clients* concurrent fetches on a private event loop and
+    returns reduced outcomes — top-level and argument-picklable so
+    :class:`~concurrent.futures.ProcessPoolExecutor` can ship it.
+    """
+
+    async def _block() -> List[Optional[NetFetchResult]]:
+        async def one_fetch() -> Optional[NetFetchResult]:
+            client = NetClient(
+                host,
+                port,
+                cache=PacketCache() if use_cache else None,
+                settings=settings,
+                request=request,
+            )
+            try:
+                return await client.fetch(document_id)
+            except (ConnectionLost, WireError, OSError):
+                return None
+
+        return list(await asyncio.gather(*(one_fetch() for _ in range(clients))))
+
+    return [outcome_of(result) for result in asyncio.run(_block())]
+
+
+def run_loadgen_mp(
+    host: str,
+    port: int,
+    document_id: str,
+    *,
+    clients: int = 1000,
+    processes: int = 4,
+    use_cache: bool = True,
+    settings: Optional[TransferSettings] = None,
+    request: Optional[PrepRequest] = None,
+    error_budget: float = DEFAULT_ERROR_BUDGET,
+    server_cores: Optional[int] = None,
+) -> Tuple[LoadgenReport, List[ClientOutcome]]:
+    """Thousands-of-clients fan-out across *processes* driver processes.
+
+    A single event loop driving N clients becomes the measurement
+    bottleneck long before a multi-worker server does; this driver
+    splits the fleet across spawn-started processes (mirroring the
+    ``repro.simulation.parallel`` pattern) so client-side CPU stops
+    capping the observed fetch rate.  Each process runs its share
+    concurrently on a private loop and ships back reduced
+    :class:`ClientOutcome` rows; the fold is the same
+    :func:`summarize_outcomes` the async driver uses.  Synchronous —
+    call it from a plain test or CLI process, not inside a loop.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    import concurrent.futures
+    import multiprocessing
+
+    processes = min(processes, clients)
+    share, remainder = divmod(clients, processes)
+    blocks = [share + (1 if i < remainder else 0) for i in range(processes)]
+    started = time.monotonic()
+    outcomes: List[ClientOutcome] = []
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=processes, mp_context=multiprocessing.get_context("spawn")
+    ) as pool:
+        futures = [
+            pool.submit(
+                _mp_fetch_block,
+                host,
+                port,
+                document_id,
+                block,
+                use_cache,
+                settings,
+                request,
+            )
+            for block in blocks
+            if block > 0
+        ]
+        for future in futures:
+            outcomes.extend(future.result())
+    elapsed = time.monotonic() - started
+    report = summarize_outcomes(
+        outcomes,
+        clients=clients,
+        elapsed=elapsed,
+        error_budget=error_budget,
+        server_cores=server_cores,
+    )
+    return report, outcomes
+
+
 def bench_record(
     report: LoadgenReport,
     *,
@@ -201,6 +363,7 @@ def bench_record(
     chaos: Optional[Dict[str, Any]] = None,
     label: Optional[str] = None,
     adaptive: Optional[Dict[str, Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """The JSON payload :func:`write_bench` persists — SLO-shaped.
 
@@ -208,7 +371,10 @@ def bench_record(
     subjected to, so a regression in the trend line can be traced to
     its injected failure mix; *label* names the run variant (e.g.
     ``"bursty-adaptive"``) and *adaptive* carries the serving side's
-    ``net.adaptive.*`` summary for A/B rows.
+    ``net.adaptive.*`` summary for A/B rows.  *extra* merges arbitrary
+    JSON-safe fields into the record (the multi-worker rows attach the
+    fleet size and the merged prep-tier counters this way) — reserved
+    SLO keys win on collision.
     """
     record: Dict[str, Any] = {
         "benchmark": "net_loadgen_slo",
@@ -234,6 +400,9 @@ def bench_record(
         "error_budget": report.error_budget,
         "error_budget_remaining": round(report.error_budget_remaining, 6),
     }
+    if extra is not None:
+        for key, value in extra.items():
+            record.setdefault(key, value)
     if document_id is not None:
         record["document_id"] = document_id
     if chaos is not None:
@@ -253,6 +422,7 @@ def write_bench(
     chaos: Optional[Dict[str, Any]] = None,
     label: Optional[str] = None,
     adaptive: Optional[Dict[str, Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
     append_row: bool = False,
 ) -> Dict[str, Any]:
     """Write the SLO benchmark record to *path* (``BENCH_net.json``).
@@ -270,6 +440,7 @@ def write_bench(
         chaos=chaos,
         label=label,
         adaptive=adaptive,
+        extra=extra,
     )
     payload: Dict[str, Any] = record
     if append_row:

@@ -381,6 +381,9 @@ class NetServer:
         gamma_ceiling: float = 3.0,
         gamma_weight: float = 0.3,
         initial_loss: float = 0.0,
+        reuse_port: bool = False,
+        sock=None,
+        worker_label: Optional[str] = None,
     ) -> None:
         if round_timeout <= 0:
             raise ValueError(f"round_timeout must be positive, got {round_timeout}")
@@ -406,6 +409,16 @@ class NetServer:
         self.gamma_ceiling = gamma_ceiling
         self.gamma_weight = gamma_weight
         self.initial_loss = initial_loss
+        #: With ``reuse_port`` each worker process binds its own
+        #: ``SO_REUSEPORT`` listener on the same address and the kernel
+        #: load-balances accepted connections across them; *sock* is
+        #: the fallback for platforms without it (one pre-bound listen
+        #: socket shared across workers).  *worker_label* tags this
+        #: process's snapshot (and its ``net.*``/``slo.*`` exposition)
+        #: inside a multi-worker deployment.
+        self.reuse_port = reuse_port
+        self._preopened_sock = sock
+        self.worker_label = worker_label
         if adaptive_gamma:
             # Validate the knobs eagerly with a throwaway controller so
             # misconfiguration fails at construction, not mid-transfer.
@@ -458,9 +471,18 @@ class NetServer:
         """Bind and start accepting connections."""
         if self._server is not None:
             raise RuntimeError("NetServer.start() called twice")
-        self._server = await asyncio.start_server(
-            self._accept, self.host, self.port
-        )
+        if self._preopened_sock is not None:
+            self._server = await asyncio.start_server(
+                self._accept, sock=self._preopened_sock
+            )
+        elif self.reuse_port:
+            self._server = await asyncio.start_server(
+                self._accept, self.host, self.port, reuse_port=True
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._accept, self.host, self.port
+            )
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def stop(self, drain_timeout: Optional[float] = None) -> None:
@@ -873,6 +895,7 @@ class NetServer:
         snapshot: Dict[str, Any] = {
             "server": dict(self.stats),
             "active_connections": self.active_connections,
+            **({"worker": self.worker_label} if self.worker_label else {}),
             "slo": self.slo.report(),
             "connections": [
                 state.describe() for state in self._live.values()

@@ -33,17 +33,36 @@ MAX_REQUEST_BYTES = 8192
 
 
 def _flatten_numeric(
-    prefix: str, value: Any, out: List[str]
+    prefix: str,
+    value: Any,
+    out: List[str],
+    labels: Optional[Dict[str, str]] = None,
 ) -> None:
-    """Flatten nested dicts of numbers into Prometheus sample lines."""
+    """Flatten nested dicts of numbers into Prometheus sample lines.
+
+    *labels* (e.g. ``{"worker": "w2"}``) are rendered on every emitted
+    sample — the multi-worker exposition uses this to keep per-worker
+    series distinguishable next to the merged ones.
+    """
+    suffix = ""
+    if labels:
+        rendered = ",".join(
+            f'{key}="{val}"' for key, val in sorted(labels.items())
+        )
+        suffix = f"{{{rendered}}}"
     if isinstance(value, bool):
-        out.append(f"{prometheus_name(prefix)} {int(value)}")
+        out.append(f"{prometheus_name(prefix)}{suffix} {int(value)}")
     elif isinstance(value, (int, float)):
-        out.append(f"{prometheus_name(prefix)} {value:g}")
+        out.append(f"{prometheus_name(prefix)}{suffix} {value:g}")
     elif isinstance(value, dict):
         for key, nested in value.items():
-            _flatten_numeric(f"{prefix}_{key}", nested, out)
+            _flatten_numeric(f"{prefix}_{key}", nested, out, labels)
     # lists / strings (per-connection tables, IDs) have no scalar form
+
+
+#: Per-worker sections worth a labeled series (the heavyweight ones —
+#: connection tables, flight dumps — stay JSON-only).
+_WORKER_SECTIONS = ("server", "slo", "prep")
 
 
 def render_exposition(snapshot: Dict[str, Any]) -> str:
@@ -51,7 +70,10 @@ def render_exposition(snapshot: Dict[str, Any]) -> str:
 
     OBS registry first (when enabled), then the snapshot's scalar
     fields — ``server`` counters, ``slo`` report, prep stats — as
-    ``repro_server_*`` / ``repro_slo_*`` style samples.
+    ``repro_server_*`` / ``repro_slo_*`` style samples.  A merged
+    multi-worker snapshot (one carrying a ``workers`` list) adds the
+    same families per worker with a ``worker="wN"`` label, so the
+    fleet total and each process's share are both scrapeable.
     """
     parts: List[str] = []
     if OBS.enabled:
@@ -59,12 +81,29 @@ def render_exposition(snapshot: Dict[str, Any]) -> str:
         if rendered:
             parts.append(rendered.rstrip("\n"))
     flat: List[str] = []
-    for section in ("server", "slo", "prep"):
+    for section in _WORKER_SECTIONS:
         if section in snapshot:
             _flatten_numeric(f"repro_{section}", snapshot[section], flat)
     _flatten_numeric(
         "repro_active_connections", snapshot.get("active_connections", 0), flat
     )
+    workers = snapshot.get("workers")
+    if isinstance(workers, list):
+        for index, worker in enumerate(workers):
+            if not isinstance(worker, dict):
+                continue
+            label = {"worker": str(worker.get("worker", f"w{index}"))}
+            for section in _WORKER_SECTIONS:
+                if section in worker:
+                    _flatten_numeric(
+                        f"repro_{section}", worker[section], flat, label
+                    )
+            _flatten_numeric(
+                "repro_active_connections",
+                worker.get("active_connections", 0),
+                flat,
+                label,
+            )
     if flat:
         parts.append("\n".join(flat))
     return "\n".join(parts) + "\n"

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.prep.cache import MISS, ByteBudgetLRU
+from repro.prep.diskstore import DiskCookedStore
 from repro.prep.prepare import DocumentSender, PreparedDocument
 from repro.prep.request import (
     UNSET,
@@ -43,6 +44,7 @@ __all__ = [
     "ByteBudgetLRU",
     "DEFAULT_COOKED_BUDGET",
     "DEFAULT_SC_BUDGET",
+    "DiskCookedStore",
     "DocumentSender",
     "MISS",
     "PreparationService",

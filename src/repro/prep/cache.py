@@ -112,6 +112,18 @@ class ByteBudgetLRU:
         with self._lock:
             return self._bytes
 
+    def audit(self) -> Tuple[int, int]:
+        """``(tracked_bytes, recomputed_sum)`` under one lock hold.
+
+        The two must always be equal; the concurrency stress suite
+        hammers the mutation API from many threads and asserts the
+        gauge never drifts from the ground truth.
+        """
+        with self._lock:
+            return self._bytes, sum(
+                size for _value, size in self._entries.values()
+            )
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

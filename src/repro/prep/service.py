@@ -46,6 +46,7 @@ from repro.core.structure import StructuralCharacteristic
 from repro.obs.runtime import OBS
 from repro.obs.timing import timed
 from repro.prep.cache import MISS, ByteBudgetLRU
+from repro.prep.diskstore import DiskCookedStore
 from repro.prep.prepare import DocumentSender, PreparedDocument
 from repro.prep.request import PrepRequest
 from repro.text.keywords import KeywordExtractor
@@ -150,6 +151,15 @@ class PreparationService:
         receives ``request=None``.
     sc_budget_bytes / cooked_budget_bytes:
         LRU byte budgets per tier; ``None`` disables eviction.
+    disk_store / disk_path:
+        Optional third tier below the cooked LRU: a
+        :class:`~repro.prep.diskstore.DiskCookedStore` (or a path to
+        create one at).  A disk hit counts as a **cooked-tier hit** —
+        the pipeline and encode never ran, the contract a warm restart
+        is measured by — and cooked misses persist their bundle so
+        sibling workers and future processes share the cook.
+    disk_budget_bytes:
+        Soft byte budget for a store created from ``disk_path``.
     """
 
     def __init__(
@@ -159,6 +169,9 @@ class PreparationService:
         default_request: Optional[PrepRequest] = None,
         sc_budget_bytes: Optional[int] = DEFAULT_SC_BUDGET,
         cooked_budget_bytes: Optional[int] = DEFAULT_COOKED_BUDGET,
+        disk_store: Optional[DiskCookedStore] = None,
+        disk_path=None,
+        disk_budget_bytes: Optional[int] = None,
     ) -> None:
         self._pipeline = pipeline if pipeline is not None else SCPipeline()
         self.default_request = (
@@ -166,6 +179,9 @@ class PreparationService:
         )
         self._sc_tier = ByteBudgetLRU(sc_budget_bytes, name="sc")
         self._cooked_tier = ByteBudgetLRU(cooked_budget_bytes, name="cooked")
+        if disk_store is None and disk_path is not None:
+            disk_store = DiskCookedStore(disk_path, max_bytes=disk_budget_bytes)
+        self._disk = disk_store
         self._records: Dict[str, _SourceRecord] = {}
         self._flights: Dict[Tuple, _Flight] = {}
         self._lock = threading.Lock()
@@ -176,10 +192,19 @@ class PreparationService:
             "sc_misses": 0,
             "cooked_hits": 0,
             "cooked_misses": 0,
+            "disk_hits": 0,
+            "disk_misses": 0,
+            "disk_writes": 0,
+            "disk_errors": 0,
             "inflight_waits": 0,
             "evictions": 0,
             "invalidations": 0,
         }
+
+    @property
+    def disk_store(self) -> Optional[DiskCookedStore]:
+        """The persistent cooked tier, when configured."""
+        return self._disk
 
     # -- document registry -------------------------------------------------
 
@@ -265,6 +290,8 @@ class PreparationService:
             return 0
         dropped = self._sc_tier.discard_where(lambda key: key[0] == digest)
         dropped += self._cooked_tier.discard_where(lambda key: key[0] == digest)
+        if self._disk is not None:
+            dropped += self._disk.drop_digest(digest)
         self._update_size_gauges()
         return dropped
 
@@ -312,6 +339,11 @@ class PreparationService:
             "cooked",
             lambda: self._build_cooked(record, request),
             _cooked_size,
+            # The disk key additionally carries the pipeline token:
+            # bundle files outlive this process, so they must not be
+            # shared across differently-configured pipelines the way
+            # the per-instance memory tier safely can.
+            disk_key=key + self._pipeline_token() if self._disk else None,
         )
         return self._with_id(prepared, document_id)
 
@@ -398,8 +430,16 @@ class PreparationService:
         tier_name: str,
         factory: Callable[[], Any],
         size_of: Callable[[Any], int],
+        disk_key: Optional[Tuple] = None,
     ) -> Any:
-        """Tier lookup with single-flight miss deduplication."""
+        """Tier lookup with single-flight miss deduplication.
+
+        With *disk_key* set, the in-process flight leader additionally
+        holds the store's cross-process bundle lock while it probes
+        disk and (on a cluster-wide miss) cooks and persists — so N
+        workers missing the same key still run the pipeline exactly
+        once between them, and the others load the winner's bundle.
+        """
         value = tier.get(key)
         if value is not MISS:
             self._count_hit(tier_name)
@@ -432,18 +472,14 @@ class PreparationService:
                 self._count_hit(tier_name)
                 return flight.value
             break
-        # Leader: run the build, publish the result, settle followers.
-        self.stats[f"{tier_name}_misses"] += 1
-        if OBS.enabled:
-            OBS.metrics.counter(
-                "prep.misses", "preparation cache misses"
-            ).labels(tier=tier_name).inc()
-            OBS.metrics.gauge(
-                "prep.inflight", "preparation builds in flight"
-            ).inc()
+        # Leader: probe the disk tier, run the build if it too misses,
+        # publish the result, settle followers.
         try:
-            with timed(f"prep.{tier_name}_build"):
-                value = factory()
+            if disk_key is not None and self._disk is not None:
+                value = self._fetch_via_disk(disk_key, tier_name, factory)
+            else:
+                self._count_miss(tier_name)
+                value = self._build_metered(tier_name, factory)
             evicted = tier.put(key, value, size_of(value))
             if evicted:
                 self.stats["evictions"] += len(evicted)
@@ -460,9 +496,65 @@ class PreparationService:
         finally:
             with self._lock:
                 self._flights.pop(flight_key, None)
+            flight.event.set()
+
+    def _fetch_via_disk(
+        self, disk_key: Tuple, tier_name: str, factory: Callable[[], Any]
+    ) -> Any:
+        """Leader path through the persistent tier.
+
+        Holds the store's cross-process bundle lock over probe → cook
+        → persist, so concurrent workers cook each bundle exactly once
+        cluster-wide.  A verified bundle on disk is a *hit* for the
+        in-memory tier's contract: no pipeline ran, no miss counted.
+        """
+        assert self._disk is not None
+        with self._disk.lock(disk_key):
+            with timed("prep.disk_probe"):
+                value = self._disk.get(disk_key)
+            if value is not None:
+                self.stats["disk_hits"] += 1
+                self._count_hit(tier_name)
+                if OBS.enabled:
+                    OBS.metrics.counter(
+                        "prep.hits", "preparation cache hits"
+                    ).labels(tier="disk").inc()
+                return value
+            self.stats["disk_misses"] += 1
+            self._count_miss(tier_name)
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "prep.misses", "preparation cache misses"
+                ).labels(tier="disk").inc()
+            value = self._build_metered(tier_name, factory)
+            try:
+                with timed("prep.disk_persist"):
+                    self._disk.put(disk_key, value)
+                self.stats["disk_writes"] += 1
+            except OSError:
+                # A full or read-only disk degrades the tier, never
+                # the request: the cooked result is still served.
+                self.stats["disk_errors"] += 1
+            return value
+
+    def _count_miss(self, tier_name: str) -> None:
+        self.stats[f"{tier_name}_misses"] += 1
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "prep.misses", "preparation cache misses"
+            ).labels(tier=tier_name).inc()
+
+    def _build_metered(self, tier_name: str, factory: Callable[[], Any]) -> Any:
+        if OBS.enabled:
+            OBS.metrics.gauge(
+                "prep.inflight", "preparation builds in flight"
+            ).inc()
+        try:
+            with timed(f"prep.{tier_name}_build"):
+                return factory()
+        finally:
             if OBS.enabled:
                 OBS.metrics.gauge("prep.inflight").dec()
-            flight.event.set()
 
     def _count_hit(self, tier_name: str) -> None:
         self.stats[f"{tier_name}_hits"] += 1
@@ -565,9 +657,12 @@ class PreparationService:
         """Snapshot of both tiers plus the flight and stat counters."""
         with self._lock:
             inflight = len(self._flights)
-        return {
+        info = {
             "sc": self._sc_tier.info(),
             "cooked": self._cooked_tier.info(),
             "inflight": inflight,
             "stats": dict(self.stats),
         }
+        if self._disk is not None:
+            info["disk"] = self._disk.info()
+        return info

@@ -71,7 +71,12 @@ def percentile(values: Sequence[float], p: float) -> float:
     if low == high:
         return ordered[low]
     fraction = rank - low
-    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+    lo, hi = ordered[low], ordered[high]
+    if lo == hi:
+        return lo
+    # Clamp: the weighted sum can round outside [lo, hi] at the
+    # extremes of the float range (e.g. subnormal ties underflow to 0).
+    return min(max(lo * (1.0 - fraction) + hi * fraction, lo), hi)
 
 
 # Two-sided critical values of the Student t distribution at 95%

@@ -1,0 +1,138 @@
+"""Concurrency stress for :class:`~repro.prep.cache.ByteBudgetLRU`.
+
+Tier-1: many threads hammer the full mutation API while auditors
+repeatedly assert the byte gauge equals the recomputed ground truth
+(``audit()`` holds the lock across both reads, so any transient drift
+inside a mutation would be caught).  A deterministic single-threaded
+phase then pins the exact LRU eviction order.
+"""
+
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.prep.cache import MISS, ByteBudgetLRU
+
+THREADS = 8
+OPS_PER_THREAD = 400
+KEYSPACE = 48
+
+
+class TestByteGaugeNeverDrifts:
+    def _hammer(self, cache, seed, failures):
+        rng = random.Random(seed)
+        for _ in range(OPS_PER_THREAD):
+            roll = rng.random()
+            key = ("doc%d" % rng.randrange(6), rng.randrange(KEYSPACE))
+            if roll < 0.45:
+                cache.put(key, object(), rng.randrange(1, 200))
+            elif roll < 0.70:
+                cache.get(key)
+            elif roll < 0.80:
+                cache.discard(key)
+            elif roll < 0.88:
+                doc = "doc%d" % rng.randrange(6)
+                cache.discard_where(lambda k, d=doc: k[0] == d)
+            elif roll < 0.93:
+                cache.peek(key)
+            elif roll < 0.97:
+                tracked, truth = cache.audit()
+                if tracked != truth:
+                    failures.append((tracked, truth))
+            else:
+                cache.clear()
+
+    def test_mixed_mutations_keep_gauge_exact(self):
+        cache = ByteBudgetLRU(budget_bytes=4096, name="stress")
+        failures = []
+        stop = threading.Event()
+
+        def auditor():
+            while not stop.is_set():
+                tracked, truth = cache.audit()
+                if tracked != truth:
+                    failures.append((tracked, truth))
+
+        watcher = threading.Thread(target=auditor, daemon=True)
+        watcher.start()
+        try:
+            with ThreadPoolExecutor(max_workers=THREADS) as pool:
+                for future in [
+                    pool.submit(self._hammer, cache, seed, failures)
+                    for seed in range(THREADS)
+                ]:
+                    future.result(timeout=60)
+        finally:
+            stop.set()
+            watcher.join(timeout=10)
+        assert not failures, f"byte gauge drifted: {failures[:5]}"
+        tracked, truth = cache.audit()
+        assert tracked == truth
+        if cache.budget_bytes is not None:
+            assert tracked <= cache.budget_bytes
+
+    def test_unbudgeted_cache_survives_the_same_storm(self):
+        cache = ByteBudgetLRU(budget_bytes=None, name="unbounded")
+        failures = []
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            for future in [
+                pool.submit(self._hammer, cache, 100 + seed, failures)
+                for seed in range(THREADS)
+            ]:
+                future.result(timeout=60)
+        assert not failures
+        tracked, truth = cache.audit()
+        assert tracked == truth
+
+    def test_concurrent_replacement_of_one_hot_key(self):
+        # Replacing one key from many threads is the classic
+        # double-subtract race; the gauge must come out exact.
+        cache = ByteBudgetLRU(budget_bytes=None)
+        barrier = threading.Barrier(THREADS)
+
+        def replace(seed):
+            rng = random.Random(seed)
+            barrier.wait()
+            for _ in range(500):
+                cache.put("hot", seed, rng.randrange(1, 64))
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            for future in [
+                pool.submit(replace, seed) for seed in range(THREADS)
+            ]:
+                future.result(timeout=60)
+        tracked, truth = cache.audit()
+        assert tracked == truth
+        assert len(cache) == 1
+
+
+class TestLRUOrderHolds:
+    def test_eviction_order_after_concurrent_phase(self):
+        # Storm first (order is then unknowable), then take sole
+        # ownership and verify recency is still tracked correctly.
+        cache = ByteBudgetLRU(budget_bytes=300)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            for future in [
+                pool.submit(
+                    lambda seed: [
+                        cache.put((seed, i), i, 10) for i in range(50)
+                    ],
+                    seed,
+                )
+                for seed in range(4)
+            ]:
+                future.result(timeout=60)
+
+        cache.clear()
+        for name in ("a", "b", "c"):
+            cache.put(name, name, 100)
+        assert cache.get("a") == "a"          # refresh a → LRU is b
+        evicted = cache.put("d", "d", 100)
+        assert evicted == ["b"]
+        assert cache.get("b") is MISS
+        assert cache.keys() == ["c", "a", "d"]
+        evicted = cache.put("e", "e", 200)    # needs 2 evictions: c, a
+        assert evicted == ["c", "a"]
+        assert cache.keys() == ["d", "e"]
+        tracked, truth = cache.audit()
+        assert tracked == truth == 300

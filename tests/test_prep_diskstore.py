@@ -1,0 +1,244 @@
+"""Crash-safety of the disk-backed cooked-bundle tier.
+
+Tier-1 (socket-free): torn writes never surface a visible bundle,
+any corrupted byte is checksum-rejected into quarantine and re-cooked,
+and a warm restart on the same cache root serves byte-identical wire
+frames without re-running the pipeline (``cooked_misses == 0``).
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prep import PrepRequest
+from repro.prep.diskstore import BUNDLE_MAGIC, QUARANTINE_DIR, key_digest
+
+from tests.test_prep_service import PAPER, make_service
+
+REQUEST = PrepRequest(query="mobile web", packet_size=64)
+
+
+def make_disk_service(root, **kwargs):
+    service, pipeline = make_service(disk_path=root, **kwargs)
+    service.add_document("doc", PAPER)
+    return service, pipeline
+
+
+def wire_bytes(prepared):
+    return b"".join(bytes(view) for view in prepared.wire_frames())
+
+
+def sole_bundle(store):
+    bundles = list(store.root.glob("*/*.bundle"))
+    assert len(bundles) == 1, bundles
+    return bundles[0]
+
+
+class TestRoundTrip:
+    def test_cold_build_writes_one_verified_bundle(self, tmp_path):
+        service, pipeline = make_disk_service(tmp_path)
+        prepared = service.prepare("doc", REQUEST)
+        store = service.disk_store
+        assert pipeline.runs == 1
+        assert store.stats["writes"] == 1
+        assert store.stats["misses"] == 1  # the cold probe
+        path = sole_bundle(store)
+        assert path.read_bytes()[:4] == BUNDLE_MAGIC
+        # The same process never re-reads disk: the in-memory tier wins.
+        again = service.prepare("doc", REQUEST)
+        assert wire_bytes(again) == wire_bytes(prepared)
+        assert store.stats["hits"] == 0
+
+    def test_store_get_rebuilds_byte_identical_frames(self, tmp_path):
+        service, _ = make_disk_service(tmp_path)
+        prepared = service.prepare("doc", REQUEST)
+        assert sole_bundle(service.disk_store).parent.name == service.digest(
+            "doc"
+        )
+        # Probe through a second service on the same root rather than
+        # reverse-engineering the key tuple: it must load this bundle.
+        sibling, pipeline = make_disk_service(tmp_path)
+        warm = sibling.prepare("doc", REQUEST)
+        assert pipeline.runs == 0
+        assert sibling.disk_store.stats["hits"] == 1
+        assert wire_bytes(warm) == wire_bytes(prepared)
+        assert warm.m == prepared.m and warm.n == prepared.n
+        assert warm.content_profile == pytest.approx(prepared.content_profile)
+        assert warm.measure == prepared.measure
+
+
+class TestWarmRestart:
+    def test_restart_serves_without_recook(self, tmp_path):
+        cold, cold_pipeline = make_disk_service(tmp_path)
+        reference = wire_bytes(cold.prepare("doc", REQUEST))
+        assert cold_pipeline.runs == 1
+        assert cold.stats["cooked_misses"] == 1
+
+        # "Restart": a brand-new service (empty memory tiers), same root.
+        warm, warm_pipeline = make_disk_service(tmp_path)
+        served = wire_bytes(warm.prepare("doc", REQUEST))
+        assert served == reference
+        assert warm_pipeline.runs == 0
+        # A verified disk load is a cooked-tier HIT, never a miss —
+        # the acceptance criterion for prep.misses{cooked} == 0.
+        assert warm.stats["cooked_misses"] == 0
+        assert warm.stats["cooked_hits"] >= 1
+        assert warm.stats["disk_hits"] == 1
+        assert warm.stats["disk_misses"] == 0
+
+    def test_restart_with_changed_pipeline_recooks(self, tmp_path):
+        cold, _ = make_disk_service(tmp_path)
+        cold.prepare("doc", REQUEST)
+
+        # The disk key carries the pipeline token: a different module
+        # roster must not serve the stale bundle.
+        warm, warm_pipeline = make_disk_service(tmp_path)
+        warm._pipeline_token = lambda: ("other-pipeline",)
+        warm.prepare("doc", REQUEST)
+        assert warm_pipeline.runs == 1
+        assert warm.stats["disk_misses"] == 1
+
+
+class TestTornWrites:
+    def test_killed_writer_leaves_no_visible_bundle(self, tmp_path):
+        service, _ = make_disk_service(tmp_path)
+        service.prepare("doc", REQUEST)
+        store = service.disk_store
+        path = sole_bundle(store)
+
+        # Simulate a writer killed mid-bundle: a half-written tmp file
+        # exists, the real name does not.
+        data = path.read_bytes()
+        path.unlink()
+        tmp = path.parent / f"{path.name}.tmp.99999"
+        tmp.write_bytes(data[: len(data) // 2])
+
+        warm, pipeline = make_disk_service(tmp_path)
+        assert warm.prepare("doc", REQUEST) is not None
+        assert pipeline.runs == 1  # tmp file is invisible → re-cook
+        assert sole_bundle(store)  # the re-cook republished the slot
+        assert warm.disk_store.sweep_tmp() == 1  # orphan cleaned up
+        assert not list(store.root.glob("*/*.tmp.*"))
+
+    def test_truncated_bundle_is_rejected_and_quarantined(self, tmp_path):
+        service, _ = make_disk_service(tmp_path)
+        service.prepare("doc", REQUEST)
+        store = service.disk_store
+        path = sole_bundle(store)
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])  # lose the checksum tail
+
+        warm, pipeline = make_disk_service(tmp_path)
+        served = warm.prepare("doc", REQUEST)
+        assert served is not None
+        assert pipeline.runs == 1
+        assert warm.disk_store.stats["rejected"] == 1
+        quarantined = list((tmp_path / QUARANTINE_DIR).iterdir())
+        assert len(quarantined) == 1
+        # The re-cook overwrote the slot: a third restart hits clean.
+        third, third_pipeline = make_disk_service(tmp_path)
+        assert third.prepare("doc", REQUEST) is not None
+        assert third_pipeline.runs == 0
+
+    def test_empty_file_is_treated_as_torn(self, tmp_path):
+        service, _ = make_disk_service(tmp_path)
+        service.prepare("doc", REQUEST)
+        path = sole_bundle(service.disk_store)
+        path.write_bytes(b"")
+        warm, pipeline = make_disk_service(tmp_path)
+        assert warm.prepare("doc", REQUEST) is not None
+        assert pipeline.runs == 1
+
+
+class TestBitFlips:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_any_flipped_byte_is_rejected_then_recooked(
+        self, tmp_path_factory, data
+    ):
+        tmp_path = tmp_path_factory.mktemp("flip")
+        service, _ = make_disk_service(tmp_path)
+        reference = wire_bytes(service.prepare("doc", REQUEST))
+        store = service.disk_store
+        path = sole_bundle(store)
+        raw = bytearray(path.read_bytes())
+        index = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+        flip = data.draw(st.integers(min_value=1, max_value=255))
+        raw[index] ^= flip
+        path.write_bytes(bytes(raw))
+
+        warm, pipeline = make_disk_service(tmp_path)
+        served = wire_bytes(warm.prepare("doc", REQUEST))
+        # Never serve corrupt bytes: either the checksum rejected the
+        # bundle (re-cook) — and the decode is byte-identical anyway.
+        assert served == reference
+        assert pipeline.runs == 1
+        assert warm.disk_store.stats["rejected"] == 1
+        assert any((tmp_path / QUARANTINE_DIR).iterdir())
+
+    def test_wrong_magic_is_rejected(self, tmp_path):
+        service, _ = make_disk_service(tmp_path)
+        service.prepare("doc", REQUEST)
+        path = sole_bundle(service.disk_store)
+        raw = bytearray(path.read_bytes())
+        raw[:4] = b"NOPE"
+        path.write_bytes(bytes(raw))
+        warm, pipeline = make_disk_service(tmp_path)
+        assert warm.prepare("doc", REQUEST) is not None
+        assert pipeline.runs == 1
+        assert warm.disk_store.stats["rejected"] == 1
+
+
+class TestStoreMaintenance:
+    def test_drop_digest_removes_the_directory(self, tmp_path):
+        service, _ = make_disk_service(tmp_path)
+        service.prepare("doc", REQUEST)
+        store = service.disk_store
+        digest = service.digest("doc")
+        assert store.drop_digest(digest) == 1
+        assert not (tmp_path / digest).exists()
+        assert store.info()["bundles"] == 0
+
+    def test_invalidate_reaches_the_disk_tier(self, tmp_path):
+        cache_root = tmp_path / "cache"
+        target = tmp_path / "paper.xml"
+        target.write_text(PAPER, encoding="utf-8")
+        service, pipeline = make_service(disk_path=cache_root)
+        document_id = service.add_path(target)
+        old_digest = service.digest(document_id)
+        service.prepare(document_id, REQUEST)
+        assert (cache_root / old_digest).exists()
+        target.write_text(PAPER.replace("Coding", "Recoding"), "utf-8")
+        service.invalidate(document_id)
+        assert not (cache_root / old_digest).exists()
+        # Next prepare re-cooks and persists under the new digest.
+        service.prepare(document_id, REQUEST)
+        assert pipeline.runs == 2
+        assert (cache_root / service.digest(document_id)).exists()
+
+    def test_budget_prunes_oldest_first(self, tmp_path):
+        service, _ = make_disk_service(tmp_path)
+        first = service.prepare("doc", REQUEST)
+        store = service.disk_store
+        bundle_size = sole_bundle(store).stat().st_size
+        # Re-budget so only ~one bundle fits, then cook two more.
+        store.max_bytes = int(bundle_size * 1.5)
+        old = sole_bundle(store)
+        os.utime(old, (1, 1))  # force it oldest
+        service.prepare("doc", PrepRequest(query="caching", packet_size=64))
+        assert store.stats["pruned"] >= 1
+        assert not old.exists()
+
+    def test_key_digest_is_stable(self):
+        key = ("digest", 2, "", "q", 64, 1.5, "", True, ("token",))
+        assert key_digest(key) == key_digest(tuple(key))
+        assert key_digest(key) != key_digest(key[:-1])
+
+    def test_clear_empties_the_store(self, tmp_path):
+        service, _ = make_disk_service(tmp_path)
+        service.prepare("doc", REQUEST)
+        store = service.disk_store
+        assert store.clear() == 1
+        assert store.info()["bundles"] == 0

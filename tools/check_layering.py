@@ -142,6 +142,22 @@ FORBIDDEN: List[Tuple[str, Tuple[str, ...], str]] = [
         "repro.prep cooks documents for every driver: it may use the "
         "core/coding/text substrate, never the layers that call it",
     ),
+    (
+        "repro.prep.diskstore",
+        (
+            "repro.core",
+            "repro.text",
+            "repro.xmlkit",
+            "repro.htmlkit",
+            "repro.search",
+            "repro.analysis",
+            "repro.channel",
+            "repro.protocol",
+        ),
+        "the bundle store persists finished wire frames: stdlib + "
+        "repro.coding + repro.obs + repro.prep.prepare only — loading "
+        "a bundle must never need the pipeline substrate",
+    ),
 ]
 
 
