@@ -1,0 +1,58 @@
+"""repro.broadcast — carousel delivery for hot documents.
+
+The architectural pivot from per-client serving to shared-channel
+delivery: instead of running the §4.2 round protocol once per reader,
+the server cycles the erasure-coded packets of its hot documents on
+one shared stream, prefixed each cycle by an **air index** that tells
+receivers what is on air and when packets recur.  Because any M intact
+packets of N decode, a receiver that tunes in mid-cycle simply
+collects across cycle boundaries — no back channel, no retransmission
+protocol, and the cost of the stream is independent of the number of
+listeners.
+
+* :class:`~repro.broadcast.scheduler.CarouselScheduler` — compiles
+  prepared documents (hotness-ranked via the prep service's demand
+  counters) into a periodic cycle of precomputed zero-copy envelopes,
+  flat or broadcast-disk skewed;
+* :class:`~repro.broadcast.airindex.AirIndex` — the per-cycle control
+  frame (wire message ``MSG_AIR_INDEX``) carrying the document → slot
+  map, geometries, and recurrence period;
+* :class:`~repro.broadcast.receiver.CarouselReceiver` — the sans-IO
+  receive side, driving the same :class:`~repro.protocol.TransferEngine`
+  event vocabulary as every unicast driver and decoding
+  byte-identically to a unicast fetch.
+
+Layering: broadcast sits beside ``repro.net`` — it may import only
+``repro.protocol``, ``repro.prep``, ``repro.channel``, ``repro.obs``,
+and ``repro.util`` (enforced by ``tools/check_layering.py``); the
+socket layer subscribes connections to the scheduler's stream, never
+the reverse.
+"""
+
+from repro.broadcast.airindex import (
+    AIR_INDEX_MSG_TYPE,
+    BCAST_FRAME_MSG_TYPE,
+    BCAST_FRAME_OVERHEAD,
+    AirIndex,
+    CarouselEntry,
+    encode_broadcast_frame,
+)
+from repro.broadcast.receiver import CarouselReceiver
+from repro.broadcast.scheduler import (
+    DEFAULT_MAX_REPEATS,
+    SCHEDULES,
+    CarouselScheduler,
+)
+
+__all__ = [
+    "AIR_INDEX_MSG_TYPE",
+    "AirIndex",
+    "BCAST_FRAME_MSG_TYPE",
+    "BCAST_FRAME_OVERHEAD",
+    "CarouselEntry",
+    "CarouselReceiver",
+    "CarouselScheduler",
+    "DEFAULT_MAX_REPEATS",
+    "SCHEDULES",
+    "encode_broadcast_frame",
+]

@@ -37,7 +37,7 @@ from repro.channel.model import (
     stationary_alpha,
     stationary_bad_probability,
 )
-from repro.channel.spec import parse_model_spec
+from repro.channel.spec import legacy_chaos_spec, parse_model_spec
 from repro.channel.trace import TraceModel, TraceSegment
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "TraceModel",
     "TraceSegment",
     "RecordingModel",
+    "legacy_chaos_spec",
     "parse_model_spec",
     "stationary_alpha",
     "stationary_bad_probability",

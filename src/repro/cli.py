@@ -17,18 +17,20 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+import warnings
 from pathlib import Path
 from typing import List, Optional
 
 from repro import obs
 from repro.analysis.planner import minimal_cooked_packets
+from repro.channel import legacy_chaos_spec
 from repro.core.information import annotate_sc
 from repro.core.lod import LOD
 from repro.core.multires import TransmissionSchedule
 from repro.core.pipeline import SCPipeline
 from repro.core.query import Query
 from repro.htmlkit.extract import html_to_research_paper
-from repro.prep import PreparationService, PrepRequest, TransferSettings
+from repro.prep import DeliveryMode, PreparationService, PrepRequest, TransferSettings
 from repro.prep.request import KNOWN_MEASURES
 from repro.protocol import DEFAULT_MAX_ROUNDS, DEFAULT_ROUND_TIMEOUT
 from repro.text.keywords import KeywordExtractor
@@ -100,12 +102,45 @@ def cmd_plan(args) -> int:
     return 0
 
 
+def _resolve_chaos_model(args) -> Optional[str]:
+    """Fold the retired per-flag chaos surface into ``--chaos-model``.
+
+    The deprecated ``--chaos-drop`` / ``--chaos-corrupt`` /
+    ``--chaos-disconnect`` flags are translated by the one shared
+    :func:`repro.channel.legacy_chaos_spec` parser into the
+    ``iid:...`` spec they always meant, with a ``DeprecationWarning``
+    naming the replacement.  Both surfaces at once is an error (exit
+    2), matching the historical behaviour.
+    """
+    spec = getattr(args, "chaos_model", None)
+    legacy = legacy_chaos_spec(
+        drop=getattr(args, "chaos_drop", 0.0),
+        corrupt=getattr(args, "chaos_corrupt", 0.0),
+        disconnect=getattr(args, "chaos_disconnect", 0.0),
+    )
+    if spec and legacy:
+        print(
+            "error: give either --chaos-model or the deprecated "
+            "--chaos-drop/--chaos-corrupt/--chaos-disconnect flags, not both"
+        )
+        raise SystemExit(2)
+    if legacy:
+        warnings.warn(
+            "--chaos-drop/--chaos-corrupt/--chaos-disconnect are deprecated; "
+            f"use --chaos-model {legacy}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return legacy
+    return spec
+
+
 def cmd_transfer(args) -> int:
     """Simulate one fault-tolerant transfer of a document file."""
     from repro.coding.backend import get_backend
 
     tracing = bool(getattr(args, "trace", None))
-    chaos_model = getattr(args, "chaos_model", None)
+    chaos_model = _resolve_chaos_model(args)
     if tracing:
         obs.enable()
         obs.OBS.trace.emit(
@@ -344,9 +379,17 @@ def cmd_net_serve(args) -> int:
 
     from repro.net.server import NetServer
 
+    if getattr(args, "carousel", False) and getattr(args, "via_broker", False):
+        print("error: --carousel is not supported with --via-broker")
+        return 2
     if getattr(args, "workers", 1) > 1:
         if getattr(args, "via_broker", False):
             print("error: --workers is not supported with --via-broker")
+            return 2
+        if getattr(args, "carousel", False):
+            # Each worker would air its own independent stream; one
+            # shared carousel across processes needs a shared medium.
+            print("error: --carousel is not supported with --workers > 1")
             return 2
         return _serve_workers(args)
 
@@ -381,6 +424,21 @@ def cmd_net_serve(args) -> int:
             )
         else:
             store = _build_net_store(args)
+            carousel = None
+            if getattr(args, "carousel", False):
+                from repro.broadcast import CarouselScheduler
+
+                carousel = CarouselScheduler.from_service(
+                    store,
+                    schedule=args.carousel_schedule,
+                    max_repeats=args.carousel_max_repeats,
+                    limit=args.carousel_limit,
+                )
+                print(
+                    f"carousel on: {len(carousel.documents)} document(s), "
+                    f"{carousel.period_slots} slot(s)/cycle "
+                    f"({args.carousel_schedule})"
+                )
             server = NetServer(
                 store,
                 args.host,
@@ -390,6 +448,7 @@ def cmd_net_serve(args) -> int:
                 adaptive_gamma=getattr(args, "adaptive_gamma", False),
                 gamma_floor=getattr(args, "gamma_floor", 1.0),
                 gamma_ceiling=getattr(args, "gamma_ceiling", 3.0),
+                carousel=carousel,
             )
             await server.start()
             if getattr(args, "adaptive_gamma", False):
@@ -450,6 +509,7 @@ def _client_prep_request(args) -> Optional[PrepRequest]:
             ("measure", args.measure),
             ("gamma", args.gamma),
             ("packet_size", args.prep_packet_size),
+            ("delivery", getattr(args, "delivery", None)),
         )
         if value is not None
     }
@@ -507,57 +567,29 @@ def cmd_net_loadgen(args) -> int:
     from repro.net import ChaosProxy, run_loadgen, write_bench
 
     chaos_params = None
-
-    legacy_chaos = (
-        args.chaos_drop > 0 or args.chaos_corrupt > 0 or args.chaos_disconnect > 0
-    )
-    if args.chaos_model and legacy_chaos:
-        print(
-            "error: give either --chaos-model or the legacy "
-            "--chaos-drop/--chaos-corrupt/--chaos-disconnect flags, not both"
-        )
-        return 2
+    # One chaos surface: the deprecated per-flag probabilities forward
+    # through the shared legacy_chaos_spec parser into the same seeded
+    # model-spec path (byte-identical verdict schedules either way).
+    chaos_model = _resolve_chaos_model(args)
 
     async def _run():
         nonlocal chaos_params
         proxy = None
         host, port = args.host, args.port
-        if args.chaos_model:
+        if chaos_model:
             from repro.channel import parse_model_spec
 
             try:
-                model = parse_model_spec(args.chaos_model, seed=args.seed)
+                model = parse_model_spec(chaos_model, seed=args.seed)
             except (ValueError, OSError) as exc:
                 raise SystemExit(f"error: bad --chaos-model: {exc}")
             proxy = ChaosProxy(args.host, args.port, model=model)
             await proxy.start()
             host, port = proxy.host, proxy.port
-            chaos_params = {"model": args.chaos_model, "seed": args.seed}
+            chaos_params = {"model": chaos_model, "seed": args.seed}
             print(
                 f"chaos proxy on {host}:{port} "
-                f"(model={args.chaos_model} seed={args.seed})"
-            )
-        elif legacy_chaos:
-            proxy = ChaosProxy(
-                args.host,
-                args.port,
-                rng=random.Random(args.seed),
-                drop=args.chaos_drop,
-                corrupt=args.chaos_corrupt,
-                disconnect=args.chaos_disconnect,
-            )
-            await proxy.start()
-            host, port = proxy.host, proxy.port
-            chaos_params = {
-                "drop": args.chaos_drop,
-                "corrupt": args.chaos_corrupt,
-                "disconnect": args.chaos_disconnect,
-                "seed": args.seed,
-            }
-            print(
-                f"chaos proxy on {host}:{port} "
-                f"(drop={args.chaos_drop:g} corrupt={args.chaos_corrupt:g} "
-                f"disconnect={args.chaos_disconnect:g} seed={args.seed})"
+                f"(model={chaos_model} seed={args.seed})"
             )
         try:
             if getattr(args, "processes", 1) > 1:
@@ -798,6 +830,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "iid:drop=0.1,corrupt=0.2 | "
                              "gilbert:alpha=0.2,burst=5 | trace:FILE.json "
                              "(seeded by --seed)")
+    p_xfer.add_argument("--chaos-drop", type=float, default=0.0,
+                        help="deprecated: use --chaos-model iid:drop=P")
+    p_xfer.add_argument("--chaos-corrupt", type=float, default=0.0,
+                        help="deprecated: use --chaos-model iid:corrupt=P")
+    p_xfer.add_argument("--chaos-disconnect", type=float, default=0.0,
+                        help="deprecated: use --chaos-model iid:disconnect=P")
     p_xfer.add_argument(
         "--coding-backend",
         default=None,
@@ -867,6 +905,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--disk-budget-mb", type=int, default=None,
                          help="soft byte budget for the disk cache (MiB; "
                               "default: unbounded)")
+    p_serve.add_argument("--carousel", action="store_true",
+                         help="air a broadcast carousel of the served "
+                              "documents next to unicast serving; clients "
+                              "subscribe with --delivery carousel")
+    p_serve.add_argument("--carousel-schedule", default="flat",
+                         choices=["flat", "skewed"],
+                         help="flat: every document once per cycle; skewed: "
+                              "broadcast-disk repeats by sqrt(demand)")
+    p_serve.add_argument("--carousel-limit", type=int, default=16,
+                         metavar="N",
+                         help="hottest documents put on air (default: 16)")
+    p_serve.add_argument("--carousel-max-repeats", type=int, default=8,
+                         metavar="N",
+                         help="per-document appearance ceiling per cycle "
+                              "under the skewed schedule (default: 8)")
     p_serve.set_defaults(func=cmd_net_serve)
 
     def add_prep_flags(p) -> None:
@@ -883,6 +936,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="redundancy ratio for this fetch")
         p.add_argument("--prep-packet-size", type=int, default=None,
                        help="packet size the server should cook with")
+        p.add_argument("--delivery", default=None,
+                       choices=[mode.value for mode in DeliveryMode],
+                       help="delivery mode: per-client unicast rounds "
+                            "(default) or the server's shared broadcast "
+                            "carousel")
 
     p_fetch = net_sub.add_parser("fetch", help="fetch one document from a server")
     p_fetch.add_argument("document_id")
@@ -919,17 +977,17 @@ def build_parser() -> argparse.ArgumentParser:
                         default=DEFAULT_ROUND_TIMEOUT, metavar="SECONDS")
     p_load.add_argument("--max-reconnects", type=int, default=4)
     p_load.add_argument("--chaos-drop", type=float, default=0.0,
-                        help="per-frame drop probability (in-process proxy)")
+                        help="deprecated: use --chaos-model iid:drop=P")
     p_load.add_argument("--chaos-corrupt", type=float, default=0.0,
-                        help="per-frame corruption probability alpha")
+                        help="deprecated: use --chaos-model iid:corrupt=P")
     p_load.add_argument("--chaos-disconnect", type=float, default=0.0,
-                        help="per-frame disconnect probability")
+                        help="deprecated: use --chaos-model iid:disconnect=P")
     p_load.add_argument("--chaos-model", default=None, metavar="SPEC",
                         help="channel model for the proxy: "
                              "iid:drop=0.1,corrupt=0.2 | "
                              "gilbert:alpha=0.2,burst=5 | trace:FILE.json "
-                             "(seeded by --seed; excludes the --chaos-* "
-                             "probability flags)")
+                             "(seeded by --seed; excludes the deprecated "
+                             "--chaos-* probability flags)")
     p_load.add_argument("--seed", type=int, default=0,
                         help="chaos channel-model seed")
     p_load.add_argument("--error-budget", type=float, default=0.05,

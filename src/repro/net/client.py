@@ -31,10 +31,13 @@ import asyncio
 import time
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
+from repro.broadcast import AirIndex, CarouselReceiver
 from repro.coding.packets import decode_frame
-from repro.coding.rs import RabinDispersal, SystematicRSCodec
+from repro.prep.reconstruct import reconstruct_payload
 from repro.net.wire import (
     MESSAGE_NAMES,
+    MSG_AIR_INDEX,
+    MSG_BCAST_FRAME,
     MSG_DONE,
     MSG_ERROR,
     MSG_FRAME,
@@ -53,6 +56,7 @@ from repro.net.wire import (
 from repro.obs.live import TraceContext
 from repro.obs.runtime import OBS
 from repro.prep.request import (
+    DeliveryMode,
     PrepRequest,
     TransferSettings,
     legacy_value,
@@ -186,6 +190,14 @@ class NetClient:
         """
         if request is None:
             request = self.request
+        if self.settings.delivery is DeliveryMode.CAROUSEL and (
+            request is None or request.delivery is DeliveryMode.UNICAST
+        ):
+            request = (request or PrepRequest()).replace(
+                delivery=DeliveryMode.CAROUSEL
+            )
+        if request is not None and request.delivery is DeliveryMode.CAROUSEL:
+            return await self._fetch_carousel(document_id, request)
         intact: Dict[int, bytes] = dict(self.cache.load(document_id))
         engine: Optional[TransferEngine] = None
         manifest: Optional[_Manifest] = None
@@ -297,6 +309,159 @@ class NetClient:
             payload = None
             status, success, early = "failed", False, False
             content = engine.content_received
+        bridge.complete(
+            success=success,
+            terminated_early=early,
+            rounds=terminal.round,
+            frames=frames_received,
+            content=content,
+            response_time=elapsed,
+        )
+        if OBS.enabled:
+            OBS.metrics.counter("net.fetches", "networked fetches").labels(
+                outcome=status
+            ).inc()
+            OBS.metrics.counter("net.frames_received", "frames read off sockets").inc(
+                frames_received
+            )
+            OBS.metrics.histogram(
+                "net.fetch_seconds", "wall-clock fetch latency", buckets=FETCH_BUCKETS
+            ).observe(elapsed)
+        return NetFetchResult(
+            document_id=document_id,
+            status=status,
+            success=success,
+            terminated_early=early,
+            rounds=terminal.round,
+            frames_received=frames_received,
+            reconnects=reconnects,
+            elapsed=elapsed,
+            content_received=content,
+            payload=payload,
+        )
+
+    # -- carousel delivery --------------------------------------------------
+
+    async def _fetch_carousel(
+        self, document_id: str, request: PrepRequest
+    ) -> NetFetchResult:
+        """Tune in to the server's broadcast carousel for *document_id*.
+
+        The ``HELLO`` ``prep`` field carries ``delivery=carousel``, so
+        the server subscribes this connection to the shared stream
+        instead of opening a per-client round loop.  Everything read
+        off the socket feeds a sans-IO
+        :class:`~repro.broadcast.CarouselReceiver`: the first air
+        index (at most one carousel period away) supplies the
+        geometry, then any M intact tagged frames — collected across
+        cycle boundaries, the Caching policy — decode byte-identically
+        to a unicast fetch.  A dropped connection redials and keeps
+        collecting; the receiver's intact set survives the reconnect.
+        """
+        ctx = TraceContext.mint()
+        bridge = TelemetryBridge("transfer", transfer_id=ctx.transfer_id)
+        receiver = CarouselReceiver(
+            document_id,
+            relevance_threshold=self.relevance_threshold,
+            max_cycles=self.max_rounds,
+            backend=self.backend,
+            bridge=bridge,
+        )
+        frames_received = 0
+        reconnects = 0
+        terminal: Optional[Effect] = None
+        started = time.monotonic()
+
+        while terminal is None:
+            writer: Optional[asyncio.StreamWriter] = None
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, self.port),
+                    self.round_timeout,
+                )
+                ctx.next_connection()
+                writer.write(
+                    encode_json(
+                        MSG_HELLO,
+                        {
+                            "doc": document_id,
+                            "have": [],
+                            "max_rounds": self.max_rounds,
+                            "trace": ctx.to_wire(),
+                            "prep": request.to_wire(),
+                        },
+                    )
+                )
+                await writer.drain()
+                while terminal is None:
+                    msg_type, body = await asyncio.wait_for(
+                        read_message(reader), self.round_timeout
+                    )
+                    if msg_type == MSG_BCAST_FRAME:
+                        if not body:
+                            raise WireError("empty broadcast frame")
+                        frames_received += 1
+                        terminal = receiver.on_frame(body[0], bytes(body[1:]))
+                    elif msg_type == MSG_AIR_INDEX:
+                        terminal = receiver.on_air_index(
+                            AirIndex.from_wire(decode_json(body))
+                        )
+                        if receiver.absent:
+                            raise WireError(
+                                f"document {document_id!r} is not on the carousel"
+                            )
+                    elif msg_type == MSG_ERROR:
+                        message = decode_json(body).get("message", "unspecified")
+                        raise WireError(f"peer error: {message}")
+                    else:
+                        raise WireError(
+                            f"unexpected {MESSAGE_NAMES[msg_type]} on the carousel"
+                        )
+                await self._send_done(writer, terminal)
+            except (ConnectionLost, asyncio.TimeoutError, OSError) as exc:
+                reconnects += 1
+                if reconnects > self.max_reconnects:
+                    if not receiver.synced:
+                        raise ConnectionLost(
+                            f"server unreachable: {exc}"
+                        ) from None
+                    terminal = receiver.abort()
+                    break
+                if OBS.enabled:
+                    OBS.metrics.counter(
+                        "net.reconnects", "connections redialed after a drop"
+                    ).inc()
+                if self.reconnect_delay > 0:
+                    await asyncio.sleep(self.reconnect_delay)
+            except WireError:
+                # The server refused the subscription (carousel
+                # disabled, bad parameters) or the program does not
+                # carry the document: surface the error while nothing
+                # was collected, fail the transfer afterwards.
+                if not receiver.synced:
+                    raise
+                terminal = receiver.abort()
+            finally:
+                if writer is not None:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionError, OSError):
+                        pass
+
+        elapsed = time.monotonic() - started
+        if isinstance(terminal, Decoded):
+            payload: Optional[bytes] = receiver.payload()
+            status, success, early = "decoded", True, False
+            content = receiver.content_received
+        elif isinstance(terminal, EarlyStop):
+            payload = None
+            status, success, early = "early_stop", True, True
+            content = terminal.content
+        else:  # Failed
+            payload = None
+            status, success, early = "failed", False, False
+            content = receiver.content_received
         bridge.complete(
             success=success,
             terminated_early=early,
@@ -453,10 +618,14 @@ class NetClient:
         )
 
     def _reconstruct(self, manifest: _Manifest, intact: Dict[int, bytes]) -> bytes:
-        codec_cls = SystematicRSCodec if manifest.systematic else RabinDispersal
-        codec = codec_cls(manifest.m, manifest.n, backend=self.backend)
-        raw = codec.decode(intact)
-        return b"".join(raw)[: manifest.original_size]
+        return reconstruct_payload(
+            manifest.m,
+            manifest.n,
+            manifest.original_size,
+            intact,
+            systematic=manifest.systematic,
+            backend=self.backend,
+        )
 
 
 async def fetch_stats(

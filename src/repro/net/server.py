@@ -47,6 +47,7 @@ from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Set, Tu
 
 from repro.analysis.ewma import AdaptiveRedundancyController
 
+from repro.broadcast.scheduler import CarouselScheduler
 from repro.net.wire import (
     MSG_DONE,
     MSG_ERROR,
@@ -74,7 +75,7 @@ from repro.obs.slo import (
 )
 from repro.obs.trace import NET_CONN_CLOSE, NET_CONN_OPEN, NET_FLIGHT_DUMP, NET_ROUND_SERVED
 from repro.prep.prepare import PreparedDocument
-from repro.prep.request import PrepRequest
+from repro.prep.request import DeliveryMode, PrepRequest
 from repro.protocol import DEFAULT_MAX_ROUNDS, DEFAULT_ROUND_TIMEOUT, TransferEngine
 
 #: Connection outcomes that trigger a flight-recorder dump: the closes
@@ -209,6 +210,29 @@ class _BoundedSender:
             await self._put(b"".join(group))
             batches += 1
         return batches, total
+
+    def try_send(self, data: Union[bytes, memoryview]) -> bool:
+        """Non-blocking send for the broadcast path.
+
+        A full queue (or a dead socket) returns ``False`` instead of
+        blocking: the carousel never waits for its slowest subscriber —
+        a receiver that cannot drain simply misses the slot and picks
+        the packet up on a later cycle, exactly the broadcast-medium
+        semantics the erasure code is built for.
+        """
+        if self._failure is not None:
+            return False
+        try:
+            self._queue.put_nowait(data)
+        except asyncio.QueueFull:
+            return False
+        self.queued_bytes += len(data)
+        if self.queued_bytes > self.high_water_bytes:
+            self.high_water_bytes = self.queued_bytes
+        depth = self._queue.qsize()
+        if depth > self.high_water:
+            self.high_water = depth
+        return True
 
     async def flush(self) -> None:
         """Wait until everything queued so far is on the socket."""
@@ -359,6 +383,19 @@ class NetServer:
         EWMA weight for per-round loss observations.
     initial_loss:
         Prior loss-rate estimate before any feedback arrives.
+    carousel:
+        Optional :class:`~repro.broadcast.CarouselScheduler`.  When
+        given, the server runs a broadcast channel next to the unicast
+        round protocol: a background task cycles the carousel's air
+        index + tagged frame envelopes and fans every slot out to all
+        subscribed connections (clients whose ``HELLO`` ``prep`` asks
+        for ``delivery=carousel``).  Fan-out is non-blocking — a
+        subscriber whose send queue is full misses the slot and
+        recovers on a later cycle — so one slow reader never stalls
+        the shared stream.
+    carousel_interval:
+        Pause between carousel cycles (seconds; 0 airs back-to-back,
+        yielding to the event loop each slot).
     """
 
     def __init__(
@@ -381,6 +418,8 @@ class NetServer:
         gamma_ceiling: float = 3.0,
         gamma_weight: float = 0.3,
         initial_loss: float = 0.0,
+        carousel: Optional[CarouselScheduler] = None,
+        carousel_interval: float = 0.0,
         reuse_port: bool = False,
         sock=None,
         worker_label: Optional[str] = None,
@@ -409,6 +448,16 @@ class NetServer:
         self.gamma_ceiling = gamma_ceiling
         self.gamma_weight = gamma_weight
         self.initial_loss = initial_loss
+        if carousel_interval < 0:
+            raise ValueError(
+                f"carousel_interval must be >= 0, got {carousel_interval}"
+            )
+        self.carousel = carousel
+        self.carousel_interval = carousel_interval
+        #: conn_id → sender of connections subscribed to the carousel.
+        self._subscribers: Dict[int, _BoundedSender] = {}
+        self._carousel_task: Optional[asyncio.Task] = None
+        self._carousel_wakeup: Optional[asyncio.Event] = None
         #: With ``reuse_port`` each worker process binds its own
         #: ``SO_REUSEPORT`` listener on the same address and the kernel
         #: load-balances accepted connections across them; *sock* is
@@ -463,6 +512,8 @@ class NetServer:
             "flight_dumps": 0,
             "adaptive_rounds": 0,
             "adaptive_frames_saved": 0,
+            "broadcast_subscriptions": 0,
+            "broadcast_slots_dropped": 0,
         }
 
     # -- lifecycle ---------------------------------------------------------
@@ -484,6 +535,10 @@ class NetServer:
                 self._accept, self.host, self.port
             )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.carousel is not None:
+            self.carousel.build()
+            self._carousel_wakeup = asyncio.Event()
+            self._carousel_task = asyncio.ensure_future(self._run_carousel())
 
     async def stop(self, drain_timeout: Optional[float] = None) -> None:
         """Graceful drain: refuse new work, finish in-flight transfers.
@@ -509,6 +564,13 @@ class NetServer:
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         self._connections.clear()
+        if self._carousel_task is not None:
+            self._carousel_task.cancel()
+            try:
+                await self._carousel_task
+            except asyncio.CancelledError:
+                pass
+            self._carousel_task = None
 
     def kill(self) -> None:
         """Hard stop: drop the listener and abort every connection now.
@@ -519,6 +581,9 @@ class NetServer:
         if self._server is not None:
             self._server.close()
             self._server = None
+        if self._carousel_task is not None:
+            self._carousel_task.cancel()
+            self._carousel_task = None
         for task in self._connections:
             task.cancel()
 
@@ -683,10 +748,21 @@ class NetServer:
                 resumed=state.resumed,
             )
         try:
-            prepared = await self._prepare(document_id, hello.get("prep"))
+            prep_field = hello.get("prep")
+            request = (
+                PrepRequest.from_wire(prep_field) if prep_field is not None else None
+            )
+            if request is not None and request.delivery is DeliveryMode.CAROUSEL:
+                if self.carousel is None:
+                    raise ValueError(
+                        "carousel delivery not enabled on this server"
+                    )
+                return await self._serve_carousel(reader, sender, state)
+            prepared = await self._prepare(document_id, request)
         except ValueError as exc:
-            # Malformed prep parameters, or a request the document
-            # cannot satisfy (e.g. a query measure without a query).
+            # Malformed prep parameters, a delivery mode the server
+            # does not offer, or a request the document cannot satisfy
+            # (e.g. a query measure without a query).
             await sender.send(
                 encode_json(MSG_ERROR, {"message": f"bad prep parameters: {exc}"})
             )
@@ -858,6 +934,75 @@ class NetServer:
                 state.flight.record("round_bound", bound=self.max_rounds)
                 return "round_bound"
 
+    # -- broadcast channel ---------------------------------------------------
+
+    async def _serve_carousel(
+        self, reader: asyncio.StreamReader, sender: _BoundedSender, state: _ConnState
+    ) -> str:
+        """Subscribe one connection to the shared carousel stream.
+
+        No manifest and no per-client rounds: the connection simply
+        joins the fan-out set mid-cycle (its first complete picture of
+        the program is the next air index — at most one period away,
+        the tuning-latency bound) and the handler waits for the
+        client's ``DONE``.  The wait is bounded by the usual round
+        timeout, so an abandoned subscription cannot pin the fan-out
+        set.
+        """
+        assert self.carousel is not None
+        self.stats["broadcast_subscriptions"] += 1
+        self._subscribers[state.conn_id] = sender
+        if self._carousel_wakeup is not None:
+            self._carousel_wakeup.set()
+        state.flight.record("subscribe", doc=state.document)
+        if OBS.enabled:
+            OBS.metrics.gauge(
+                "broadcast.subscribers", "connections subscribed to the carousel"
+            ).inc()
+        try:
+            _, body = await asyncio.wait_for(
+                read_expected(reader, MSG_DONE), self.round_timeout
+            )
+            self.stats["completed"] += 1
+            status = str(decode_json(body).get("status", "done"))
+            state.flight.record("done", status=status)
+            return status
+        finally:
+            self._subscribers.pop(state.conn_id, None)
+            if OBS.enabled:
+                OBS.metrics.gauge("broadcast.subscribers").dec()
+
+    async def _run_carousel(self) -> None:
+        """The air task: cycle the carousel into every subscriber's queue.
+
+        Idles (no CPU, no counters) while nobody is subscribed; each
+        slot is offered to every subscriber with the non-blocking
+        ``try_send``, so the stream's pace is set by the scheduler —
+        never by the slowest reader.  One ``sleep`` per slot yields to
+        the writer tasks draining the queues.
+        """
+        carousel = self.carousel
+        assert carousel is not None and self._carousel_wakeup is not None
+        cycle = 0
+        while True:
+            if not self._subscribers:
+                self._carousel_wakeup.clear()
+                await self._carousel_wakeup.wait()
+            for kind, payload in carousel.air_cycle(cycle):
+                envelope = payload.encode() if kind == "index" else payload
+                for sub in list(self._subscribers.values()):
+                    if not sub.try_send(envelope):
+                        self.stats["broadcast_slots_dropped"] += 1
+                        if OBS.enabled:
+                            OBS.metrics.counter(
+                                "broadcast.slots_dropped",
+                                "carousel slots missed by backlogged subscribers",
+                            ).inc()
+                await asyncio.sleep(0)
+            cycle += 1
+            if self.carousel_interval > 0:
+                await asyncio.sleep(self.carousel_interval)
+
     def _gamma_controller(
         self, transfer_id: Optional[str], m_hint: int
     ) -> AdaptiveRedundancyController:
@@ -914,6 +1059,15 @@ class NetServer:
                 "ceiling": self.gamma_ceiling,
             },
         }
+        if self.carousel is not None:
+            snapshot["broadcast"] = {
+                "enabled": True,
+                "schedule": self.carousel.schedule,
+                "subscribers": len(self._subscribers),
+                "subscriptions": self.stats["broadcast_subscriptions"],
+                "slots_dropped": self.stats["broadcast_slots_dropped"],
+                **self.carousel.stats(),
+            }
         prep_stats = getattr(self.store, "stats", None)
         if isinstance(prep_stats, dict):
             snapshot["prep"] = dict(prep_stats)
@@ -923,7 +1077,7 @@ class NetServer:
         return snapshot
 
     async def _prepare(
-        self, document_id: str, prep_field: object
+        self, document_id: str, request: Optional[PrepRequest]
     ) -> Optional[PreparedDocument]:
         """Resolve the document through the store, off the event loop.
 
@@ -940,9 +1094,6 @@ class NetServer:
         prepare = getattr(self.store, "prepare", None)
         if not callable(prepare):
             return self.store.get(document_id)
-        request: Optional[PrepRequest] = None
-        if prep_field is not None:
-            request = PrepRequest.from_wire(prep_field)  # ValueError on junk
         loop = asyncio.get_running_loop()
         try:
             return await loop.run_in_executor(

@@ -66,6 +66,8 @@ MSG_NEXT_ROUND = 0x05   # client → server: {round, have}
 MSG_DONE = 0x06         # client → server: {status, round}
 MSG_ERROR = 0x07        # either direction: {message}
 MSG_STATS = 0x08        # admin: {} request (C → S), snapshot reply (S → C)
+MSG_AIR_INDEX = 0x09    # server → client: carousel air index (JSON map)
+MSG_BCAST_FRAME = 0x0A  # server → client: 1-byte doc tag + raw cooked frame
 
 MESSAGE_NAMES = {
     MSG_HELLO: "hello",
@@ -76,6 +78,8 @@ MESSAGE_NAMES = {
     MSG_DONE: "done",
     MSG_ERROR: "error",
     MSG_STATS: "stats",
+    MSG_AIR_INDEX: "air_index",
+    MSG_BCAST_FRAME: "bcast_frame",
 }
 
 

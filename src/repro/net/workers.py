@@ -429,8 +429,11 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
     merged SLO sums counts/errors exactly but **approximates** the
     percentiles as count-weighted means of the per-worker percentiles
     (flagged ``"approximate": True`` — exact fleet percentiles would
-    need the raw windows).  The untouched per-worker snapshots ride
-    along under ``"workers"``.
+    need the raw windows).  Per-worker ``broadcast`` sections merge the
+    same way: the carousel counters sum exactly, while any derived
+    per-cycle mean is a cycle-weighted mean across independent worker
+    streams and carries the same ``"approximate": True`` label.  The
+    untouched per-worker snapshots ride along under ``"workers"``.
     """
     merged: Dict[str, Any] = {
         "server": {},
@@ -478,4 +481,32 @@ def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
             else:
                 slo[key] = 0.0
         merged["slo"] = slo
+
+    carousels = [
+        s.get("broadcast") for s in snapshots if isinstance(s.get("broadcast"), dict)
+    ]
+    if carousels:
+        broadcast: Dict[str, Any] = {
+            "enabled": any(b.get("enabled") for b in carousels),
+            "schedule": carousels[0].get("schedule"),
+            "documents": max(b.get("documents", 0) for b in carousels),
+            "period_slots": max(b.get("period_slots", 0) for b in carousels),
+        }
+        for key in (
+            "subscribers",
+            "subscriptions",
+            "slots_dropped",
+            "cycles_aired",
+            "frames_aired",
+            "bytes_aired",
+        ):
+            broadcast[key] = sum(b.get(key, 0) for b in carousels)
+        cycles = broadcast["cycles_aired"]
+        broadcast["mean_cycle_bytes"] = (
+            broadcast["bytes_aired"] / cycles if cycles else 0.0
+        )
+        # Workers air independent streams, so the per-cycle mean is a
+        # cycle-weighted blend — labelled exactly like the SLO means.
+        broadcast["approximate"] = True
+        merged["broadcast"] = broadcast
     return merged

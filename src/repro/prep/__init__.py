@@ -27,6 +27,7 @@ from repro.prep.diskstore import DiskCookedStore
 from repro.prep.prepare import DocumentSender, PreparedDocument
 from repro.prep.request import (
     UNSET,
+    DeliveryMode,
     PrepRequest,
     TransferSettings,
     request_from_legacy,
@@ -44,6 +45,7 @@ __all__ = [
     "ByteBudgetLRU",
     "DEFAULT_COOKED_BUDGET",
     "DEFAULT_SC_BUDGET",
+    "DeliveryMode",
     "DiskCookedStore",
     "DocumentSender",
     "MISS",

@@ -23,6 +23,7 @@ explicitly-passed legacy values into the new objects while emitting a
 
 from __future__ import annotations
 
+import enum
 import warnings
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Optional, Tuple
@@ -34,6 +35,47 @@ from repro.util.validation import check_positive_int
 #: Sentinel distinguishing "not passed" from an explicit ``None`` in
 #: the deprecation shims.
 UNSET: Any = type("_Unset", (), {"__repr__": lambda self: "<unset>"})()
+
+
+class DeliveryMode(str, enum.Enum):
+    """How cooked packets reach the client.
+
+    ``UNICAST`` is the paper's per-client §4.2 protocol: dedicated
+    rounds, explicit retransmission, one stream per reader.
+    ``CAROUSEL`` subscribes the client to a shared broadcast carousel
+    (:mod:`repro.broadcast`): the server cycles the cooked packets of
+    hot documents on one stream and the receiver collects any M intact
+    packets across cycles — no retransmission protocol at all.
+
+    The mode is a first-class part of the request contract: carried in
+    the ``HELLO`` ``prep`` wire form, folded into the cooked-tier
+    cache key, and validated through the same bad-parameter error path
+    as every other field.  A ``str`` subclass so wire/JSON encoding and
+    cache-key hashing need no special cases.
+    """
+
+    UNICAST = "unicast"
+    CAROUSEL = "carousel"
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.value
+
+
+def _coerce_delivery(value: Any) -> DeliveryMode:
+    """Parse a delivery mode, raising ``ValueError`` on junk."""
+    if isinstance(value, DeliveryMode):
+        return value
+    if not isinstance(value, str):
+        raise ValueError(
+            f"delivery must be a string, got {value!r}"
+        )
+    try:
+        return DeliveryMode(value.strip().lower())
+    except ValueError:
+        raise ValueError(
+            f"unknown delivery mode {value!r}; choose from "
+            f"{sorted(mode.value for mode in DeliveryMode)}"
+        ) from None
 
 _LOD_NAMES = frozenset(lod.name.lower() for lod in LOD)
 
@@ -74,6 +116,9 @@ class PrepRequest:
         or ``None`` for the environment default.
     systematic:
         True for the paper's clear-text-prefix code.
+    delivery:
+        :class:`DeliveryMode` selecting unicast rounds or the shared
+        broadcast carousel (string values accepted, canonicalized).
     """
 
     lod: str = "paragraph"
@@ -83,8 +128,10 @@ class PrepRequest:
     gamma: float = 1.5
     backend: Optional[str] = None
     systematic: bool = True
+    delivery: DeliveryMode = DeliveryMode.UNICAST
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "delivery", _coerce_delivery(self.delivery))
         object.__setattr__(self, "lod", str(self.lod).strip().lower())
         object.__setattr__(self, "measure", str(self.measure).strip().lower())
         object.__setattr__(self, "query", str(self.query))
@@ -134,6 +181,7 @@ class PrepRequest:
             self.gamma,
             self.backend or "",
             self.systematic,
+            self.delivery.value,
         )
 
     def replace(self, **changes: Any) -> "PrepRequest":
@@ -154,6 +202,10 @@ class PrepRequest:
         }
         if self.backend:
             wire["backend"] = self.backend
+        if self.delivery is not DeliveryMode.UNICAST:
+            # Omitted when unicast so pre-DeliveryMode peers keep
+            # parsing HELLO{prep} unchanged.
+            wire["delivery"] = self.delivery.value
         return wire
 
     @classmethod
@@ -192,6 +244,8 @@ class PrepRequest:
             if not isinstance(value, bool):
                 raise ValueError(f"systematic must be a bool, got {value!r}")
             kwargs["systematic"] = value
+        if "delivery" in fields_in:
+            kwargs["delivery"] = _coerce_delivery(fields_in["delivery"])
         return cls(**kwargs)
 
 
@@ -213,6 +267,10 @@ class TransferSettings:
     use_cache:
         Selects the paper's Caching policy (packets survive stalls and
         disconnections) where the caller doesn't pass a cache object.
+    delivery:
+        :class:`DeliveryMode` the client drives: ``UNICAST`` runs the
+        round/NEXT_ROUND loop, ``CAROUSEL`` subscribes to the shared
+        broadcast stream and collects packets passively.
     """
 
     relevance_threshold: Optional[float] = None
@@ -220,8 +278,10 @@ class TransferSettings:
     round_timeout: float = DEFAULT_ROUND_TIMEOUT
     max_reconnects: int = 4
     use_cache: bool = False
+    delivery: DeliveryMode = DeliveryMode.UNICAST
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "delivery", _coerce_delivery(self.delivery))
         check_positive_int(self.max_rounds, "max_rounds")
         if self.round_timeout <= 0:
             raise ValueError(

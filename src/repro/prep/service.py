@@ -200,6 +200,9 @@ class PreparationService:
             "evictions": 0,
             "invalidations": 0,
         }
+        #: Per-document demand counters (every ``prepare`` call, hit or
+        #: miss) — the hotness signal the broadcast carousel ranks by.
+        self.document_hits: Dict[str, int] = {}
 
     @property
     def disk_store(self) -> Optional[DiskCookedStore]:
@@ -332,6 +335,10 @@ class PreparationService:
             record = self._records.get(document_id)
         if record is None:
             raise UnknownDocumentError(document_id)
+        with self._lock:
+            self.document_hits[document_id] = (
+                self.document_hits.get(document_id, 0) + 1
+            )
         key = request.cache_key(record.digest)
         prepared = self._fetch(
             self._cooked_tier,
@@ -652,6 +659,22 @@ class PreparationService:
         return alias
 
     # -- introspection -----------------------------------------------------
+
+    def hot_documents(self, limit: Optional[int] = None) -> List[Tuple[str, int]]:
+        """Registered documents by demand, hottest first.
+
+        Demand is the per-document ``prepare`` count (cache hits and
+        misses alike — what matters is how often readers ask).  Ties
+        break by document id for determinism.  Documents never prepared
+        rank last with zero demand.
+        """
+        with self._lock:
+            hits = dict(self.document_hits)
+            ids = sorted(self._records)
+        ranked = sorted(ids, key=lambda doc: (-hits.get(doc, 0), doc))
+        if limit is not None:
+            ranked = ranked[:limit]
+        return [(doc, hits.get(doc, 0)) for doc in ranked]
 
     def cache_info(self) -> Dict[str, Any]:
         """Snapshot of both tiers plus the flight and stat counters."""

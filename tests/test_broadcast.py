@@ -1,0 +1,327 @@
+"""Broadcast carousel suite: air index, scheduler, receiver — tier-1.
+
+Everything here is sans-IO (the broadcast package never opens a
+socket), so the suite runs unmarked.  The property tests pin the two
+contracts the subsystem exists for:
+
+* **any-M decode, from anywhere** — a receiver joining the shared
+  stream at a uniformly random slot offset, behind seeded iid or
+  Gilbert–Elliott loss, reconstructs the document byte-identically to
+  a unicast fetch;
+* **bounded tuning latency** — on a clean channel the first air index
+  arrives within one period of tune-in, whatever the offset.
+"""
+
+import random
+
+import pytest
+
+from repro.broadcast import (
+    AirIndex,
+    CarouselEntry,
+    CarouselReceiver,
+    CarouselScheduler,
+    encode_broadcast_frame,
+)
+from repro.broadcast.airindex import BCAST_FRAME_OVERHEAD, MAX_TAG
+from repro.channel import parse_model_spec
+from repro.coding.packets import Packetizer
+from repro.prep.prepare import DocumentSender
+from repro.protocol import Decoded, Failed
+
+
+def make_prepared(document_id="doc", size=2048, packet_size=64, seed=99):
+    payload = bytes(random.Random(seed).randrange(256) for _ in range(size))
+    sender = DocumentSender(Packetizer(packet_size=packet_size, redundancy_ratio=1.5))
+    return sender.prepare_raw(document_id, payload), payload
+
+
+def build_carousel(documents=2, **kwargs):
+    """A small carousel plus {document_id: payload} for decode checks."""
+    scheduler = CarouselScheduler(**kwargs)
+    payloads = {}
+    for index in range(documents):
+        prepared, payload = make_prepared(f"doc-{index}", seed=index + 1)
+        scheduler.add_document(prepared, hotness=100 // (index + 1))
+        payloads[prepared.document_id] = payload
+    scheduler.build()
+    return scheduler, payloads
+
+
+def play(scheduler, receiver, offset=0, max_cycles=50):
+    """Feed the carousel stream to *receiver* starting at slot *offset*."""
+    slot = 0
+    for cycle in range(max_cycles):
+        index = scheduler.air_index(cycle)
+        if slot >= offset:
+            if receiver.on_air_index(index) is not None:
+                return receiver.finished
+        slot += 1
+        for tag, _sequence, envelope in scheduler.frame_slots():
+            if slot >= offset:
+                frame = bytes(envelope[BCAST_FRAME_OVERHEAD:])
+                if receiver.on_frame(tag, frame) is not None:
+                    return receiver.finished
+            slot += 1
+    return receiver.abort()
+
+
+class TestCarouselEntry:
+    def test_wire_roundtrip(self):
+        entry = CarouselEntry(
+            document_id="d", tag=3, m=4, n=6, packet_size=64,
+            original_size=200, repeats=2, profile=(0.5, 0.2, 0.2, 0.1),
+        )
+        assert CarouselEntry.from_wire(entry.to_wire()) == entry
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError, match="geometry"):
+            CarouselEntry(
+                document_id="d", tag=0, m=6, n=4, packet_size=64, original_size=1
+            )
+
+    def test_tag_range_enforced(self):
+        with pytest.raises(ValueError, match="tag"):
+            CarouselEntry(
+                document_id="d", tag=MAX_TAG + 1, m=1, n=1,
+                packet_size=64, original_size=1,
+            )
+
+
+class TestAirIndex:
+    def entry(self, tag=0):
+        return CarouselEntry(
+            document_id=f"doc-{tag}", tag=tag, m=2, n=3,
+            packet_size=64, original_size=100,
+        )
+
+    def index(self):
+        return AirIndex(
+            cycle=7,
+            schedule="flat",
+            entries=(self.entry(0), self.entry(1)),
+            layout=((0, 3), (1, 3)),
+        )
+
+    def test_wire_roundtrip(self):
+        index = self.index()
+        assert AirIndex.from_wire(index.to_wire()) == index
+
+    def test_period_counts_the_index_slot(self):
+        assert self.index().period_slots == 7
+
+    def test_entry_lookup(self):
+        index = self.index()
+        assert index.entry_for("doc-1").tag == 1
+        assert index.entry_for("nope") is None
+        assert index.entry_for_tag(0).document_id == "doc-0"
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda w: w.update(schedule="zigzag"),
+            lambda w: w.update(entries=[]),
+            lambda w: w.update(cycle=-1),
+            lambda w: w.update(layout=[[9, 3]]),        # unknown tag
+            lambda w: w.update(layout=[[0, 0]]),        # zero count
+            lambda w: w.update(layout=[[0]]),           # malformed segment
+            lambda w: w["entries"].append(w["entries"][0]),  # duplicate tag
+        ],
+    )
+    def test_junk_rejected(self, mutate):
+        wire = self.index().to_wire()
+        mutate(wire)
+        with pytest.raises(ValueError):
+            AirIndex.from_wire(wire)
+
+    def test_broadcast_frame_tag_bounds(self):
+        assert encode_broadcast_frame(0, b"x")[5] == 0
+        with pytest.raises(ValueError):
+            encode_broadcast_frame(MAX_TAG + 1, b"x")
+
+
+class TestScheduler:
+    def test_flat_layout_airs_every_frame_once(self):
+        scheduler, _ = build_carousel(documents=3, schedule="flat")
+        slots = scheduler.frame_slots()
+        per_tag = {}
+        for tag, sequence, _envelope in slots:
+            per_tag.setdefault(tag, []).append(sequence)
+        for tag, sequences in per_tag.items():
+            assert sequences == list(range(len(sequences)))
+        assert scheduler.period_slots == 1 + len(slots)
+
+    def test_tags_follow_hotness_order(self):
+        scheduler = CarouselScheduler()
+        cold, _ = make_prepared("cold", seed=1)
+        hot, _ = make_prepared("hot", seed=2)
+        scheduler.add_document(cold, hotness=1)
+        scheduler.add_document(hot, hotness=100)
+        scheduler.build()
+        assert scheduler.documents == ["hot", "cold"]
+        assert scheduler.air_index().entry_for("hot").tag == 0
+
+    def test_skewed_repeats_follow_sqrt_rule(self):
+        scheduler = CarouselScheduler(schedule="skewed")
+        hot, _ = make_prepared("hot", seed=1)
+        cold, _ = make_prepared("cold", seed=2)
+        scheduler.add_document(hot, hotness=900)    # sqrt(900/100) = 3
+        scheduler.add_document(cold, hotness=100)
+        scheduler.build()
+        index = scheduler.air_index()
+        assert index.entry_for("hot").repeats == 3
+        assert index.entry_for("cold").repeats == 1
+        # Appearances are interleaved, not bunched: the cold document
+        # airs between hot appearances, near mid-cycle.
+        tags = [tag for tag, _count in index.layout]
+        assert tags.count(0) == 3 and tags.count(1) == 1
+        assert tags != [0, 0, 0, 1]
+
+    def test_skewed_repeats_are_capped(self):
+        scheduler = CarouselScheduler(schedule="skewed", max_repeats=2)
+        hot, _ = make_prepared("hot", seed=1)
+        cold, _ = make_prepared("cold", seed=2)
+        scheduler.add_document(hot, hotness=10_000)
+        scheduler.add_document(cold, hotness=1)
+        scheduler.build()
+        assert scheduler.air_index().entry_for("hot").repeats == 2
+
+    def test_envelopes_are_tagged_wire_images(self):
+        scheduler, _ = build_carousel(documents=2)
+        for tag, _sequence, envelope in scheduler.frame_slots():
+            frame = bytes(envelope[BCAST_FRAME_OVERHEAD:])
+            assert bytes(envelope) == encode_broadcast_frame(tag, frame)
+
+    def test_duplicate_document_rejected(self):
+        scheduler = CarouselScheduler()
+        prepared, _ = make_prepared()
+        scheduler.add_document(prepared)
+        with pytest.raises(ValueError, match="already"):
+            scheduler.add_document(prepared)
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            CarouselScheduler().build()
+
+    def test_add_after_build_rejected(self):
+        scheduler, _ = build_carousel()
+        prepared, _ = make_prepared("late")
+        with pytest.raises(RuntimeError):
+            scheduler.add_document(prepared)
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="schedule"):
+            CarouselScheduler(schedule="zigzag")
+
+    def test_air_cycle_advances_counters(self):
+        scheduler, _ = build_carousel()
+        slots = list(scheduler.air_cycle(0))
+        assert slots[0][0] == "index"
+        assert len(slots) == scheduler.period_slots
+        stats = scheduler.stats()
+        assert stats["cycles_aired"] == 1
+        assert stats["frames_aired"] == scheduler.period_slots - 1
+        assert stats["bytes_aired"] == scheduler.cycle_bytes(0)
+
+
+class TestReceiver:
+    def test_clean_channel_decodes_byte_identically(self):
+        scheduler, payloads = build_carousel(documents=2)
+        receiver = CarouselReceiver("doc-1")
+        terminal = play(scheduler, receiver)
+        assert isinstance(terminal, Decoded)
+        assert receiver.payload() == payloads["doc-1"]
+
+    def test_absent_document_is_flagged(self):
+        scheduler, _ = build_carousel()
+        receiver = CarouselReceiver("nope")
+        receiver.on_air_index(scheduler.air_index(0))
+        assert receiver.absent and not receiver.synced
+
+    def test_payload_before_decode_raises(self):
+        receiver = CarouselReceiver("doc")
+        with pytest.raises(RuntimeError):
+            receiver.payload()
+
+    def test_abort_before_sync_fails_cleanly(self):
+        receiver = CarouselReceiver("doc")
+        assert isinstance(receiver.abort(), Failed)
+
+    def test_geometry_change_mid_collect_aborts(self):
+        scheduler, _ = build_carousel()
+        receiver = CarouselReceiver("doc-0")
+        receiver.on_air_index(scheduler.air_index(0))
+        entry = receiver.entry
+        recooked = CarouselEntry(
+            document_id="doc-0", tag=entry.tag, m=entry.m + 1,
+            n=entry.n + 1, packet_size=entry.packet_size,
+            original_size=entry.original_size,
+        )
+        terminal = receiver.on_air_index(
+            AirIndex(
+                cycle=1, schedule="flat", entries=(recooked,),
+                layout=((entry.tag, recooked.n),),
+            )
+        )
+        assert isinstance(terminal, Failed)
+
+    def test_max_cycles_bounds_the_collection(self):
+        # Feed only air indexes (every frame slot drowned): the
+        # receiver must give up after max_cycles cycle boundaries.
+        scheduler, _ = build_carousel()
+        receiver = CarouselReceiver("doc-0", max_cycles=3)
+        for cycle in range(10):
+            receiver.on_air_index(scheduler.air_index(cycle))
+            if receiver.finished is not None:
+                break
+        assert isinstance(receiver.finished, Failed)
+
+
+class TestTuneInProperties:
+    """The satellite property suite: random offsets, seeded loss."""
+
+    @pytest.mark.parametrize("spec", [None, "iid:corrupt=0.15,drop=0.05",
+                                      "gilbert:alpha=0.15,burst=4"])
+    @pytest.mark.parametrize("trial", range(6))
+    def test_random_offset_decodes_byte_identically(self, spec, trial):
+        scheduler, payloads = build_carousel(documents=2, schedule="skewed")
+        rng = random.Random(1000 * trial + (hash(spec) % 1000))
+        offset = rng.randrange(scheduler.period_slots)
+        document_id = rng.choice(sorted(payloads))
+        channel = (
+            parse_model_spec(spec, seed=7 + trial) if spec else None
+        )
+        receiver = CarouselReceiver(document_id, channel=channel)
+        terminal = play(scheduler, receiver, offset=offset)
+        assert isinstance(terminal, Decoded), (spec, trial, offset)
+        # Byte-identical to the unicast path, which reconstructs the
+        # original payload exactly (any M intact packets suffice).
+        assert receiver.payload() == payloads[document_id]
+
+    def test_air_index_bounds_tuning_to_one_period(self):
+        scheduler, _ = build_carousel(documents=2, schedule="skewed")
+        period = scheduler.period_slots
+        for offset in range(period):
+            receiver = CarouselReceiver("doc-0")
+            play(scheduler, receiver, offset=offset)
+            assert receiver.synced
+            # On a clean channel the next air index is at most one
+            # period away, whatever the tune-in slot.
+            assert receiver.slots_before_sync < period, offset
+
+    def test_seeded_channels_make_runs_reproducible(self):
+        scheduler, payloads = build_carousel(documents=2)
+
+        def run_once():
+            receiver = CarouselReceiver(
+                "doc-0", channel=parse_model_spec("iid:corrupt=0.2", seed=42)
+            )
+            play(scheduler, receiver, offset=5)
+            return (
+                receiver.slots_seen,
+                receiver.frames_intact,
+                receiver.frames_corrupt,
+                receiver.payload(),
+            )
+
+        assert run_once() == run_once()

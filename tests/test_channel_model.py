@@ -360,6 +360,36 @@ def test_parse_spec_seed_matches_explicit_rng():
     assert [a.decide() for _ in range(100)] == [b.decide() for _ in range(100)]
 
 
+# -- the legacy per-flag surface -------------------------------------------
+
+
+def test_legacy_chaos_spec_synthesizes_the_iid_form():
+    from repro.channel import legacy_chaos_spec
+
+    assert legacy_chaos_spec(drop=0.1) == "iid:drop=0.1"
+    assert (
+        legacy_chaos_spec(drop=0.1, corrupt=0.25, disconnect=0.002, outage=2)
+        == "iid:drop=0.1,corrupt=0.25,disconnect=0.002,outage=2"
+    )
+    assert legacy_chaos_spec() is None
+    assert legacy_chaos_spec(drop=0.0, corrupt=0.0) is None
+
+
+def test_legacy_chaos_spec_builds_byte_identical_models():
+    from repro.channel import legacy_chaos_spec
+
+    # The one shared translation point: a legacy flag set and the spec
+    # it synthesizes must produce identical seeded verdict streams.
+    spec = legacy_chaos_spec(drop=0.1, corrupt=0.25, disconnect=0.002)
+    forwarded = parse_model_spec(spec, seed=11)
+    direct = IIDModel(
+        rng=random.Random(11), drop=0.1, corrupt=0.25, disconnect=0.002
+    )
+    assert [forwarded.decide() for _ in range(300)] == [
+        direct.decide() for _ in range(300)
+    ]
+
+
 # -- the recording wrapper -------------------------------------------------
 
 

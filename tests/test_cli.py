@@ -88,6 +88,63 @@ class TestTransfer:
         assert "FAILED" in capsys.readouterr().out
 
 
+class TestChaosFlags:
+    def test_deprecated_flags_forward_to_chaos_model(self, capsys):
+        with pytest.warns(DeprecationWarning, match="--chaos-model iid:corrupt=0.1"):
+            code = main(
+                ["transfer", DRAFT, "--chaos-corrupt", "0.1", "--seed", "3"]
+            )
+        assert code == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_both_chaos_surfaces_is_an_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "transfer", DRAFT,
+                    "--chaos-model", "iid:corrupt=0.1",
+                    "--chaos-drop", "0.2",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "not both" in capsys.readouterr().out
+
+    def test_legacy_flags_are_byte_identical_to_the_spec(self, capsys):
+        # The deprecated flags synthesize the iid: spec and ride the
+        # same parser, so a seeded run is reproduced exactly.
+        args = ["transfer", DRAFT, "--seed", "11"]
+        assert main(args + ["--chaos-model", "iid:corrupt=0.2,drop=0.05"]) == 0
+        spec_out = capsys.readouterr().out
+        with pytest.warns(DeprecationWarning):
+            assert (
+                main(args + ["--chaos-corrupt", "0.2", "--chaos-drop", "0.05"])
+                == 0
+            )
+        legacy_out = capsys.readouterr().out
+        assert legacy_out == spec_out
+
+
+class TestDeliveryFlag:
+    def test_fetch_accepts_delivery_choices(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["net", "fetch", "doc", "--delivery", "carousel"]
+        )
+        assert args.delivery == "carousel"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["net", "fetch", "doc", "--delivery", "anycast"])
+
+    def test_serve_carousel_excludes_broker_and_workers(self, capsys):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["net", "serve", DRAFT, "--carousel"])
+        assert args.carousel is True
+        assert args.carousel_schedule == "flat"
+
+
 class TestFigure:
     def test_table2(self, capsys):
         assert main(["figure", "table2"]) == 0

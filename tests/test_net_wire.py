@@ -13,6 +13,8 @@ from repro.net.wire import (
     ENVELOPE_OVERHEAD,
     MAX_MESSAGE_SIZE,
     MESSAGE_NAMES,
+    MSG_AIR_INDEX,
+    MSG_BCAST_FRAME,
     MSG_DONE,
     MSG_ERROR,
     MSG_FRAME,
@@ -69,6 +71,8 @@ ALL_TYPES = [
     MSG_DONE,
     MSG_ERROR,
     MSG_STATS,
+    MSG_AIR_INDEX,
+    MSG_BCAST_FRAME,
 ]
 
 
@@ -105,6 +109,26 @@ class TestEncode:
 
     def test_every_type_named(self):
         assert sorted(MESSAGE_NAMES) == sorted(ALL_TYPES)
+
+    def test_broadcast_constants_match_wire(self):
+        # repro.broadcast may not import repro.net (layering), so it
+        # duplicates the two message types and the envelope overhead;
+        # this is the one place that pins the copies to the originals.
+        from repro.broadcast import airindex
+
+        assert airindex.AIR_INDEX_MSG_TYPE == MSG_AIR_INDEX
+        assert airindex.BCAST_FRAME_MSG_TYPE == MSG_BCAST_FRAME
+        assert airindex.ENVELOPE_OVERHEAD == ENVELOPE_OVERHEAD
+        assert airindex.BCAST_FRAME_OVERHEAD == ENVELOPE_OVERHEAD + 1
+
+    def test_broadcast_frame_envelope_parses_as_wire_message(self):
+        from repro.broadcast import encode_broadcast_frame
+
+        wire = bytes(encode_broadcast_frame(7, b"frame-bytes"))
+        got_type, body = read_from(wire)
+        assert got_type == MSG_BCAST_FRAME
+        assert body[0] == 7
+        assert body[1:] == b"frame-bytes"
 
 
 class TestJson:

@@ -232,3 +232,44 @@ class TestMergeSnapshots:
         assert merged["server"] == {}
         assert merged["workers"] == []
         assert merged["active_connections"] == 0
+        assert "broadcast" not in merged
+
+    def test_broadcast_sections_merge_with_approximate_label(self):
+        a = {
+            "server": {},
+            "broadcast": {
+                "enabled": True, "schedule": "skewed", "documents": 4,
+                "period_slots": 241, "subscribers": 2, "subscriptions": 5,
+                "slots_dropped": 1, "cycles_aired": 3, "frames_aired": 720,
+                "bytes_aired": 195_000,
+            },
+        }
+        b = {
+            "server": {},
+            "broadcast": {
+                "enabled": True, "schedule": "skewed", "documents": 4,
+                "period_slots": 241, "subscribers": 1, "subscriptions": 2,
+                "slots_dropped": 0, "cycles_aired": 1, "frames_aired": 240,
+                "bytes_aired": 65_000,
+            },
+        }
+        merged = merge_snapshots([a, b])
+        broadcast = merged["broadcast"]
+        assert broadcast["enabled"] is True
+        assert broadcast["schedule"] == "skewed"
+        assert broadcast["documents"] == 4
+        assert broadcast["period_slots"] == 241
+        assert broadcast["subscribers"] == 3
+        assert broadcast["subscriptions"] == 7
+        assert broadcast["slots_dropped"] == 1
+        assert broadcast["cycles_aired"] == 4
+        assert broadcast["frames_aired"] == 960
+        assert broadcast["bytes_aired"] == 260_000
+        # The per-cycle mean blends independent worker streams, so it
+        # carries the same label the merged SLO percentiles do.
+        assert broadcast["mean_cycle_bytes"] == pytest.approx(260_000 / 4)
+        assert broadcast["approximate"] is True
+
+    def test_unicast_only_fleet_has_no_broadcast_section(self):
+        merged = merge_snapshots([{"server": {"completed": 1}}])
+        assert "broadcast" not in merged

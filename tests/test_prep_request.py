@@ -4,6 +4,7 @@ import pytest
 
 from repro.prep.request import (
     KNOWN_MEASURES,
+    DeliveryMode,
     PrepRequest,
     TransferSettings,
     UNSET,
@@ -102,6 +103,62 @@ class TestPrepRequestKeysAndWire:
             PrepRequest.from_wire({"packet_size": "huge"})
         with pytest.raises(ValueError):
             PrepRequest.from_wire({"measure": "entropy"})
+
+
+class TestDeliveryMode:
+    def test_default_is_unicast(self):
+        assert PrepRequest().delivery is DeliveryMode.UNICAST
+        assert TransferSettings().delivery is DeliveryMode.UNICAST
+
+    def test_strings_are_canonicalized(self):
+        assert PrepRequest(delivery="carousel").delivery is DeliveryMode.CAROUSEL
+        assert PrepRequest(delivery=" CAROUSEL ").delivery is DeliveryMode.CAROUSEL
+        assert (
+            TransferSettings(delivery="unicast").delivery is DeliveryMode.UNICAST
+        )
+
+    def test_junk_mode_rejected(self):
+        with pytest.raises(ValueError, match="delivery"):
+            PrepRequest(delivery="multicast")
+        with pytest.raises(ValueError, match="delivery"):
+            PrepRequest(delivery=7)
+        with pytest.raises(ValueError, match="delivery"):
+            TransferSettings(delivery="anycast")
+
+    def test_unicast_omitted_from_wire_for_legacy_peers(self):
+        # Pre-DeliveryMode servers reject unknown prep keys, so the
+        # default mode must not appear on the wire at all.
+        assert "delivery" not in PrepRequest().to_wire()
+        wire = PrepRequest(delivery="carousel").to_wire()
+        assert wire["delivery"] == "carousel"
+
+    def test_wire_roundtrip(self):
+        request = PrepRequest(delivery=DeliveryMode.CAROUSEL)
+        assert PrepRequest.from_wire(request.to_wire()) == request
+        assert PrepRequest.from_wire({}).delivery is DeliveryMode.UNICAST
+
+    def test_from_wire_rejects_junk_mode(self):
+        with pytest.raises(ValueError, match="delivery"):
+            PrepRequest.from_wire({"delivery": "multicast"})
+        with pytest.raises(ValueError, match="delivery"):
+            PrepRequest.from_wire({"delivery": 3})
+
+    def test_delivery_is_part_of_the_cache_key(self):
+        digest = "d" * 64
+        base = PrepRequest()
+        carousel = base.replace(delivery=DeliveryMode.CAROUSEL)
+        assert carousel.cache_key(digest) != base.cache_key(digest)
+        assert carousel.cache_key(digest)[-1] == "carousel"
+
+    def test_legacy_request_shim_carries_delivery(self):
+        with pytest.warns(DeprecationWarning):
+            request = request_from_legacy(None, "api", delivery="carousel")
+        assert request.delivery is DeliveryMode.CAROUSEL
+
+    def test_legacy_settings_shim_carries_delivery(self):
+        with pytest.warns(DeprecationWarning):
+            settings = settings_from_legacy(None, "api", delivery="carousel")
+        assert settings.delivery is DeliveryMode.CAROUSEL
 
 
 class TestTransferSettings:

@@ -39,6 +39,7 @@ FORBIDDEN: List[Tuple[str, Tuple[str, ...], str]] = [
         "repro.channel",
         (
             "repro.protocol",
+            "repro.broadcast",
             "repro.net",
             "repro.transport",
             "repro.simulation",
@@ -61,6 +62,7 @@ FORBIDDEN: List[Tuple[str, Tuple[str, ...], str]] = [
     (
         "repro.protocol",
         (
+            "repro.broadcast",
             "repro.net",
             "repro.transport",
             "repro.simulation",
@@ -94,6 +96,7 @@ FORBIDDEN: List[Tuple[str, Tuple[str, ...], str]] = [
         (
             "repro.channel",
             "repro.protocol",
+            "repro.broadcast",
             "repro.net",
             "repro.transport",
             "repro.simulation",
@@ -125,14 +128,39 @@ FORBIDDEN: List[Tuple[str, Tuple[str, ...], str]] = [
         "EWMA estimators, nothing above",
     ),
     (
+        "repro.broadcast",
+        (
+            "repro.net",
+            "repro.transport",
+            "repro.simulation",
+            "repro.prototype",
+            "repro.coding",
+            "repro.cli",
+            "repro.figures",
+            "repro.xmlkit",
+            "repro.htmlkit",
+            "repro.search",
+            "repro.core",
+            "repro.text",
+            "repro.analysis",
+            "repro.data",
+        ),
+        "repro.broadcast is sans-IO like repro.protocol: it schedules "
+        "and receives over prep's cooked artifacts using only "
+        "repro.protocol, repro.prep, repro.channel, repro.obs, and "
+        "repro.util — the socket layer subscribes to it, never the "
+        "reverse",
+    ),
+    (
         "repro.transport",
-        ("repro.net",),
+        ("repro.net", "repro.broadcast"),
         "the simulated byte driver must not depend on the socket layer",
     ),
     (
         "repro.prep",
         (
             "repro.net",
+            "repro.broadcast",
             "repro.transport",
             "repro.prototype",
             "repro.simulation",
